@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the power models and functional
+//! building blocks — the per-event costs that determine overall
+//! simulation speed (the paper quotes ~1000 cycles/s on a Pentium III
+//! 750 MHz; see `simulator.rs` for the whole-network figure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use orion_power::{
+    ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CentralBufferParams,
+    CentralBufferPower, CrossbarKind, CrossbarParams, CrossbarPower, LinkPower, WriteActivity,
+};
+use orion_sim::{scaled_hamming, MatrixArbiter, RoundRobinArbiter};
+use orion_tech::{Microns, ProcessNode, Technology};
+
+fn bench_model_construction(c: &mut Criterion) {
+    let tech = Technology::new(ProcessNode::Nm100);
+    c.bench_function("construct/buffer_64x256", |b| {
+        b.iter(|| BufferPower::new(black_box(&BufferParams::new(64, 256)), tech).unwrap())
+    });
+    c.bench_function("construct/crossbar_5x5x256", |b| {
+        b.iter(|| {
+            CrossbarPower::new(
+                black_box(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 256)),
+                tech,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("construct/central_buffer_paper", |b| {
+        b.iter(|| {
+            CentralBufferPower::new(black_box(&CentralBufferParams::new(4, 2560, 32)), tech)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_energy_evaluation(c: &mut Criterion) {
+    let tech = Technology::new(ProcessNode::Nm100);
+    let buffer = BufferPower::new(&BufferParams::new(64, 256), tech).unwrap();
+    let crossbar =
+        CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 256), tech).unwrap();
+    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
+        .unwrap()
+        .with_control_energy(crossbar.control_energy());
+    let link = LinkPower::on_chip(Microns::from_mm(3.0), 256, tech);
+    let activity = WriteActivity::uniform_random(256);
+
+    c.bench_function("energy/buffer_read", |b| {
+        b.iter(|| black_box(&buffer).read_energy())
+    });
+    c.bench_function("energy/buffer_write", |b| {
+        b.iter(|| black_box(&buffer).write_energy(black_box(&activity)))
+    });
+    c.bench_function("energy/crossbar_traversal", |b| {
+        b.iter(|| black_box(&crossbar).traversal_energy(black_box(128.0)))
+    });
+    c.bench_function("energy/arbitration", |b| {
+        b.iter(|| black_box(&arbiter).arbitration_energy(black_box(0b10110), 0b00010, 3))
+    });
+    c.bench_function("energy/link_traversal", |b| {
+        b.iter(|| black_box(&link).traversal_energy(black_box(128.0)))
+    });
+}
+
+fn bench_functional_blocks(c: &mut Criterion) {
+    c.bench_function("functional/matrix_arbiter_8", |b| {
+        let mut arb = MatrixArbiter::new(8);
+        let mut mask = 0xA5u128;
+        b.iter(|| {
+            mask = (mask.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 1) & 0xFF;
+            arb.arbitrate(black_box(mask | 1))
+        })
+    });
+    c.bench_function("functional/round_robin_arbiter_8", |b| {
+        let mut arb = RoundRobinArbiter::new(8);
+        b.iter(|| arb.arbitrate(black_box(0b1011_0110)))
+    });
+    c.bench_function("functional/scaled_hamming_256", |b| {
+        b.iter(|| scaled_hamming(black_box(0xDEAD_BEEF_CAFE_F00D), black_box(0x1234), 256))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_model_construction,
+    bench_energy_evaluation,
+    bench_functional_blocks
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Whole-network simulation throughput.
+//!
+//! §4.1 of the paper: "a typical 4x4 torus network using virtual
+//! channels comprises 59 modules. The constructed Orion simulator is
+//! 5202KB in size, with a system simulation speed of about 1000
+//! simulation cycles per second on a Pentium III 750MHz machine running
+//! Linux." These benchmarks report the equivalent cycles-per-second
+//! figure for this reproduction (EXPERIMENTS.md records the result).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use orion_core::{presets, NetworkConfig};
+use orion_net::TrafficPattern;
+use orion_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a loaded network and steps it `cycles` times.
+fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats().packets_delivered
+}
+
+fn bench_simulation_speed(c: &mut Criterion) {
+    const CYCLES: u64 = 2_000;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.sample_size(10);
+
+    group.bench_function("vc16_4x4_torus_rate0.05", |b| {
+        let cfg = presets::vc16_onchip();
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES))
+    });
+    group.bench_function("wh64_4x4_torus_rate0.05", |b| {
+        let cfg = presets::wh64_onchip();
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES))
+    });
+    group.bench_function("vc64_4x4_torus_rate0.10", |b| {
+        let cfg = presets::vc64_onchip();
+        b.iter(|| run_cycles(&cfg, 0.10, CYCLES))
+    });
+    group.bench_function("cb_4x4_torus_rate0.05", |b| {
+        let cfg = presets::cb_chip_to_chip();
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES))
+    });
+    group.finish();
+}
+
+fn bench_network_construction(c: &mut Criterion) {
+    c.bench_function("construct/vc16_network", |b| {
+        let cfg = presets::vc16_onchip();
+        b.iter_batched(
+            || cfg.build().expect("valid"),
+            |(spec, models)| Network::new(spec, models),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_simulation_speed, bench_network_construction);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: the three arbiter implementations of the Appendix.
+//!
+//! The paper models matrix, round-robin and queuing arbiters (Table 4
+//! gives the matrix one in detail; the queuing arbiter reuses the FIFO
+//! buffer model — §3.2's hierarchy at work). This sweep compares their
+//! per-arbitration energy across requester counts and activity levels,
+//! and confirms the Fig. 5c claim that arbiter energy is negligible
+//! next to the datapath.
+
+use orion_bench::print_table;
+use orion_power::{
+    ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind,
+    CrossbarParams, CrossbarPower,
+};
+use orion_tech::{ProcessNode, Technology};
+
+fn main() {
+    let tech = Technology::new(ProcessNode::Nm100);
+
+    let kinds = [
+        ("matrix", ArbiterKind::Matrix),
+        ("round-robin", ArbiterKind::RoundRobin),
+        ("queuing", ArbiterKind::Queuing),
+    ];
+
+    // Requester-count sweep at a busy activity level.
+    let mut rows = Vec::new();
+    for &r in &[2u32, 4, 5, 8, 16, 32] {
+        let mut row = vec![r.to_string()];
+        for (_, kind) in &kinds {
+            let arb = ArbiterPower::new(&ArbiterParams::new(*kind, r), tech).expect("valid");
+            let mask = (1u64 << r) - 1;
+            let e = arb.arbitration_energy(mask, 0, r);
+            row.push(format!("{:.4}", e.as_pj()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "per-arbitration energy vs requesters (all requests toggling, pJ)",
+        &["R", "matrix", "round-robin", "queuing"],
+        &rows,
+    );
+
+    // Activity sweep for the paper's 5-port matrix arbiter.
+    let arb5 = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
+        .expect("valid");
+    let rows: Vec<Vec<String>> = [
+        ("steady grant (no toggles)", 0b00001u64, 0b00001u64, 0u32),
+        ("one new request", 0b00011, 0b00001, 1),
+        ("all toggle", 0b11111, 0b00000, 4),
+    ]
+    .iter()
+    .map(|(name, req, prev, flips)| {
+        vec![
+            name.to_string(),
+            format!("{:.4}", arb5.arbitration_energy(*req, *prev, *flips).as_pj()),
+        ]
+    })
+    .collect();
+    print_table(
+        "5:1 matrix arbiter energy vs switching activity",
+        &["scenario", "E_arb (pJ)"],
+        &rows,
+    );
+
+    // The Fig. 5c sanity check: arbiter energy vs one datapath flit.
+    let buf = BufferPower::new(&BufferParams::new(64, 256), tech).expect("valid");
+    let xb = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 256), tech)
+        .expect("valid");
+    let e_arb = arb5.arbitration_energy(0b11111, 0, 4).as_pj();
+    let e_datapath =
+        buf.read_energy().as_pj() + buf.write_energy_uniform().as_pj() + xb.traversal_energy_uniform().as_pj();
+    println!(
+        "\nworst-case arbitration = {:.4} pJ vs one buffered flit-hop = {:.2} pJ ({:.2}%)",
+        e_arb,
+        e_datapath,
+        100.0 * e_arb / e_datapath
+    );
+    println!("(paper Fig. 5c: arbiter power is 'invisible at current scale', < 1%)");
+}

@@ -1,0 +1,76 @@
+//! Ablation: how buffer geometry drives per-access energy and area.
+//!
+//! The Fig. 5 result (VC16 cheaper than WH64, VC128 the most expensive)
+//! rests on Table 2's bitline term `C_br ∝ B`: per-access energy grows
+//! with buffer depth. This sweep quantifies that scaling, plus the
+//! width and port terms, directly from the component model.
+
+use orion_bench::print_table;
+use orion_power::{buffer_area, BufferParams, BufferPower};
+use orion_tech::{ProcessNode, Technology};
+
+fn main() {
+    let tech = Technology::new(ProcessNode::Nm100);
+
+    // Depth sweep at the paper's on-chip flit width.
+    let rows: Vec<Vec<String>> = [4u32, 8, 16, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&b| {
+            let m = BufferPower::new(&BufferParams::new(b, 256), tech).expect("valid");
+            vec![
+                b.to_string(),
+                format!("{:.3}", m.read_energy().as_pj()),
+                format!("{:.3}", m.write_energy_uniform().as_pj()),
+                format!("{:.1}", m.bitline_length().0),
+                format!("{:.4}", buffer_area(&m).as_mm2()),
+            ]
+        })
+        .collect();
+    print_table(
+        "buffer depth sweep (F = 256 bits, 1R1W, 0.1 um)",
+        &["B (flits)", "E_read (pJ)", "E_write (pJ)", "L_bl (um)", "area (mm^2)"],
+        &rows,
+    );
+
+    // Width sweep at fixed depth.
+    let rows: Vec<Vec<String>> = [16u32, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&f| {
+            let m = BufferPower::new(&BufferParams::new(64, f), tech).expect("valid");
+            vec![
+                f.to_string(),
+                format!("{:.3}", m.read_energy().as_pj()),
+                format!("{:.3}", m.write_energy_uniform().as_pj()),
+                format!("{:.1}", m.wordline_length().0),
+            ]
+        })
+        .collect();
+    print_table(
+        "flit width sweep (B = 64 flits)",
+        &["F (bits)", "E_read (pJ)", "E_write (pJ)", "L_wl (um)"],
+        &rows,
+    );
+
+    // Port sweep: multi-ported buffers pay in every capacitance term.
+    let rows: Vec<Vec<String>> = [(1u32, 1u32), (1, 2), (2, 2), (4, 4)]
+        .iter()
+        .map(|&(r, w)| {
+            let m = BufferPower::new(&BufferParams::new(64, 256).with_ports(r, w), tech)
+                .expect("valid");
+            vec![
+                format!("{r}R{w}W"),
+                format!("{:.3}", m.read_energy().as_pj()),
+                format!("{:.3}", m.write_energy_uniform().as_pj()),
+                format!("{:.4}", buffer_area(&m).as_mm2()),
+            ]
+        })
+        .collect();
+    print_table(
+        "port sweep (B = 64, F = 256)",
+        &["ports", "E_read (pJ)", "E_write (pJ)", "area (mm^2)"],
+        &rows,
+    );
+
+    println!("\n(the depth rows explain Fig. 5b: per-port buffering of 16/64/128 flits");
+    println!(" orders VC16 < WH64 = VC64 < VC128 in per-access energy)");
+}

@@ -1,0 +1,110 @@
+//! Figure 5: power-performance of on-chip 4×4 torus networks under
+//! wormhole vs. virtual-channel flow control at varying packet
+//! injection rates (§4.2).
+//!
+//! Regenerates:
+//! * **5(a)** — average packet latency vs. injection rate for WH64,
+//!   VC16, VC64 and VC128,
+//! * **5(b)** — total network power vs. injection rate,
+//! * **5(c)** — VC64 average power breakdown (input buffers, crossbar,
+//!   arbiter, link).
+//!
+//! Expected shapes (paper): VC16 saturates at ≈0.15 pkt/cycle/node,
+//! above WH64; VC16 consumes less power than WH64 below ≈0.11 and more
+//! above; VC64 ≈ WH64 power before saturation; VC128 is the most
+//! power-hungry with no throughput gain over VC64; power levels off
+//! past saturation; buffers + crossbar exceed 85% of node power with
+//! arbiters < 1%.
+
+use orion_bench::{fmt_report_latency, fmt_report_power, print_table, Effort};
+use orion_core::{injection_sweep, presets, Experiment, NetworkConfig};
+use orion_sim::Component;
+
+fn main() {
+    let effort = Effort::from_args();
+    let options = effort.options();
+    let rates: Vec<f64> = (1..=10).map(|i| 0.02 * i as f64).collect();
+
+    let configs: Vec<(&str, NetworkConfig)> = vec![
+        ("WH64", presets::wh64_onchip()),
+        ("VC16", presets::vc16_onchip()),
+        ("VC64", presets::vc64_onchip()),
+        ("VC128", presets::vc128_onchip()),
+    ];
+
+    let mut latency_rows = Vec::new();
+    let mut power_rows = Vec::new();
+    let mut sweeps = Vec::new();
+    for (name, cfg) in &configs {
+        eprintln!("sweeping {name} ...");
+        let points = injection_sweep(cfg, &rates, options).expect("preset configs are valid");
+        sweeps.push((name, points));
+    }
+
+    for (i, &rate) in rates.iter().enumerate() {
+        let mut lat = vec![format!("{rate:.2}")];
+        let mut pow = vec![format!("{rate:.2}")];
+        for (_, points) in &sweeps {
+            let r = &points[i].report;
+            lat.push(fmt_report_latency(r));
+            pow.push(fmt_report_power(r));
+        }
+        latency_rows.push(lat);
+        power_rows.push(pow);
+    }
+
+    let header = ["rate (pkt/cyc/node)", "WH64", "VC16", "VC64", "VC128"];
+    print_table(
+        "Figure 5(a): average packet latency (cycles; * = saturated)",
+        &header,
+        &latency_rows,
+    );
+    print_table(
+        "Figure 5(b): total network power (W; ! = deadlocked, power over live window)",
+        &header,
+        &power_rows,
+    );
+
+    for (name, points) in &sweeps {
+        let sat = orion_core::saturation_rate(points);
+        match sat {
+            Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
+            None => println!("  {name}: saturated at every swept rate"),
+        }
+    }
+
+    // 5(c): VC64 breakdown at a representative pre-saturation rate.
+    let rate = 0.10;
+    let report = Experiment::new(presets::vc64_onchip())
+        .injection_rate(rate)
+        .seed(options.seed)
+        .warmup(options.warmup)
+        .sample_packets(options.sample_packets)
+        .max_cycles(options.max_cycles)
+        .run()
+        .expect("preset configs are valid");
+    let rows: Vec<Vec<String>> = report
+        .breakdown()
+        .iter()
+        .filter(|(c, _, _)| *c != Component::CentralBuffer)
+        .map(|(c, p, f)| {
+            vec![
+                c.to_string(),
+                format!("{:.4}", p.0),
+                format!("{:.2}%", 100.0 * f),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 5(c): VC64 average power breakdown at rate {rate}"),
+        &["component", "power (W)", "share"],
+        &rows,
+    );
+    let buf_xb: f64 = report
+        .breakdown()
+        .iter()
+        .filter(|(c, _, _)| matches!(c, Component::Buffer | Component::Crossbar))
+        .map(|(_, _, f)| f)
+        .sum();
+    println!("  buffers + crossbar = {:.1}% of node power (paper: > 85%)", 100.0 * buf_xb);
+}

@@ -1,0 +1,156 @@
+//! Figure 7: power-performance of chip-to-chip 4×4 torus networks
+//! composed of central-buffered (CB) and input-buffered crossbar (XB)
+//! routers at varying packet injection rates (§4.4).
+//!
+//! Regenerates:
+//! * **7(a)/(b)** — latency and total network power under uniform
+//!   random traffic,
+//! * **7(d)/(e)** — latency and total network power under broadcast
+//!   traffic from node (1,2),
+//! * **7(c)/(f)** — XB and CB node power breakdowns under random
+//!   traffic.
+//!
+//! Expected shapes (paper): CB saturates below XB under uniform random
+//! traffic (2 fabric ports vs 5); CB performs better under broadcast
+//! (no head-of-line blocking); CB consumes more power (the central
+//! buffer dominates); links exceed 70% of XB node power (3 W
+//! traffic-insensitive chip-to-chip links).
+
+use orion_bench::{fmt_report_latency, fmt_report_power, print_table, Effort};
+use orion_core::{injection_sweep, presets, Experiment, Report};
+use orion_net::TrafficPattern;
+use orion_sim::Component;
+
+fn main() {
+    let effort = Effort::from_args();
+    let options = effort.options();
+    let xb = presets::xb_chip_to_chip();
+    let cb = presets::cb_chip_to_chip();
+    let topo = xb.topology.clone();
+
+    // Matched-area check (the paper's §4.4 methodology).
+    let a_xb = xb.router_area().expect("valid config").total();
+    let a_cb = cb.router_area().expect("valid config").total();
+    println!(
+        "router area estimate: XB {:.3} mm^2, CB {:.3} mm^2 (ratio {:.2})",
+        a_xb.as_mm2(),
+        a_cb.as_mm2(),
+        a_xb.0 / a_cb.0
+    );
+
+    // --- 7(a)/(b): uniform random traffic. ---
+    let rates: Vec<f64> = (1..=10).map(|i| 0.03 * i as f64).collect();
+    eprintln!("sweeping XB under uniform traffic ...");
+    let xb_points = injection_sweep(&xb, &rates, options).expect("valid config");
+    eprintln!("sweeping CB under uniform traffic ...");
+    let cb_points = injection_sweep(&cb, &rates, options).expect("valid config");
+
+    let mut lat_rows = Vec::new();
+    let mut pow_rows = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let (rx, rc) = (&xb_points[i].report, &cb_points[i].report);
+        lat_rows.push(vec![
+            format!("{rate:.2}"),
+            fmt_report_latency(rx),
+            fmt_report_latency(rc),
+        ]);
+        pow_rows.push(vec![
+            format!("{rate:.2}"),
+            fmt_report_power(rx),
+            fmt_report_power(rc),
+        ]);
+    }
+    let header = ["rate (pkt/cyc/node)", "XB", "CB"];
+    print_table(
+        "Figure 7(a): average packet latency, uniform random (cycles; * = saturated)",
+        &header,
+        &lat_rows,
+    );
+    print_table("Figure 7(b): total network power, uniform random (W)", &header, &pow_rows);
+    for (name, points) in [("XB", &xb_points), ("CB", &cb_points)] {
+        match orion_core::saturation_rate(points) {
+            Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
+            None => println!("  {name}: saturated at every swept rate"),
+        }
+    }
+
+    // --- 7(d)/(e): broadcast traffic from (1,2). ---
+    let src = topo.node_at(&[1, 2]);
+    let bc_rates: Vec<f64> = (1..=10).map(|i| 0.1 * i as f64).collect();
+    let run_bc = |cfg: &orion_core::NetworkConfig, rate: f64| -> Report {
+        Experiment::new(cfg.clone())
+            .workload(TrafficPattern::broadcast(&topo, src, rate).expect("valid rate"))
+            .seed(options.seed)
+            .warmup(options.warmup)
+            .sample_packets(options.sample_packets.min(3000))
+            .max_cycles(options.max_cycles)
+            .run()
+            .expect("valid config")
+    };
+    let mut lat_rows = Vec::new();
+    let mut pow_rows = Vec::new();
+    eprintln!("sweeping broadcast rates ...");
+    for &rate in &bc_rates {
+        let rx = run_bc(&xb, rate);
+        let rc = run_bc(&cb, rate);
+        lat_rows.push(vec![
+            format!("{rate:.2}"),
+            fmt_report_latency(&rx),
+            fmt_report_latency(&rc),
+        ]);
+        pow_rows.push(vec![
+            format!("{rate:.2}"),
+            fmt_report_power(&rx),
+            fmt_report_power(&rc),
+        ]);
+    }
+    let header = ["source rate (pkt/cyc)", "XB", "CB"];
+    print_table(
+        "Figure 7(d): average packet latency, broadcast from (1,2) (cycles; * = saturated)",
+        &header,
+        &lat_rows,
+    );
+    print_table(
+        "Figure 7(e): total network power, broadcast from (1,2) (W)",
+        &header,
+        &pow_rows,
+    );
+
+    // --- 7(c)/(f): node power breakdowns under random traffic. ---
+    let breakdown_rate = 0.09;
+    for (name, cfg, fig) in [("XB", &xb, "7(c)"), ("CB", &cb, "7(f)")] {
+        let report = Experiment::new(cfg.clone())
+            .injection_rate(breakdown_rate)
+            .seed(options.seed)
+            .warmup(options.warmup)
+            .sample_packets(options.sample_packets)
+            .max_cycles(options.max_cycles)
+            .run()
+            .expect("valid config");
+        let rows: Vec<Vec<String>> = report
+            .breakdown()
+            .iter()
+            .map(|(c, p, f)| {
+                vec![
+                    c.to_string(),
+                    format!("{:.3}", p.0),
+                    format!("{:.2}%", 100.0 * f),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure {fig}: {name} average power breakdown at rate {breakdown_rate} (random traffic)"),
+            &["component", "power (W)", "share"],
+            &rows,
+        );
+        if name == "XB" {
+            let link_frac = report
+                .breakdown()
+                .iter()
+                .find(|(c, _, _)| *c == Component::Link)
+                .map(|(_, _, f)| *f)
+                .unwrap_or(0.0);
+            println!("  links = {:.1}% of node power (paper: > 70%)", 100.0 * link_frac);
+        }
+    }
+}

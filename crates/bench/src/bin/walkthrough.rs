@@ -1,0 +1,63 @@
+//! §3.3 walkthrough: a head flit through a simple wormhole router.
+//!
+//! The paper's example router: 5 input/output ports, 4 flit buffers per
+//! input port, 32-bit flits, a 5×5 crossbar and a 4:1 arbiter per
+//! output port, with source routing. The flit's total energy at one
+//! node and its outgoing link is
+//!
+//! `E_flit = E_wrt + E_arb + E_read + E_xb + E_link`.
+
+use orion_bench::print_table;
+use orion_power::{
+    ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind,
+    CrossbarParams, CrossbarPower, LinkPower, WriteActivity,
+};
+use orion_tech::{Microns, ProcessNode, Technology};
+
+fn main() {
+    let tech = Technology::new(ProcessNode::Nm100);
+    println!("Section 3.3 walkthrough at {} / {} V", tech.node(), tech.vdd().0);
+
+    let buffer =
+        BufferPower::new(&BufferParams::new(4, 32), tech).expect("paper's buffer parameters");
+    let crossbar = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech)
+        .expect("paper's crossbar parameters");
+    // A 4:1 arbiter per output port (a flit does not u-turn).
+    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 4), tech)
+        .expect("paper's arbiter parameters")
+        .with_control_energy(crossbar.control_energy());
+    let link = LinkPower::on_chip(Microns::from_mm(3.0), 32, tech);
+
+    // Uniform random data: half the lines toggle.
+    let e_wrt = buffer.write_energy(&WriteActivity::uniform_random(32));
+    // One requester appears (ours), arbitration flips ~half the
+    // priorities of the granted row.
+    let e_arb = arbiter.arbitration_energy(0b0001, 0b0000, 2);
+    let e_read = buffer.read_energy();
+    let e_xb = crossbar.traversal_energy_uniform();
+    let e_link = link.traversal_energy_uniform();
+    let e_flit = e_wrt + e_arb + e_read + e_xb + e_link;
+
+    let rows: Vec<Vec<String>> = [
+        ("E_wrt (buffer write)", e_wrt),
+        ("E_arb (arbitration)", e_arb),
+        ("E_read (buffer read)", e_read),
+        ("E_xb (crossbar traversal)", e_xb),
+        ("E_link (link traversal)", e_link),
+        ("E_flit (total)", e_flit),
+    ]
+    .iter()
+    .map(|(name, e)| {
+        vec![
+            name.to_string(),
+            format!("{:.4}", e.as_pj()),
+            format!("{:.1}%", 100.0 * e.0 / e_flit.0),
+        ]
+    })
+    .collect();
+    print_table(
+        "Per-flit energy through one wormhole router node (Figure 2)",
+        &["operation", "energy (pJ)", "share"],
+        &rows,
+    );
+}

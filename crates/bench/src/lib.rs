@@ -1,0 +1,151 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one of the paper's result
+//! figures (see DESIGN.md's experiment index) and prints the same
+//! series the paper plots, as aligned text tables. Pass `--quick` to
+//! any binary for a reduced sample size (fast smoke runs); the default
+//! is the paper's measurement discipline (§4.1: 1000 warm-up cycles,
+//! 10 000-packet sample).
+
+use orion_core::SweepOptions;
+
+/// Measurement effort selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// The paper's full measurement parameters.
+    Full,
+    /// Reduced sample for smoke runs (`--quick`).
+    Quick,
+}
+
+impl Effort {
+    /// Parses process arguments: `--quick` selects [`Effort::Quick`].
+    pub fn from_args() -> Effort {
+        if std::env::args().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Full
+        }
+    }
+
+    /// Sweep options for this effort level.
+    pub fn options(self) -> SweepOptions {
+        match self {
+            Effort::Full => SweepOptions {
+                seed: 1,
+                warmup: 1000,
+                sample_packets: 10_000,
+                max_cycles: 300_000,
+            },
+            Effort::Quick => SweepOptions {
+                seed: 1,
+                warmup: 300,
+                sample_packets: 1_000,
+                max_cycles: 60_000,
+            },
+        }
+    }
+}
+
+/// Prints a table of rows with a header, aligning every column to the
+/// width of its widest cell.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a latency for a table cell; saturated points are marked `*`
+/// (the paper's curves shoot off the chart there) and deadlocked points
+/// `!` (dimension-ordered routing on a torus without dateline VCs is
+/// not deadlock-free — see DESIGN.md).
+pub fn fmt_latency(avg: f64, saturated: bool) -> String {
+    if avg.is_nan() {
+        return "-".to_string();
+    }
+    if saturated {
+        format!("{avg:.1}*")
+    } else {
+        format!("{avg:.1}")
+    }
+}
+
+/// Formats a report's latency cell, marking saturation (`*`) and
+/// deadlock (`!`).
+pub fn fmt_report_latency(report: &orion_core::Report) -> String {
+    let mut s = fmt_latency(report.avg_latency(), report.is_saturated());
+    if report.deadlocked() {
+        s.push('!');
+    }
+    s
+}
+
+/// Formats a report's total-power cell, marking deadlock (`!`).
+pub fn fmt_report_power(report: &orion_core::Report) -> String {
+    let mut s = format!("{:.3}", report.total_power().0);
+    if report.deadlocked() {
+        s.push('!');
+    }
+    s
+}
+
+/// Renders a per-node power map as the 4×4 grid of Figure 6, labelled
+/// in the paper's (x, y) Cartesian tuples.
+pub fn print_power_map(title: &str, map: &[orion_tech::Watts], kx: usize, ky: usize) {
+    assert_eq!(map.len(), kx * ky, "map size mismatch");
+    println!("\n== {title} ==");
+    println!("  node power in W; rows are y (top = y={}), columns x", ky - 1);
+    for y in (0..ky).rev() {
+        let cells: Vec<String> = (0..kx)
+            .map(|x| format!("{:>8.4}", map[y * kx + x].0))
+            .collect();
+        println!("  y={y} |{}", cells.join(" "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_options_differ() {
+        assert!(Effort::Full.options().sample_packets > Effort::Quick.options().sample_packets);
+    }
+
+    #[test]
+    fn latency_formatting() {
+        assert_eq!(fmt_latency(f64::NAN, false), "-");
+        assert_eq!(fmt_latency(12.34, false), "12.3");
+        assert_eq!(fmt_latency(99.96, true), "100.0*");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "map size mismatch")]
+    fn map_rejects_wrong_size() {
+        print_power_map("t", &[orion_tech::Watts(1.0)], 4, 4);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Grammar: `orion-power <component> [--key value | --flag]...`.
+//! Every option has a long name only; values follow as the next token.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: the component name plus its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (component to model).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced while parsing or interpreting the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (program name excluded). Tokens starting with
+    /// `--` that are followed by another `--token` or nothing are
+    /// flags; otherwise they take the next token as their value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no subcommand is present or a bare token
+    /// appears where an option was expected.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing component; try `orion-power-cli help`".into()))?;
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a component name, found option `{command}`"
+            )));
+        }
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument `{tok}`")));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(name.to_string(), it.next().expect("peeked"));
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A `u32` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is present but not a valid number.
+    pub fn u32_or(&self, name: &str, default: u32) -> Result<u32, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// A required `u32` option.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if absent or malformed.
+    pub fn u32_required(&self, name: &str) -> Result<u32, ArgError> {
+        let v = self
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{name} expects an integer, got `{v}`")))
+    }
+
+    /// An `f64` option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is present but not a valid number.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Reports any option/flag names outside `allowed` (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first unknown option.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown option --{name} for `{}`",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Args, ArgError> {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("buffer --flits 64 --bits 256 --decoder").unwrap();
+        assert_eq!(a.command, "buffer");
+        assert_eq!(a.get("flits"), Some("64"));
+        assert_eq!(a.get("bits"), Some("256"));
+        assert!(a.flag("decoder"));
+        assert!(!a.flag("bogus"));
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        let a = parse("link --length-mm 3.5 --bits 32").unwrap();
+        assert_eq!(a.f64_or("length-mm", 1.0).unwrap(), 3.5);
+        assert_eq!(a.u32_or("bits", 64).unwrap(), 32);
+        assert_eq!(a.u32_or("absent", 7).unwrap(), 7);
+        assert!(a.u32_required("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = parse("buffer --flits sixty").unwrap();
+        assert!(a.u32_or("flits", 1).is_err());
+        assert!(a.u32_required("flits").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_noise_and_empty() {
+        assert!(parse("").is_err());
+        assert!(parse("--flits 4").is_err());
+        assert!(parse("buffer stray").is_err());
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = parse("buffer --flits 4 --typo 9").unwrap();
+        assert!(a.ensure_known(&["flits"]).is_err());
+        assert!(a.ensure_known(&["flits", "typo"]).is_ok());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse("buffer --decoder --flits 8").unwrap();
+        assert!(a.flag("decoder"));
+        assert_eq!(a.get("flits"), Some("8"));
+    }
+}

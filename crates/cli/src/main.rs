@@ -1,0 +1,42 @@
+//! `orion-power-cli` — standalone power analysis from the command line.
+//!
+//! The paper (§3.2, "Release of power models"): *"This will allow our
+//! power models to be used independently from the simulator, either as
+//! a separate power analysis tool, or as a plug-in to other network
+//! simulators."* This binary is that tool: it instantiates any component
+//! power model from command-line parameters and prints its capacitances,
+//! per-operation energies, leakage and area.
+//!
+//! ```text
+//! orion-power-cli buffer --flits 64 --bits 256 --node 0.1um
+//! orion-power-cli crossbar --ports 5 --bits 256 --kind matrix
+//! orion-power-cli arbiter --requesters 5 --kind matrix
+//! orion-power-cli link --length-mm 3 --bits 256
+//! orion-power-cli link --chip2chip --watts 3 --bits 32
+//! orion-power-cli central-buffer --banks 4 --rows 2560 --bits 32
+//! ```
+
+mod args;
+mod report;
+mod run;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if tokens.is_empty() || tokens[0] == "help" || tokens[0] == "--help" {
+        print!("{}", run::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match args::Args::parse(tokens).and_then(|a| run::run(&a)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `orion-power-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text report formatting for the CLI.
+
+use std::fmt::Write;
+
+/// A two-column quantity report.
+#[derive(Debug, Default)]
+pub struct Report {
+    lines: Vec<(String, String)>,
+    title: String,
+}
+
+impl Report {
+    /// Starts a report with a title line.
+    pub fn new(title: impl Into<String>) -> Report {
+        Report {
+            lines: Vec::new(),
+            title: title.into(),
+        }
+    }
+
+    /// Adds one labelled quantity.
+    pub fn push(&mut self, label: impl Into<String>, value: impl Into<String>) -> &mut Report {
+        self.lines.push((label.into(), value.into()));
+        self
+    }
+
+    /// Adds a femtofarad capacitance.
+    pub fn cap(&mut self, label: &str, c: orion_tech::Farads) -> &mut Report {
+        self.push(label, format!("{:.3} fF", c.as_ff()))
+    }
+
+    /// Adds a picojoule energy.
+    pub fn energy(&mut self, label: &str, e: orion_tech::Joules) -> &mut Report {
+        self.push(label, format!("{:.4} pJ", e.as_pj()))
+    }
+
+    /// Adds a power quantity in the most readable scale.
+    pub fn power(&mut self, label: &str, p: orion_tech::Watts) -> &mut Report {
+        let text = if p.0 >= 0.1 {
+            format!("{:.3} W", p.0)
+        } else if p.0 >= 1e-4 {
+            format!("{:.3} mW", p.as_mw())
+        } else {
+            format!("{:.3} uW", p.0 * 1e6)
+        };
+        self.push(label, text)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let width = self
+            .lines
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        for (label, value) in &self.lines {
+            let _ = writeln!(out, "  {label:<width$}  {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_tech::{Farads, Joules, Watts};
+
+    #[test]
+    fn renders_aligned_lines() {
+        let mut r = Report::new("test");
+        r.cap("C_wl", Farads::from_ff(12.5));
+        r.energy("E_read (long label)", Joules::from_pj(3.25));
+        let text = r.render();
+        assert!(text.starts_with("test\n"));
+        assert!(text.contains("12.500 fF"));
+        assert!(text.contains("3.2500 pJ"));
+        // Both values begin at the same column.
+        let cols: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.find("  ").unwrap_or(0))
+            .collect();
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn power_scales_units() {
+        let mut r = Report::new("p");
+        r.power("big", Watts(2.5));
+        r.power("mid", Watts(0.003));
+        r.power("tiny", Watts(5.0e-6));
+        let text = r.render();
+        assert!(text.contains("2.500 W"));
+        assert!(text.contains("3.000 mW"));
+        assert!(text.contains("5.000 uW"));
+    }
+
+    #[test]
+    fn empty_report_is_title_only() {
+        assert_eq!(Report::new("t").render(), "t\n");
+    }
+}

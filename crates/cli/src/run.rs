@@ -1,0 +1,341 @@
+//! Subcommand dispatch: build the requested power model and report it.
+
+use orion_power::{
+    buffer_area, central_buffer_area, crossbar_area, ArbiterKind, ArbiterParams, ArbiterPower,
+    BufferParams, BufferPower, CentralBufferParams, CentralBufferPower, CrossbarKind,
+    CrossbarParams, CrossbarPower, LinkPower, WriteActivity,
+};
+use orion_tech::{Microns, ProcessNode, Technology, Volts, Watts};
+
+use crate::args::{ArgError, Args};
+use crate::report::Report;
+
+/// Usage text for `orion-power help`.
+pub const USAGE: &str = "\
+orion-power-cli — Orion's architectural power models as a standalone tool
+
+USAGE:
+  orion-power-cli <component> [options]
+
+COMPONENTS:
+  buffer          --flits N --bits N [--read-ports N] [--write-ports N] [--decoder]
+  crossbar        --ports N --bits N [--kind matrix|muxtree]
+  arbiter         --requesters N [--kind matrix|roundrobin|queuing]
+  link            --length-mm X --bits N          (on-chip)
+  link            --chip2chip --watts X --bits N  (constant-power)
+  central-buffer  --banks N --rows N --bits N [--read-ports N] [--write-ports N]
+
+COMMON OPTIONS:
+  --node <0.8um|0.35um|0.25um|0.18um|0.13um|0.1um|70nm>   (default 0.1um)
+  --vdd <volts>                                           (node default)
+
+EXAMPLES:
+  orion-power-cli buffer --flits 64 --bits 256
+  orion-power-cli crossbar --ports 5 --bits 256 --node 0.18um
+  orion-power-cli link --chip2chip --watts 3 --bits 32
+";
+
+const COMMON: [&str; 2] = ["node", "vdd"];
+
+fn technology(args: &Args) -> Result<Technology, ArgError> {
+    let node = match args.get("node").unwrap_or("0.1um") {
+        "0.8um" => ProcessNode::Um800,
+        "0.35um" => ProcessNode::Um350,
+        "0.25um" => ProcessNode::Um250,
+        "0.18um" => ProcessNode::Um180,
+        "0.13um" => ProcessNode::Um130,
+        "0.1um" | "100nm" => ProcessNode::Nm100,
+        "70nm" | "0.07um" => ProcessNode::Nm70,
+        other => return Err(ArgError(format!("unknown process node `{other}`"))),
+    };
+    let mut builder = Technology::builder(node);
+    if let Some(v) = args.get("vdd") {
+        let vdd: f64 = v
+            .parse()
+            .map_err(|_| ArgError(format!("--vdd expects a number, got `{v}`")))?;
+        if vdd <= 0.0 {
+            return Err(ArgError("--vdd must be positive".into()));
+        }
+        builder = builder.vdd(Volts(vdd));
+    }
+    Ok(builder.build())
+}
+
+fn model_err(e: orion_power::ModelError) -> ArgError {
+    ArgError(e.to_string())
+}
+
+fn allowed(extra: &[&str]) -> Vec<&'static str> {
+    // Leaks are fine here: tiny, once per process.
+    let mut v: Vec<&'static str> = COMMON.to_vec();
+    for e in extra {
+        v.push(Box::leak(e.to_string().into_boxed_str()));
+    }
+    v
+}
+
+/// Executes a parsed command line, returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a human-readable [`ArgError`] for unknown components,
+/// unknown or malformed options, and invalid model parameters.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "buffer" => buffer(args),
+        "crossbar" => crossbar(args),
+        "arbiter" => arbiter(args),
+        "link" => link(args),
+        "central-buffer" => central_buffer(args),
+        other => Err(ArgError(format!("unknown component `{other}`"))),
+    }
+}
+
+fn buffer(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&allowed(&["flits", "bits", "read-ports", "write-ports", "decoder"]))?;
+    let tech = technology(args)?;
+    let flits = args.u32_required("flits")?;
+    let bits = args.u32_required("bits")?;
+    let mut params = BufferParams::new(flits, bits).with_ports(
+        args.u32_or("read-ports", 1)?,
+        args.u32_or("write-ports", 1)?,
+    );
+    if args.flag("decoder") {
+        params = params.with_decoder();
+    }
+    let m = BufferPower::new(&params, tech).map_err(model_err)?;
+    let mut r = Report::new(format!(
+        "FIFO buffer (Table 2): {flits} flits x {bits} bits, {}R{}W at {} / {} V",
+        m.read_ports(),
+        m.write_ports(),
+        tech.node(),
+        tech.vdd().0
+    ));
+    r.push("L_wl", format!("{:.2} um", m.wordline_length().0));
+    r.push("L_bl", format!("{:.2} um", m.bitline_length().0));
+    r.cap("C_wl", m.wordline_cap());
+    r.cap("C_br", m.read_bitline_cap());
+    r.cap("C_bw", m.write_bitline_cap());
+    r.cap("C_chg", m.precharge_cap());
+    r.cap("C_cell", m.cell_cap());
+    r.energy("E_read", m.read_energy());
+    r.energy("E_write (uniform data)", m.write_energy(&WriteActivity::uniform_random(bits)));
+    r.energy("E_write (worst case)", m.write_energy_max());
+    if let Some(dec) = m.decoder() {
+        r.energy("E_decode (sequential)", dec.access_energy_sequential());
+    }
+    r.power("leakage", m.leakage_power());
+    r.push("area", format!("{:.6} mm^2", buffer_area(&m).as_mm2()));
+    Ok(r.render())
+}
+
+fn crossbar(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&allowed(&["ports", "inputs", "outputs", "bits", "kind"]))?;
+    let tech = technology(args)?;
+    let bits = args.u32_required("bits")?;
+    let (inputs, outputs) = match args.get("ports") {
+        Some(_) => {
+            let p = args.u32_required("ports")?;
+            (p, p)
+        }
+        None => (args.u32_required("inputs")?, args.u32_required("outputs")?),
+    };
+    let kind = match args.get("kind").unwrap_or("matrix") {
+        "matrix" => CrossbarKind::Matrix,
+        "muxtree" => CrossbarKind::MuxTree,
+        other => return Err(ArgError(format!("unknown crossbar kind `{other}`"))),
+    };
+    let m = CrossbarPower::new(&CrossbarParams::new(kind, inputs, outputs, bits), tech)
+        .map_err(model_err)?;
+    let mut r = Report::new(format!(
+        "{kind:?} crossbar (Table 3): {inputs}x{outputs}, {bits} bits at {} / {} V",
+        tech.node(),
+        tech.vdd().0
+    ));
+    r.push("L_in", format!("{:.2} um", m.input_line_length().0));
+    r.push("L_out", format!("{:.2} um", m.output_line_length().0));
+    r.cap("C_in (per line)", m.input_line_cap());
+    r.cap("C_out (per line)", m.output_line_cap());
+    r.cap("C_xb_ctr", m.control_line_cap());
+    r.energy("E_xb (uniform data)", m.traversal_energy_uniform());
+    r.energy("E_xb (worst case)", m.traversal_energy_max());
+    r.energy("E_xb_ctr", m.control_energy());
+    r.power("leakage", m.leakage_power());
+    r.push("area", format!("{:.6} mm^2", crossbar_area(&m).as_mm2()));
+    Ok(r.render())
+}
+
+fn arbiter(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&allowed(&["requesters", "kind"]))?;
+    let tech = technology(args)?;
+    let requesters = args.u32_required("requesters")?;
+    let kind = match args.get("kind").unwrap_or("matrix") {
+        "matrix" => ArbiterKind::Matrix,
+        "roundrobin" | "round-robin" | "rr" => ArbiterKind::RoundRobin,
+        "queuing" | "queueing" => ArbiterKind::Queuing,
+        other => return Err(ArgError(format!("unknown arbiter kind `{other}`"))),
+    };
+    let m = ArbiterPower::new(&ArbiterParams::new(kind, requesters), tech).map_err(model_err)?;
+    let mut r = Report::new(format!(
+        "{kind:?} arbiter (Table 4): {requesters} requesters at {} / {} V",
+        tech.node(),
+        tech.vdd().0
+    ));
+    r.cap("C_req", m.request_cap());
+    r.cap("C_pri", m.priority_cap());
+    r.cap("C_int", m.internal_cap());
+    r.cap("C_gnt", m.grant_cap());
+    let all = (1u64 << requesters.min(63)) - 1;
+    r.energy("E_arb (steady single grant)", m.arbitration_energy(1, 1, 0));
+    r.energy(
+        "E_arb (all requests toggle)",
+        m.arbitration_energy(all, 0, requesters),
+    );
+    r.power("leakage", m.leakage_power());
+    Ok(r.render())
+}
+
+fn link(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&allowed(&["length-mm", "bits", "chip2chip", "watts"]))?;
+    let tech = technology(args)?;
+    let bits = args.u32_required("bits")?;
+    if args.flag("chip2chip") {
+        let watts = args.f64_or("watts", 3.0)?;
+        if watts < 0.0 {
+            return Err(ArgError("--watts must be non-negative".into()));
+        }
+        let m = LinkPower::chip_to_chip(Watts(watts), bits);
+        let mut r = Report::new(format!(
+            "chip-to-chip link: {bits} lanes, constant {watts} W (traffic-insensitive)"
+        ));
+        r.energy("E_link per traversal", m.traversal_energy(bits as f64));
+        r.power("static power", m.static_power());
+        return Ok(r.render());
+    }
+    let mm = args.f64_or("length-mm", 3.0)?;
+    if mm <= 0.0 {
+        return Err(ArgError("--length-mm must be positive".into()));
+    }
+    let m = LinkPower::on_chip(Microns::from_mm(mm), bits, tech);
+    let mut r = Report::new(format!(
+        "on-chip link: {mm} mm x {bits} bits at {} / {} V",
+        tech.node(),
+        tech.vdd().0
+    ));
+    r.cap("C_w per line", m.wire_cap());
+    r.energy("E_link (uniform data)", m.traversal_energy_uniform());
+    r.energy("E_link (worst case)", m.traversal_energy(bits as f64));
+    Ok(r.render())
+}
+
+fn central_buffer(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&allowed(&["banks", "rows", "bits", "read-ports", "write-ports"]))?;
+    let tech = technology(args)?;
+    let banks = args.u32_required("banks")?;
+    let rows = args.u32_required("rows")?;
+    let bits = args.u32_required("bits")?;
+    let params = CentralBufferParams::new(banks, rows, bits).with_ports(
+        args.u32_or("read-ports", 2)?,
+        args.u32_or("write-ports", 2)?,
+    );
+    let m = CentralBufferPower::new(&params, tech).map_err(model_err)?;
+    let mut r = Report::new(format!(
+        "central buffer (hierarchical, section 3.2): {banks} banks x {rows} rows x {bits} bits at {} / {} V",
+        tech.node(),
+        tech.vdd().0
+    ));
+    r.energy("E_write (uniform data)", m.write_energy_uniform());
+    r.energy("E_read (uniform data)", m.read_energy_uniform());
+    r.energy("  of which bank read", m.bank_model().read_energy());
+    r.energy(
+        "  of which read fabric",
+        m.read_crossbar().traversal_energy_uniform(),
+    );
+    r.power("leakage", m.leakage_power());
+    r.push(
+        "area",
+        format!("{:.6} mm^2", central_buffer_area(&m).as_mm2()),
+    );
+    Ok(r.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, ArgError> {
+        run(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn buffer_report_contains_table2_quantities() {
+        let out = run_line("buffer --flits 64 --bits 256").unwrap();
+        for needle in ["C_wl", "C_br", "C_bw", "C_cell", "E_read", "E_write", "area"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn buffer_decoder_flag_adds_line() {
+        let plain = run_line("buffer --flits 64 --bits 32").unwrap();
+        let decoded = run_line("buffer --flits 64 --bits 32 --decoder").unwrap();
+        assert!(!plain.contains("E_decode"));
+        assert!(decoded.contains("E_decode"));
+    }
+
+    #[test]
+    fn crossbar_kinds_and_ports() {
+        let m = run_line("crossbar --ports 5 --bits 256").unwrap();
+        assert!(m.contains("Matrix crossbar"));
+        let t = run_line("crossbar --inputs 4 --outputs 2 --bits 32 --kind muxtree").unwrap();
+        assert!(t.contains("MuxTree crossbar"));
+        assert!(t.contains("4x2"));
+    }
+
+    #[test]
+    fn arbiter_kinds() {
+        for (kind, name) in [
+            ("matrix", "Matrix"),
+            ("rr", "RoundRobin"),
+            ("queuing", "Queuing"),
+        ] {
+            let out = run_line(&format!("arbiter --requesters 5 --kind {kind}")).unwrap();
+            assert!(out.contains(name), "{kind}: {out}");
+        }
+    }
+
+    #[test]
+    fn link_variants() {
+        let on = run_line("link --length-mm 3 --bits 256").unwrap();
+        assert!(on.contains("on-chip link"));
+        // The paper's anchor: 3mm at 0.1um = 1.08 pF.
+        assert!(on.contains("1080.0"), "{on}");
+        let c2c = run_line("link --chip2chip --watts 3 --bits 32").unwrap();
+        assert!(c2c.contains("3.000 W"));
+    }
+
+    #[test]
+    fn central_buffer_paper_config() {
+        let out = run_line("central-buffer --banks 4 --rows 2560 --bits 32").unwrap();
+        assert!(out.contains("4 banks x 2560 rows"));
+        assert!(out.contains("E_read"));
+    }
+
+    #[test]
+    fn node_and_vdd_options() {
+        let hot = run_line("buffer --flits 16 --bits 32 --node 0.18um --vdd 2.0").unwrap();
+        assert!(hot.contains("0.18um"));
+        assert!(hot.contains("/ 2 V"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_line("bogus --x 1").is_err());
+        assert!(run_line("buffer --bits 32").is_err()); // missing --flits
+        assert!(run_line("buffer --flits 0 --bits 32").is_err()); // invalid model
+        assert!(run_line("buffer --flits 4 --bits 32 --typo 1").is_err());
+        assert!(run_line("link --bits 32 --length-mm -1").is_err());
+        assert!(run_line("crossbar --ports 5 --bits 32 --kind hexagon").is_err());
+        assert!(run_line("buffer --flits 4 --bits 32 --node 45nm").is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! Simulation reports: the power and performance numbers the paper
+//! plots.
+//!
+//! Power follows §4.1 exactly: *"Average power is then computed by
+//! multiplying the total energy by frequency and then dividing by total
+//! simulation cycles"* — applied per node and per component, over the
+//! post-warm-up measurement window. Chip-to-chip links additionally
+//! contribute their constant datasheet power (§4.4), which no switching
+//! event ever charges.
+
+use orion_sim::{Component, SimStats};
+use orion_tech::{average_power, Hertz, Joules, Watts};
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Performance statistics over the measured sample.
+    stats: SimStats,
+    /// Per-node, per-component switching energy over the measurement
+    /// window (indexed by [`Component::ALL`] order).
+    energy: Vec<[Joules; 5]>,
+    /// Cycles in the measurement window.
+    measured_cycles: u64,
+    /// Clock frequency.
+    f_clk: Hertz,
+    /// Constant link power per node (chip-to-chip links; zero for
+    /// on-chip).
+    link_static_per_node: Watts,
+    /// Analytic zero-load latency of the configuration.
+    zero_load_latency: f64,
+    /// Whether every tagged packet was delivered before the cycle
+    /// budget ran out (false deep into saturation).
+    completed: bool,
+    /// Per-node injection rate of the offered workload
+    /// (packets/cycle/node, averaged over nodes).
+    offered_rate: f64,
+    /// Whether the run was cut short by deadlock detection.
+    deadlocked: bool,
+    /// Flits carried per (node, out_port) over the measurement window.
+    link_flits: Vec<Vec<u64>>,
+    /// Estimated router leakage per node (post-paper extension; not
+    /// part of [`total_power`](Report::total_power)).
+    router_leakage_per_node: Watts,
+}
+
+impl Report {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        stats: SimStats,
+        energy: Vec<[Joules; 5]>,
+        measured_cycles: u64,
+        f_clk: Hertz,
+        link_static_per_node: Watts,
+        zero_load_latency: f64,
+        completed: bool,
+        offered_rate: f64,
+    ) -> Report {
+        Report {
+            stats,
+            energy,
+            measured_cycles,
+            f_clk,
+            link_static_per_node,
+            zero_load_latency,
+            completed,
+            offered_rate,
+            deadlocked: false,
+            link_flits: Vec::new(),
+            router_leakage_per_node: Watts::ZERO,
+        }
+    }
+
+    pub(crate) fn with_deadlock(mut self, deadlocked: bool) -> Report {
+        self.deadlocked = deadlocked;
+        self
+    }
+
+    pub(crate) fn with_link_flits(mut self, link_flits: Vec<Vec<u64>>) -> Report {
+        self.link_flits = link_flits;
+        self
+    }
+
+    pub(crate) fn with_router_leakage(mut self, per_node: Watts) -> Report {
+        self.router_leakage_per_node = per_node;
+        self
+    }
+
+    /// Estimated router leakage per node — a post-paper extension (the
+    /// MICRO 2002 models are dynamic-only), reported separately from
+    /// the switching power in [`total_power`](Report::total_power).
+    pub fn router_leakage_per_node(&self) -> Watts {
+        self.router_leakage_per_node
+    }
+
+    /// Total network power including the leakage estimate.
+    pub fn total_power_with_leakage(&self) -> Watts {
+        self.total_power() + self.router_leakage_per_node * self.num_nodes() as f64
+    }
+
+    /// Load of the directional channel leaving `node` through
+    /// `out_port`, in flits per cycle over the measurement window
+    /// (0 when channel statistics were not collected).
+    pub fn channel_load(&self, node: usize, out_port: usize) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        self.link_flits
+            .get(node)
+            .and_then(|ports| ports.get(out_port))
+            .map(|&f| f as f64 / self.measured_cycles as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// The most heavily loaded channel:
+    /// `(node, out_port, flits_per_cycle)`. Identifies the bottleneck
+    /// under a given workload.
+    pub fn max_channel_load(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (node, ports) in self.link_flits.iter().enumerate() {
+            for (port, &f) in ports.iter().enumerate() {
+                let load = if self.measured_cycles == 0 {
+                    0.0
+                } else {
+                    f as f64 / self.measured_cycles as f64
+                };
+                if best.map(|(_, _, b)| load > b).unwrap_or(true) {
+                    best = Some((node, port, load));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether the run was cut short because no flit made progress —
+    /// dimension-ordered wormhole routing on a torus admits deadlock
+    /// deep past saturation (Dally & Seitz; see DESIGN.md).
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// Performance statistics of the tagged sample.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Average packet latency in cycles (creation to tail ejection,
+    /// source queueing included — §4.1).
+    pub fn avg_latency(&self) -> f64 {
+        self.stats.avg_latency()
+    }
+
+    /// The analytic zero-load latency of the configuration.
+    pub fn zero_load_latency(&self) -> f64 {
+        self.zero_load_latency
+    }
+
+    /// §4.1 saturation criterion: average latency above twice the
+    /// zero-load latency (an unfinished run is saturated by
+    /// definition).
+    pub fn is_saturated(&self) -> bool {
+        !self.completed || self.avg_latency() > 2.0 * self.zero_load_latency
+    }
+
+    /// Whether the run delivered every tagged packet within its cycle
+    /// budget.
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Cycles in the measurement window.
+    pub fn measured_cycles(&self) -> u64 {
+        self.measured_cycles
+    }
+
+    /// The offered per-node injection rate (packets/cycle/node).
+    pub fn offered_rate(&self) -> f64 {
+        self.offered_rate
+    }
+
+    /// Delivered throughput in flits per cycle (network-wide) over the
+    /// measurement window.
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.flits_delivered as f64 / self.measured_cycles as f64
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.energy.len()
+    }
+
+    fn component_index(component: Component) -> usize {
+        Component::ALL
+            .iter()
+            .position(|&c| c == component)
+            .expect("component in ALL")
+    }
+
+    /// Switching energy of `component` at `node` over the window.
+    pub fn node_component_energy(&self, node: usize, component: Component) -> Joules {
+        self.energy[node][Report::component_index(component)]
+    }
+
+    /// Average power of `component` at `node`, including the static
+    /// share for links.
+    pub fn node_component_power(&self, node: usize, component: Component) -> Watts {
+        if self.measured_cycles == 0 {
+            return Watts::ZERO;
+        }
+        let dynamic = average_power(
+            self.node_component_energy(node, component),
+            self.f_clk,
+            self.measured_cycles,
+        );
+        if component == Component::Link {
+            dynamic + self.link_static_per_node
+        } else {
+            dynamic
+        }
+    }
+
+    /// Total average power of `node` (all components + static link
+    /// power).
+    pub fn node_power(&self, node: usize) -> Watts {
+        Component::ALL
+            .iter()
+            .map(|&c| self.node_component_power(node, c))
+            .sum()
+    }
+
+    /// Network-wide average power of `component`.
+    pub fn component_power(&self, component: Component) -> Watts {
+        (0..self.num_nodes())
+            .map(|n| self.node_component_power(n, component))
+            .sum()
+    }
+
+    /// Total network power (the quantity of Figures 5b, 7b, 7e).
+    pub fn total_power(&self) -> Watts {
+        (0..self.num_nodes()).map(|n| self.node_power(n)).sum()
+    }
+
+    /// Per-node power map (the quantity of Figure 6).
+    pub fn power_map(&self) -> Vec<Watts> {
+        (0..self.num_nodes()).map(|n| self.node_power(n)).collect()
+    }
+
+    /// Power breakdown by component (the quantity of Figures 5c, 7c,
+    /// 7f), as `(component, power, fraction_of_total)`.
+    pub fn breakdown(&self) -> Vec<(Component, Watts, f64)> {
+        let total = self.total_power();
+        Component::ALL
+            .iter()
+            .map(|&c| {
+                let p = self.component_power(c);
+                let frac = if total.0 > 0.0 { p.0 / total.0 } else { 0.0 };
+                (c, p, frac)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// One-paragraph human-readable summary: latency, saturation,
+    /// throughput and the component power breakdown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "latency {:.1} cycles (zero-load {:.1}){}{}",
+            self.avg_latency(),
+            self.zero_load_latency,
+            if self.is_saturated() { ", saturated" } else { "" },
+            if self.deadlocked { ", deadlocked" } else { "" },
+        )?;
+        writeln!(
+            f,
+            "throughput {:.3} flits/cycle over {} cycles",
+            self.throughput_flits_per_cycle(),
+            self.measured_cycles
+        )?;
+        write!(f, "total power {:.3} W:", self.total_power().0)?;
+        for (c, p, frac) in self.breakdown() {
+            if p.0 > 0.0 {
+                write!(f, " {c} {:.3} W ({:.1}%)", p.0, 100.0 * frac)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(energy_pj: f64, cycles: u64, static_w: f64) -> Report {
+        let mut stats = SimStats::new();
+        stats.tagged_injected = 1;
+        stats.record_delivery(20, true);
+        stats.flits_delivered = 5;
+        let mut node = [Joules::ZERO; 5];
+        node[0] = Joules::from_pj(energy_pj); // Buffer
+        Report::new(
+            stats,
+            vec![node, [Joules::ZERO; 5]],
+            cycles,
+            Hertz::from_ghz(1.0),
+            Watts(static_w),
+            15.0,
+            true,
+            0.1,
+        )
+    }
+
+    #[test]
+    fn power_formula_matches_paper() {
+        // P = E · f / cycles: 1000 pJ at 1 GHz over 1000 cycles = 1 mW.
+        let r = report_with(1000.0, 1000, 0.0);
+        let p = r.node_component_power(0, Component::Buffer);
+        assert!((p.0 - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_link_power_added_per_node() {
+        let r = report_with(0.0, 1000, 3.0);
+        assert_eq!(r.node_component_power(0, Component::Link), Watts(3.0));
+        assert_eq!(r.node_component_power(1, Component::Link), Watts(3.0));
+        assert_eq!(r.total_power(), Watts(6.0));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let r = report_with(500.0, 100, 1.0);
+        let total: f64 = r.breakdown().iter().map(|(_, _, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_criterion() {
+        let r = report_with(0.0, 100, 0.0);
+        // avg latency 20, zero-load 15: not saturated (20 < 30).
+        assert!(!r.is_saturated());
+        let mut stats = SimStats::new();
+        stats.tagged_injected = 1;
+        stats.record_delivery(40, true);
+        let r = Report::new(
+            stats,
+            vec![[Joules::ZERO; 5]],
+            100,
+            Hertz::from_ghz(1.0),
+            Watts::ZERO,
+            15.0,
+            true,
+            0.2,
+        );
+        assert!(r.is_saturated());
+    }
+
+    #[test]
+    fn incomplete_run_is_saturated() {
+        let mut stats = SimStats::new();
+        stats.tagged_injected = 10;
+        stats.record_delivery(20, true);
+        let r = Report::new(
+            stats,
+            vec![[Joules::ZERO; 5]],
+            100,
+            Hertz::from_ghz(1.0),
+            Watts::ZERO,
+            15.0,
+            false,
+            0.3,
+        );
+        assert!(r.is_saturated());
+        assert!(!r.completed());
+    }
+
+    #[test]
+    fn throughput_counts_flits() {
+        let r = report_with(0.0, 100, 0.0);
+        assert!((r.throughput_flits_per_cycle() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarises_the_run() {
+        let r = report_with(1000.0, 1000, 0.5);
+        let text = r.to_string();
+        assert!(text.contains("latency 20.0 cycles"));
+        assert!(text.contains("total power"));
+        assert!(text.contains("buffer"));
+        assert!(!text.contains("deadlocked"));
+    }
+
+    #[test]
+    fn power_map_has_one_entry_per_node() {
+        let r = report_with(100.0, 100, 0.0);
+        assert_eq!(r.power_map().len(), 2);
+        assert!(r.power_map()[0].0 > r.power_map()[1].0);
+    }
+}

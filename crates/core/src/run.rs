@@ -1,0 +1,419 @@
+//! The experiment runner, reproducing the paper's measurement
+//! discipline (§4.1):
+//!
+//! *"Each simulation is run for a warm-up phase of 1000 cycles with
+//! 10,000 packets injected thereafter and the simulation continued at
+//! the prescribed packet injection rate till these packets in the
+//! sample space have all been received, and their average latency
+//! calculated."*
+//!
+//! Energy is recorded "over the entire simulation excluding the first
+//! 1000 cycles". A cycle budget bounds runs deep into saturation (where
+//! a wormhole torus without VC deadlock avoidance may even deadlock);
+//! such runs return with [`Report::completed`]` == false` and count as
+//! saturated.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use orion_net::{NodeId, TraceTraffic, TrafficPattern};
+use orion_power::ModelError;
+use orion_sim::{Component, Network};
+use orion_tech::Joules;
+
+use crate::config::NetworkConfig;
+use crate::report::Report;
+
+/// A configured simulation experiment.
+///
+/// ```no_run
+/// use orion_core::{presets, Experiment};
+///
+/// let report = Experiment::new(presets::vc16_onchip())
+///     .injection_rate(0.05)
+///     .seed(7)
+///     .run()
+///     .expect("valid configuration");
+/// println!("{:.1} cycles, {:.3} W", report.avg_latency(), report.total_power().0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: NetworkConfig,
+    workload: Option<TrafficPattern>,
+    trace: Option<TraceTraffic>,
+    rate: f64,
+    seed: u64,
+    warmup: u64,
+    sample_packets: u64,
+    max_cycles: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's measurement defaults:
+    /// uniform random traffic at 0.05 packets/cycle/node, 1000 warm-up
+    /// cycles, a 10 000-packet sample and a 1 000 000-cycle budget.
+    pub fn new(config: NetworkConfig) -> Experiment {
+        Experiment {
+            config,
+            workload: None,
+            trace: None,
+            rate: 0.05,
+            seed: 1,
+            warmup: 1000,
+            sample_packets: 10_000,
+            max_cycles: 1_000_000,
+        }
+    }
+
+    /// Sets the uniform-random injection rate in packets/cycle/node
+    /// (ignored when an explicit [`workload`](Experiment::workload) is
+    /// set).
+    pub fn injection_rate(mut self, rate: f64) -> Experiment {
+        self.rate = rate;
+        self
+    }
+
+    /// Replaces the default uniform workload with an explicit traffic
+    /// pattern (e.g. broadcast, §4.3).
+    pub fn workload(mut self, pattern: TrafficPattern) -> Experiment {
+        self.workload = Some(pattern);
+        self
+    }
+
+    /// Replays a recorded communication trace instead of a synthetic
+    /// pattern (§4.3: "Orion can be interfaced with actual
+    /// communication traces"). Trace cycles are absolute, so the
+    /// warm-up phase is skipped: the whole replay is measured, and the
+    /// run ends when the trace is exhausted and the network drains.
+    /// Takes precedence over [`workload`](Experiment::workload).
+    pub fn trace(mut self, trace: TraceTraffic) -> Experiment {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Seeds the workload's random process; equal seeds give identical
+    /// runs.
+    pub fn seed(mut self, seed: u64) -> Experiment {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the warm-up length in cycles (paper: 1000).
+    pub fn warmup(mut self, cycles: u64) -> Experiment {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Overrides the measured-sample size in packets (paper: 10 000).
+    pub fn sample_packets(mut self, packets: u64) -> Experiment {
+        self.sample_packets = packets;
+        self
+    }
+
+    /// Overrides the total cycle budget.
+    pub fn max_cycles(mut self, cycles: u64) -> Experiment {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the configuration's
+    /// power models reject their parameters, and propagates workload
+    /// construction failure as a panic only for the internal default
+    /// (its rate is validated here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default uniform workload rate is outside `[0, 1]`.
+    pub fn run(self) -> Result<Report, ModelError> {
+        let (spec, models) = self.config.build()?;
+        let ports = self.config.ports();
+        let router_leakage = orion_tech::Watts(
+            ports as f64 * models.buffer.leakage_power().0
+                + models.crossbar.leakage_power().0
+                + ports as f64 * models.arbiter.leakage_power().0
+                + models
+                    .central
+                    .as_ref()
+                    .map(|c| c.leakage_power().0)
+                    .unwrap_or(0.0),
+        );
+        let mut net = Network::new(spec, models);
+        let nodes: Vec<NodeId> = self.config.topology.nodes().collect();
+
+        // A torus under dimension-ordered routing without dateline VC
+        // classes can deadlock deep past saturation; detect the
+        // condition and stop rather than burn the cycle budget.
+        const DEADLOCK_THRESHOLD: u64 = 1000;
+        let mut tagged_budget = self.sample_packets;
+        let mut deadlocked = false;
+        let completed;
+        let offered_rate;
+        let measure_start;
+
+        if let Some(mut trace) = self.trace {
+            // Trace replay: absolute cycles, no warm-up, measure
+            // everything, run the trace to exhaustion and drain.
+            let span = trace.events().last().map(|e| e.cycle + 1).unwrap_or(1);
+            offered_rate = trace.events().len() as f64 / (span as f64 * nodes.len() as f64);
+            measure_start = net.cycle();
+            while (!trace.is_exhausted() || !net.is_drained()) && net.cycle() < self.max_cycles
+            {
+                let pairs: Vec<(NodeId, NodeId)> =
+                    trace.injections_at(net.cycle()).collect();
+                for (src, dst) in pairs {
+                    let tag = tagged_budget > 0;
+                    if tag {
+                        tagged_budget -= 1;
+                    }
+                    net.enqueue_packet(src, dst, tag);
+                }
+                net.step();
+                if net.is_deadlocked(DEADLOCK_THRESHOLD) {
+                    deadlocked = true;
+                    break;
+                }
+            }
+            completed = trace.is_exhausted() && net.is_drained() && !deadlocked;
+        } else {
+            let mut pattern = match self.workload {
+                Some(p) => p,
+                None => TrafficPattern::uniform(&self.config.topology, self.rate)
+                    .expect("injection rate must be within [0, 1]"),
+            };
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            offered_rate = pattern.total_injection_rate() / nodes.len() as f64;
+
+            let inject = |net: &mut Network,
+                          pattern: &mut TrafficPattern,
+                          rng: &mut StdRng,
+                          tagged_budget: &mut u64| {
+                for &node in &nodes {
+                    if pattern.should_inject(node, rng) {
+                        if let Some(dst) = pattern.destination(node, rng) {
+                            let tag = *tagged_budget > 0;
+                            if tag {
+                                *tagged_budget -= 1;
+                            }
+                            net.enqueue_packet(node, dst, tag);
+                        }
+                    }
+                }
+            };
+
+            // Warm-up phase: untagged traffic, energy discarded
+            // afterwards.
+            let mut no_tags = 0u64;
+            for _ in 0..self.warmup {
+                inject(&mut net, &mut pattern, &mut rng, &mut no_tags);
+                net.step();
+            }
+            net.reset_measurement();
+            measure_start = net.cycle();
+
+            // Measurement phase: tag the next `sample_packets` packets
+            // and run until they all eject (injection continues
+            // throughout).
+            if pattern.total_injection_rate() > 0.0 {
+                while (tagged_budget > 0 || net.stats().tagged_outstanding() > 0)
+                    && net.cycle() < self.max_cycles
+                {
+                    inject(&mut net, &mut pattern, &mut rng, &mut tagged_budget);
+                    net.step();
+                    if net.is_deadlocked(DEADLOCK_THRESHOLD) {
+                        deadlocked = true;
+                        break;
+                    }
+                }
+            }
+            completed = (tagged_budget == 0 && net.stats().tagged_outstanding() == 0
+                || pattern.total_injection_rate() == 0.0)
+                && !deadlocked;
+        }
+        // For a deadlocked run, average power over the live portion of
+        // the window (a frozen network dissipates no dynamic power and
+        // would dilute the plateau the paper reports past saturation).
+        let measured_cycles = if deadlocked {
+            net.last_progress_cycle().saturating_sub(measure_start).max(1)
+        } else {
+            net.cycle() - measure_start
+        };
+
+        let energy: Vec<[Joules; 5]> = (0..nodes.len())
+            .map(|n| {
+                let mut e = [Joules::ZERO; 5];
+                for (i, &c) in Component::ALL.iter().enumerate() {
+                    e[i] = net.ledger().energy(n, c);
+                }
+                e
+            })
+            .collect();
+        let link_static_per_node =
+            self.config.link_model().static_power() * self.config.links_per_node() as f64;
+        let link_flits: Vec<Vec<u64>> = (0..nodes.len())
+            .map(|n| (0..ports).map(|p| net.link_flits(n, p)).collect())
+            .collect();
+
+        Ok(Report::new(
+            net.stats().clone(),
+            energy,
+            measured_cycles.max(1),
+            self.config.f_clk,
+            link_static_per_node,
+            self.config.zero_load_latency(),
+            completed,
+            offered_rate,
+        )
+        .with_deadlock(deadlocked)
+        .with_link_flits(link_flits)
+        .with_router_leakage(router_leakage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use orion_net::Topology;
+
+    fn quick(e: Experiment) -> Report {
+        e.warmup(200)
+            .sample_packets(300)
+            .max_cycles(100_000)
+            .run()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn low_load_run_completes_near_zero_load_latency() {
+        let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.02));
+        assert!(r.completed());
+        assert!(!r.is_saturated());
+        let t0 = r.zero_load_latency();
+        assert!(
+            r.avg_latency() < 1.5 * t0,
+            "latency {} vs zero-load {t0}",
+            r.avg_latency()
+        );
+        assert!(r.total_power().0 > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.05).seed(seed));
+            (r.avg_latency(), r.total_power().0)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn power_rises_with_load() {
+        let lo = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.02));
+        let hi = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.08));
+        assert!(hi.total_power().0 > lo.total_power().0);
+    }
+
+    #[test]
+    fn broadcast_workload_runs() {
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let src = topo.node_at(&[1, 2]);
+        let pattern = TrafficPattern::broadcast(&topo, src, 0.2).unwrap();
+        let r = quick(Experiment::new(presets::vc16_onchip()).workload(pattern));
+        assert!(r.completed());
+        // Source node burns the most power (Fig. 6b).
+        let map = r.power_map();
+        let max_node = (0..16).max_by(|&a, &b| map[a].0.partial_cmp(&map[b].0).unwrap());
+        assert_eq!(max_node, Some(src.0));
+    }
+
+    #[test]
+    fn zero_rate_returns_empty_sample() {
+        let r = Experiment::new(presets::vc16_onchip())
+            .injection_rate(0.0)
+            .warmup(50)
+            .run()
+            .unwrap();
+        assert!(r.completed());
+        assert_eq!(r.stats().sample_count(), 0);
+    }
+
+    #[test]
+    fn cycle_budget_bounds_saturated_runs() {
+        // Far beyond saturation with a tiny budget: must return, marked
+        // incomplete/saturated.
+        let r = Experiment::new(presets::wh64_onchip())
+            .injection_rate(0.5)
+            .warmup(100)
+            .sample_packets(5000)
+            .max_cycles(2000)
+            .run()
+            .unwrap();
+        assert!(!r.completed());
+        assert!(r.is_saturated());
+    }
+
+    #[test]
+    fn channel_loads_identify_broadcast_hot_links() {
+        use orion_net::{TrafficPattern, Topology};
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let src = topo.node_at(&[1, 2]);
+        let r = quick(
+            Experiment::new(presets::vc16_onchip())
+                .workload(TrafficPattern::broadcast(&topo, src, 0.2).unwrap()),
+        );
+        let (node, port, load) = r.max_channel_load().expect("stats collected");
+        assert!(load > 0.0);
+        // The hottest channel leaves the broadcasting node (port 3 =
+        // d1+, the y-first first hop).
+        assert_eq!(node, src.0, "hot channel at the source");
+        assert!(port >= 1, "a network port, not ejection");
+        // Local port never carries link flits.
+        assert_eq!(r.channel_load(src.0, 0), 0.0);
+    }
+
+    #[test]
+    fn trace_driven_experiment_measures_whole_replay() {
+        use orion_net::{TraceEvent, TraceTraffic};
+        let events: Vec<TraceEvent> = (0..200u64)
+            .map(|i| TraceEvent {
+                cycle: i * 2,
+                src: orion_net::NodeId((i % 16) as usize),
+                dst: orion_net::NodeId(((i + 5) % 16) as usize),
+            })
+            .collect();
+        let r = Experiment::new(presets::vc16_onchip())
+            .trace(TraceTraffic::new(events))
+            .max_cycles(50_000)
+            .run()
+            .expect("valid config");
+        assert!(r.completed());
+        assert_eq!(r.stats().packets_delivered, 200);
+        assert!(r.total_power().0 > 0.0);
+        assert!(r.offered_rate() > 0.0);
+    }
+
+    #[test]
+    fn leakage_reported_separately_from_dynamic_power() {
+        let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.05));
+        assert!(r.router_leakage_per_node().0 > 0.0);
+        let with = r.total_power_with_leakage().0;
+        let without = r.total_power().0;
+        assert!((with - without - 16.0 * r.router_leakage_per_node().0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_rate_reported() {
+        let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.07));
+        assert!((r.offered_rate() - 0.07).abs() < 1e-12);
+    }
+}

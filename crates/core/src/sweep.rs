@@ -1,0 +1,160 @@
+//! Injection-rate sweeps — the x-axis of Figures 5 and 7.
+
+use orion_power::ModelError;
+
+use crate::config::NetworkConfig;
+use crate::report::Report;
+use crate::run::Experiment;
+
+/// One point of an injection-rate sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered injection rate in packets/cycle/node.
+    pub rate: f64,
+    /// The full report at this rate.
+    pub report: Report,
+}
+
+/// Options controlling sweep measurement effort.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// RNG seed (same seed at every point for comparability).
+    pub seed: u64,
+    /// Warm-up cycles per point.
+    pub warmup: u64,
+    /// Tagged sample size per point.
+    pub sample_packets: u64,
+    /// Cycle budget per point.
+    pub max_cycles: u64,
+}
+
+impl Default for SweepOptions {
+    /// The paper's measurement parameters (§4.1).
+    fn default() -> SweepOptions {
+        SweepOptions {
+            seed: 1,
+            warmup: 1000,
+            sample_packets: 10_000,
+            max_cycles: 1_000_000,
+        }
+    }
+}
+
+/// Runs `config` under uniform random traffic at each rate in `rates`.
+///
+/// # Errors
+///
+/// Returns the first configuration error encountered (the same config
+/// is reused, so an error surfaces at the first point).
+///
+/// ```no_run
+/// use orion_core::{injection_sweep, presets, SweepOptions};
+///
+/// let points = injection_sweep(
+///     &presets::vc16_onchip(),
+///     &[0.02, 0.05, 0.10, 0.15],
+///     SweepOptions::default(),
+/// )?;
+/// for p in &points {
+///     println!("{:.2}: {:.1} cycles, {:.3} W",
+///              p.rate, p.report.avg_latency(), p.report.total_power().0);
+/// }
+/// # Ok::<(), orion_power::ModelError>(())
+/// ```
+pub fn injection_sweep(
+    config: &NetworkConfig,
+    rates: &[f64],
+    options: SweepOptions,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let report = Experiment::new(config.clone())
+                .injection_rate(rate)
+                .seed(options.seed)
+                .warmup(options.warmup)
+                .sample_packets(options.sample_packets)
+                .max_cycles(options.max_cycles)
+                .run()?;
+            Ok(SweepPoint { rate, report })
+        })
+        .collect()
+}
+
+/// The saturation throughput of a sweep: the highest swept rate whose
+/// latency stays within twice zero-load (§4.1), i.e. the last
+/// non-saturated point. Returns `None` if even the lowest rate
+/// saturates.
+pub fn saturation_rate(points: &[SweepPoint]) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| !p.report.is_saturated())
+        .map(|p| p.rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn fast_options() -> SweepOptions {
+        SweepOptions {
+            seed: 2,
+            warmup: 200,
+            sample_packets: 200,
+            max_cycles: 50_000,
+        }
+    }
+
+    #[test]
+    fn sweep_latency_monotone_until_saturation() {
+        let points = injection_sweep(
+            &presets::vc16_onchip(),
+            &[0.02, 0.06, 0.10],
+            fast_options(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].report.avg_latency() <= points[1].report.avg_latency());
+        assert!(points[1].report.avg_latency() <= points[2].report.avg_latency() * 1.05);
+    }
+
+    #[test]
+    fn saturation_rate_detects_knee() {
+        let points = injection_sweep(
+            &presets::vc16_onchip(),
+            &[0.02, 0.30],
+            SweepOptions {
+                max_cycles: 5_000,
+                ..fast_options()
+            },
+        )
+        .unwrap();
+        let sat = saturation_rate(&points);
+        assert_eq!(sat, Some(0.02), "0.30 is deep in saturation");
+    }
+
+    #[test]
+    fn default_options_match_paper_discipline() {
+        let o = SweepOptions::default();
+        assert_eq!(o.warmup, 1000);
+        assert_eq!(o.sample_packets, 10_000);
+    }
+
+    #[test]
+    fn sweep_points_carry_their_rates() {
+        let points = injection_sweep(&presets::wh64_onchip(), &[0.03, 0.07], fast_options())
+            .unwrap();
+        assert_eq!(points[0].rate, 0.03);
+        assert_eq!(points[1].rate, 0.07);
+        assert!((points[1].report.offered_rate() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let points = injection_sweep(&presets::vc16_onchip(), &[], fast_options()).unwrap();
+        assert!(points.is_empty());
+        assert_eq!(saturation_rate(&points), None);
+    }
+}

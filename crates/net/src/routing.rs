@@ -1,0 +1,296 @@
+//! Source dimension-ordered routing.
+//!
+//! The paper (§4.1): *"we choose simple source dimension-ordered routing
+//! where the route is encoded in a packet beforehand at source"*, and
+//! (§4.3): *"In our dimension-ordered routing, we route along the y-axis
+//! first."* A route is the full sequence of output ports the packet's
+//! head flit takes, ending with the local ejection port at the
+//! destination.
+
+use std::fmt;
+
+use crate::topology::{Direction, NodeId, Port, Topology};
+
+/// The order in which dimensions are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DimensionOrder {
+    /// Route dimension 0 (x) to completion first.
+    XFirst,
+    /// Route dimension 1 (y) first — the paper's choice (§4.3). Falls
+    /// back to ascending order for dimensions ≥ 2.
+    YFirst,
+    /// An explicit permutation of dimension indices.
+    Custom(Vec<u8>),
+}
+
+impl DimensionOrder {
+    /// The dimension visit order for a topology with `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a custom order is not a permutation of `0..dims`.
+    pub fn order(&self, dims: usize) -> Vec<usize> {
+        let order: Vec<usize> = match self {
+            DimensionOrder::XFirst => (0..dims).collect(),
+            DimensionOrder::YFirst => {
+                let mut o: Vec<usize> = (0..dims).collect();
+                if dims >= 2 {
+                    o.swap(0, 1);
+                }
+                o
+            }
+            DimensionOrder::Custom(perm) => {
+                let o: Vec<usize> = perm.iter().map(|&d| d as usize).collect();
+                let mut sorted = o.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..dims).collect::<Vec<_>>(),
+                    "custom order must be a permutation of 0..{dims}"
+                );
+                o
+            }
+        };
+        order
+    }
+}
+
+/// A source route: the output port taken at each hop, destination
+/// ejection included.
+///
+/// ```
+/// use orion_net::{dor_route, DimensionOrder, NodeId, Port, Topology};
+///
+/// let t = Topology::torus(&[4, 4])?;
+/// let r = dor_route(&t, NodeId(0), NodeId(0), DimensionOrder::YFirst);
+/// // Self-addressed packets eject immediately.
+/// assert_eq!(r.hops(), &[Port::Local]);
+/// # Ok::<(), orion_net::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Route {
+    hops: Vec<Port>,
+}
+
+impl Route {
+    /// Builds a route from explicit hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty or the last hop is not [`Port::Local`].
+    pub fn new(hops: Vec<Port>) -> Route {
+        assert!(!hops.is_empty(), "a route has at least the ejection hop");
+        assert_eq!(
+            *hops.last().expect("nonempty"),
+            Port::Local,
+            "routes end with local ejection"
+        );
+        Route { hops }
+    }
+
+    /// The output ports, one per router visited, ending with ejection.
+    pub fn hops(&self) -> &[Port] {
+        &self.hops
+    }
+
+    /// Number of network hops (router-to-router link traversals).
+    pub fn network_hops(&self) -> usize {
+        self.hops.len() - 1
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.hops.iter().map(|p| p.to_string()).collect();
+        write!(f, "[{}]", parts.join(" "))
+    }
+}
+
+/// Computes the dimension-ordered source route from `src` to `dst`.
+///
+/// Along each dimension (in `order`'s sequence) the packet takes the
+/// minimal direction; on a torus a half-ring tie resolves to the positive
+/// direction.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is out of range for `topology`, or if a
+/// custom dimension order is not a valid permutation.
+pub fn dor_route(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    order: DimensionOrder,
+) -> Route {
+    let src_c = topology.coords(src);
+    let dst_c = topology.coords(dst);
+    let mut hops = Vec::new();
+    for dim in order.order(topology.dims()) {
+        let offset = topology.dim_offset(src_c[dim], dst_c[dim], dim);
+        let dir = if offset >= 0 {
+            Direction::Plus
+        } else {
+            Direction::Minus
+        };
+        for _ in 0..offset.unsigned_abs() {
+            hops.push(Port::Dir {
+                dim: dim as u8,
+                dir,
+            });
+        }
+    }
+    hops.push(Port::Local);
+    Route { hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t44() -> Topology {
+        Topology::torus(&[4, 4]).unwrap()
+    }
+
+    /// Follow a route hop-by-hop and return the final node.
+    fn walk(t: &Topology, src: NodeId, route: &Route) -> NodeId {
+        let mut at = src;
+        for hop in route.hops() {
+            match hop {
+                Port::Local => return at,
+                Port::Dir { dim, dir } => {
+                    at = t
+                        .neighbor(at, *dim as usize, *dir)
+                        .expect("route leaves the topology");
+                }
+            }
+        }
+        unreachable!("route must end with Local")
+    }
+
+    #[test]
+    fn routes_reach_destination() {
+        let t = t44();
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                for order in [DimensionOrder::XFirst, DimensionOrder::YFirst] {
+                    let r = dor_route(&t, src, dst, order.clone());
+                    assert_eq!(walk(&t, src, &r), dst, "{src}->{dst} {order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_minimal() {
+        let t = t44();
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let r = dor_route(&t, src, dst, DimensionOrder::YFirst);
+                assert_eq!(
+                    r.network_hops() as u32,
+                    t.distance(src, dst),
+                    "{src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn y_first_exhausts_y_before_x() {
+        let t = t44();
+        // (0,0) -> (1,1): y-first goes north then east.
+        let r = dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst);
+        assert_eq!(
+            r.hops(),
+            &[
+                Port::Dir {
+                    dim: 1,
+                    dir: Direction::Plus
+                },
+                Port::Dir {
+                    dim: 0,
+                    dir: Direction::Plus
+                },
+                Port::Local
+            ]
+        );
+        // X-first reverses the first two hops.
+        let r = dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::XFirst);
+        assert_eq!(
+            r.hops()[0],
+            Port::Dir {
+                dim: 0,
+                dir: Direction::Plus
+            }
+        );
+    }
+
+    #[test]
+    fn wraparound_shortcut_taken() {
+        let t = t44();
+        // (0,0) -> (3,0) is one hop west via wrap-around.
+        let r = dor_route(&t, NodeId(0), NodeId(3), DimensionOrder::XFirst);
+        assert_eq!(r.network_hops(), 1);
+        assert_eq!(
+            r.hops()[0],
+            Port::Dir {
+                dim: 0,
+                dir: Direction::Minus
+            }
+        );
+    }
+
+    #[test]
+    fn mesh_routing_has_no_wrap() {
+        let m = Topology::mesh(&[4, 4]).unwrap();
+        let r = dor_route(&m, NodeId(0), NodeId(3), DimensionOrder::XFirst);
+        assert_eq!(r.network_hops(), 3);
+    }
+
+    #[test]
+    fn self_route_is_immediate_ejection() {
+        let t = t44();
+        let r = dor_route(&t, NodeId(6), NodeId(6), DimensionOrder::YFirst);
+        assert_eq!(r.hops(), &[Port::Local]);
+        assert_eq!(r.network_hops(), 0);
+    }
+
+    #[test]
+    fn custom_order_permutation() {
+        let t = Topology::torus(&[4, 4, 4]).unwrap();
+        let r = dor_route(
+            &t,
+            NodeId(0),
+            t.node_at(&[1, 1, 1]),
+            DimensionOrder::Custom(vec![2, 0, 1]),
+        );
+        assert_eq!(
+            r.hops()[0],
+            Port::Dir {
+                dim: 2,
+                dir: Direction::Plus
+            }
+        );
+        assert_eq!(r.network_hops(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn custom_order_rejects_bad_permutation() {
+        let t = t44();
+        let _ = dor_route(
+            &t,
+            NodeId(0),
+            NodeId(1),
+            DimensionOrder::Custom(vec![0, 0]),
+        );
+    }
+
+    #[test]
+    fn display_route() {
+        let t = t44();
+        let r = dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst);
+        assert_eq!(r.to_string(), "[d1+ d0+ local]");
+    }
+}

@@ -1,0 +1,296 @@
+//! Communication-trace record and replay.
+//!
+//! §4.3 of the paper: *"while our experiments use synthetic workloads …
+//! Orion can be interfaced with actual communication traces for more
+//! realistic results."* [`TraceTraffic`] replays a list of
+//! `(cycle, src, dst)` injection events; the simulator asks it each cycle
+//! which packets to inject. Traces can be recorded from any synthetic
+//! pattern with [`TraceTraffic::record`].
+
+use std::io::{self, BufRead, Write};
+
+use rand::rngs::StdRng;
+
+use crate::topology::NodeId;
+use crate::traffic::TrafficPattern;
+
+/// One packet-injection event of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceEvent {
+    /// Cycle at which the packet enters the source queue.
+    pub cycle: u64,
+    /// Injecting node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// A replayable communication trace, sorted by cycle.
+///
+/// ```
+/// use orion_net::{NodeId, TraceEvent, TraceTraffic};
+///
+/// let trace = TraceTraffic::new(vec![
+///     TraceEvent { cycle: 5, src: NodeId(0), dst: NodeId(3) },
+///     TraceEvent { cycle: 2, src: NodeId(1), dst: NodeId(2) },
+/// ]);
+/// let mut t = trace;
+/// assert!(t.injections_at(2).eq([(NodeId(1), NodeId(2))]));
+/// assert!(t.injections_at(3).next().is_none());
+/// assert!(t.injections_at(5).eq([(NodeId(0), NodeId(3))]));
+/// assert!(t.is_exhausted());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTraffic {
+    events: Vec<TraceEvent>,
+    cursor: usize,
+}
+
+impl TraceTraffic {
+    /// Builds a trace; events are sorted by cycle internally.
+    pub fn new(mut events: Vec<TraceEvent>) -> TraceTraffic {
+        events.sort();
+        TraceTraffic { events, cursor: 0 }
+    }
+
+    /// Records `cycles` cycles of a synthetic pattern into a trace.
+    pub fn record(pattern: &mut TrafficPattern, cycles: u64, rng: &mut StdRng) -> TraceTraffic {
+        let nodes: Vec<NodeId> = pattern.topology().nodes().collect();
+        let mut events = Vec::new();
+        for cycle in 0..cycles {
+            for &src in &nodes {
+                if pattern.should_inject(src, rng) {
+                    if let Some(dst) = pattern.destination(src, rng) {
+                        events.push(TraceEvent { cycle, src, dst });
+                    }
+                }
+            }
+        }
+        TraceTraffic::new(events)
+    }
+
+    /// All events of the trace.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// `true` once every event has been replayed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Resets replay to the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Serialises the trace as text: one `cycle src dst` triple per
+    /// line, with a `# orion-trace v1` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writeln!(writer, "# orion-trace v1")?;
+        for e in &self.events {
+            writeln!(writer, "{} {} {}", e.cycle, e.src.0, e.dst.0)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a trace from the text format of
+    /// [`write_to`](TraceTraffic::write_to). Blank lines and `#`
+    /// comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed lines and propagates I/O
+    /// errors from `reader`.
+    pub fn read_from<R: BufRead>(reader: R) -> io::Result<TraceTraffic> {
+        let mut events = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+                tok.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: missing {what}", lineno + 1),
+                    )
+                })?
+                .parse()
+                .map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {}: malformed {what}", lineno + 1),
+                    )
+                })
+            };
+            let cycle = parse(parts.next(), "cycle")?;
+            let src = parse(parts.next(), "source")? as usize;
+            let dst = parse(parts.next(), "destination")? as usize;
+            if parts.next().is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: trailing tokens", lineno + 1),
+                ));
+            }
+            events.push(TraceEvent {
+                cycle,
+                src: NodeId(src),
+                dst: NodeId(dst),
+            });
+        }
+        Ok(TraceTraffic::new(events))
+    }
+
+    /// The `(src, dst)` injections scheduled at exactly `cycle`,
+    /// advancing the replay cursor past them.
+    ///
+    /// Cycles must be queried in non-decreasing order; events whose cycle
+    /// has already passed are skipped.
+    pub fn injections_at(&mut self, cycle: u64) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        while self.cursor < self.events.len() && self.events[self.cursor].cycle < cycle {
+            self.cursor += 1;
+        }
+        let start = self.cursor;
+        let mut end = start;
+        while end < self.events.len() && self.events[end].cycle == cycle {
+            end += 1;
+        }
+        self.cursor = end;
+        self.events[start..end].iter().map(|e| (e.src, e.dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_sorted_on_construction() {
+        let t = TraceTraffic::new(vec![
+            TraceEvent {
+                cycle: 9,
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
+            TraceEvent {
+                cycle: 1,
+                src: NodeId(2),
+                dst: NodeId(3),
+            },
+        ]);
+        assert_eq!(t.events()[0].cycle, 1);
+        assert_eq!(t.events()[1].cycle, 9);
+    }
+
+    #[test]
+    fn replay_by_cycle() {
+        let mut t = TraceTraffic::new(vec![
+            TraceEvent {
+                cycle: 2,
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
+            TraceEvent {
+                cycle: 2,
+                src: NodeId(4),
+                dst: NodeId(5),
+            },
+            TraceEvent {
+                cycle: 7,
+                src: NodeId(6),
+                dst: NodeId(7),
+            },
+        ]);
+        assert_eq!(t.injections_at(0).count(), 0);
+        assert_eq!(t.injections_at(2).count(), 2);
+        assert_eq!(t.remaining(), 1);
+        assert_eq!(t.injections_at(7).count(), 1);
+        assert!(t.is_exhausted());
+        t.rewind();
+        assert_eq!(t.remaining(), 3);
+    }
+
+    #[test]
+    fn skips_past_cycles() {
+        let mut t = TraceTraffic::new(vec![TraceEvent {
+            cycle: 3,
+            src: NodeId(0),
+            dst: NodeId(1),
+        }]);
+        // Jumping past cycle 3 drops the missed event.
+        assert_eq!(t.injections_at(10).count(), 0);
+        assert!(t.is_exhausted());
+    }
+
+    #[test]
+    fn record_from_synthetic_pattern() {
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let mut p = TrafficPattern::uniform(&topo, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = TraceTraffic::record(&mut p, 100, &mut rng);
+        // Expected ~16 · 0.3 · 100 = 480 events.
+        assert!((300..700).contains(&trace.events().len()), "{}", trace.events().len());
+        // Every event is valid and self-free.
+        for e in trace.events() {
+            assert!(e.cycle < 100);
+            assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let mut p = TrafficPattern::uniform(&topo, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = TraceTraffic::record(&mut p, 200, &mut rng);
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let back = TraceTraffic::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn read_skips_comments_and_rejects_garbage() {
+        let good = "# comment
+
+3 0 5
+1 2 7
+";
+        let t = TraceTraffic::read_from(good.as_bytes()).unwrap();
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle, 1, "sorted on load");
+
+        for bad in ["1 2", "x 0 1", "1 0 1 9"] {
+            assert!(
+                TraceTraffic::read_from(bad.as_bytes()).is_err(),
+                "{bad:?} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn record_is_deterministic_per_seed() {
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let run = |seed| {
+            let mut p = TrafficPattern::uniform(&topo, 0.2).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            TraceTraffic::record(&mut p, 50, &mut rng)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

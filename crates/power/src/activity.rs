@@ -1,0 +1,319 @@
+//! Switching-activity representation and tracking.
+//!
+//! Dynamic energy is `E = ½ α C V²`; the capacitance equations live in the
+//! component models while this module supplies `α` — how many lines
+//! actually toggled. The paper (§3, Appendix): *"Throughout our power
+//! models, the switching activity factors `δ_x` are monitored and
+//! calculated through simulation."*
+//!
+//! Switching counts are `f64`, not integers, so callers can supply either
+//! exact Hamming distances measured from real data ([`Bits`], [`hamming`])
+//! or expected values for analytic estimates
+//! ([`WriteActivity::uniform_random`] assumes half the lines toggle).
+
+use std::fmt;
+
+/// A fixed-width bit vector used to carry flit payloads and compute exact
+/// switching activity between consecutive values on a shared resource.
+///
+/// ```
+/// use orion_power::Bits;
+///
+/// let a = Bits::from_u64(0b1010, 8);
+/// let b = Bits::from_u64(0b0110, 8);
+/// assert_eq!(a.hamming(&b), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    words: Vec<u64>,
+}
+
+impl Bits {
+    /// Creates an all-zero value of the given width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: u32) -> Bits {
+        assert!(width > 0, "bit width must be positive");
+        let nwords = (width as usize).div_ceil(64);
+        Bits {
+            width,
+            words: vec![0; nwords],
+        }
+    }
+
+    /// Creates a value from the low bits of `value`, masked to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u64(value: u64, width: u32) -> Bits {
+        let mut bits = Bits::zero(width);
+        bits.words[0] = if width >= 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        bits
+    }
+
+    /// Creates a value from raw 64-bit words (little-endian word order),
+    /// masking any bits beyond `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `words` is shorter than the width
+    /// requires.
+    pub fn from_words(words: &[u64], width: u32) -> Bits {
+        assert!(width > 0, "bit width must be positive");
+        let nwords = (width as usize).div_ceil(64);
+        assert!(
+            words.len() >= nwords,
+            "need {nwords} words for {width} bits, got {}",
+            words.len()
+        );
+        let mut w: Vec<u64> = words[..nwords].to_vec();
+        let tail_bits = width as usize % 64;
+        if tail_bits != 0 {
+            w[nwords - 1] &= (1u64 << tail_bits) - 1;
+        }
+        Bits { width, words: w }
+    }
+
+    /// An all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn ones(width: u32) -> Bits {
+        let mut bits = Bits::zero(width);
+        let nwords = bits.words.len();
+        for w in &mut bits.words {
+            *w = u64::MAX;
+        }
+        let tail_bits = width as usize % 64;
+        if tail_bits != 0 {
+            bits.words[nwords - 1] = (1u64 << tail_bits) - 1;
+        }
+        bits
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The backing words (little-endian word order).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn get(&self, index: u32) -> bool {
+        assert!(index < self.width, "bit index {index} out of range");
+        (self.words[index as usize / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn set(&mut self, index: u32, value: bool) {
+        assert!(index < self.width, "bit index {index} out of range");
+        let word = &mut self.words[index as usize / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Hamming distance to `other` — the number of toggling lines when
+    /// `other` replaces `self` on a bus or in a storage row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn hamming(&self, other: &Bits) -> u32 {
+        assert_eq!(self.width, other.width, "hamming distance of unequal widths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Exact switching activity between two equal-width values; convenience
+/// free function mirroring [`Bits::hamming`].
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn hamming(a: &Bits, b: &Bits) -> u32 {
+    a.hamming(b)
+}
+
+/// Switching activity of one buffer **write** operation (Table 2).
+///
+/// Table 2 defines two activity factors for the write energy
+/// `E_wrt = E_wl + δ_bw·E_bw + δ_bc·E_cell`:
+///
+/// * `δ_bw` (`switching_bitlines`) — write bitlines that toggle relative
+///   to their previous value (the last value driven on the port),
+/// * `δ_bc` (`switching_cells`) — memory cells whose stored bit flips.
+///
+/// Values are `f64` so expected-value estimates are expressible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteActivity {
+    /// `δ_bw`: number of write bitline pairs that switch.
+    pub switching_bitlines: f64,
+    /// `δ_bc`: number of memory cells that flip.
+    pub switching_cells: f64,
+}
+
+impl WriteActivity {
+    /// Exact activity computed from data: the new value, the previous
+    /// value driven on the write port, and the old contents of the row
+    /// being overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three widths differ.
+    pub fn from_data(new: &Bits, prev_on_port: &Bits, old_in_row: &Bits) -> WriteActivity {
+        WriteActivity {
+            switching_bitlines: new.hamming(prev_on_port) as f64,
+            switching_cells: new.hamming(old_in_row) as f64,
+        }
+    }
+
+    /// Expected activity under uniform random data: half of the `width`
+    /// lines toggle on both the bitlines and in the cells.
+    pub fn uniform_random(width: u32) -> WriteActivity {
+        WriteActivity {
+            switching_bitlines: width as f64 / 2.0,
+            switching_cells: width as f64 / 2.0,
+        }
+    }
+
+    /// Worst-case activity: every line toggles.
+    pub fn worst_case(width: u32) -> WriteActivity {
+        WriteActivity {
+            switching_bitlines: width as f64,
+            switching_cells: width as f64,
+        }
+    }
+
+    /// No switching at all (rewriting identical data).
+    pub const NONE: WriteActivity = WriteActivity {
+        switching_bitlines: 0.0,
+        switching_cells: 0.0,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bits::zero(100);
+        let o = Bits::ones(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(z.hamming(&o), 100);
+    }
+
+    #[test]
+    fn from_u64_masks() {
+        let b = Bits::from_u64(0xFF, 4);
+        assert_eq!(b.count_ones(), 4);
+        let b = Bits::from_u64(u64::MAX, 64);
+        assert_eq!(b.count_ones(), 64);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let b = Bits::from_words(&[u64::MAX, u64::MAX], 65);
+        assert_eq!(b.count_ones(), 65);
+        assert_eq!(b.width(), 65);
+        assert_eq!(b.words().len(), 2);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut b = Bits::zero(256);
+        b.set(0, true);
+        b.set(255, true);
+        b.set(100, true);
+        assert!(b.get(0) && b.get(255) && b.get(100));
+        assert!(!b.get(1));
+        b.set(100, false);
+        assert!(!b.get(100));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn hamming_symmetric_and_zero_on_self() {
+        let a = Bits::from_u64(0b1100_1010, 8);
+        let b = Bits::from_u64(0b0110_0110, 8);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(hamming(&a, &b), a.hamming(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal widths")]
+    fn hamming_rejects_width_mismatch() {
+        let _ = Bits::zero(8).hamming(&Bits::zero(9));
+    }
+
+    #[test]
+    fn display_binary() {
+        let b = Bits::from_u64(0b101, 4);
+        assert_eq!(b.to_string(), "4'b0101");
+    }
+
+    #[test]
+    fn write_activity_constructors() {
+        let w = WriteActivity::uniform_random(32);
+        assert_eq!(w.switching_bitlines, 16.0);
+        assert_eq!(w.switching_cells, 16.0);
+        let w = WriteActivity::worst_case(32);
+        assert_eq!(w.switching_bitlines, 32.0);
+        assert_eq!(WriteActivity::NONE.switching_cells, 0.0);
+    }
+
+    #[test]
+    fn write_activity_from_data() {
+        let new = Bits::from_u64(0b1111, 8);
+        let prev = Bits::from_u64(0b1100, 8);
+        let old = Bits::from_u64(0b0000, 8);
+        let w = WriteActivity::from_data(&new, &prev, &old);
+        assert_eq!(w.switching_bitlines, 2.0);
+        assert_eq!(w.switching_cells, 4.0);
+    }
+}

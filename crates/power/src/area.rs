@@ -1,0 +1,197 @@
+//! Router area estimation.
+//!
+//! §4.4 of the paper: *"As our power models include length estimation of
+//! buffer bitlines, wordlines and crossbar input/output lines, router
+//! area can be easily estimated assuming a rectangular layout. We
+//! estimate router area as the sum of input buffer area and switch
+//! fabric area, ignoring arbiter area since arbiters are relatively
+//! small."* This is what enables the matched-area CB-vs-XB comparison.
+
+use orion_tech::Microns;
+
+use crate::buffer::BufferPower;
+use crate::central_buffer::CentralBufferPower;
+use crate::crossbar::CrossbarPower;
+
+/// Area in square micrometres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SquareMicrons(pub f64);
+
+impl SquareMicrons {
+    /// The zero area.
+    pub const ZERO: SquareMicrons = SquareMicrons(0.0);
+
+    /// Area in mm².
+    pub fn as_mm2(self) -> f64 {
+        self.0 * 1.0e-6
+    }
+}
+
+impl std::ops::Add for SquareMicrons {
+    type Output = SquareMicrons;
+    fn add(self, rhs: SquareMicrons) -> SquareMicrons {
+        SquareMicrons(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for SquareMicrons {
+    fn sum<I: Iterator<Item = SquareMicrons>>(iter: I) -> SquareMicrons {
+        iter.fold(SquareMicrons::ZERO, std::ops::Add::add)
+    }
+}
+
+impl std::fmt::Display for SquareMicrons {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} um^2", self.0)
+    }
+}
+
+fn rect(a: Microns, b: Microns) -> SquareMicrons {
+    SquareMicrons(a.0 * b.0)
+}
+
+/// A breakdown of a router's estimated area.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaEstimate {
+    /// Total input-buffer area across all ports.
+    pub buffers: SquareMicrons,
+    /// Switch fabric (crossbar or central-buffer fabric) area.
+    pub switch_fabric: SquareMicrons,
+    /// Central-buffer SRAM area, if any.
+    pub central_buffer: SquareMicrons,
+}
+
+impl AreaEstimate {
+    /// Total estimated router area (arbiters ignored, per §4.4).
+    pub fn total(&self) -> SquareMicrons {
+        self.buffers + self.switch_fabric + self.central_buffer
+    }
+}
+
+/// Area of one SRAM buffer: `L_wl × L_bl` (rectangular layout).
+pub fn buffer_area(buffer: &BufferPower) -> SquareMicrons {
+    rect(buffer.wordline_length(), buffer.bitline_length())
+}
+
+/// Area of a crossbar: `L_in × L_out` (the wire grid footprint).
+pub fn crossbar_area(xbar: &CrossbarPower) -> SquareMicrons {
+    rect(xbar.input_line_length(), xbar.output_line_length())
+}
+
+/// Area of a central buffer: bank SRAMs plus the two fabric crossbars.
+pub fn central_buffer_area(cb: &CentralBufferPower) -> SquareMicrons {
+    let banks = SquareMicrons(cb.banks() as f64 * buffer_area(cb.bank_model()).0);
+    banks + crossbar_area(cb.write_crossbar()) + crossbar_area(cb.read_crossbar())
+}
+
+/// Estimated router area: the sum of the per-port input buffers and the
+/// switch fabric, plus the central buffer when present.
+///
+/// ```
+/// use orion_power::{
+///     router_area, BufferParams, BufferPower, CrossbarKind, CrossbarParams,
+///     CrossbarPower,
+/// };
+/// use orion_tech::{ProcessNode, Technology};
+///
+/// let tech = Technology::new(ProcessNode::Nm100);
+/// let buf = BufferPower::new(&BufferParams::new(64, 32), tech)?;
+/// let xb = CrossbarPower::new(
+///     &CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32),
+///     tech,
+/// )?;
+/// let est = router_area(&[&buf; 5], Some(&xb), None);
+/// assert!(est.total().0 > 0.0);
+/// # Ok::<(), orion_power::ModelError>(())
+/// ```
+pub fn router_area(
+    input_buffers: &[&BufferPower],
+    crossbar: Option<&CrossbarPower>,
+    central_buffer: Option<&CentralBufferPower>,
+) -> AreaEstimate {
+    AreaEstimate {
+        buffers: input_buffers.iter().map(|b| buffer_area(b)).sum(),
+        switch_fabric: crossbar.map(crossbar_area).unwrap_or(SquareMicrons::ZERO),
+        central_buffer: central_buffer
+            .map(central_buffer_area)
+            .unwrap_or(SquareMicrons::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferParams;
+    use crate::central_buffer::CentralBufferParams;
+    use crate::crossbar::{CrossbarKind, CrossbarParams};
+    use orion_tech::{ProcessNode, Technology};
+
+    fn tech() -> Technology {
+        Technology::new(ProcessNode::Nm100)
+    }
+
+    #[test]
+    fn buffer_area_grows_with_capacity() {
+        let small = BufferPower::new(&BufferParams::new(16, 32), tech()).unwrap();
+        let large = BufferPower::new(&BufferParams::new(64, 32), tech()).unwrap();
+        assert!(buffer_area(&large).0 > buffer_area(&small).0);
+        // Area is linear in rows for fixed width.
+        let r = buffer_area(&large).0 / buffer_area(&small).0;
+        assert!((r - 4.0).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn crossbar_area_quadratic_in_width() {
+        let narrow =
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
+                .unwrap();
+        let wide =
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech())
+                .unwrap();
+        let r = crossbar_area(&wide).0 / crossbar_area(&narrow).0;
+        assert!((r - 4.0).abs() < 1e-6, "ratio {r}");
+    }
+
+    #[test]
+    fn router_area_sums_components() {
+        let buf = BufferPower::new(&BufferParams::new(64, 32), tech()).unwrap();
+        let xb = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
+            .unwrap();
+        let bufs = [&buf, &buf, &buf, &buf, &buf];
+        let est = router_area(&bufs, Some(&xb), None);
+        let expect = 5.0 * buffer_area(&buf).0 + crossbar_area(&xb).0;
+        assert!((est.total().0 - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_cb_and_xb_configs_have_comparable_area() {
+        // §4.4 defines the CB and XB configurations to "take up roughly
+        // the same area". Check our area model puts them within a small
+        // factor of each other (the paper says "roughly").
+        let cb_mem =
+            CentralBufferPower::new(&CentralBufferParams::new(4, 2560, 32), tech()).unwrap();
+        let cb_input = BufferPower::new(&BufferParams::new(64, 32), tech()).unwrap();
+        let cb_bufs = [&cb_input; 5];
+        let cb_area = router_area(&cb_bufs, None, Some(&cb_mem)).total();
+
+        // XB: 16 VCs × 268 flits per port = 4288 flits of buffering.
+        let xb_buf = BufferPower::new(&BufferParams::new(16 * 268, 32), tech()).unwrap();
+        let xb =
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
+                .unwrap();
+        let xb_bufs = [&xb_buf; 5];
+        let xb_area = router_area(&xb_bufs, Some(&xb), None).total();
+
+        let ratio = xb_area.0 / cb_area.0;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "areas should be same order of magnitude, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn mm2_conversion() {
+        assert!((SquareMicrons(2.0e6).as_mm2() - 2.0).abs() < 1e-12);
+        assert_eq!(format!("{}", SquareMicrons(3.0)), "3 um^2");
+    }
+}

@@ -1,0 +1,332 @@
+//! Central (shared) buffer power model — a hierarchical composition.
+//!
+//! §3.2 of the paper uses the central buffer to demonstrate model
+//! hierarchy and reuse: *"Central buffers are implemented as pipelined
+//! shared memories [Katevenis et al.], essentially regular SRAM banks
+//! connected by pipeline registers, with two crossbars facilitating the
+//! pipelined data I/O. We reused our FIFO buffer model for the SRAM
+//! banks, and the flip-flop subcomponent models from our arbiter model
+//! for the pipeline registers. The two crossbars are modeled with our
+//! crossbar power model."*
+//!
+//! This module does exactly that: a [`CentralBufferPower`] owns a
+//! [`BufferPower`] per-bank model, a [`FlipFlopPower`] for the pipeline
+//! registers and two [`CrossbarPower`] instances (write-side and
+//! read-side), and its per-operation energies are sums over those
+//! sub-models.
+//!
+//! §4.4 instantiates it as a 4-bank buffer, each bank 1 flit wide, 2560
+//! rows, with 2 read and 2 write ports.
+
+use orion_tech::{Joules, Technology, TransistorSizes};
+
+use crate::activity::WriteActivity;
+use crate::buffer::{BufferParams, BufferPower};
+use crate::crossbar::{CrossbarKind, CrossbarParams, CrossbarPower};
+use crate::error::ModelError;
+use crate::flipflop::FlipFlopPower;
+
+/// Architectural parameters of a central buffer (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralBufferParams {
+    /// Number of SRAM banks; each bank is one flit wide, so this is also
+    /// the row ("chunk") width in flits.
+    pub banks: u32,
+    /// Rows per bank ("chunks").
+    pub rows: u32,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Memory read ports (also the read-side fabric ports).
+    pub read_ports: u32,
+    /// Memory write ports (also the write-side fabric ports).
+    pub write_ports: u32,
+    /// Transistor sizes; defaults to the Cacti library.
+    pub sizes: TransistorSizes,
+}
+
+impl CentralBufferParams {
+    /// Creates parameters with the given geometry and 2R/2W ports (the
+    /// paper's configuration).
+    ///
+    /// ```
+    /// use orion_power::CentralBufferParams;
+    /// let p = CentralBufferParams::new(4, 2560, 32);
+    /// assert_eq!(p.read_ports, 2);
+    /// assert_eq!(p.write_ports, 2);
+    /// ```
+    pub fn new(banks: u32, rows: u32, flit_bits: u32) -> CentralBufferParams {
+        CentralBufferParams {
+            banks,
+            rows,
+            flit_bits,
+            read_ports: 2,
+            write_ports: 2,
+            sizes: TransistorSizes::default(),
+        }
+    }
+
+    /// Sets the port counts.
+    pub fn with_ports(mut self, read_ports: u32, write_ports: u32) -> CentralBufferParams {
+        self.read_ports = read_ports;
+        self.write_ports = write_ports;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        if self.banks == 0 {
+            return Err(ModelError::invalid("banks", "must be at least 1"));
+        }
+        if self.rows == 0 {
+            return Err(ModelError::invalid("rows", "must be at least 1"));
+        }
+        if self.flit_bits == 0 {
+            return Err(ModelError::invalid("flit_bits", "must be at least 1"));
+        }
+        if self.read_ports == 0 {
+            return Err(ModelError::invalid("read_ports", "must be at least 1"));
+        }
+        if self.write_ports == 0 {
+            return Err(ModelError::invalid("write_ports", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Central buffer power model, composed hierarchically from the FIFO
+/// buffer, flip-flop and crossbar models.
+///
+/// ```
+/// use orion_power::{CentralBufferParams, CentralBufferPower, WriteActivity};
+/// use orion_tech::{ProcessNode, Technology};
+///
+/// let cb = CentralBufferPower::new(
+///     &CentralBufferParams::new(4, 2560, 32),
+///     Technology::new(ProcessNode::Nm100),
+/// )?;
+/// let w = cb.write_energy(&WriteActivity::uniform_random(32));
+/// let r = cb.read_energy(16.0);
+/// assert!(w.0 > 0.0 && r.0 > 0.0);
+/// # Ok::<(), orion_power::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralBufferPower {
+    banks: u32,
+    rows: u32,
+    flit_bits: u32,
+    bank: BufferPower,
+    pipeline_reg: FlipFlopPower,
+    write_xbar: CrossbarPower,
+    read_xbar: CrossbarPower,
+}
+
+impl CentralBufferPower {
+    /// Builds the model for `params` at `tech`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if any dimension or port
+    /// count is zero.
+    pub fn new(
+        params: &CentralBufferParams,
+        tech: Technology,
+    ) -> Result<CentralBufferPower, ModelError> {
+        params.validate()?;
+        // Each bank is a flit-wide SRAM with the shared ports.
+        let bank = BufferPower::new(
+            &BufferParams::new(params.rows, params.flit_bits)
+                .with_ports(params.read_ports, params.write_ports)
+                .with_sizes(params.sizes),
+            tech,
+        )?;
+        let pipeline_reg = FlipFlopPower::with_sizes(tech, &params.sizes);
+        // Write-side fabric: write ports → banks; read-side: banks →
+        // read ports. Both flit-wide.
+        let write_xbar = CrossbarPower::new(
+            &CrossbarParams::new(
+                CrossbarKind::Matrix,
+                params.write_ports,
+                params.banks,
+                params.flit_bits,
+            )
+            .with_sizes(params.sizes),
+            tech,
+        )?;
+        let read_xbar = CrossbarPower::new(
+            &CrossbarParams::new(
+                CrossbarKind::Matrix,
+                params.banks,
+                params.read_ports,
+                params.flit_bits,
+            )
+            .with_sizes(params.sizes),
+            tech,
+        )?;
+        Ok(CentralBufferPower {
+            banks: params.banks,
+            rows: params.rows,
+            flit_bits: params.flit_bits,
+            bank,
+            pipeline_reg,
+            write_xbar,
+            read_xbar,
+        })
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Rows per bank.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Flit width in bits.
+    pub fn flit_bits(&self) -> u32 {
+        self.flit_bits
+    }
+
+    /// The per-bank SRAM sub-model (exposed for hierarchical reuse,
+    /// §3.2).
+    pub fn bank_model(&self) -> &BufferPower {
+        &self.bank
+    }
+
+    /// The write-side fabric sub-model.
+    pub fn write_crossbar(&self) -> &CrossbarPower {
+        &self.write_xbar
+    }
+
+    /// The read-side fabric sub-model.
+    pub fn read_crossbar(&self) -> &CrossbarPower {
+        &self.read_xbar
+    }
+
+    /// Energy of writing one flit into the central buffer: write-fabric
+    /// traversal, pipeline-register latch, then a bank write.
+    pub fn write_energy(&self, activity: &WriteActivity) -> Joules {
+        self.write_xbar.traversal_energy(activity.switching_bitlines)
+            + self
+                .pipeline_reg
+                .word_energy(self.flit_bits, activity.switching_bitlines)
+            + self.bank.write_energy(activity)
+    }
+
+    /// Energy of reading one flit: bank read, pipeline-register latch,
+    /// read-fabric traversal with `switching_bits` lines toggling.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `switching_bits` is negative.
+    pub fn read_energy(&self, switching_bits: f64) -> Joules {
+        debug_assert!(switching_bits >= 0.0, "switching bits must be non-negative");
+        self.bank.read_energy()
+            + self.pipeline_reg.word_energy(self.flit_bits, switching_bits)
+            + self.read_xbar.traversal_energy(switching_bits)
+    }
+
+    /// Expected write energy under uniform random data.
+    pub fn write_energy_uniform(&self) -> Joules {
+        self.write_energy(&WriteActivity::uniform_random(self.flit_bits))
+    }
+
+    /// Expected read energy under uniform random data.
+    pub fn read_energy_uniform(&self) -> Joules {
+        self.read_energy(self.flit_bits as f64 / 2.0)
+    }
+
+    /// Static (leakage) power, composed hierarchically from the bank,
+    /// pipeline-register and fabric sub-models — a post-paper
+    /// extension; not included in any `*_energy` method.
+    pub fn leakage_power(&self) -> orion_tech::Watts {
+        orion_tech::Watts(
+            self.banks as f64 * self.bank.leakage_power().0
+                + 2.0 * self.flit_bits as f64 * self.pipeline_reg.leakage_power().0
+                + self.write_xbar.leakage_power().0
+                + self.read_xbar.leakage_power().0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_tech::ProcessNode;
+
+    fn tech() -> Technology {
+        Technology::new(ProcessNode::Nm100)
+    }
+
+    fn paper_cb() -> CentralBufferPower {
+        CentralBufferPower::new(&CentralBufferParams::new(4, 2560, 32), tech()).expect("valid")
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        for p in [
+            CentralBufferParams::new(0, 10, 32),
+            CentralBufferParams::new(4, 0, 32),
+            CentralBufferParams::new(4, 10, 0),
+            CentralBufferParams::new(4, 10, 32).with_ports(0, 2),
+            CentralBufferParams::new(4, 10, 32).with_ports(2, 0),
+        ] {
+            assert!(CentralBufferPower::new(&p, tech()).is_err(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_write_composition() {
+        // E_write must equal the sum of its three sub-model energies.
+        let cb = paper_cb();
+        let act = WriteActivity::uniform_random(32);
+        let expect = cb.write_crossbar().traversal_energy(16.0).0
+            + FlipFlopPower::new(tech()).word_energy(32, 16.0).0
+            + cb.bank_model().write_energy(&act).0;
+        assert!((cb.write_energy(&act).0 - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn hierarchical_read_composition() {
+        let cb = paper_cb();
+        let expect = cb.bank_model().read_energy().0
+            + FlipFlopPower::new(tech()).word_energy(32, 16.0).0
+            + cb.read_crossbar().traversal_energy(16.0).0;
+        assert!((cb.read_energy(16.0).0 - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn central_buffer_access_much_pricier_than_small_fifo() {
+        // §4.4: "a central buffer consumes much more energy than a
+        // crossbar due to its higher switching capacitance" — the deep
+        // (2560-row) bitlines dominate. Compare to a 64-flit input FIFO.
+        use crate::buffer::{BufferParams, BufferPower};
+        let cb = paper_cb();
+        let fifo = BufferPower::new(&BufferParams::new(64, 32), tech()).unwrap();
+        assert!(cb.read_energy_uniform().0 > 5.0 * fifo.read_energy().0);
+        assert!(cb.write_energy_uniform().0 > 5.0 * fifo.write_energy_uniform().0);
+    }
+
+    #[test]
+    fn deeper_central_buffer_costs_more() {
+        let small = CentralBufferPower::new(&CentralBufferParams::new(4, 256, 32), tech()).unwrap();
+        let large = paper_cb();
+        assert!(large.read_energy_uniform().0 > small.read_energy_uniform().0);
+    }
+
+    #[test]
+    fn leakage_composes_from_submodels() {
+        let cb = paper_cb();
+        assert!(cb.leakage_power().0 > 4.0 * cb.bank_model().leakage_power().0);
+    }
+
+    #[test]
+    fn accessors_report_geometry() {
+        let cb = paper_cb();
+        assert_eq!(cb.banks(), 4);
+        assert_eq!(cb.rows(), 2560);
+        assert_eq!(cb.flit_bits(), 32);
+        assert_eq!(cb.bank_model().read_ports(), 2);
+        assert_eq!(cb.bank_model().write_ports(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Router clock-network power model (post-paper extension).
+//!
+//! The MICRO 2002 models charge only datapath events; the clock tree —
+//! which toggles every cycle regardless of traffic — was added to the
+//! toolchain in the Orion 2.0 era and routinely accounts for a sizeable
+//! slice of router power. This model composes from the same primitives:
+//! the clock load is the sum of every clocked element's clock-pin
+//! capacitance (pipeline registers, arbiter priority flops) plus the
+//! distribution wiring over the router's footprint, switched once per
+//! cycle at `f_clk`.
+
+use orion_tech::{switch_energy, Capacitor, Farads, Hertz, Joules, Technology, Watts};
+
+use crate::area::SquareMicrons;
+use crate::flipflop::FlipFlopPower;
+
+/// Clock-network power model for one router.
+///
+/// ```
+/// use orion_power::clock::ClockPower;
+/// use orion_power::SquareMicrons;
+/// use orion_tech::{Hertz, ProcessNode, Technology};
+///
+/// let tech = Technology::new(ProcessNode::Nm100);
+/// // ~2000 clocked bits over a 1 mm^2 router at 2 GHz.
+/// let clk = ClockPower::new(2000, SquareMicrons(1.0e6), tech);
+/// assert!(clk.power(Hertz::from_ghz(2.0)).0 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockPower {
+    clocked_bits: u64,
+    vdd: orion_tech::Volts,
+    c_total: Farads,
+}
+
+impl ClockPower {
+    /// Builds the model for a router with `clocked_bits` flip-flop bits
+    /// spread over `footprint`.
+    ///
+    /// The distribution wiring is approximated as an H-tree covering the
+    /// footprint: total wire length ≈ 3 × the footprint's side length
+    /// per level-summed span, i.e. `3·√area`.
+    pub fn new(clocked_bits: u64, footprint: SquareMicrons, tech: Technology) -> ClockPower {
+        let cap = Capacitor::new(tech);
+        let ff = FlipFlopPower::new(tech);
+        let side = footprint.0.max(0.0).sqrt();
+        let wiring = cap.wire_cap(orion_tech::Microns(3.0 * side));
+        let c_total = clocked_bits as f64 * ff.clock_cap() + wiring;
+        ClockPower {
+            clocked_bits,
+            vdd: tech.vdd(),
+            c_total,
+        }
+    }
+
+    /// Number of clocked storage bits.
+    pub fn clocked_bits(&self) -> u64 {
+        self.clocked_bits
+    }
+
+    /// Total clock-network capacitance.
+    pub fn total_cap(&self) -> Farads {
+        self.c_total
+    }
+
+    /// Energy of one clock cycle (two transitions of the full load).
+    pub fn cycle_energy(&self) -> Joules {
+        2.0 * switch_energy(self.c_total, self.vdd)
+    }
+
+    /// Continuous clock power at `f_clk` (ungated: the tree toggles
+    /// every cycle).
+    pub fn power(&self, f_clk: Hertz) -> Watts {
+        Watts(self.cycle_energy().0 * f_clk.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_tech::ProcessNode;
+
+    fn tech() -> Technology {
+        Technology::new(ProcessNode::Nm100)
+    }
+
+    #[test]
+    fn power_linear_in_frequency() {
+        let clk = ClockPower::new(1000, SquareMicrons(1.0e6), tech());
+        let p1 = clk.power(Hertz::from_ghz(1.0));
+        let p2 = clk.power(Hertz::from_ghz(2.0));
+        assert!((p2.0 - 2.0 * p1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_flops_more_power() {
+        let small = ClockPower::new(100, SquareMicrons(1.0e6), tech());
+        let large = ClockPower::new(10_000, SquareMicrons(1.0e6), tech());
+        assert!(large.cycle_energy().0 > small.cycle_energy().0);
+        assert_eq!(large.clocked_bits(), 10_000);
+    }
+
+    #[test]
+    fn wiring_term_present_even_without_flops() {
+        let clk = ClockPower::new(0, SquareMicrons(4.0e6), tech());
+        assert!(clk.total_cap().0 > 0.0, "H-tree wiring still loads the clock");
+    }
+
+    #[test]
+    fn plausible_magnitude_for_paper_router() {
+        // A VC64 router: 5 ports x 64 flits x 256 bits of storage is
+        // SRAM (not clocked); clocked state is pipeline registers and
+        // allocator state, O(few thousand bits). At 2 GHz the clock
+        // should land in the tens-of-mW range.
+        let clk = ClockPower::new(4000, SquareMicrons(2.3e6), tech());
+        let p = clk.power(Hertz::from_ghz(2.0)).0;
+        assert!((0.005..0.5).contains(&p), "clock power {p} W");
+    }
+}

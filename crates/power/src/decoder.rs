@@ -1,0 +1,214 @@
+//! SRAM row-decoder power model.
+//!
+//! Table 2 of the paper presents the FIFO array's wordline/bitline/cell
+//! capacitances; the *released* Orion models (following Kamble & Ghose
+//! \[9\], which the paper adapts) additionally charge the row decoder that
+//! drives the wordlines. This module provides that component as an
+//! opt-in extension of [`BufferPower`](crate::buffer::BufferPower) —
+//! off by default so the buffer model reproduces Table 2 verbatim.
+//!
+//! Structure modelled (Cacti-style flat NOR decode with predecoded
+//! address rails): `n = ⌈log₂ B⌉` address bits arrive as true/complement
+//! rails; each rail runs the height of the array and loads one decode
+//! gate input per row it participates in (`B/2` rows on average); every
+//! access toggles the previously-selected and newly-selected row-decode
+//! outputs.
+//!
+//! ```text
+//! C_rail = (B/2)·C_g(T_nor) + C_w(L_bl)
+//! C_row  = C_d(T_nor, stack n) + C_a(T_wd-predriver)
+//! E_dec  = δ_addr·E_rail + 2·E_row
+//! ```
+//!
+//! FIFO address sequences are sequential (the ring pointers increment),
+//! so consecutive addresses differ by ~2 bits on average — much less
+//! than the `n/2` a random-access array would see. [`DecoderPower`]
+//! accepts either an exact toggle count or the sequential default.
+
+use orion_tech::{
+    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind,
+    TransistorSizes,
+};
+
+use crate::error::ModelError;
+
+/// Row-decoder power model for a `rows`-entry SRAM array.
+///
+/// ```
+/// use orion_power::decoder::DecoderPower;
+/// use orion_tech::{Microns, ProcessNode, Technology};
+///
+/// let tech = Technology::new(ProcessNode::Nm100);
+/// let dec = DecoderPower::new(64, Microns(230.0), tech)?;
+/// assert_eq!(dec.address_bits(), 6);
+/// assert!(dec.access_energy_sequential().0 > 0.0);
+/// # Ok::<(), orion_power::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderPower {
+    rows: u32,
+    address_bits: u32,
+    vdd: orion_tech::Volts,
+    c_rail: Farads,
+    c_row: Farads,
+}
+
+impl DecoderPower {
+    /// Builds a decoder for an array of `rows` entries whose bitline
+    /// column height is `array_height` (the rails run alongside it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `rows` is zero.
+    pub fn new(rows: u32, array_height: Microns, tech: Technology) -> Result<DecoderPower, ModelError> {
+        DecoderPower::with_sizes(rows, array_height, tech, &TransistorSizes::default())
+    }
+
+    /// Builds the decoder with explicit transistor sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `rows` is zero.
+    pub fn with_sizes(
+        rows: u32,
+        array_height: Microns,
+        tech: Technology,
+        sizes: &TransistorSizes,
+    ) -> Result<DecoderPower, ModelError> {
+        if rows == 0 {
+            return Err(ModelError::invalid("rows", "must be at least 1"));
+        }
+        let cap = Capacitor::new(tech);
+        let address_bits = if rows <= 1 {
+            0
+        } else {
+            (rows as f64).log2().ceil() as u32
+        };
+        // Each rail loads one NOR input per row it selects (half the
+        // rows) plus the wire running the array height.
+        let c_rail = (rows as f64 / 2.0) * cap.gate_cap(sizes.nor_input)
+            + cap.wire_cap(array_height);
+        // A row-decode output: the stacked NOR pull-down plus the
+        // wordline-driver predriver it feeds.
+        let c_row = cap.drain_cap(sizes.nor_input, TransistorKind::N, address_bits.max(1))
+            + cap.inverter_cap(sizes.inv_nmos, sizes.inv_pmos);
+        Ok(DecoderPower {
+            rows,
+            address_bits,
+            vdd: tech.vdd(),
+            c_rail,
+            c_row,
+        })
+    }
+
+    /// Rows decoded.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Address width `⌈log₂ rows⌉`.
+    pub fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Capacitance of one address rail.
+    pub fn rail_cap(&self) -> Farads {
+        self.c_rail
+    }
+
+    /// Capacitance of one row-decode output node.
+    pub fn row_cap(&self) -> Farads {
+        self.c_row
+    }
+
+    /// Energy of one access with `address_toggles` address bits
+    /// changing relative to the previous access.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `address_toggles` is negative.
+    pub fn access_energy(&self, address_toggles: f64) -> Joules {
+        debug_assert!(address_toggles >= 0.0, "toggles must be non-negative");
+        if self.rows <= 1 {
+            return Joules::ZERO;
+        }
+        // Each toggled bit flips its true and complement rails; the old
+        // and new selected rows both switch.
+        address_toggles * 2.0 * switch_energy(self.c_rail, self.vdd)
+            + 2.0 * switch_energy(self.c_row, self.vdd)
+    }
+
+    /// Energy of one access under sequential (FIFO ring-pointer)
+    /// addressing: an incrementing counter toggles 2 bits per step on
+    /// average (the 1 + 1/2 + 1/4 + … carry chain).
+    pub fn access_energy_sequential(&self) -> Joules {
+        self.access_energy(2.0_f64.min(self.address_bits as f64))
+    }
+
+    /// Energy of one access under uniform random addressing
+    /// (`n/2` toggles).
+    pub fn access_energy_random(&self) -> Joules {
+        self.access_energy(self.address_bits as f64 / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_tech::ProcessNode;
+
+    fn tech() -> Technology {
+        Technology::new(ProcessNode::Nm100)
+    }
+
+    #[test]
+    fn address_bits_log2() {
+        for (rows, bits) in [(1u32, 0u32), (2, 1), (4, 2), (5, 3), (64, 6), (2560, 12)] {
+            let d = DecoderPower::new(rows, Microns(100.0), tech()).unwrap();
+            assert_eq!(d.address_bits(), bits, "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_rows() {
+        assert!(DecoderPower::new(0, Microns(100.0), tech()).is_err());
+    }
+
+    #[test]
+    fn single_row_needs_no_decode_energy() {
+        let d = DecoderPower::new(1, Microns(10.0), tech()).unwrap();
+        assert_eq!(d.access_energy(1.0), Joules::ZERO);
+    }
+
+    #[test]
+    fn energy_grows_with_rows() {
+        let small = DecoderPower::new(16, Microns(60.0), tech()).unwrap();
+        let large = DecoderPower::new(1024, Microns(3800.0), tech()).unwrap();
+        assert!(large.access_energy_random().0 > small.access_energy_random().0);
+        assert!(large.rail_cap().0 > small.rail_cap().0);
+    }
+
+    #[test]
+    fn energy_monotone_in_toggles() {
+        let d = DecoderPower::new(64, Microns(230.0), tech()).unwrap();
+        assert!(d.access_energy(4.0).0 > d.access_energy(1.0).0);
+        // Even zero address toggles still switch the two row outputs.
+        assert!(d.access_energy(0.0).0 > 0.0);
+    }
+
+    #[test]
+    fn sequential_cheaper_than_random_for_big_arrays() {
+        let d = DecoderPower::new(2560, Microns(13000.0), tech()).unwrap();
+        assert!(d.access_energy_sequential().0 < d.access_energy_random().0);
+    }
+
+    #[test]
+    fn decoder_small_next_to_bitline_energy() {
+        // Sanity: the decoder is a second-order term of array access
+        // energy (rails are narrow; bitlines are many).
+        use crate::buffer::{BufferParams, BufferPower};
+        let buf = BufferPower::new(&BufferParams::new(64, 256), tech()).unwrap();
+        let dec = DecoderPower::new(64, buf.bitline_length(), tech()).unwrap();
+        assert!(dec.access_energy_random().0 < buf.read_energy().0 / 5.0);
+    }
+}

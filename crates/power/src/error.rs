@@ -1,0 +1,66 @@
+//! Error type for power-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a power model is constructed with invalid
+/// architectural parameters.
+///
+/// ```
+/// use orion_power::{BufferParams, BufferPower, ModelError};
+/// use orion_tech::{ProcessNode, Technology};
+///
+/// let err = BufferPower::new(&BufferParams::new(0, 32),
+///                            Technology::new(ProcessNode::Nm100))
+///     .unwrap_err();
+/// assert!(matches!(err, ModelError::InvalidParameter { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An architectural parameter was out of its valid range.
+    InvalidParameter {
+        /// The offending parameter's name, e.g. `"flits"`.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+}
+
+impl ModelError {
+    pub(crate) fn invalid(parameter: &'static str, reason: impl Into<String>) -> ModelError {
+        ModelError::InvalidParameter {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = ModelError::invalid("flits", "must be at least 1");
+        assert_eq!(e.to_string(), "invalid parameter `flits`: must be at least 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

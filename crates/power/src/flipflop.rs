@@ -1,0 +1,143 @@
+//! Flip-flop subcomponent power model.
+//!
+//! The paper builds hierarchical models from reusable subcomponents
+//! (§3.2): the matrix arbiter's priority bits are flip-flops, and the
+//! central buffer's pipeline registers reuse "the flip-flop subcomponent
+//! models from our arbiter model".
+//!
+//! We model a static master–slave D flip-flop: the switched capacitance
+//! on a data toggle is the gate+drain capacitance of the two
+//! cross-coupled inverter pairs plus the pass-gate loading; the clock
+//! load is charged every cycle the flop is clocked (exposed separately so
+//! callers can decide whether to count gated clocks).
+
+use orion_tech::{switch_energy, Capacitor, Farads, Joules, Technology, TransistorSizes};
+
+/// Power model of one D flip-flop.
+///
+/// ```
+/// use orion_power::FlipFlopPower;
+/// use orion_tech::{ProcessNode, Technology};
+///
+/// let ff = FlipFlopPower::new(Technology::new(ProcessNode::Nm100));
+/// assert!(ff.toggle_energy().0 > 0.0);
+/// assert!(ff.clock_energy().0 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipFlopPower {
+    vdd: orion_tech::Volts,
+    c_data: Farads,
+    c_clock: Farads,
+    leakage: orion_tech::Watts,
+}
+
+impl FlipFlopPower {
+    /// Builds the model with default transistor sizes.
+    pub fn new(tech: Technology) -> FlipFlopPower {
+        FlipFlopPower::with_sizes(tech, &TransistorSizes::default())
+    }
+
+    /// Builds the model with explicit transistor sizes.
+    pub fn with_sizes(tech: Technology, sizes: &TransistorSizes) -> FlipFlopPower {
+        let cap = Capacitor::new(tech);
+        // Master and slave latch: two cross-coupled inverter pairs, plus
+        // two transmission gates loading the internal nodes.
+        let inv = cap.inverter_cap(sizes.ff_nmos, sizes.ff_pmos);
+        let pass = cap.gate_cap_pass(sizes.cell_access);
+        let c_data = 2.0 * inv + 2.0 * pass;
+        // Clock drives the four transmission-gate transistors.
+        let c_clock = 4.0 * pass;
+        // Leakage (post-paper extension): four inverter pairs + four
+        // transmission-gate transistors.
+        let leakage =
+            tech.leakage_power(4.0 * (sizes.ff_nmos + sizes.ff_pmos) + 4.0 * sizes.cell_access);
+        FlipFlopPower {
+            vdd: tech.vdd(),
+            c_data,
+            c_clock,
+            leakage,
+        }
+    }
+
+    /// Switched capacitance of one data toggle.
+    pub fn data_cap(&self) -> Farads {
+        self.c_data
+    }
+
+    /// Clock-network capacitance of this flop.
+    pub fn clock_cap(&self) -> Farads {
+        self.c_clock
+    }
+
+    /// Energy of one stored-bit toggle.
+    pub fn toggle_energy(&self) -> Joules {
+        switch_energy(self.c_data, self.vdd)
+    }
+
+    /// Energy of one clock edge delivered to the flop (charged whether or
+    /// not the data changes, unless the clock is gated).
+    pub fn clock_energy(&self) -> Joules {
+        switch_energy(self.c_clock, self.vdd)
+    }
+
+    /// Static (leakage) power of one flop — a post-paper extension; not
+    /// included in any `*_energy` method.
+    pub fn leakage_power(&self) -> orion_tech::Watts {
+        self.leakage
+    }
+
+    /// Energy of latching a `width`-bit word of which `switching_bits`
+    /// toggle: `width` clock loads plus `switching_bits` data toggles.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `switching_bits` is negative.
+    pub fn word_energy(&self, width: u32, switching_bits: f64) -> Joules {
+        debug_assert!(switching_bits >= 0.0, "switching bits must be non-negative");
+        width as f64 * self.clock_energy() + switching_bits * self.toggle_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_tech::ProcessNode;
+
+    fn ff() -> FlipFlopPower {
+        FlipFlopPower::new(Technology::new(ProcessNode::Nm100))
+    }
+
+    #[test]
+    fn energies_positive() {
+        let f = ff();
+        assert!(f.toggle_energy().0 > 0.0);
+        assert!(f.clock_energy().0 > 0.0);
+        assert!(f.data_cap().0 > f.clock_cap().0, "data path dominates");
+    }
+
+    #[test]
+    fn word_energy_composition() {
+        let f = ff();
+        let e = f.word_energy(32, 16.0);
+        let expect = 32.0 * f.clock_energy().0 + 16.0 * f.toggle_energy().0;
+        assert!((e.0 - expect).abs() < 1e-27);
+    }
+
+    #[test]
+    fn word_energy_monotone_in_activity() {
+        let f = ff();
+        assert!(f.word_energy(32, 32.0).0 > f.word_energy(32, 0.0).0);
+    }
+
+    #[test]
+    fn leakage_positive() {
+        assert!(ff().leakage_power().0 > 0.0);
+    }
+
+    #[test]
+    fn scales_with_technology() {
+        let big = FlipFlopPower::new(Technology::new(ProcessNode::Um800));
+        let small = ff();
+        assert!(big.toggle_energy().0 > small.toggle_energy().0);
+    }
+}

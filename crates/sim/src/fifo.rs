@@ -1,0 +1,278 @@
+//! Flit FIFOs with exact switching-activity tracking.
+//!
+//! The paper's buffer power model (Table 2) needs two activity factors
+//! per write: `δ_bw` (write bitlines toggling relative to the previous
+//! value driven on the write port) and `δ_bc` (memory cells flipping —
+//! the new value against the *old contents of the slot being
+//! overwritten*). [`FlitFifo`] mirrors the SRAM ring so both are
+//! computed exactly from the 64-bit payload samples.
+
+use std::collections::VecDeque;
+
+use orion_power::WriteActivity;
+
+use crate::energy::scaled_hamming;
+use crate::flit::Flit;
+
+/// A bounded FIFO of flits that reports exact per-write switching
+/// activity.
+///
+/// ```
+/// use orion_sim::fifo::FlitFifo;
+/// let fifo = FlitFifo::new(4, 64);
+/// assert_eq!(fifo.free(), 4);
+/// assert!(fifo.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlitFifo {
+    queue: VecDeque<Flit>,
+    /// Whether each queued flit was physically written to the SRAM
+    /// (false = bypassed an empty queue).
+    stored: VecDeque<bool>,
+    capacity: usize,
+    /// Flit width in bits (for activity scaling).
+    width: u32,
+    /// Payload last stored in each physical slot (SRAM ring mirror).
+    slots: Vec<u64>,
+    /// Next slot the write pointer targets.
+    wr_ptr: usize,
+    /// Last value driven on the write bitlines.
+    last_bus: u64,
+}
+
+impl FlitFifo {
+    /// Creates an empty FIFO of `capacity` flits of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `width` is zero.
+    pub fn new(capacity: usize, width: u32) -> FlitFifo {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        assert!(width > 0, "flit width must be positive");
+        FlitFifo {
+            queue: VecDeque::with_capacity(capacity),
+            stored: VecDeque::with_capacity(capacity),
+            capacity,
+            width,
+            slots: vec![0; capacity],
+            wr_ptr: 0,
+            last_bus: 0,
+        }
+    }
+
+    /// Number of flits currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Total capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The flit at the head of the queue, if any.
+    pub fn head(&self) -> Option<&Flit> {
+        self.queue.front()
+    }
+
+    /// Pushes a flit. Returns `Some(activity)` when the flit was
+    /// physically written to the SRAM, or `None` when it bypassed an
+    /// empty queue (no buffer energy; the matching [`pop`](FlitFifo::pop)
+    /// will report that no read is due either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full — flow control must prevent this; a
+    /// violation indicates a credit-accounting bug.
+    pub fn push(&mut self, flit: Flit) -> Option<WriteActivity> {
+        assert!(
+            self.queue.len() < self.capacity,
+            "fifo overflow: credit flow control violated"
+        );
+        if self.queue.is_empty() {
+            self.queue.push_back(flit);
+            self.stored.push_back(false);
+            return None;
+        }
+        let new = flit.payload;
+        let old_in_slot = self.slots[self.wr_ptr];
+        let activity = WriteActivity {
+            switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
+            switching_cells: scaled_hamming(new, old_in_slot, self.width),
+        };
+        self.slots[self.wr_ptr] = new;
+        self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
+        self.last_bus = new;
+        self.queue.push_back(flit);
+        self.stored.push_back(true);
+        activity.into()
+    }
+
+    /// Pushes a flit, always charging the SRAM write (no bypass) — used
+    /// where the storage is the switching medium itself, e.g. the
+    /// central buffer's banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FIFO is full.
+    pub fn push_stored(&mut self, flit: Flit) -> WriteActivity {
+        assert!(
+            self.queue.len() < self.capacity,
+            "fifo overflow: credit flow control violated"
+        );
+        let new = flit.payload;
+        let old_in_slot = self.slots[self.wr_ptr];
+        let activity = WriteActivity {
+            switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
+            switching_cells: scaled_hamming(new, old_in_slot, self.width),
+        };
+        self.slots[self.wr_ptr] = new;
+        self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
+        self.last_bus = new;
+        self.queue.push_back(flit);
+        self.stored.push_back(true);
+        activity
+    }
+
+    /// Pops the head flit, reporting whether an SRAM read is due
+    /// (`false` for flits that bypassed the array). Reads have no
+    /// data-dependent activity factor (Table 2).
+    pub fn pop(&mut self) -> Option<(Flit, bool)> {
+        let flit = self.queue.pop_front()?;
+        let stored = self.stored.pop_front().expect("stored flags in sync");
+        Some((flit, stored))
+    }
+
+    /// Iterates over the buffered flits from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{make_packet, PacketId};
+    use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
+    use std::sync::Arc;
+
+    fn flits(n: u32) -> Vec<Flit> {
+        let t = Topology::torus(&[4, 4]).unwrap();
+        let r = Arc::new(dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst));
+        make_packet(PacketId(9), NodeId(0), NodeId(5), r, n, 0, false)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut fifo = FlitFifo::new(8, 64);
+        for f in flits(5) {
+            fifo.push(f);
+        }
+        for seq in 0..5 {
+            assert_eq!(fifo.pop().unwrap().0.seq, seq);
+        }
+        assert!(fifo.pop().is_none());
+    }
+
+    #[test]
+    fn free_and_len_track() {
+        let mut fifo = FlitFifo::new(4, 64);
+        assert_eq!(fifo.free(), 4);
+        let fs = flits(3);
+        for f in fs {
+            fifo.push(f);
+        }
+        assert_eq!(fifo.len(), 3);
+        assert_eq!(fifo.free(), 1);
+        fifo.pop();
+        assert_eq!(fifo.free(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fifo overflow")]
+    fn overflow_panics() {
+        let mut fifo = FlitFifo::new(2, 64);
+        for f in flits(3) {
+            fifo.push(f);
+        }
+    }
+
+    #[test]
+    fn first_push_to_empty_queue_bypasses() {
+        let mut fifo = FlitFifo::new(4, 64);
+        let f = &flits(1)[0];
+        assert!(fifo.push(f.clone()).is_none(), "empty queue: bypass");
+        let (_, stored) = fifo.pop().unwrap();
+        assert!(!stored, "bypassed flit owes no read");
+    }
+
+    #[test]
+    fn second_push_is_stored_with_activity() {
+        let mut fifo = FlitFifo::new(4, 64);
+        let fs = flits(2);
+        assert!(fifo.push(fs[0].clone()).is_none());
+        let expect = fs[1].payload.count_ones() as f64;
+        let act = fifo.push(fs[1].clone()).expect("nonempty queue stores");
+        assert_eq!(act.switching_bitlines, expect);
+        assert_eq!(act.switching_cells, expect);
+        assert!(!fifo.pop().unwrap().1);
+        assert!(fifo.pop().unwrap().1, "stored flit owes a read");
+    }
+
+    #[test]
+    fn push_stored_always_charges() {
+        let mut fifo = FlitFifo::new(4, 64);
+        let f = &flits(1)[0];
+        let act = fifo.push_stored(f.clone());
+        assert!(act.switching_bitlines > 0.0);
+        assert!(fifo.pop().unwrap().1);
+    }
+
+    #[test]
+    fn rewriting_same_payload_causes_no_switching() {
+        let mut fifo = FlitFifo::new(4, 64);
+        let mut f = flits(1)[0].clone();
+        f.payload = 0xDEAD_BEEF;
+        // Fill all four physical slots with the payload, then one more
+        // write into a slot that already holds it.
+        for _ in 0..5 {
+            fifo.push_stored(f.clone());
+            fifo.pop();
+        }
+        let act = fifo.push_stored(f.clone());
+        assert_eq!(act.switching_bitlines, 0.0);
+        assert_eq!(act.switching_cells, 0.0);
+    }
+
+    #[test]
+    fn width_scaling_applies() {
+        // 128-bit flit modelled by a 64-bit sample: activity doubles.
+        let mut narrow = FlitFifo::new(4, 64);
+        let mut wide = FlitFifo::new(4, 128);
+        let f = &flits(1)[0];
+        let a64 = narrow.push_stored(f.clone());
+        let a128 = wide.push_stored(f.clone());
+        assert!((a128.switching_bitlines - 2.0 * a64.switching_bitlines).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_peeks_without_removing() {
+        let mut fifo = FlitFifo::new(4, 64);
+        for f in flits(2) {
+            fifo.push(f);
+        }
+        assert_eq!(fifo.head().unwrap().seq, 0);
+        assert_eq!(fifo.len(), 2);
+        assert_eq!(fifo.iter().count(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Router microarchitectures.
+//!
+//! * [`vc`] — the input-buffered crossbar router, covering both the
+//!   paper's wormhole configuration (1 VC, 2-stage pipeline of switch
+//!   arbitration + crossbar traversal) and virtual-channel
+//!   configurations (3-stage pipeline of VC allocation, switch
+//!   allocation, crossbar traversal), per the Peh–Dally router delay
+//!   model the paper adopts (§4.2).
+//! * [`central`] — the central-buffered router of §4.4, where a shared
+//!   pipelined memory forwards flits between input and output ports.
+
+pub mod central;
+pub mod vc;
+
+use crate::flit::Flit;
+
+/// A flit leaving a router this cycle through `out_port`.
+#[derive(Debug, Clone)]
+pub struct Departure {
+    /// Output port index (0 = local ejection).
+    pub out_port: usize,
+    /// The departing flit, with `target_vc` set to its downstream input
+    /// VC.
+    pub flit: Flit,
+}
+
+/// A credit returned upstream: one slot freed in input `(port, vc)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditReturn {
+    /// The input port whose buffer freed a slot.
+    pub in_port: usize,
+    /// The virtual channel within that port.
+    pub vc: usize,
+}
+
+/// Everything a router produces in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct StepOutput {
+    /// Flits sent to output links / ejection.
+    pub departures: Vec<Departure>,
+    /// Credits to return to upstream routers.
+    pub credits: Vec<CreditReturn>,
+}
+
+impl StepOutput {
+    /// An empty output.
+    pub fn new() -> StepOutput {
+        StepOutput::default()
+    }
+}

@@ -1,0 +1,1023 @@
+//! Input-buffered crossbar router with virtual channels.
+//!
+//! One implementation covers the paper's two flow-control disciplines —
+//! "wormhole and virtual-channel networks share exactly the same modules
+//! but with differently configured functional and timing behavior"
+//! (§2.2):
+//!
+//! * **Virtual-channel router** ([`VcRouterSpec::virtual_channel`]): the
+//!   3-stage pipeline of §4.2 — virtual-channel allocation (VA), switch
+//!   allocation (SA), crossbar traversal (ST). Head flits spend a cycle
+//!   in VA; every flit spends a cycle in the buffer before SA and a
+//!   cycle in ST.
+//! * **Wormhole router** ([`VcRouterSpec::wormhole`]): the 2-stage
+//!   pipeline — switch arbitration, crossbar traversal. There is a
+//!   single queue per input port and the output port is held by a packet
+//!   from head grant to tail traversal.
+//!
+//! Timing convention (shared with [`Network`](crate::network::Network)):
+//! a flit written into an input buffer at cycle `t` may compete for SA
+//! (wormhole) or VA (virtual-channel) from `t+1`; a VA grant at `u`
+//! allows SA from `u+1`; an SA grant at `v` reads the buffer and the
+//! flit reaches the neighbouring router at `v+2` (one cycle of crossbar
+//! traversal + one cycle of link propagation, §4.1) or the local sink at
+//! `v+1` ("immediate ejection").
+//!
+//! Torus deadlock freedom is governed by [`VcDiscipline`]: unrestricted
+//! allocation (the paper's behaviour), Dally's dateline classes, or
+//! Duato-style escape VCs.
+
+use orion_power::ArbiterKind;
+
+/// When a head flit may claim downstream buffer space.
+///
+/// The paper's routers use flit-level (wormhole / virtual-channel) flow
+/// control; the alternatives model store-bigger units:
+///
+/// * **Cut-through**: a head advances only when the downstream buffer
+///   can hold the *whole packet* (IBM SP2-class switches).
+/// * **Bubble**: cut-through plus the bubble condition of Puente/Carrión
+///   (as in the BlueGene/L torus): entering a new dimension (or
+///   injecting) additionally requires one spare packet-sized bubble in
+///   the target channel, which makes dimension-ordered routing on a
+///   torus deadlock-free *without* dateline VC classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlowControl {
+    /// Flit-level credits (the paper's wormhole / VC routers).
+    #[default]
+    FlitLevel,
+    /// Whole-packet buffer reservation at the head.
+    CutThrough,
+    /// Cut-through + bubble condition on dimension entry
+    /// (deadlock-free on tori).
+    Bubble,
+}
+
+/// How output virtual channels may be allocated on a torus.
+///
+/// Dimension-ordered routing on a torus has cyclic channel dependencies
+/// (Dally & Seitz), so unrestricted VC allocation admits deadlock deep
+/// past saturation. The paper's experiments behave as if allocation were
+/// unrestricted; the alternatives below trade a little throughput for
+/// provable deadlock freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VcDiscipline {
+    /// Any free VC may be allocated (the paper's behaviour). Deadlock
+    /// is possible deep past saturation; the experiment runner detects
+    /// and reports it.
+    #[default]
+    Unrestricted,
+    /// Dally's dateline scheme: VCs split into two classes; packets
+    /// move to class 1 after crossing the wrap-around link of the
+    /// dimension they are traversing. Provably deadlock-free; halves
+    /// the VCs available to any one packet.
+    Dateline,
+    /// Duato-style escape VCs: VC 0 and VC 1 form a dateline-restricted
+    /// escape pair; all remaining VCs are freely allocatable. Provably
+    /// deadlock-free with nearly full VC utilisation when `vcs > 2`
+    /// (needs `vcs >= 2`).
+    Escape,
+}
+
+use crate::arb::{FunctionalArbiter, RoundRobinArbiter};
+use crate::energy::EnergyLedger;
+use crate::fifo::FlitFifo;
+use crate::flit::Flit;
+use crate::router::{CreditReturn, Departure, StepOutput};
+
+/// Configuration of a [`VcRouter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcRouterSpec {
+    /// Ports including the local injection/ejection port (index 0).
+    pub ports: usize,
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// Buffer depth per VC, in flits.
+    pub depth: usize,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Whether the pipeline has a VC-allocation stage (3-stage VC router
+    /// vs. 2-stage wormhole router).
+    pub has_va_stage: bool,
+    /// VC allocation discipline (torus deadlock avoidance).
+    pub discipline: VcDiscipline,
+    /// Arbiter discipline for switch allocation (the paper's routers use
+    /// matrix arbiters).
+    pub arbiter_kind: ArbiterKind,
+    /// Switch-allocation matching iterations per cycle (iSLIP-style);
+    /// extra iterations only help routers with multiple VCs.
+    pub sa_iterations: usize,
+    /// Buffer-claim granularity for head flits.
+    pub flow_control: FlowControl,
+}
+
+impl VcRouterSpec {
+    /// The paper's wormhole router: one queue of `depth` flits per port,
+    /// 2-stage pipeline.
+    pub fn wormhole(ports: usize, depth: usize, flit_bits: u32) -> VcRouterSpec {
+        VcRouterSpec {
+            ports,
+            vcs: 1,
+            depth,
+            flit_bits,
+            has_va_stage: false,
+            discipline: VcDiscipline::Unrestricted,
+            arbiter_kind: ArbiterKind::Matrix,
+            sa_iterations: 1,
+            flow_control: FlowControl::FlitLevel,
+        }
+    }
+
+    /// The paper's virtual-channel router: `vcs` VCs of `depth` flits
+    /// per port, 3-stage pipeline.
+    ///
+    /// All VCs are freely allocatable, as in the paper's experiments —
+    /// on a torus this admits (rare, deep-past-saturation) deadlock,
+    /// which the experiment runner detects and reports. Use
+    /// [`with_discipline`](VcRouterSpec::with_discipline) for the
+    /// provably deadlock-free alternatives at some throughput cost.
+    pub fn virtual_channel(
+        ports: usize,
+        vcs: usize,
+        depth: usize,
+        flit_bits: u32,
+    ) -> VcRouterSpec {
+        VcRouterSpec {
+            ports,
+            vcs,
+            depth,
+            flit_bits,
+            has_va_stage: true,
+            discipline: VcDiscipline::Unrestricted,
+            arbiter_kind: ArbiterKind::Matrix,
+            sa_iterations: 3,
+            flow_control: FlowControl::FlitLevel,
+        }
+    }
+
+    /// Selects the buffer-claim granularity for head flits.
+    pub fn with_flow_control(mut self, flow_control: FlowControl) -> VcRouterSpec {
+        self.flow_control = flow_control;
+        self
+    }
+
+    /// Selects the VC allocation discipline (torus deadlock avoidance).
+    ///
+    /// # Panics
+    ///
+    /// The resulting spec fails validation if the discipline needs more
+    /// VCs than configured (`vcs >= 2` for dateline/escape).
+    pub fn with_discipline(mut self, discipline: VcDiscipline) -> VcRouterSpec {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Total buffering per input port in flits.
+    pub fn buffering_per_port(&self) -> usize {
+        self.vcs * self.depth
+    }
+
+    fn validate(&self) {
+        assert!(self.ports >= 2, "need at least 2 ports");
+        assert!(self.vcs >= 1, "need at least 1 VC");
+        assert!(self.depth >= 1, "need at least 1 flit of buffering");
+        assert!(self.flit_bits >= 1, "flit width must be positive");
+        assert!(
+            self.discipline == VcDiscipline::Unrestricted || self.vcs >= 2,
+            "dateline/escape deadlock avoidance needs >= 2 VCs"
+        );
+        assert!(
+            self.has_va_stage || self.vcs == 1,
+            "a wormhole (no-VA) router has a single VC"
+        );
+        assert!(
+            self.ports * self.vcs <= 128,
+            "at most 128 input VCs per router"
+        );
+        assert!(self.sa_iterations >= 1, "need at least one SA iteration");
+    }
+}
+
+/// Per-input-VC packet state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VcState {
+    /// No packet at the head of this VC.
+    Idle,
+    /// Head flit waiting for an output VC (VA) or, for wormhole, a free
+    /// output port.
+    Routing,
+    /// Packet holds output `(port, vc)` until its tail passes.
+    Active {
+        out_port: usize,
+        out_vc: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct InputVc {
+    fifo: FlitFifo,
+    state: VcState,
+    /// Earliest cycle the head flit may compete for SA (set by VA).
+    sa_ready: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutputVc {
+    /// The input VC whose packet currently holds this output VC.
+    owner: Option<(usize, usize)>,
+    /// Free buffer slots in the downstream input VC.
+    credits: u32,
+}
+
+/// The input-buffered crossbar router.
+#[derive(Debug, Clone)]
+pub struct VcRouter {
+    node: usize,
+    spec: VcRouterSpec,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<Vec<OutputVc>>,
+    /// VA: one multi-grant arbiter per output port over input VCs.
+    va_arbiters: Vec<RoundRobinArbiter>,
+    /// SA stage 1: per input port, over its VCs (only used when vcs > 1).
+    sa_input_arbiters: Vec<RoundRobinArbiter>,
+    /// SA stage 2: per output port, over input ports.
+    sa_output_arbiters: Vec<FunctionalArbiter>,
+    /// Last payload observed on each crossbar input / output line.
+    xb_in_last: Vec<u64>,
+    xb_out_last: Vec<u64>,
+}
+
+impl VcRouter {
+    /// Builds a router for node index `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (see [`VcRouterSpec`] field
+    /// docs).
+    pub fn new(node: usize, spec: VcRouterSpec) -> VcRouter {
+        spec.validate();
+        let inputs = (0..spec.ports)
+            .map(|_| {
+                (0..spec.vcs)
+                    .map(|_| InputVc {
+                        fifo: FlitFifo::new(spec.depth, spec.flit_bits),
+                        state: VcState::Idle,
+                        sa_ready: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs = (0..spec.ports)
+            .map(|_| {
+                (0..spec.vcs)
+                    .map(|_| OutputVc {
+                        owner: None,
+                        credits: spec.depth as u32,
+                    })
+                    .collect()
+            })
+            .collect();
+        let va_arbiters = (0..spec.ports)
+            .map(|_| RoundRobinArbiter::new((spec.ports * spec.vcs).max(2)))
+            .collect();
+        let sa_input_arbiters = (0..spec.ports)
+            .map(|_| RoundRobinArbiter::new(spec.vcs.max(2)))
+            .collect();
+        let sa_output_arbiters = (0..spec.ports)
+            .map(|_| FunctionalArbiter::new(spec.arbiter_kind, spec.ports))
+            .collect();
+        let ports = spec.ports;
+        VcRouter {
+            node,
+            spec,
+            inputs,
+            outputs,
+            va_arbiters,
+            sa_input_arbiters,
+            sa_output_arbiters,
+            xb_in_last: vec![0; ports],
+            xb_out_last: vec![0; ports],
+        }
+    }
+
+    /// The router's node index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The configuration.
+    pub fn spec(&self) -> &VcRouterSpec {
+        &self.spec
+    }
+
+    /// Free slots in input `(port, vc)` — used by the local source,
+    /// which sees its own router's buffer occupancy directly.
+    pub fn input_free(&self, port: usize, vc: usize) -> usize {
+        self.inputs[port][vc].fifo.free()
+    }
+
+    /// Total flits buffered in the router (for drain detection).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flatten()
+            .map(|vc| vc.fifo.len())
+            .sum()
+    }
+
+    /// Accepts a flit into input `(port, vc)` at `cycle`. A buffer-write
+    /// event is charged only when the flit is physically stored (flits
+    /// streaming through an empty queue bypass the SRAM — §4.4's
+    /// fabric-vs-buffer access ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target FIFO is full (a flow-control violation).
+    pub fn accept(
+        &mut self,
+        mut flit: Flit,
+        port: usize,
+        vc: usize,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+    ) {
+        flit.ready = cycle + 1;
+        if let Some(activity) = self.inputs[port][vc].fifo.push(flit) {
+            ledger.buffer_write(self.node, &activity);
+        }
+    }
+
+    /// Adds one downstream credit to output `(port, vc)`.
+    pub fn credit(&mut self, port: usize, vc: usize) {
+        self.outputs[port][vc].credits += 1;
+    }
+
+    /// Downstream credits currently available at output `(port, vc)`.
+    pub fn output_credits(&self, port: usize, vc: usize) -> u32 {
+        self.outputs[port][vc].credits
+    }
+
+    /// Refreshes per-VC packet state from queue heads.
+    fn update_states(&mut self) {
+        for port in self.inputs.iter_mut() {
+            for vc in port.iter_mut() {
+                if vc.state == VcState::Idle {
+                    if let Some(head) = vc.fifo.head() {
+                        debug_assert!(
+                            head.is_head(),
+                            "queue head in Idle state must be a head flit"
+                        );
+                        vc.state = VcState::Routing;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a packet of dateline class `class` may be allocated
+    /// output VC `vc` under the configured discipline.
+    fn vc_allowed(&self, class: u8, vc: usize) -> bool {
+        match self.spec.discipline {
+            VcDiscipline::Unrestricted => true,
+            VcDiscipline::Dateline => {
+                let half = self.spec.vcs / 2;
+                if class == 0 {
+                    vc < half
+                } else {
+                    vc >= half
+                }
+            }
+            VcDiscipline::Escape => vc >= 2 || vc == class as usize,
+        }
+    }
+
+    /// Virtual-channel allocation stage: for each output port, walk its
+    /// free VCs and grant each to one eligible requesting head (classes
+    /// may overlap under the escape discipline, so allocation is
+    /// per-VC rather than per-class).
+    #[allow(clippy::needless_range_loop)] // indices double as requester ids
+    fn va_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger) {
+        let ports = self.spec.ports;
+        let vcs = self.spec.vcs;
+        // Single pass over the input VCs, binning requesters by output
+        // port (keeps the stage O(P·V) instead of O(P²·V)).
+        let mut requests_per_out = vec![0u128; ports];
+        let mut classes = vec![0u8; ports * vcs];
+        let mut any = false;
+        for in_port in 0..ports {
+            for in_vc in 0..vcs {
+                let ivc = &self.inputs[in_port][in_vc];
+                if ivc.state != VcState::Routing {
+                    continue;
+                }
+                let Some(head) = ivc.fifo.head() else {
+                    continue;
+                };
+                if cycle < head.ready {
+                    continue;
+                }
+                let r = in_port * vcs + in_vc;
+                requests_per_out[head.out_port().index()] |= 1 << r;
+                classes[r] = head.vc_class.min(1);
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        for out_port in 0..ports {
+            let mut requesters = requests_per_out[out_port];
+            if requesters == 0 {
+                continue;
+            }
+            for out_vc in 0..vcs {
+                if self.outputs[out_port][out_vc].owner.is_some() {
+                    continue;
+                }
+                let mut eligible = 0u128;
+                for r in 0..(ports * vcs) {
+                    if requesters & (1 << r) != 0 && self.vc_allowed(classes[r], out_vc) {
+                        eligible |= 1 << r;
+                    }
+                }
+                if eligible == 0 {
+                    continue;
+                }
+                let grant = self.va_arbiters[out_port].arbitrate(eligible);
+                ledger.arbitration(self.node, &grant.activity);
+                let Some(w) = grant.winner else { continue };
+                requesters &= !(1 << w);
+                let (in_port, in_vc) = (w / vcs, w % vcs);
+                self.outputs[out_port][out_vc].owner = Some((in_port, in_vc));
+                let ivc = &mut self.inputs[in_port][in_vc];
+                ivc.state = VcState::Active { out_port, out_vc };
+                ivc.sa_ready = cycle + 1;
+            }
+        }
+    }
+
+    /// Switch allocation + crossbar traversal: iterative separable
+    /// matching (iSLIP-style). Each iteration, every unmatched input
+    /// port nominates one eligible VC whose output port is still
+    /// unmatched (stage 1), and every unmatched output port grants one
+    /// nominating input (stage 2). Additional iterations let an input
+    /// that lost an output re-bid a different VC — this is what gives
+    /// virtual-channel routers their higher switch utilisation relative
+    /// to wormhole routers (Fig. 5a).
+    fn sa_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, out: &mut StepOutput) {
+        let ports = self.spec.ports;
+        let vcs = self.spec.vcs;
+        let mut in_matched = vec![false; ports];
+        let mut out_matched = vec![false; ports];
+        // Scratch buffers reused across iterations (hot path).
+        let mut nominees: Vec<Option<(usize, usize, usize, bool)>> = vec![None; ports];
+        let mut meta: Vec<Option<(usize, usize, bool)>> = vec![None; vcs];
+        for _ in 0..self.spec.sa_iterations.max(1) {
+            if !self.sa_iteration(
+                cycle,
+                ledger,
+                out,
+                &mut in_matched,
+                &mut out_matched,
+                &mut nominees,
+                &mut meta,
+            ) {
+                break;
+            }
+        }
+    }
+
+    /// One SA matching iteration; returns whether any grant was made.
+    #[allow(clippy::needless_range_loop)] // indices double as port numbers
+    #[allow(clippy::too_many_arguments)] // scratch buffers threaded from sa_stage
+    fn sa_iteration(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        out: &mut StepOutput,
+        in_matched: &mut [bool],
+        out_matched: &mut [bool],
+        nominees: &mut [Option<(usize, usize, usize, bool)>],
+        meta: &mut [Option<(usize, usize, bool)>],
+    ) -> bool {
+        let ports = self.spec.ports;
+        let vcs = self.spec.vcs;
+
+        // Stage 1: each unmatched input port nominates one of its VCs
+        // whose target output port is still unmatched.
+        // nominee[in_port] = (in_vc, out_port, out_vc, claims_output)
+        nominees.fill(None);
+        for in_port in 0..ports {
+            if in_matched[in_port] {
+                continue;
+            }
+            let mut mask = 0u128;
+            meta.fill(None);
+            for in_vc in 0..vcs {
+                if let Some(req) = self.sa_candidate(in_port, in_vc, cycle) {
+                    if out_matched[req.0] {
+                        continue;
+                    }
+                    mask |= 1 << in_vc;
+                    meta[in_vc] = Some(req);
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            let in_vc = if vcs == 1 {
+                0
+            } else {
+                let grant = self.sa_input_arbiters[in_port].arbitrate(mask);
+                ledger.arbitration(self.node, &grant.activity);
+                grant.winner.expect("nonzero mask yields a winner")
+            };
+            let (out_port, out_vc, claims) = meta[in_vc].expect("nominee has metadata");
+            nominees[in_port] = Some((in_vc, out_port, out_vc, claims));
+        }
+
+        // Stage 2: each unmatched output port grants one input port.
+        let mut granted = false;
+        for out_port in 0..ports {
+            if out_matched[out_port] {
+                continue;
+            }
+            let mut mask = 0u128;
+            for (in_port, nominee) in nominees.iter().enumerate() {
+                if let Some((_, op, _, _)) = nominee {
+                    if *op == out_port {
+                        mask |= 1 << in_port;
+                    }
+                }
+            }
+            if mask == 0 {
+                continue;
+            }
+            let grant = self.sa_output_arbiters[out_port].arbitrate(mask);
+            ledger.arbitration(self.node, &grant.activity);
+            let Some(in_port) = grant.winner else {
+                continue;
+            };
+            let (in_vc, _, out_vc, claims) = nominees[in_port].expect("granted nominee exists");
+            in_matched[in_port] = true;
+            out_matched[out_port] = true;
+            granted = true;
+
+            // Wormhole late binding: claim the output port at first grant.
+            if claims {
+                self.outputs[out_port][out_vc].owner = Some((in_port, in_vc));
+                self.inputs[in_port][in_vc].state = VcState::Active { out_port, out_vc };
+            }
+
+            let ivc = &mut self.inputs[in_port][in_vc];
+            let (mut flit, stored) = ivc.fifo.pop().expect("granted VC has a flit");
+            if stored {
+                ledger.buffer_read(self.node);
+            }
+
+            // Crossbar traversal with exact line-switching activity.
+            ledger.crossbar_traversal(
+                self.node,
+                self.xb_in_last[in_port],
+                self.xb_out_last[out_port],
+                flit.payload,
+            );
+            self.xb_in_last[in_port] = flit.payload;
+            self.xb_out_last[out_port] = flit.payload;
+
+            // Credit back upstream for the freed slot (the network skips
+            // this for the local injection port).
+            out.credits.push(CreditReturn {
+                in_port,
+                vc: in_vc,
+            });
+
+            // Consume a downstream credit, except on ejection.
+            if out_port != 0 {
+                let ovc = &mut self.outputs[out_port][out_vc];
+                debug_assert!(ovc.credits > 0, "SA granted without credit");
+                ovc.credits -= 1;
+            }
+
+            if flit.is_tail() {
+                self.outputs[out_port][out_vc].owner = None;
+                ivc.state = VcState::Idle;
+            }
+
+            flit.target_vc = out_vc as u8;
+            out.departures.push(Departure { out_port, flit });
+        }
+        granted
+    }
+
+    /// Downstream credits a flit must see before its switch request is
+    /// eligible: body flits always need one slot; heads need more under
+    /// cut-through (the whole packet) and bubble flow control (the whole
+    /// packet, plus a packet-sized bubble when entering a new dimension
+    /// or injecting — the condition that breaks torus deadlock cycles).
+    fn required_credits(&self, flit: &crate::flit::Flit, in_port: usize, out_port: usize) -> u32 {
+        if !flit.is_head() {
+            return 1;
+        }
+        match self.spec.flow_control {
+            FlowControl::FlitLevel => 1,
+            FlowControl::CutThrough => flit.packet_len,
+            FlowControl::Bubble => {
+                // Same-dimension continuation keeps the ring's bubble
+                // intact; any dimension entry must leave one behind.
+                let same_dim = in_port != 0
+                    && out_port != 0
+                    && (in_port - 1) / 2 == (out_port - 1) / 2;
+                if same_dim {
+                    flit.packet_len
+                } else {
+                    2 * flit.packet_len
+                }
+            }
+        }
+    }
+
+    /// Whether input `(port, vc)`'s head flit may request the switch at
+    /// `cycle`; returns `(out_port, out_vc, claims_output)`.
+    fn sa_candidate(&self, in_port: usize, in_vc: usize, cycle: u64) -> Option<(usize, usize, bool)> {
+        let ivc = &self.inputs[in_port][in_vc];
+        let head = ivc.fifo.head()?;
+        if cycle < head.ready {
+            return None;
+        }
+        match ivc.state {
+            VcState::Idle => None,
+            VcState::Routing => {
+                // Wormhole only: heads bid for a free output port
+                // directly in SA.
+                if self.spec.has_va_stage {
+                    return None;
+                }
+                debug_assert!(head.is_head());
+                let out_port = head.out_port().index();
+                let out_vc = 0;
+                let slot = &self.outputs[out_port][out_vc];
+                if slot.owner.is_some() {
+                    return None;
+                }
+                if out_port != 0
+                    && slot.credits < self.required_credits(head, in_port, out_port)
+                {
+                    return None;
+                }
+                Some((out_port, out_vc, true))
+            }
+            VcState::Active { out_port, out_vc } => {
+                if head.is_head() && self.spec.has_va_stage && cycle < ivc.sa_ready {
+                    return None;
+                }
+                if out_port != 0
+                    && self.outputs[out_port][out_vc].credits
+                        < self.required_credits(head, in_port, out_port)
+                {
+                    return None;
+                }
+                Some((out_port, out_vc, false))
+            }
+        }
+    }
+
+    /// Advances the router one cycle: VA (if configured) then SA/ST.
+    pub fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
+        let mut out = StepOutput::new();
+        if self.buffered_flits() == 0 {
+            return out;
+        }
+        self.update_states();
+        if self.spec.has_va_stage {
+            self.va_stage(cycle, ledger);
+        }
+        self.sa_stage(cycle, ledger, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::{Component, EnergyLedger, PowerModels};
+    use crate::flit::{make_packet, PacketId};
+    use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
+    use orion_power::{
+        ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind, CrossbarParams,
+        CrossbarPower, LinkPower,
+    };
+    use orion_tech::{Microns, ProcessNode, Technology};
+    use std::sync::Arc;
+
+    fn ledger(nodes: usize) -> EnergyLedger {
+        let tech = Technology::new(ProcessNode::Nm100);
+        let crossbar =
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech)
+                .unwrap();
+        let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
+            .unwrap()
+            .with_control_energy(crossbar.control_energy());
+        EnergyLedger::new(
+            PowerModels {
+                flit_bits: 64,
+                buffer: BufferPower::new(&BufferParams::new(16, 64), tech).unwrap(),
+                crossbar,
+                arbiter,
+                link: LinkPower::on_chip(Microns::from_mm(3.0), 64, tech),
+                central: None,
+            },
+            nodes,
+        )
+    }
+
+    /// A packet routed 0 -> 5 on the 4x4 torus (y-first: d1+, d0+, eject).
+    fn packet(len: u32) -> Vec<Flit> {
+        let t = Topology::torus(&[4, 4]).unwrap();
+        let r = Arc::new(dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst));
+        make_packet(PacketId(1), NodeId(0), NodeId(5), r, len, 0, true)
+    }
+
+    #[test]
+    fn wormhole_head_departs_after_two_stages() {
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
+        let mut led = ledger(1);
+        let flits = packet(1);
+        r.accept(flits[0].clone(), 0, 0, 10, &mut led);
+        // Cycle 10: just written, not ready.
+        assert!(r.step(10, &mut led).departures.is_empty());
+        // Cycle 11: SA grant; flit departs (ST+link handled by network).
+        let out = r.step(11, &mut led);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].out_port, 3); // d1+ port index = 3
+        // The lone flit streamed through an empty queue: buffer bypass,
+        // no SRAM write or read charged (§4.4 access-ratio behaviour).
+        assert_eq!(led.op_count(0, Component::Buffer), 0);
+        assert!(led.op_count(0, Component::Arbiter) >= 1);
+        assert_eq!(led.op_count(0, Component::Crossbar), 1);
+    }
+
+    #[test]
+    fn vc_router_head_takes_va_then_sa() {
+        let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 2, 8, 64));
+        let mut led = ledger(1);
+        let flits = packet(1);
+        r.accept(flits[0].clone(), 0, 0, 10, &mut led);
+        assert!(r.step(10, &mut led).departures.is_empty()); // pipeline reg
+        assert!(r.step(11, &mut led).departures.is_empty()); // VA
+        let out = r.step(12, &mut led); // SA
+        assert_eq!(out.departures.len(), 1);
+    }
+
+    #[test]
+    fn body_flits_stream_one_per_cycle() {
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 8, 64));
+        let mut led = ledger(1);
+        for (i, f) in packet(5).into_iter().enumerate() {
+            r.accept(f, 0, 0, 10 + i as u64, &mut led);
+        }
+        let mut departed = 0;
+        for cycle in 10..20 {
+            departed += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(departed, 5);
+    }
+
+    #[test]
+    fn credits_gate_departures() {
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
+        let mut led = ledger(1);
+        // Drain all credits of output port 3 (depth 4).
+        for f in packet(4) {
+            r.accept(f, 0, 0, 0, &mut led);
+        }
+        // Extra packet that must stall once credits are gone.
+        let mut total = 0;
+        for cycle in 1..10 {
+            total += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(total, 4, "only as many flits as credits may leave");
+        assert_eq!(r.output_credits(3, 0), 0);
+        // A credit arrives: one more flit may go... but the packet of 4
+        // already left entirely. Push another packet.
+        for f in packet(2) {
+            r.accept(f, 0, 0, 10, &mut led);
+        }
+        assert!(r.step(11, &mut led).departures.is_empty(), "no credits");
+        r.credit(3, 0);
+        let out = r.step(12, &mut led);
+        assert_eq!(out.departures.len(), 1);
+    }
+
+    #[test]
+    fn wormhole_output_port_held_until_tail() {
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 8, 64));
+        let mut led = ledger(1);
+        // Two 2-flit packets from different input ports to the same
+        // output port. Ports 1 and 2 both route d1+ ... build routes by
+        // hand through accept: reuse the same packet (route d1+) on both
+        // input ports.
+        for f in packet(2) {
+            r.accept(f, 1, 0, 0, &mut led);
+        }
+        for f in packet(2) {
+            r.accept(f, 2, 0, 0, &mut led);
+        }
+        let mut order = Vec::new();
+        for cycle in 1..10 {
+            for d in r.step(cycle, &mut led).departures {
+                order.push((d.flit.packet, d.flit.seq));
+            }
+        }
+        assert_eq!(order.len(), 4);
+        // No interleaving: the first packet's two flits are consecutive.
+        assert_eq!(order[0].0, order[1].0, "head and body of first packet together");
+        assert_eq!(order[2].0, order[3].0);
+    }
+
+    #[test]
+    fn vc_router_interleaves_packets_from_different_vcs() {
+        let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 4, 8, 64));
+        let mut led = ledger(1);
+        // Two packets on different input ports, same output port: both
+        // get class-0 output VCs quickly and share the switch.
+        for f in packet(3) {
+            r.accept(f, 1, 0, 0, &mut led);
+        }
+        for f in packet(3) {
+            r.accept(f, 2, 1, 0, &mut led);
+        }
+        let mut departures = Vec::new();
+        for cycle in 1..12 {
+            departures.extend(r.step(cycle, &mut led).departures);
+        }
+        assert_eq!(departures.len(), 6);
+        // Both packets must have received distinct output VCs.
+        let vcs: std::collections::HashSet<u8> =
+            departures.iter().map(|d| d.flit.target_vc).collect();
+        assert_eq!(vcs.len(), 2);
+    }
+
+    #[test]
+    fn ejection_ignores_credits() {
+        // A route that ejects right here (hop = Local).
+        let t = Topology::torus(&[4, 4]).unwrap();
+        let route = Arc::new(dor_route(&t, NodeId(0), NodeId(0), DimensionOrder::YFirst));
+        let flits = make_packet(PacketId(2), NodeId(0), NodeId(0), route, 1, 0, false);
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
+        let mut led = ledger(1);
+        r.accept(flits[0].clone(), 1, 0, 0, &mut led);
+        let out = r.step(1, &mut led);
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].out_port, 0);
+    }
+
+    #[test]
+    fn credit_returns_reported_per_departure() {
+        let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
+        let mut led = ledger(1);
+        for f in packet(2) {
+            r.accept(f, 2, 0, 0, &mut led);
+        }
+        let mut credits = Vec::new();
+        for cycle in 1..6 {
+            credits.extend(r.step(cycle, &mut led).credits);
+        }
+        assert_eq!(
+            credits,
+            vec![
+                CreditReturn { in_port: 2, vc: 0 },
+                CreditReturn { in_port: 2, vc: 0 }
+            ]
+        );
+    }
+
+    #[test]
+    fn dateline_partitions_output_vcs() {
+        let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 2, 8, 64).with_discipline(VcDiscipline::Dateline));
+        let mut led = ledger(1);
+        // A class-1 packet may only get VC 1.
+        let mut flits = packet(1);
+        flits[0].vc_class = 1;
+        r.accept(flits[0].clone(), 1, 1, 0, &mut led);
+        let mut seen = None;
+        for cycle in 1..6 {
+            for d in r.step(cycle, &mut led).departures {
+                seen = Some(d.flit.target_vc);
+            }
+        }
+        assert_eq!(seen, Some(1), "class-1 packets use the upper VC half");
+    }
+
+    #[test]
+    fn cut_through_head_waits_for_whole_packet_space() {
+        let spec = VcRouterSpec::wormhole(5, 8, 64).with_flow_control(FlowControl::CutThrough);
+        let mut r = VcRouter::new(0, spec);
+        let mut led = ledger(1);
+        // Drain output credits down to 3 (packet needs 5).
+        for _ in 0..5 {
+            let g = r.output_credits(3, 0);
+            if g > 3 {
+                // Simulate credit consumption by sending another packet.
+                break;
+            }
+        }
+        // Simpler: deliver a 5-flit packet while only 3 credits remain.
+        // First consume 5 credits with one packet...
+        for f in packet(5) {
+            r.accept(f, 1, 0, 0, &mut led);
+        }
+        let mut sent = 0;
+        for cycle in 1..10 {
+            sent += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(sent, 5, "first packet fits exactly");
+        assert_eq!(r.output_credits(3, 0), 3);
+        // Next packet: head must stall with only 3 < 5 credits.
+        for f in packet(5) {
+            r.accept(f, 2, 0, 20, &mut led);
+        }
+        assert!(r.step(21, &mut led).departures.is_empty());
+        r.credit(3, 0);
+        assert!(r.step(22, &mut led).departures.is_empty(), "4 < 5 credits");
+        r.credit(3, 0);
+        let out = r.step(23, &mut led);
+        assert_eq!(out.departures.len(), 1, "whole-packet space available");
+    }
+
+    #[test]
+    fn bubble_requires_spare_packet_on_injection() {
+        // Injection (in_port 0) is a dimension entry: a 5-flit packet
+        // needs 10 credits. Depth 12: after one packet (7 credits
+        // left... 12-5=7), the next head needs 10 and stalls until
+        // credits return.
+        let spec = VcRouterSpec::wormhole(5, 12, 64).with_flow_control(FlowControl::Bubble);
+        let mut r = VcRouter::new(0, spec);
+        let mut led = ledger(1);
+        for f in packet(5) {
+            r.accept(f, 0, 0, 0, &mut led); // injected at the local port
+        }
+        let mut sent = 0;
+        for cycle in 1..12 {
+            sent += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(sent, 5, "12 >= 10 credits: first packet goes");
+        assert_eq!(r.output_credits(3, 0), 7);
+        for f in packet(5) {
+            r.accept(f, 0, 0, 20, &mut led);
+        }
+        assert!(r.step(21, &mut led).departures.is_empty(), "7 < 10");
+        for _ in 0..3 {
+            r.credit(3, 0);
+        }
+        let out = r.step(22, &mut led);
+        assert_eq!(out.departures.len(), 1, "bubble restored");
+    }
+
+    #[test]
+    fn bubble_same_dimension_needs_only_packet_space() {
+        // Arriving on d1- (in_port 4) and continuing d1+ (out 3) is a
+        // same-dimension continuation: only packet_len credits needed.
+        let spec = VcRouterSpec::wormhole(5, 12, 64).with_flow_control(FlowControl::Bubble);
+        let mut r = VcRouter::new(0, spec);
+        let mut led = ledger(1);
+        // Drain credits to 6 via an injected packet... instead set up
+        // directly: consume 6 credits by sending one packet and getting
+        // one credit back.
+        for f in packet(5) {
+            r.accept(f, 4, 0, 0, &mut led); // from the south: same dim
+        }
+        let mut sent = 0;
+        for cycle in 1..12 {
+            sent += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(sent, 5, "same-dim continuation needs 5 <= 12 credits");
+        // With only 7 credits left, another same-dim packet still goes
+        // (7 >= 5) where an injection would stall (7 < 10).
+        for f in packet(5) {
+            r.accept(f, 4, 0, 20, &mut led);
+        }
+        let mut sent = 0;
+        for cycle in 21..32 {
+            sent += r.step(cycle, &mut led).departures.len();
+        }
+        assert_eq!(sent, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock avoidance needs >= 2 VCs")]
+    fn dateline_requires_two_vcs() {
+        let spec = VcRouterSpec {
+            ports: 5,
+            vcs: 1,
+            depth: 4,
+            flit_bits: 64,
+            has_va_stage: true,
+            discipline: VcDiscipline::Dateline,
+            arbiter_kind: ArbiterKind::Matrix,
+            sa_iterations: 1,
+            flow_control: FlowControl::FlitLevel,
+        };
+        let _ = VcRouter::new(0, spec);
+    }
+}

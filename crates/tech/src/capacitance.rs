@@ -1,0 +1,258 @@
+//! Cacti-style primitive capacitance estimation.
+//!
+//! [`Capacitor`] computes the three primitive quantities of the paper's
+//! Table 1 — gate capacitance `C_g(T)`, diffusion capacitance `C_d(T)` and
+//! wire capacitance `C_w(L)` — for transistors specified by channel width,
+//! following the `gatecap` / `draincap` formulas of Cacti (Wilton & Jouppi,
+//! TR 93/5) as adapted by Wattch and Orion.
+//!
+//! Transistor widths are given *at the base 0.8 µm node* (matching Cacti's
+//! size library). Device capacitance scales **linearly** with the shrink
+//! factor `s = feature / 0.8`: per micron of channel width, gate
+//! capacitance is nearly node-independent (`C_ox ∝ 1/t_ox ∝ 1/s` cancels
+//! one factor of the `L_eff ∝ s` shrink), and junction capacitance behaves
+//! similarly as doping rises — the classical "≈2 fF per µm of width" rule.
+//! A width-100 word-line driver at 0.1 µm therefore presents 1/8 of its
+//! 0.8 µm capacitance, not 1/64.
+
+use crate::process::Technology;
+use crate::transistor::TransistorKind;
+use crate::units::{Farads, Microns};
+
+/// Primitive capacitance estimator bound to a [`Technology`].
+///
+/// ```
+/// use orion_tech::{Capacitor, Technology, ProcessNode, TransistorKind, Microns};
+///
+/// let cap = Capacitor::new(Technology::new(ProcessNode::Nm100));
+/// let cg = cap.gate_cap(4.0);
+/// let cd = cap.drain_cap(4.0, TransistorKind::N, 1);
+/// let cw = cap.wire_cap(Microns::from_mm(3.0));
+/// assert!(cg.0 > 0.0 && cd.0 > 0.0 && cw.0 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    tech: Technology,
+}
+
+impl Capacitor {
+    /// Creates an estimator for `tech`.
+    pub fn new(tech: Technology) -> Capacitor {
+        Capacitor { tech }
+    }
+
+    /// The bound technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Gate capacitance `C_g` of a transistor of channel width
+    /// `width_base` (in µm at the 0.8 µm base node), excluding poly wire.
+    ///
+    /// Cacti: `gatecap(width, 0) = width · L_eff · C_gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `width_base` is not positive.
+    pub fn gate_cap(&self, width_base: f64) -> Farads {
+        self.gate_cap_with_poly(width_base, Microns::ZERO)
+    }
+
+    /// Gate capacitance including a polysilicon wire of length `poly`.
+    ///
+    /// Cacti: `gatecap(width, l) = width·L_eff·C_gate + l·C_polywire·L_eff`
+    /// (the poly term uses the scaled length).
+    pub fn gate_cap_with_poly(&self, width_base: f64, poly: Microns) -> Farads {
+        debug_assert!(width_base > 0.0, "transistor width must be positive");
+        let s = self.tech.shrink();
+        let b = self.tech.base_constants();
+        // Base-node geometry, one linear shrink factor (see module docs).
+        Farads(s * (width_base * b.l_eff * b.c_gate) + poly.0 * b.c_poly_wire)
+    }
+
+    /// Gate capacitance of a *pass* transistor (lower effective oxide
+    /// capacitance; Cacti's `gatecappass`).
+    pub fn gate_cap_pass(&self, width_base: f64) -> Farads {
+        debug_assert!(width_base > 0.0, "transistor width must be positive");
+        let s = self.tech.shrink();
+        let b = self.tech.base_constants();
+        Farads(s * width_base * b.l_eff * b.c_gate_pass)
+    }
+
+    /// Diffusion (drain) capacitance `C_d` of a transistor of channel width
+    /// `width_base` (µm at the base node) in a stack of `stack` series
+    /// devices.
+    ///
+    /// Follows Cacti's `draincap`: the drain of the outermost device
+    /// contributes full area + sidewall + overlap capacitance; each inner
+    /// junction of a stack contributes a reduced share.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `width_base` is not positive or `stack`
+    /// is zero.
+    pub fn drain_cap(&self, width_base: f64, kind: TransistorKind, stack: u32) -> Farads {
+        debug_assert!(width_base > 0.0, "transistor width must be positive");
+        debug_assert!(stack >= 1, "stack must be at least 1");
+        let s = self.tech.shrink();
+        let b = self.tech.base_constants();
+        let w = width_base;
+        let l_eff = b.l_eff;
+        let (c_area, c_side, c_ovlp) = match kind {
+            TransistorKind::N => (
+                b.c_ndiff_area,
+                b.c_ndiff_side,
+                b.c_ndiff_ovlp + b.c_noxide_ovlp,
+            ),
+            TransistorKind::P => (
+                b.c_pdiff_area,
+                b.c_pdiff_side,
+                b.c_pdiff_ovlp + b.c_poxide_ovlp,
+            ),
+        };
+        // Outermost drain: a 3·L_eff deep diffusion region (base-node
+        // geometry, one linear shrink factor — see module docs).
+        let mut cap = 3.0 * l_eff * w * c_area + (6.0 * l_eff + w) * c_side + w * c_ovlp;
+        // Internal junctions of a series stack share smaller diffusions.
+        if stack > 1 {
+            let internal =
+                l_eff * w * c_area + 4.0 * l_eff * c_side + 2.0 * w * c_ovlp;
+            cap += (stack - 1) as f64 * internal;
+        }
+        Farads(s * cap)
+    }
+
+    /// Combined gate + drain capacitance `C_a = C_g + C_d` of a
+    /// minimum-stack transistor (Table 1 of the paper).
+    pub fn total_cap(&self, width_base: f64, kind: TransistorKind) -> Farads {
+        self.gate_cap(width_base) + self.drain_cap(width_base, kind, 1)
+    }
+
+    /// Combined gate + drain capacitance of a static inverter with NMOS
+    /// width `wn` and PMOS width `wp` (both at the base node), as seen from
+    /// its input and output tied together — used for `C_a(T)` of composite
+    /// gates such as the memory-cell inverter `T_m` in Table 2.
+    pub fn inverter_cap(&self, wn: f64, wp: f64) -> Farads {
+        self.gate_cap(wn)
+            + self.gate_cap(wp)
+            + self.drain_cap(wn, TransistorKind::N, 1)
+            + self.drain_cap(wp, TransistorKind::P, 1)
+    }
+
+    /// Metal wire capacitance `C_w(L)` of a wire of length `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `length` is negative.
+    pub fn wire_cap(&self, length: Microns) -> Farads {
+        debug_assert!(length.0 >= 0.0, "wire length must be non-negative");
+        Farads(length.0 * self.tech.wire_cap_per_um())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessNode;
+
+    fn cap_at(node: ProcessNode) -> Capacitor {
+        Capacitor::new(Technology::new(node))
+    }
+
+    #[test]
+    fn gate_cap_hand_computed_at_base() {
+        // At 0.8 µm: C_g(W=10) = 10 · 0.8 · 1.95e-15 = 15.6 fF.
+        let c = cap_at(ProcessNode::Um800).gate_cap(10.0);
+        assert!((c.as_ff() - 15.6).abs() < 1e-9, "{}", c.as_ff());
+    }
+
+    #[test]
+    fn gate_cap_pass_smaller_than_gate_cap() {
+        let cap = cap_at(ProcessNode::Nm100);
+        assert!(cap.gate_cap_pass(4.0).0 < cap.gate_cap(4.0).0);
+    }
+
+    #[test]
+    fn drain_cap_hand_computed_at_base() {
+        // N transistor, W=10, stack 1 at 0.8 µm:
+        // 3·0.8·10·0.137 + (6·0.8+10)·0.275 + 10·(0.138+0.263) fF
+        // = 3.288 + 4.07 + 4.01 = 11.368 fF.
+        let c = cap_at(ProcessNode::Um800).drain_cap(10.0, TransistorKind::N, 1);
+        assert!((c.as_ff() - 11.368).abs() < 1e-6, "{}", c.as_ff());
+    }
+
+    #[test]
+    fn drain_cap_p_exceeds_n() {
+        let cap = cap_at(ProcessNode::Nm100);
+        let n = cap.drain_cap(8.0, TransistorKind::N, 1);
+        let p = cap.drain_cap(8.0, TransistorKind::P, 1);
+        assert!(p.0 > n.0, "p-diffusion is more capacitive");
+    }
+
+    #[test]
+    fn drain_cap_monotone_in_stack() {
+        let cap = cap_at(ProcessNode::Nm100);
+        let c1 = cap.drain_cap(8.0, TransistorKind::N, 1);
+        let c2 = cap.drain_cap(8.0, TransistorKind::N, 2);
+        let c3 = cap.drain_cap(8.0, TransistorKind::N, 3);
+        assert!(c2.0 > c1.0 && c3.0 > c2.0);
+        // Each additional stacked device adds the same internal junction.
+        assert!(((c3.0 - c2.0) - (c2.0 - c1.0)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn caps_shrink_with_node() {
+        let big = cap_at(ProcessNode::Um800);
+        let small = cap_at(ProcessNode::Nm100);
+        assert!(big.gate_cap(4.0).0 > small.gate_cap(4.0).0);
+        assert!(
+            big.drain_cap(4.0, TransistorKind::N, 1).0
+                > small.drain_cap(4.0, TransistorKind::N, 1).0
+        );
+    }
+
+    #[test]
+    fn gate_cap_scales_linearly_with_shrink() {
+        // Constant fF-per-µm-of-width rule: C_g ∝ s.
+        let big = cap_at(ProcessNode::Um800).gate_cap(4.0);
+        let small = cap_at(ProcessNode::Nm100).gate_cap(4.0);
+        let s: f64 = 0.1 / 0.8;
+        assert!((small.0 / big.0 - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_cap_linear_in_length() {
+        let cap = cap_at(ProcessNode::Nm100);
+        let c1 = cap.wire_cap(Microns(100.0));
+        let c2 = cap.wire_cap(Microns(200.0));
+        assert!((c2.0 - 2.0 * c1.0).abs() < 1e-24);
+        assert_eq!(cap.wire_cap(Microns::ZERO), Farads::ZERO);
+    }
+
+    #[test]
+    fn inverter_cap_is_sum_of_parts() {
+        let cap = cap_at(ProcessNode::Nm100);
+        let whole = cap.inverter_cap(2.0, 4.0);
+        let parts = cap.gate_cap(2.0)
+            + cap.gate_cap(4.0)
+            + cap.drain_cap(2.0, TransistorKind::N, 1)
+            + cap.drain_cap(4.0, TransistorKind::P, 1);
+        assert!((whole.0 - parts.0).abs() < 1e-24);
+    }
+
+    #[test]
+    fn total_cap_is_gate_plus_drain() {
+        let cap = cap_at(ProcessNode::Um350);
+        let t = cap.total_cap(6.0, TransistorKind::P);
+        let s = cap.gate_cap(6.0) + cap.drain_cap(6.0, TransistorKind::P, 1);
+        assert!((t.0 - s.0).abs() < 1e-24);
+    }
+
+    #[test]
+    fn poly_wire_adds_capacitance() {
+        let cap = cap_at(ProcessNode::Nm100);
+        let bare = cap.gate_cap(4.0);
+        let loaded = cap.gate_cap_with_poly(4.0, Microns(50.0));
+        assert!(loaded.0 > bare.0);
+    }
+}

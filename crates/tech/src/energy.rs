@@ -1,0 +1,97 @@
+//! Dynamic energy and power relations.
+//!
+//! The paper (§3): dynamic power is `P = E · f_clk` where
+//! `E = ½ α C V_dd²`, with `f_clk` the clock frequency, `α` the switching
+//! activity, `C` the switch capacitance and `V_dd` the supply voltage.
+//!
+//! Table 1 notes that the per-switch energy `E_x` of a component may count
+//! `½ C_x V²` or `C_x V²` "depending on how to count switches": a full
+//! charge/discharge cycle dissipates `C V²` in total, half on each
+//! transition. [`switch_energy`] is the per-transition (half) form used by
+//! the component models; [`switch_energy_full`] is the full-cycle form.
+
+use crate::units::{Farads, Hertz, Joules, Volts, Watts};
+
+/// Energy of a single switching transition: `E = ½ C V²`.
+///
+/// ```
+/// use orion_tech::{switch_energy, Farads, Volts};
+/// let e = switch_energy(Farads(2.0e-15), Volts(1.0));
+/// assert_eq!(e.0, 1.0e-15);
+/// ```
+#[inline]
+pub fn switch_energy(cap: Farads, vdd: Volts) -> Joules {
+    Joules(0.5 * cap.0 * vdd.0 * vdd.0)
+}
+
+/// Energy of a full charge/discharge cycle: `E = C V²`.
+#[inline]
+pub fn switch_energy_full(cap: Farads, vdd: Volts) -> Joules {
+    Joules(cap.0 * vdd.0 * vdd.0)
+}
+
+/// Average power of `total_energy` dissipated over `cycles` clock cycles
+/// at frequency `f_clk`.
+///
+/// This is the paper's §4.1 rule: *"Average power is then computed by
+/// multiplying the total energy by frequency and then dividing by total
+/// simulation cycles"* — i.e. `P = E · f / N = E / (N · T)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `cycles` is zero.
+///
+/// ```
+/// use orion_tech::{average_power, Joules, Hertz};
+/// // 1 nJ over 1000 cycles at 1 GHz -> 1 mW.
+/// let p = average_power(Joules(1.0e-9), Hertz::from_ghz(1.0), 1000);
+/// assert!((p.0 - 1.0e-3).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn average_power(total_energy: Joules, f_clk: Hertz, cycles: u64) -> Watts {
+    debug_assert!(cycles > 0, "average power over zero cycles");
+    Watts(total_energy.0 * f_clk.0 / cycles as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_and_full_energy_relate() {
+        let c = Farads::from_ff(100.0);
+        let v = Volts(1.2);
+        let half = switch_energy(c, v);
+        let full = switch_energy_full(c, v);
+        assert!((full.0 - 2.0 * half.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn energy_quadratic_in_vdd() {
+        let c = Farads::from_ff(50.0);
+        let e1 = switch_energy(c, Volts(1.0));
+        let e2 = switch_energy(c, Volts(2.0));
+        assert!((e2.0 - 4.0 * e1.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let e = Joules::from_pj(500.0);
+        let p1 = average_power(e, Hertz::from_ghz(1.0), 100);
+        let p2 = average_power(e, Hertz::from_ghz(2.0), 100);
+        assert!((p2.0 - 2.0 * p1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_inverse_in_cycles() {
+        let e = Joules::from_pj(500.0);
+        let p1 = average_power(e, Hertz::from_ghz(1.0), 100);
+        let p2 = average_power(e, Hertz::from_ghz(1.0), 200);
+        assert!((p1.0 - 2.0 * p2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_energy_zero_power() {
+        assert_eq!(average_power(Joules::ZERO, Hertz::from_ghz(2.0), 10).0, 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Technology substrate for the Orion power-performance simulator
+//! reproduction.
+//!
+//! Orion (Wang, Zhu, Peh, Malik — MICRO 2002) derives *architectural-level
+//! parameterized* capacitance equations for router building blocks. Those
+//! equations bottom out in three primitive quantities (Table 1 of the
+//! paper):
+//!
+//! * `C_g(T)` — gate capacitance of a transistor or gate `T`,
+//! * `C_d(T)` — diffusion (drain) capacitance of a transistor or gate `T`,
+//! * `C_w(L)` — capacitance of a metal wire of length `L`,
+//!
+//! which the paper obtains from Cacti (Wilton & Jouppi, DEC WRL TR 93/5)
+//! with scaling factors from Wattch. This crate reproduces that layer:
+//!
+//! * [`units`] — zero-cost newtypes for physical quantities
+//!   ([`Farads`], [`Joules`], [`Watts`], [`Volts`], [`Hertz`], [`Microns`]),
+//! * [`process`] — per-node process parameters and the linear shrink model
+//!   ([`Technology`], [`ProcessNode`]),
+//! * [`capacitance`] — Cacti-style `gatecap` / `draincap` / `wirecap`
+//!   estimation ([`Capacitor`]),
+//! * [`transistor`] — the default transistor-size library and load-based
+//!   driver sizing ([`TransistorSizes`], [`DriverSizing`]),
+//! * [`energy`] — the `E = ½ α C V²`, `P = E · f` relations
+//!   ([`switch_energy`], [`average_power`]).
+//!
+//! # Example
+//!
+//! Compute the energy of switching a 1 pF node at the paper's on-chip
+//! operating point (0.1 µm, 1.2 V):
+//!
+//! ```
+//! use orion_tech::{Technology, ProcessNode, Farads, switch_energy};
+//!
+//! let tech = Technology::new(ProcessNode::Nm100);
+//! let e = switch_energy(Farads(1.0e-12), tech.vdd());
+//! assert!((e.0 - 0.5 * 1.0e-12 * 1.2 * 1.2).abs() < 1e-18);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitance;
+pub mod energy;
+pub mod process;
+pub mod transistor;
+pub mod units;
+
+pub use capacitance::Capacitor;
+pub use energy::{average_power, switch_energy, switch_energy_full};
+pub use process::{ProcessNode, Technology, TechnologyBuilder};
+pub use transistor::{DriverSizing, TransistorKind, TransistorSizes};
+pub use units::{Farads, Hertz, Joules, Microns, Seconds, Volts, Watts};

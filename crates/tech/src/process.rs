@@ -1,0 +1,531 @@
+//! Process-technology parameters and the linear-shrink scaling model.
+//!
+//! Orion obtains its primitive capacitance constants from Cacti, which was
+//! characterised at a 0.8 µm process, and rescales them to the target node
+//! with scaling factors in the style of Wattch. We reproduce that scheme:
+//! all base constants are stored at 0.8 µm and a [`Technology`] instance
+//! carries the *shrink factor* `s = feature / 0.8` that the capacitance
+//! estimator applies. Device capacitances scale **linearly** with `s`
+//! (the constant capacitance-per-µm-of-width rule: oxide thinning cancels
+//! one factor of the geometric shrink — see
+//! [`capacitance`](crate::capacitance) for the derivation); cell and wire
+//! geometry scale linearly with the feature size.
+//!
+//! Wire capacitance per unit length is held roughly constant across nodes
+//! (as it is in real processes, where narrower wires gain fringing and
+//! coupling capacitance as they lose parallel-plate capacitance); the
+//! default is calibrated so that a 3 mm on-chip link at 0.1 µm matches the
+//! paper's stated 1.08 pF (§4.2).
+
+use std::fmt;
+
+use crate::units::{Microns, Volts};
+
+/// Named process nodes with default supply voltages.
+///
+/// The node determines the shrink factor relative to Cacti's 0.8 µm base
+/// technology and a default `V_dd`. Any value can be overridden through
+/// [`TechnologyBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ProcessNode {
+    /// 0.8 µm, 5.0 V — the Cacti base technology.
+    Um800,
+    /// 0.35 µm, 2.5 V.
+    Um350,
+    /// 0.25 µm, 1.8 V.
+    Um250,
+    /// 0.18 µm, 1.8 V.
+    Um180,
+    /// 0.13 µm, 1.5 V.
+    Um130,
+    /// 0.10 µm, 1.2 V — the paper's on-chip case-study node (§4.2).
+    Nm100,
+    /// 0.07 µm, 0.9 V.
+    Nm70,
+}
+
+impl ProcessNode {
+    /// Default subthreshold leakage current per micron of (actual) gate
+    /// width, in amperes — the exponential technology trend that made
+    /// static power a first-order concern below 0.18 µm. These are
+    /// room-temperature order-of-magnitude defaults; override with
+    /// [`TechnologyBuilder::leakage_current_per_um`].
+    pub fn default_leakage_per_um(self) -> f64 {
+        match self {
+            ProcessNode::Um800 => 0.01e-9,
+            ProcessNode::Um350 => 0.1e-9,
+            ProcessNode::Um250 => 1.0e-9,
+            ProcessNode::Um180 => 10.0e-9,
+            ProcessNode::Um130 => 30.0e-9,
+            ProcessNode::Nm100 => 100.0e-9,
+            ProcessNode::Nm70 => 300.0e-9,
+        }
+    }
+
+    /// Drawn feature size of the node in µm.
+    ///
+    /// ```
+    /// use orion_tech::ProcessNode;
+    /// assert_eq!(ProcessNode::Nm100.feature_size().0, 0.1);
+    /// ```
+    pub fn feature_size(self) -> Microns {
+        Microns(match self {
+            ProcessNode::Um800 => 0.8,
+            ProcessNode::Um350 => 0.35,
+            ProcessNode::Um250 => 0.25,
+            ProcessNode::Um180 => 0.18,
+            ProcessNode::Um130 => 0.13,
+            ProcessNode::Nm100 => 0.10,
+            ProcessNode::Nm70 => 0.07,
+        })
+    }
+
+    /// Default supply voltage of the node.
+    pub fn default_vdd(self) -> Volts {
+        Volts(match self {
+            ProcessNode::Um800 => 5.0,
+            ProcessNode::Um350 => 2.5,
+            ProcessNode::Um250 => 1.8,
+            ProcessNode::Um180 => 1.8,
+            ProcessNode::Um130 => 1.5,
+            ProcessNode::Nm100 => 1.2,
+            ProcessNode::Nm70 => 0.9,
+        })
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            ProcessNode::Um800 => "0.8um",
+            ProcessNode::Um350 => "0.35um",
+            ProcessNode::Um250 => "0.25um",
+            ProcessNode::Um180 => "0.18um",
+            ProcessNode::Um130 => "0.13um",
+            ProcessNode::Nm100 => "0.1um",
+            ProcessNode::Nm70 => "70nm",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Base capacitance constants characterised at the 0.8 µm Cacti process.
+///
+/// Field names and values follow Cacti TR 93/5 / Wattch `power.h`.
+/// All are in SI units (farads per µm or per µm²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseConstants {
+    /// Gate capacitance per unit gate area, F/µm².
+    pub c_gate: f64,
+    /// Gate capacitance per unit area for a pass transistor, F/µm².
+    pub c_gate_pass: f64,
+    /// n-diffusion area capacitance, F/µm².
+    pub c_ndiff_area: f64,
+    /// p-diffusion area capacitance, F/µm².
+    pub c_pdiff_area: f64,
+    /// n-diffusion sidewall capacitance, F/µm.
+    pub c_ndiff_side: f64,
+    /// p-diffusion sidewall capacitance, F/µm.
+    pub c_pdiff_side: f64,
+    /// n gate-drain overlap capacitance, F/µm of width.
+    pub c_ndiff_ovlp: f64,
+    /// p gate-drain overlap capacitance, F/µm of width.
+    pub c_pdiff_ovlp: f64,
+    /// n gate-oxide overlap capacitance, F/µm of width.
+    pub c_noxide_ovlp: f64,
+    /// p gate-oxide overlap capacitance, F/µm of width.
+    pub c_poxide_ovlp: f64,
+    /// Polysilicon wire capacitance, F/µm.
+    pub c_poly_wire: f64,
+    /// General metal wire capacitance per unit length, F/µm.
+    ///
+    /// Calibrated so a 3 mm link at 0.1 µm is 1.08 pF as in §4.2 of the
+    /// paper (0.36 fF/µm); Cacti's plain `Cmetal` is 0.275 fF/µm and omits
+    /// inter-wire coupling.
+    pub c_metal: f64,
+    /// Effective channel length at the base node, µm.
+    pub l_eff: f64,
+}
+
+impl BaseConstants {
+    /// The Cacti/Wattch 0.8 µm constants used by Orion.
+    pub const CACTI_080UM: BaseConstants = BaseConstants {
+        c_gate: 1.95e-15,
+        c_gate_pass: 1.45e-15,
+        c_ndiff_area: 0.137e-15,
+        c_pdiff_area: 0.343e-15,
+        c_ndiff_side: 0.275e-15,
+        c_pdiff_side: 0.275e-15,
+        c_ndiff_ovlp: 0.138e-15,
+        c_pdiff_ovlp: 0.138e-15,
+        c_noxide_ovlp: 0.263e-15,
+        c_poxide_ovlp: 0.338e-15,
+        c_poly_wire: 0.25e-15,
+        c_metal: 0.36e-15,
+        l_eff: 0.8,
+    };
+}
+
+impl Default for BaseConstants {
+    fn default() -> BaseConstants {
+        BaseConstants::CACTI_080UM
+    }
+}
+
+/// A fully-resolved process technology: node, supply, geometry and the
+/// base capacitance constants, plus the derived shrink factor.
+///
+/// `Technology` is cheap to copy and is threaded through every power
+/// model. Construct one with [`Technology::new`] for per-node defaults or
+/// with [`Technology::builder`] to override individual parameters.
+///
+/// ```
+/// use orion_tech::{Technology, ProcessNode};
+///
+/// let tech = Technology::new(ProcessNode::Nm100);
+/// assert_eq!(tech.vdd().0, 1.2);
+/// assert!((tech.shrink() - 0.125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    node: ProcessNode,
+    feature: Microns,
+    vdd: Volts,
+    base: BaseConstants,
+    /// SRAM/register cell width in feature sizes (scaled geometry).
+    cell_width_f: f64,
+    /// SRAM/register cell height in feature sizes.
+    cell_height_f: f64,
+    /// Wire pitch (spacing between adjacent routed wires) in feature sizes.
+    wire_pitch_f: f64,
+    /// Empirical per-bit sense-amplifier switched capacitance at the base
+    /// node, farads (Zyuban & Kogge style empirical model; scaled by the
+    /// shrink factor).
+    sense_amp_cap_base: f64,
+    /// Subthreshold leakage current per micron of actual gate width,
+    /// amperes.
+    leakage_per_um: f64,
+}
+
+impl Technology {
+    /// Creates a technology at `node` with all defaults.
+    pub fn new(node: ProcessNode) -> Technology {
+        Technology::builder(node).build()
+    }
+
+    /// Starts a builder for overriding individual parameters.
+    pub fn builder(node: ProcessNode) -> TechnologyBuilder {
+        TechnologyBuilder {
+            node,
+            vdd: None,
+            base: None,
+            cell_width_f: 10.0,
+            cell_height_f: 20.0,
+            wire_pitch_f: 8.0,
+            sense_amp_cap_base: 80.0e-15,
+            leakage_per_um: None,
+        }
+    }
+
+    /// The process node.
+    pub fn node(&self) -> ProcessNode {
+        self.node
+    }
+
+    /// Drawn feature size.
+    pub fn feature_size(&self) -> Microns {
+        self.feature
+    }
+
+    /// Supply voltage.
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Linear shrink factor `s = feature / 0.8 µm` relative to the Cacti
+    /// base technology. Always in `(0, 1]` for supported nodes.
+    pub fn shrink(&self) -> f64 {
+        self.feature.0 / self.base.l_eff
+    }
+
+    /// Effective channel length at this node, µm.
+    pub fn l_eff(&self) -> Microns {
+        Microns(self.base.l_eff * self.shrink())
+    }
+
+    /// The base (0.8 µm) capacitance constants.
+    pub fn base_constants(&self) -> &BaseConstants {
+        &self.base
+    }
+
+    /// Height of one memory/register cell at this node.
+    ///
+    /// This is the `h_cell` technological parameter of Table 2.
+    pub fn cell_height(&self) -> Microns {
+        Microns(self.cell_height_f * self.feature.0)
+    }
+
+    /// Width of one memory/register cell at this node (`w_cell`, Table 2).
+    pub fn cell_width(&self) -> Microns {
+        Microns(self.cell_width_f * self.feature.0)
+    }
+
+    /// Spacing consumed by one routed wire (`d_w`, Table 2).
+    pub fn wire_spacing(&self) -> Microns {
+        Microns(self.wire_pitch_f * self.feature.0)
+    }
+
+    /// Metal wire capacitance per micron of length at this node.
+    pub fn wire_cap_per_um(&self) -> f64 {
+        // Per-unit-length wire capacitance is roughly node-independent;
+        // see the module documentation.
+        self.base.c_metal
+    }
+
+    /// Empirical switched capacitance of one sense amplifier at this node.
+    ///
+    /// The paper takes `E_amp` from the empirical model of Zyuban & Kogge
+    /// \[28\]; we model it as a fixed equivalent capacitance scaled linearly
+    /// with feature size.
+    pub fn sense_amp_cap(&self) -> crate::units::Farads {
+        crate::units::Farads(self.sense_amp_cap_base * self.shrink())
+    }
+
+    /// Subthreshold leakage current per micron of actual gate width.
+    pub fn leakage_current_per_um(&self) -> f64 {
+        self.leakage_per_um
+    }
+
+    /// Static (leakage) power of `total_width_base` µm of transistor
+    /// width expressed at the 0.8 µm base node: the widths shrink with
+    /// the node, then leak at this node's per-µm current under `V_dd`.
+    ///
+    /// This is a post-paper extension (the MICRO 2002 models are
+    /// dynamic-power only; leakage modelling arrived with Orion 2.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `total_width_base` is negative.
+    pub fn leakage_power(&self, total_width_base: f64) -> crate::units::Watts {
+        debug_assert!(total_width_base >= 0.0, "width must be non-negative");
+        let actual_um = total_width_base * self.shrink();
+        crate::units::Watts(actual_um * self.leakage_per_um * self.vdd.0)
+    }
+}
+
+/// Builder for [`Technology`] allowing parameter overrides.
+///
+/// ```
+/// use orion_tech::{Technology, ProcessNode, Volts};
+///
+/// let tech = Technology::builder(ProcessNode::Nm100)
+///     .vdd(Volts(1.0))
+///     .build();
+/// assert_eq!(tech.vdd(), Volts(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    node: ProcessNode,
+    vdd: Option<Volts>,
+    base: Option<BaseConstants>,
+    cell_width_f: f64,
+    cell_height_f: f64,
+    wire_pitch_f: f64,
+    sense_amp_cap_base: f64,
+    leakage_per_um: Option<f64>,
+}
+
+impl TechnologyBuilder {
+    /// Overrides the subthreshold leakage current per micron of actual
+    /// gate width (amperes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps_per_um` is negative or not finite.
+    pub fn leakage_current_per_um(mut self, amps_per_um: f64) -> TechnologyBuilder {
+        assert!(
+            amps_per_um >= 0.0 && amps_per_um.is_finite(),
+            "leakage current must be non-negative"
+        );
+        self.leakage_per_um = Some(amps_per_um);
+        self
+    }
+
+    /// Overrides the supply voltage.
+    pub fn vdd(mut self, vdd: Volts) -> TechnologyBuilder {
+        self.vdd = Some(vdd);
+        self
+    }
+
+    /// Overrides the base capacitance constants.
+    pub fn base_constants(mut self, base: BaseConstants) -> TechnologyBuilder {
+        self.base = Some(base);
+        self
+    }
+
+    /// Overrides the memory-cell width, in multiples of the feature size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is not positive and finite.
+    pub fn cell_width_features(mut self, widths: f64) -> TechnologyBuilder {
+        assert!(widths > 0.0 && widths.is_finite(), "cell width must be positive");
+        self.cell_width_f = widths;
+        self
+    }
+
+    /// Overrides the memory-cell height, in multiples of the feature size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heights` is not positive and finite.
+    pub fn cell_height_features(mut self, heights: f64) -> TechnologyBuilder {
+        assert!(heights > 0.0 && heights.is_finite(), "cell height must be positive");
+        self.cell_height_f = heights;
+        self
+    }
+
+    /// Overrides the wire pitch, in multiples of the feature size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive and finite.
+    pub fn wire_pitch_features(mut self, pitch: f64) -> TechnologyBuilder {
+        assert!(pitch > 0.0 && pitch.is_finite(), "wire pitch must be positive");
+        self.wire_pitch_f = pitch;
+        self
+    }
+
+    /// Overrides the base-node sense-amplifier equivalent capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative or not finite.
+    pub fn sense_amp_cap_base(mut self, cap: crate::units::Farads) -> TechnologyBuilder {
+        assert!(cap.0 >= 0.0 && cap.0.is_finite(), "sense amp cap must be non-negative");
+        self.sense_amp_cap_base = cap.0;
+        self
+    }
+
+    /// Finalises the technology.
+    pub fn build(&self) -> Technology {
+        Technology {
+            node: self.node,
+            feature: self.node.feature_size(),
+            vdd: self.vdd.unwrap_or_else(|| self.node.default_vdd()),
+            base: self.base.unwrap_or_default(),
+            cell_width_f: self.cell_width_f,
+            cell_height_f: self.cell_height_f,
+            wire_pitch_f: self.wire_pitch_f,
+            sense_amp_cap_base: self.sense_amp_cap_base,
+            leakage_per_um: self
+                .leakage_per_um
+                .unwrap_or_else(|| self.node.default_leakage_per_um()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_defaults() {
+        for (node, feat, vdd) in [
+            (ProcessNode::Um800, 0.8, 5.0),
+            (ProcessNode::Um350, 0.35, 2.5),
+            (ProcessNode::Um180, 0.18, 1.8),
+            (ProcessNode::Nm100, 0.10, 1.2),
+            (ProcessNode::Nm70, 0.07, 0.9),
+        ] {
+            let t = Technology::new(node);
+            assert_eq!(t.feature_size().0, feat, "{node}");
+            assert_eq!(t.vdd().0, vdd, "{node}");
+        }
+    }
+
+    #[test]
+    fn shrink_is_one_at_base_node() {
+        let t = Technology::new(ProcessNode::Um800);
+        assert!((t.shrink() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry_scales_with_feature_size() {
+        let big = Technology::new(ProcessNode::Um800);
+        let small = Technology::new(ProcessNode::Nm100);
+        let ratio = big.cell_width().0 / small.cell_width().0;
+        assert!((ratio - 8.0).abs() < 1e-9);
+        // Cacti geometry: 8 µm × 16 µm cells at 0.8 µm (10F × 20F).
+        assert!((big.cell_width().0 - 8.0).abs() < 1e-9);
+        assert!((big.cell_height().0 - 16.0).abs() < 1e-9);
+        assert!(small.cell_height().0 > small.cell_width().0, "cells are taller than wide");
+        assert!(small.wire_spacing().0 > 0.0);
+    }
+
+    #[test]
+    fn paper_link_capacitance_anchor() {
+        // §4.2: link capacitance 1.08 pF per 3 mm at 0.1 µm.
+        let t = Technology::new(ProcessNode::Nm100);
+        let c_3mm = t.wire_cap_per_um() * 3000.0;
+        assert!(
+            (c_3mm - 1.08e-12).abs() / 1.08e-12 < 0.01,
+            "3mm wire = {c_3mm} F, want 1.08 pF"
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let t = Technology::builder(ProcessNode::Um180)
+            .vdd(Volts(1.6))
+            .cell_width_features(10.0)
+            .cell_height_features(16.0)
+            .wire_pitch_features(3.0)
+            .build();
+        assert_eq!(t.vdd(), Volts(1.6));
+        assert!((t.cell_width().0 - 1.8).abs() < 1e-12);
+        assert!((t.cell_height().0 - 2.88).abs() < 1e-12);
+        assert!((t.wire_spacing().0 - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sense_amp_cap_scales() {
+        let base = Technology::new(ProcessNode::Um800);
+        let small = Technology::new(ProcessNode::Nm100);
+        assert!(base.sense_amp_cap().0 > small.sense_amp_cap().0);
+        assert!(small.sense_amp_cap().0 > 0.0);
+    }
+
+    #[test]
+    fn display_of_nodes() {
+        assert_eq!(ProcessNode::Nm100.to_string(), "0.1um");
+        assert_eq!(ProcessNode::Um800.to_string(), "0.8um");
+    }
+
+    #[test]
+    fn leakage_grows_exponentially_with_scaling() {
+        let old = Technology::new(ProcessNode::Um350);
+        let new = Technology::new(ProcessNode::Nm100);
+        // Per unit base width, leakage at 0.1 µm dwarfs 0.35 µm despite
+        // the narrower devices.
+        assert!(new.leakage_power(100.0).0 > 50.0 * old.leakage_power(100.0).0);
+    }
+
+    #[test]
+    fn leakage_override_and_linearity() {
+        let t = Technology::builder(ProcessNode::Nm100)
+            .leakage_current_per_um(1.0e-6)
+            .build();
+        // 80 base-µm × 0.125 shrink = 10 µm actual; 10 µm × 1 µA/µm × 1.2 V = 12 µW.
+        assert!((t.leakage_power(80.0).0 - 12.0e-6).abs() < 1e-12);
+        assert!((t.leakage_power(160.0).0 - 24.0e-6).abs() < 1e-12);
+        assert_eq!(t.leakage_power(0.0).0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell width must be positive")]
+    fn builder_rejects_bad_cell_width() {
+        let _ = Technology::builder(ProcessNode::Nm100).cell_width_features(0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Default transistor-size library and load-based driver sizing.
+//!
+//! The paper (§3.1): *"Transistor sizes can be user-input parameters, or
+//! automatically determined by Orion with a set of default values from
+//! Cacti and applied with scaling factors from Wattch. Sizes of driver
+//! transistors, e.g. crossbar input drivers, are computed according to
+//! their load capacitance."*
+//!
+//! All widths are expressed in µm **at the 0.8 µm base node** — the same
+//! convention Cacti uses — and are shrunk to the target node inside
+//! [`Capacitor`].
+
+use crate::capacitance::Capacitor;
+use crate::units::Farads;
+
+/// Channel type of a MOS transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransistorKind {
+    /// n-channel device.
+    N,
+    /// p-channel device.
+    P,
+}
+
+/// The default transistor-size library (widths in µm at 0.8 µm), after
+/// Cacti's size table as used by Orion.
+///
+/// Every width can be overridden by mutating the public fields before the
+/// struct is handed to a power model:
+///
+/// ```
+/// use orion_tech::TransistorSizes;
+///
+/// let mut sizes = TransistorSizes::default();
+/// sizes.wordline_driver = 80.0;
+/// assert!(sizes.wordline_driver < TransistorSizes::default().wordline_driver);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorSizes {
+    /// Memory-cell access (pass) transistor `T_p` (Table 2).
+    pub cell_access: f64,
+    /// Memory-cell inverter NMOS (half of `T_m`).
+    pub cell_nmos: f64,
+    /// Memory-cell inverter PMOS (half of `T_m`).
+    pub cell_pmos: f64,
+    /// Word-line driver `T_wd`.
+    pub wordline_driver: f64,
+    /// Write bit-line driver `T_bd`.
+    pub bitline_driver: f64,
+    /// Bit-line precharge transistor `T_c`.
+    pub precharge: f64,
+    /// Crossbar connector pass transistor / transmission gate.
+    pub crossbar_connector: f64,
+    /// Arbiter priority-cell flip-flop inverter NMOS.
+    pub ff_nmos: f64,
+    /// Arbiter priority-cell flip-flop inverter PMOS.
+    pub ff_pmos: f64,
+    /// Arbiter NOR-gate transistor width (per input).
+    pub nor_input: f64,
+    /// Plain inverter NMOS used in arbiter internal nodes.
+    pub inv_nmos: f64,
+    /// Plain inverter PMOS used in arbiter internal nodes.
+    pub inv_pmos: f64,
+}
+
+impl TransistorSizes {
+    /// The Cacti-derived defaults used by Orion.
+    pub const CACTI_DEFAULTS: TransistorSizes = TransistorSizes {
+        cell_access: 2.4,
+        cell_nmos: 2.0,
+        cell_pmos: 4.0,
+        wordline_driver: 100.0,
+        bitline_driver: 50.0,
+        precharge: 80.0,
+        crossbar_connector: 12.0,
+        ff_nmos: 3.0,
+        ff_pmos: 6.0,
+        nor_input: 4.0,
+        inv_nmos: 3.0,
+        inv_pmos: 6.0,
+    };
+}
+
+impl Default for TransistorSizes {
+    fn default() -> TransistorSizes {
+        TransistorSizes::CACTI_DEFAULTS
+    }
+}
+
+/// Computes driver transistor widths from the capacitance they must drive.
+///
+/// Orion sizes drivers "according to their load capacitance": a driver is
+/// sized so that its drive strength is proportional to the load, with a
+/// floor at the minimum practical driver width. We model the required
+/// base-node width as `W = load / c_per_width`, where `c_per_width` is the
+/// gate capacitance a unit-width device presents at the same node —
+/// i.e. the classical "fanout" sizing rule with a target electrical effort.
+///
+/// ```
+/// use orion_tech::{Capacitor, DriverSizing, Technology, ProcessNode, Farads};
+///
+/// let cap = Capacitor::new(Technology::new(ProcessNode::Nm100));
+/// let sizing = DriverSizing::default();
+/// let small = sizing.width_for_load(&cap, Farads::from_ff(10.0));
+/// let large = sizing.width_for_load(&cap, Farads::from_ff(1000.0));
+/// assert!(large > small);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverSizing {
+    /// Target electrical effort (load capacitance ÷ driver input
+    /// capacitance). The classic logical-effort optimum is ≈ 4.
+    pub target_effort: f64,
+    /// Minimum driver width in base-node µm.
+    pub min_width: f64,
+    /// Maximum driver width in base-node µm (keeps pathological loads from
+    /// producing physically silly devices).
+    pub max_width: f64,
+}
+
+impl DriverSizing {
+    /// Creates a sizing rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_effort`, `min_width` are not positive, or
+    /// `max_width < min_width`.
+    pub fn new(target_effort: f64, min_width: f64, max_width: f64) -> DriverSizing {
+        assert!(target_effort > 0.0, "target effort must be positive");
+        assert!(min_width > 0.0, "min width must be positive");
+        assert!(max_width >= min_width, "max width must be >= min width");
+        DriverSizing {
+            target_effort,
+            min_width,
+            max_width,
+        }
+    }
+
+    /// Base-node width of a driver for the given load at `cap`'s node.
+    pub fn width_for_load(&self, cap: &Capacitor, load: Farads) -> f64 {
+        let unit = cap.gate_cap(1.0).0; // gate cap per base-µm of width
+        if unit <= 0.0 {
+            return self.min_width;
+        }
+        let w = load.0 / (self.target_effort * unit);
+        w.clamp(self.min_width, self.max_width)
+    }
+}
+
+impl Default for DriverSizing {
+    fn default() -> DriverSizing {
+        DriverSizing::new(4.0, 2.0, 400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{ProcessNode, Technology};
+
+    #[test]
+    fn defaults_are_positive() {
+        let s = TransistorSizes::default();
+        for w in [
+            s.cell_access,
+            s.cell_nmos,
+            s.cell_pmos,
+            s.wordline_driver,
+            s.bitline_driver,
+            s.precharge,
+            s.crossbar_connector,
+            s.ff_nmos,
+            s.ff_pmos,
+            s.nor_input,
+            s.inv_nmos,
+            s.inv_pmos,
+        ] {
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn pmos_wider_than_nmos_in_pairs() {
+        let s = TransistorSizes::default();
+        assert!(s.cell_pmos > s.cell_nmos);
+        assert!(s.ff_pmos > s.ff_nmos);
+        assert!(s.inv_pmos > s.inv_nmos);
+    }
+
+    #[test]
+    fn driver_width_monotone_in_load() {
+        let cap = Capacitor::new(Technology::new(ProcessNode::Nm100));
+        let sizing = DriverSizing::default();
+        let mut last = 0.0;
+        for ff in [1.0, 10.0, 100.0, 1000.0] {
+            let w = sizing.width_for_load(&cap, Farads::from_ff(ff));
+            assert!(w >= last, "width must be monotone");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn driver_width_clamped() {
+        let cap = Capacitor::new(Technology::new(ProcessNode::Nm100));
+        let sizing = DriverSizing::new(4.0, 5.0, 50.0);
+        assert_eq!(sizing.width_for_load(&cap, Farads::ZERO), 5.0);
+        assert_eq!(sizing.width_for_load(&cap, Farads::from_pf(100.0)), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max width must be >= min width")]
+    fn sizing_rejects_inverted_bounds() {
+        let _ = DriverSizing::new(4.0, 10.0, 1.0);
+    }
+}

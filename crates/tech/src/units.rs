@@ -1,0 +1,370 @@
+//! Zero-cost newtypes for the physical quantities used throughout the
+//! power models.
+//!
+//! Each unit wraps an `f64` in SI base units (farads, joules, watts, volts,
+//! hertz, seconds) except [`Microns`], which is deliberately kept in
+//! micrometres because every geometric quantity in Cacti-lineage models
+//! (transistor widths, cell dimensions, wire lengths) is traditionally
+//! expressed in µm.
+//!
+//! The newtypes exist to keep quantities from being confused at API
+//! boundaries (C-NEWTYPE); the inner field is public so arithmetic that the
+//! type system cannot express cheaply (e.g. `C · V²`) stays readable.
+//!
+//! ```
+//! use orion_tech::{Farads, Joules};
+//!
+//! let c = Farads(2.0e-15) + Farads(3.0e-15);
+//! assert_eq!(c, Farads(5.0e-15));
+//! let e = Joules(1.0e-12) * 3.0;
+//! assert_eq!(e.0, 3.0e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value in the unit's base scale.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name::ZERO, Add::add)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> $name {
+                $name(v)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Length in micrometres (µm) — the native unit of Cacti-style
+    /// geometry.
+    Microns,
+    "um"
+);
+
+impl Farads {
+    /// Constructs a capacitance from a femtofarad value.
+    ///
+    /// ```
+    /// use orion_tech::Farads;
+    /// assert!((Farads::from_ff(1.5) - Farads(1.5e-15)).abs().0 < 1e-27);
+    /// ```
+    #[inline]
+    pub fn from_ff(ff: f64) -> Farads {
+        Farads(ff * 1.0e-15)
+    }
+
+    /// Constructs a capacitance from a picofarad value.
+    #[inline]
+    pub fn from_pf(pf: f64) -> Farads {
+        Farads(pf * 1.0e-12)
+    }
+
+    /// Returns the value in femtofarads.
+    #[inline]
+    pub fn as_ff(self) -> f64 {
+        self.0 * 1.0e15
+    }
+
+    /// Returns the value in picofarads.
+    #[inline]
+    pub fn as_pf(self) -> f64 {
+        self.0 * 1.0e12
+    }
+}
+
+impl Joules {
+    /// Constructs an energy from a picojoule value.
+    #[inline]
+    pub fn from_pj(pj: f64) -> Joules {
+        Joules(pj * 1.0e-12)
+    }
+
+    /// Returns the value in picojoules.
+    #[inline]
+    pub fn as_pj(self) -> f64 {
+        self.0 * 1.0e12
+    }
+
+    /// Returns the value in nanojoules.
+    #[inline]
+    pub fn as_nj(self) -> f64 {
+        self.0 * 1.0e9
+    }
+}
+
+impl Watts {
+    /// Constructs a power from a milliwatt value.
+    #[inline]
+    pub fn from_mw(mw: f64) -> Watts {
+        Watts(mw * 1.0e-3)
+    }
+
+    /// Returns the value in milliwatts.
+    #[inline]
+    pub fn as_mw(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl Hertz {
+    /// Constructs a frequency from a gigahertz value.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Hertz {
+        Hertz(ghz * 1.0e9)
+    }
+
+    /// Returns the value in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1.0e-9
+    }
+
+    /// The period of one cycle at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        debug_assert!(self.0 > 0.0, "period of a zero frequency");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Microns {
+    /// Constructs a length from a millimetre value.
+    ///
+    /// ```
+    /// use orion_tech::Microns;
+    /// assert_eq!(Microns::from_mm(3.0), Microns(3000.0));
+    /// ```
+    #[inline]
+    pub fn from_mm(mm: f64) -> Microns {
+        Microns(mm * 1.0e3)
+    }
+
+    /// Returns the value in millimetres.
+    #[inline]
+    pub fn as_mm(self) -> f64 {
+        self.0 * 1.0e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Farads(3.0e-15);
+        let b = Farads(1.0e-15);
+        assert!(((a + b - b) - a).abs().0 < 1e-27);
+    }
+
+    #[test]
+    fn scalar_mul_both_sides() {
+        assert_eq!(Joules(2.0) * 3.0, Joules(6.0));
+        assert_eq!(3.0 * Joules(2.0), Joules(6.0));
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let r: f64 = Watts(6.0) / Watts(2.0);
+        assert_eq!(r, 3.0);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Farads = (1..=4).map(|i| Farads(i as f64)).sum();
+        assert_eq!(total, Farads(10.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((Farads::from_ff(2.5).as_pf() - 0.0025).abs() < 1e-12);
+        assert!((Joules::from_pj(7.0).as_nj() - 0.007).abs() < 1e-12);
+        assert!((Hertz::from_ghz(2.0).as_ghz() - 2.0).abs() < 1e-12);
+        assert!((Microns::from_mm(3.0).as_mm() - 3.0).abs() < 1e-12);
+        assert!((Watts::from_mw(15.0).as_mw() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_of_frequency() {
+        let p = Hertz::from_ghz(1.0).period();
+        assert!((p.0 - 1.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_has_suffix() {
+        assert_eq!(format!("{}", Volts(1.2)), "1.2 V");
+        assert_eq!(format!("{}", Microns(5.0)), "5 um");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Joules(-2.0).abs(), Joules(2.0));
+        assert_eq!(Joules(1.0).max(Joules(2.0)), Joules(2.0));
+        assert_eq!(Joules(1.0).min(Joules(2.0)), Joules(1.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut e = Joules(1.0);
+        e += Joules(2.0);
+        e -= Joules(0.5);
+        assert_eq!(e, Joules(2.5));
+    }
+}

@@ -1,0 +1,53 @@
+//! Wormhole vs. virtual-channel routers (the §4.2 case study, reduced).
+//!
+//! Sweeps injection rate for WH64 and VC16 on the paper's on-chip
+//! 4×4 torus and prints latency, power and the saturation verdict at
+//! each point — the paper's first usage category: "trade-off two
+//! configurations of a microarchitecture".
+//!
+//! Run with `cargo run --release --example wormhole_vs_vc`.
+
+use orion::core::{injection_sweep, presets, saturation_rate, SweepOptions};
+
+fn main() {
+    let options = SweepOptions {
+        seed: 7,
+        warmup: 500,
+        sample_packets: 2_000,
+        max_cycles: 100_000,
+    };
+    let rates = [0.02, 0.05, 0.08, 0.11, 0.14];
+
+    println!("on-chip 4x4 torus, 256-bit flits, 2 GHz, 0.1 um (paper section 4.2)\n");
+    println!(
+        "{:>6} | {:>12} {:>10} | {:>12} {:>10}",
+        "rate", "WH64 lat", "WH64 W", "VC16 lat", "VC16 W"
+    );
+
+    let wh = injection_sweep(&presets::wh64_onchip(), &rates, options)
+        .expect("preset configurations are valid");
+    let vc = injection_sweep(&presets::vc16_onchip(), &rates, options)
+        .expect("preset configurations are valid");
+
+    for (w, v) in wh.iter().zip(&vc) {
+        let mark = |saturated: bool| if saturated { "*" } else { " " };
+        println!(
+            "{:>6.2} | {:>11.1}{} {:>10.3} | {:>11.1}{} {:>10.3}",
+            w.rate,
+            w.report.avg_latency(),
+            mark(w.report.is_saturated()),
+            w.report.total_power().0,
+            v.report.avg_latency(),
+            mark(v.report.is_saturated()),
+            v.report.total_power().0,
+        );
+    }
+
+    println!(
+        "\nsaturation: WH64 ~ {:?}, VC16 ~ {:?} pkt/cycle/node",
+        saturation_rate(&wh),
+        saturation_rate(&vc)
+    );
+    println!("(paper: VC16 saturates above WH64 despite a quarter of the buffering,");
+    println!(" and consumes less power than WH64 at equal pre-saturation rates)");
+}

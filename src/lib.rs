@@ -1,0 +1,56 @@
+//! # Orion — a power-performance simulator for interconnection networks
+//!
+//! This is the facade crate of a Rust reproduction of *Wang, Zhu, Peh,
+//! Malik, "Orion: A Power-Performance Simulator for Interconnection
+//! Networks" (MICRO 2002)*. It re-exports the workspace crates:
+//!
+//! * [`tech`] ([`orion_tech`]) — process technology and Cacti-style
+//!   capacitance estimation,
+//! * [`power`] ([`orion_power`]) — the paper's architectural-level
+//!   parameterized power models (FIFO buffers, crossbars, arbiters,
+//!   links, central buffers),
+//! * [`net`] ([`orion_net`]) — topologies, routing and traffic workloads,
+//! * [`sim`] ([`orion_sim`]) — the cycle-accurate network simulator with
+//!   per-event energy accounting,
+//! * [`core`] ([`orion_core`]) — the user-facing configuration, presets
+//!   and experiment runner.
+//!
+//! # Quickstart
+//!
+//! Walk a head flit through a simple wormhole router (§3.3 of the paper)
+//! and account its energy:
+//!
+//! ```
+//! use orion::power::{BufferParams, BufferPower, WriteActivity};
+//! use orion::tech::{ProcessNode, Technology};
+//!
+//! let tech = Technology::new(ProcessNode::Nm100);
+//! let buffer = BufferPower::new(&BufferParams::new(4, 32), tech)?;
+//! let e_wrt = buffer.write_energy(&WriteActivity::worst_case(32));
+//! let e_read = buffer.read_energy();
+//! assert!(e_wrt.0 > 0.0 && e_read.0 > 0.0);
+//! # Ok::<(), orion::power::ModelError>(())
+//! ```
+//!
+//! Or simulate a whole network with the paper's presets:
+//!
+//! ```no_run
+//! use orion::core::{presets, Experiment};
+//!
+//! let cfg = presets::vc16_onchip();
+//! let report = Experiment::new(cfg)
+//!     .injection_rate(0.05)
+//!     .seed(7)
+//!     .run()
+//!     .expect("valid configuration");
+//! println!("avg latency = {:.1} cycles", report.avg_latency());
+//! println!("network power = {:.3} W", report.total_power().0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use orion_core as core;
+pub use orion_net as net;
+pub use orion_power as power;
+pub use orion_sim as sim;
+pub use orion_tech as tech;
