@@ -42,8 +42,7 @@ fn main() {
     );
 
     // Activity sweep for the paper's 5-port matrix arbiter.
-    let arb5 = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
-        .expect("valid");
+    let arb5 = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech).expect("valid");
     let rows: Vec<Vec<String>> = [
         ("steady grant (no toggles)", 0b00001u64, 0b00001u64, 0u32),
         ("one new request", 0b00011, 0b00001, 1),
@@ -53,7 +52,10 @@ fn main() {
     .map(|(name, req, prev, flips)| {
         vec![
             name.to_string(),
-            format!("{:.4}", arb5.arbitration_energy(*req, *prev, *flips).as_pj()),
+            format!(
+                "{:.4}",
+                arb5.arbitration_energy(*req, *prev, *flips).as_pj()
+            ),
         ]
     })
     .collect();
@@ -68,8 +70,9 @@ fn main() {
     let xb = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 256), tech)
         .expect("valid");
     let e_arb = arb5.arbitration_energy(0b11111, 0, 4).as_pj();
-    let e_datapath =
-        buf.read_energy().as_pj() + buf.write_energy_uniform().as_pj() + xb.traversal_energy_uniform().as_pj();
+    let e_datapath = buf.read_energy().as_pj()
+        + buf.write_energy_uniform().as_pj()
+        + xb.traversal_energy_uniform().as_pj();
     println!(
         "\nworst-case arbitration = {:.4} pJ vs one buffered flit-hop = {:.2} pJ ({:.2}%)",
         e_arb,

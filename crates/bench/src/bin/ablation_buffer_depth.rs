@@ -28,7 +28,13 @@ fn main() {
         .collect();
     print_table(
         "buffer depth sweep (F = 256 bits, 1R1W, 0.1 um)",
-        &["B (flits)", "E_read (pJ)", "E_write (pJ)", "L_bl (um)", "area (mm^2)"],
+        &[
+            "B (flits)",
+            "E_read (pJ)",
+            "E_write (pJ)",
+            "L_bl (um)",
+            "area (mm^2)",
+        ],
         &rows,
     );
 

@@ -39,7 +39,13 @@ fn main() {
     }
     print_table(
         "crossbar port sweep (W = 256 bits, uniform activity, pJ/traversal)",
-        &["ports", "matrix", "mux-tree", "segmented(4)", "matrix area (mm^2)"],
+        &[
+            "ports",
+            "matrix",
+            "mux-tree",
+            "segmented(4)",
+            "matrix area (mm^2)",
+        ],
         &rows,
     );
 

@@ -18,8 +18,8 @@ fn router_leakage(tech: Technology) -> f64 {
     let buffer = BufferPower::new(&BufferParams::new(4, 32), tech).expect("valid");
     let crossbar = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech)
         .expect("valid");
-    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 4), tech)
-        .expect("valid");
+    let arbiter =
+        ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 4), tech).expect("valid");
     5.0 * buffer.leakage_power().0 + crossbar.leakage_power().0 + 5.0 * arbiter.leakage_power().0
 }
 

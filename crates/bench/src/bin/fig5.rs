@@ -106,5 +106,8 @@ fn main() {
         .filter(|(c, _, _)| matches!(c, Component::Buffer | Component::Crossbar))
         .map(|(_, _, f)| f)
         .sum();
-    println!("  buffers + crossbar = {:.1}% of node power (paper: > 85%)", 100.0 * buf_xb);
+    println!(
+        "  buffers + crossbar = {:.1}% of node power (paper: > 85%)",
+        100.0 * buf_xb
+    );
 }

@@ -63,7 +63,10 @@ fn main() {
 
     let bmap = broadcast.power_map();
     let at = |x: usize, y: usize| bmap[topo.node_at(&[x as u32, y as u32]).0].0;
-    println!("  source (1,2) power: {:.4} W (must be the maximum)", at(1, 2));
+    println!(
+        "  source (1,2) power: {:.4} W (must be the maximum)",
+        at(1, 2)
+    );
     println!(
         "  y-first routing asymmetry: (1,1)={:.4} (1,3)={:.4} vs (0,2)={:.4} (2,2)={:.4}",
         at(1, 1),

@@ -66,7 +66,11 @@ fn main() {
         &header,
         &lat_rows,
     );
-    print_table("Figure 7(b): total network power, uniform random (W)", &header, &pow_rows);
+    print_table(
+        "Figure 7(b): total network power, uniform random (W)",
+        &header,
+        &pow_rows,
+    );
     for (name, points) in [("XB", &xb_points), ("CB", &cb_points)] {
         match orion_core::saturation_rate(points) {
             Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
@@ -150,7 +154,10 @@ fn main() {
                 .find(|(c, _, _)| *c == Component::Link)
                 .map(|(_, _, f)| *f)
                 .unwrap_or(0.0);
-            println!("  links = {:.1}% of node power (paper: > 70%)", 100.0 * link_frac);
+            println!(
+                "  links = {:.1}% of node power (paper: > 70%)",
+                100.0 * link_frac
+            );
         }
     }
 }

@@ -36,8 +36,11 @@ fn xb_router_power(
     f_clk: Hertz,
     utilization: f64,
 ) -> (Watts, Watts) {
-    let buffer = BufferPower::new(&BufferParams::new(buf_flits, flit_bits).with_decoder(), tech)
-        .expect("valid");
+    let buffer = BufferPower::new(
+        &BufferParams::new(buf_flits, flit_bits).with_decoder(),
+        tech,
+    )
+    .expect("valid");
     let xbar = CrossbarPower::new(
         &CrossbarParams::new(CrossbarKind::Matrix, ports, ports, flit_bits),
         tech,
@@ -82,7 +85,10 @@ fn main() {
     println!("  router dynamic  {:>7.2} W", dynamic.0);
     println!("  router leakage  {:>7.2} W", leakage.0);
     println!("  links (4 x 2.5) {:>7.2} W", links.0);
-    println!("  total           {:>7.2} W   (paper's reference: ~25 W router+links)", total.0);
+    println!(
+        "  total           {:>7.2} W   (paper's reference: ~25 W router+links)",
+        total.0
+    );
     let ok = (10.0..50.0).contains(&total.0);
     println!("  within ballpark: {}\n", if ok { "yes" } else { "NO" });
 
@@ -92,11 +98,12 @@ fn main() {
     // approximated at 250 MHz (30 Gb/s / 4 B per cycle per port-ish).
     let tech = Technology::new(ProcessNode::Um130);
     let f_clk = Hertz(250.0e6);
-    let cb = CentralBufferPower::new(&CentralBufferParams::new(4, 2560, 32), tech)
-        .expect("valid");
+    let cb = CentralBufferPower::new(&CentralBufferParams::new(4, 2560, 32), tech).expect("valid");
     let input = BufferPower::new(&BufferParams::new(64, 32), tech).expect("valid");
     let utilization = 0.5; // flits per port per cycle, typical load
-    let per_flit = cb.write_energy_uniform() + cb.read_energy_uniform() + input.read_energy()
+    let per_flit = cb.write_energy_uniform()
+        + cb.read_energy_uniform()
+        + input.read_energy()
         + input.write_energy_uniform();
     let e_cycle = Joules(per_flit.0 * utilization * 8.0);
     let dynamic = average_power(e_cycle, f_clk, 1);
@@ -106,7 +113,10 @@ fn main() {
     println!("IBM InfiniBand 8-port 12X switch (approx: CB router @ 250 MHz, 0.13 um):");
     println!("  switch dynamic  {:>7.2} W", dynamic.0);
     println!("  switch leakage  {:>7.2} W", leakage.0);
-    println!("  links (8 x 3)   {:>7.2} W   (the paper's own 3 W/12X-link figure)", links.0);
+    println!(
+        "  links (8 x 3)   {:>7.2} W   (the paper's own 3 W/12X-link figure)",
+        links.0
+    );
     println!(
         "  total           {:>7.2} W   (paper's reference: a 12X switch budgeted ~15 W+, links dominating 60-40)",
         total.0

@@ -16,7 +16,11 @@ use orion_tech::{Microns, ProcessNode, Technology};
 
 fn main() {
     let tech = Technology::new(ProcessNode::Nm100);
-    println!("Section 3.3 walkthrough at {} / {} V", tech.node(), tech.vdd().0);
+    println!(
+        "Section 3.3 walkthrough at {} / {} V",
+        tech.node(),
+        tech.vdd().0
+    );
 
     let buffer =
         BufferPower::new(&BufferParams::new(4, 32), tech).expect("paper's buffer parameters");

@@ -112,7 +112,10 @@ pub fn fmt_report_power(report: &orion_core::Report) -> String {
 pub fn print_power_map(title: &str, map: &[orion_tech::Watts], kx: usize, ky: usize) {
     assert_eq!(map.len(), kx * ky, "map size mismatch");
     println!("\n== {title} ==");
-    println!("  node power in W; rows are y (top = y={}), columns x", ky - 1);
+    println!(
+        "  node power in W; rows are y (top = y={}), columns x",
+        ky - 1
+    );
     for y in (0..ky).rev() {
         let cells: Vec<String> = (0..kx)
             .map(|x| format!("{:>8.4}", map[y * kx + x].0))

@@ -103,6 +103,20 @@ impl Args {
             .map_err(|_| ArgError(format!("--{name} expects an integer, got `{v}`")))
     }
 
+    /// A `u64` option with a default (cycle counts, seeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is present but not a valid number.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
     /// An `f64` option with a default.
     ///
     /// # Errors
@@ -159,6 +173,8 @@ mod tests {
         assert_eq!(a.f64_or("length-mm", 1.0).unwrap(), 3.5);
         assert_eq!(a.u32_or("bits", 64).unwrap(), 32);
         assert_eq!(a.u32_or("absent", 7).unwrap(), 7);
+        assert_eq!(a.u64_or("bits", 64).unwrap(), 32);
+        assert_eq!(a.u64_or("absent", 9).unwrap(), 9);
         assert!(a.u32_required("missing").is_err());
     }
 

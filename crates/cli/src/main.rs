@@ -15,10 +15,20 @@
 //! orion-power-cli link --chip2chip --watts 3 --bits 32
 //! orion-power-cli central-buffer --banks 4 --rows 2560 --bits 32
 //! ```
+//!
+//! The `simulate` subcommand additionally drives whole-network
+//! experiments — including fault injection and the deadlock watchdog —
+//! and reports the structured run outcome as text or JSON:
+//!
+//! ```text
+//! orion-power-cli simulate --preset wh64 --rate 0.5 --watchdog-cycles 500
+//! orion-power-cli simulate --preset vc16 --fault-links 4 --fault-seed 7 --json
+//! ```
 
 mod args;
 mod report;
 mod run;
+mod simulate;
 
 use std::process::ExitCode;
 

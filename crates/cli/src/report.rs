@@ -48,12 +48,7 @@ impl Report {
 
     /// Renders the report.
     pub fn render(&self) -> String {
-        let width = self
-            .lines
-            .iter()
-            .map(|(l, _)| l.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.lines.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
         for (label, value) in &self.lines {

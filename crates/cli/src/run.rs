@@ -24,6 +24,10 @@ COMPONENTS:
   link            --length-mm X --bits N          (on-chip)
   link            --chip2chip --watts X --bits N  (constant-power)
   central-buffer  --banks N --rows N --bits N [--read-ports N] [--write-ports N]
+  simulate        [--preset wh64|vc16|vc64|vc128|xb|cb] [--rate X] [--seed N]
+                  [--warmup N] [--sample N] [--max-cycles N]
+                  [--watchdog-cycles N] [--fault-links N] [--fault-rate X]
+                  [--fault-ports N] [--fault-seed N] [--json]
 
 COMMON OPTIONS:
   --node <0.8um|0.35um|0.25um|0.18um|0.13um|0.1um|70nm>   (default 0.1um)
@@ -33,6 +37,8 @@ EXAMPLES:
   orion-power-cli buffer --flits 64 --bits 256
   orion-power-cli crossbar --ports 5 --bits 256 --node 0.18um
   orion-power-cli link --chip2chip --watts 3 --bits 32
+  orion-power-cli simulate --preset wh64 --rate 0.5 --watchdog-cycles 500
+  orion-power-cli simulate --preset vc16 --fault-links 4 --fault-seed 7 --json
 ";
 
 const COMMON: [&str; 2] = ["node", "vdd"];
@@ -87,12 +93,19 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "arbiter" => arbiter(args),
         "link" => link(args),
         "central-buffer" => central_buffer(args),
+        "simulate" => crate::simulate::simulate(args),
         other => Err(ArgError(format!("unknown component `{other}`"))),
     }
 }
 
 fn buffer(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&allowed(&["flits", "bits", "read-ports", "write-ports", "decoder"]))?;
+    args.ensure_known(&allowed(&[
+        "flits",
+        "bits",
+        "read-ports",
+        "write-ports",
+        "decoder",
+    ]))?;
     let tech = technology(args)?;
     let flits = args.u32_required("flits")?;
     let bits = args.u32_required("bits")?;
@@ -119,7 +132,10 @@ fn buffer(args: &Args) -> Result<String, ArgError> {
     r.cap("C_chg", m.precharge_cap());
     r.cap("C_cell", m.cell_cap());
     r.energy("E_read", m.read_energy());
-    r.energy("E_write (uniform data)", m.write_energy(&WriteActivity::uniform_random(bits)));
+    r.energy(
+        "E_write (uniform data)",
+        m.write_energy(&WriteActivity::uniform_random(bits)),
+    );
     r.energy("E_write (worst case)", m.write_energy_max());
     if let Some(dec) = m.decoder() {
         r.energy("E_decode (sequential)", dec.access_energy_sequential());
@@ -229,7 +245,13 @@ fn link(args: &Args) -> Result<String, ArgError> {
 }
 
 fn central_buffer(args: &Args) -> Result<String, ArgError> {
-    args.ensure_known(&allowed(&["banks", "rows", "bits", "read-ports", "write-ports"]))?;
+    args.ensure_known(&allowed(&[
+        "banks",
+        "rows",
+        "bits",
+        "read-ports",
+        "write-ports",
+    ]))?;
     let tech = technology(args)?;
     let banks = args.u32_required("banks")?;
     let rows = args.u32_required("rows")?;
@@ -270,7 +292,9 @@ mod tests {
     #[test]
     fn buffer_report_contains_table2_quantities() {
         let out = run_line("buffer --flits 64 --bits 256").unwrap();
-        for needle in ["C_wl", "C_br", "C_bw", "C_cell", "E_read", "E_write", "area"] {
+        for needle in [
+            "C_wl", "C_br", "C_bw", "C_cell", "E_read", "E_write", "area",
+        ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }
     }

@@ -1,0 +1,300 @@
+//! The `simulate` subcommand: run a whole-network experiment from the
+//! command line, with fault injection and watchdog control, and render
+//! the structured [`RunOutcome`] as human-readable text or JSON.
+
+use orion_core::{presets, Experiment, NetworkConfig, Report, RunOutcome};
+use orion_net::{FaultConfig, FaultSchedule};
+use orion_sim::StallDiagnostics;
+
+use crate::args::{ArgError, Args};
+
+const OPTIONS: [&str; 12] = [
+    "preset",
+    "rate",
+    "seed",
+    "warmup",
+    "sample",
+    "max-cycles",
+    "watchdog-cycles",
+    "fault-links",
+    "fault-rate",
+    "fault-ports",
+    "fault-seed",
+    "json",
+];
+
+fn preset(name: &str) -> Result<NetworkConfig, ArgError> {
+    match name {
+        "wh64" => Ok(presets::wh64_onchip()),
+        "vc16" => Ok(presets::vc16_onchip()),
+        "vc64" => Ok(presets::vc64_onchip()),
+        "vc128" => Ok(presets::vc128_onchip()),
+        "xb" => Ok(presets::xb_chip_to_chip()),
+        "cb" => Ok(presets::cb_chip_to_chip()),
+        other => Err(ArgError(format!(
+            "unknown preset `{other}` (expected wh64|vc16|vc64|vc128|xb|cb)"
+        ))),
+    }
+}
+
+/// Runs a simulation experiment per the parsed command line.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] for unknown options, malformed numbers and
+/// configurations the runner rejects ([`orion_core::ConfigError`]).
+pub fn simulate(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(&OPTIONS)?;
+    // Every simulate option except `--json` takes a value; a trailing
+    // `--rate` (parsed as a flag) must not silently fall back to the
+    // default.
+    for name in OPTIONS.iter().filter(|n| **n != "json") {
+        if args.flag(name) {
+            return Err(ArgError(format!("--{name} requires a value")));
+        }
+    }
+    let preset_name = args.get("preset").unwrap_or("vc16").to_string();
+    let config = preset(&preset_name)?;
+    let rate = args.f64_or("rate", 0.05)?;
+    let seed = args.u64_or("seed", 1)?;
+    let warmup = args.u64_or("warmup", 1000)?;
+    let sample = args.u64_or("sample", 10_000)?;
+    let max_cycles = args.u64_or("max-cycles", 1_000_000)?;
+    let watchdog = args.u64_or("watchdog-cycles", 1000)?;
+
+    let fault_links = args.u64_or("fault-links", 0)? as usize;
+    let fault_rate = args.f64_or("fault-rate", 0.0)?;
+    let fault_ports = args.u64_or("fault-ports", 0)? as usize;
+    let fault_seed = args.u64_or("fault-seed", seed)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(ArgError(format!(
+            "--fault-rate expects a transient fault rate in [0, 1], got {fault_rate}"
+        )));
+    }
+
+    let mut experiment = Experiment::new(config.clone())
+        .injection_rate(rate)
+        .seed(seed)
+        .warmup(warmup)
+        .sample_packets(sample)
+        .max_cycles(max_cycles)
+        .watchdog_cycles(watchdog);
+
+    let faults = fault_links > 0 || fault_rate > 0.0 || fault_ports > 0;
+    let mut schedule_summary = None;
+    if faults {
+        // Permanent faults start in the first half of the horizon, so
+        // size the horizon by the cycles this run will plausibly
+        // execute (the sample usually completes long before the
+        // million-cycle budget) — otherwise most requested faults
+        // would begin after the run has already ended.
+        let nodes = config.topology.num_nodes() as f64;
+        let estimated_cycles = if rate > 0.0 {
+            warmup as f64 + 2.0 * sample as f64 / (rate * nodes)
+        } else {
+            (warmup + 1) as f64
+        };
+        let horizon = (estimated_cycles.ceil() as u64).clamp(1, warmup.saturating_add(max_cycles));
+        let fault_config = FaultConfig {
+            seed: fault_seed,
+            permanent_links: fault_links,
+            transient_rate: fault_rate,
+            horizon,
+            faulty_router_ports: fault_ports,
+            ..FaultConfig::default()
+        };
+        let schedule = FaultSchedule::generate(&config.topology, &fault_config);
+        schedule_summary = Some((schedule.num_faulted_resources(), fault_seed));
+        experiment = experiment.fault_schedule(schedule);
+    }
+
+    let report = experiment.run().map_err(|e| ArgError(e.to_string()))?;
+    if args.flag("json") {
+        Ok(render_json(&preset_name, rate, &report))
+    } else {
+        Ok(render_human(&preset_name, rate, &report, schedule_summary))
+    }
+}
+
+fn render_human(preset: &str, rate: f64, report: &Report, faults: Option<(usize, u64)>) -> String {
+    let mut out = format!("{preset} at {rate} packets/cycle/node\n");
+    if let Some((resources, seed)) = faults {
+        out.push_str(&format!(
+            "fault schedule: {resources} faulted resources (seed {seed})\n"
+        ));
+    }
+    out.push_str(&format!("outcome: {}\n", report.outcome()));
+    out.push_str(&format!("{report}\n"));
+    let stats = report.stats();
+    if stats.packets_dropped > 0 || stats.packets_detoured > 0 {
+        out.push_str(&format!(
+            "degradation: {} dropped ({:.1}% of injected), {} detoured\n",
+            stats.packets_dropped,
+            100.0 * stats.drop_rate(),
+            stats.packets_detoured,
+        ));
+    }
+    if let Some(diag) = report.stall_diagnostics() {
+        out.push_str(&format!("{diag}"));
+    }
+    out
+}
+
+/// JSON-safe number: JSON has no NaN, so an empty latency sample
+/// serializes as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_diagnostics(diag: &StallDiagnostics) -> String {
+    format!(
+        concat!(
+            "{{\"kind\": \"{}\", \"cycle\": {}, \"window\": {}, ",
+            "\"cycles_since_flit_movement\": {}, \"cycles_since_delivery\": {}, ",
+            "\"flits_in_network\": {}, \"source_backlog\": {}, ",
+            "\"stalled_vcs\": {}, \"blocked_head_flits\": {}}}"
+        ),
+        diag.kind,
+        diag.cycle,
+        diag.window,
+        diag.cycles_since_flit_movement,
+        diag.cycles_since_delivery,
+        diag.flits_in_network,
+        diag.source_backlog,
+        diag.stalled_vcs.len(),
+        diag.blocked_head_flits(),
+    )
+}
+
+fn render_json(preset: &str, rate: f64, report: &Report) -> String {
+    let stats = report.stats();
+    let diagnostics = match report.outcome() {
+        RunOutcome::Deadlocked(diag) => json_diagnostics(diag),
+        _ => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"preset\": \"{preset}\",\n",
+            "  \"offered_rate\": {rate},\n",
+            "  \"outcome\": \"{outcome}\",\n",
+            "  \"saturated\": {saturated},\n",
+            "  \"avg_latency_cycles\": {latency},\n",
+            "  \"zero_load_latency_cycles\": {zero_load},\n",
+            "  \"measured_cycles\": {cycles},\n",
+            "  \"total_power_w\": {power},\n",
+            "  \"packets\": {{\"injected\": {injected}, \"delivered\": {delivered}, ",
+            "\"dropped\": {dropped}, \"detoured\": {detoured}}},\n",
+            "  \"drop_rate\": {drop_rate},\n",
+            "  \"diagnostics\": {diagnostics}\n",
+            "}}\n"
+        ),
+        preset = preset,
+        rate = json_f64(rate),
+        outcome = report.outcome().label(),
+        saturated = report.is_saturated(),
+        latency = json_f64(report.avg_latency()),
+        zero_load = json_f64(report.zero_load_latency()),
+        cycles = report.measured_cycles(),
+        power = json_f64(report.total_power().0),
+        injected = stats.packets_injected,
+        delivered = stats.packets_delivered,
+        dropped = stats.packets_dropped,
+        detoured = stats.packets_detoured,
+        drop_rate = json_f64(stats.drop_rate()),
+        diagnostics = diagnostics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, ArgError> {
+        simulate(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    const QUICK: &str = "--warmup 100 --sample 100 --max-cycles 20000";
+
+    #[test]
+    fn healthy_run_reports_completed() {
+        let out = run_line(&format!("simulate --preset vc16 --rate 0.03 {QUICK}")).unwrap();
+        assert!(out.contains("outcome: completed"), "{out}");
+        assert!(out.contains("latency"), "{out}");
+        assert!(!out.contains("degradation"), "{out}");
+    }
+
+    #[test]
+    fn json_output_is_structured() {
+        let out = run_line(&format!(
+            "simulate --preset vc16 --rate 0.03 {QUICK} --json"
+        ))
+        .unwrap();
+        assert!(out.contains("\"outcome\": \"completed\""), "{out}");
+        assert!(out.contains("\"diagnostics\": null"), "{out}");
+        assert!(out.contains("\"dropped\": 0"), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn deadlock_prone_run_renders_diagnostics() {
+        let out = run_line(
+            "simulate --preset wh64 --rate 0.5 --warmup 100 --sample 2000 \
+             --max-cycles 200000 --watchdog-cycles 400",
+        )
+        .unwrap();
+        // A wormhole torus this deep past saturation either deadlocks
+        // (diagnostics rendered) or is caught by backlog divergence.
+        assert!(out.contains("deadlock") || out.contains("saturat"), "{out}");
+        assert!(!out.contains("budget exhausted"), "{out}");
+    }
+
+    #[test]
+    fn fault_flags_degrade_gracefully() {
+        let out = run_line(&format!(
+            "simulate --preset vc16 --rate 0.03 {QUICK} --fault-links 6 --fault-seed 3"
+        ))
+        .unwrap();
+        assert!(out.contains("fault schedule: "), "{out}");
+        assert!(
+            out.contains("outcome: faulted") || out.contains("detoured"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn fault_json_accounts_drops() {
+        let out = run_line(&format!(
+            "simulate --preset vc16 --rate 0.03 {QUICK} --fault-links 8 --fault-seed 3 --json"
+        ))
+        .unwrap();
+        assert!(
+            out.contains("\"outcome\": \"faulted\"") || out.contains("\"outcome\": \"completed\""),
+            "{out}"
+        );
+        assert!(out.contains("\"drop_rate\": "), "{out}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let line = format!(
+            "simulate --preset vc16 --rate 0.04 {QUICK} --seed 5 --fault-links 2 --fault-seed 7"
+        );
+        assert_eq!(run_line(&line).unwrap(), run_line(&line).unwrap());
+    }
+
+    #[test]
+    fn helpful_simulate_errors() {
+        assert!(run_line("simulate --preset hypercube").is_err());
+        assert!(run_line("simulate --rate eleven").is_err());
+        assert!(run_line("simulate --rate 1.5").is_err()); // typed ConfigError surfaced
+        assert!(run_line("simulate --fault-rate 2.0").is_err());
+        assert!(run_line("simulate --typo 1").is_err());
+        assert!(run_line("simulate --rate").is_err()); // value-less option
+        assert!(run_line(&format!("simulate --rate 0.03 {QUICK} --json")).is_ok());
+    }
+}

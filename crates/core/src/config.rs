@@ -4,12 +4,68 @@
 
 use orion_net::{DimensionOrder, Topology};
 use orion_power::{
-    router_area, ArbiterKind, ArbiterParams, ArbiterPower, AreaEstimate, BufferParams,
-    BufferPower, CentralBufferParams, CentralBufferPower, CrossbarKind, CrossbarParams,
-    CrossbarPower, LinkPower, ModelError,
+    router_area, ArbiterKind, ArbiterParams, ArbiterPower, AreaEstimate, BufferParams, BufferPower,
+    CentralBufferParams, CentralBufferPower, CrossbarKind, CrossbarParams, CrossbarPower,
+    LinkPower, ModelError,
 };
-use orion_sim::{CentralRouterSpec, FlowControl, NetworkSpec, PowerModels, RouterKind, VcDiscipline, VcRouterSpec};
+use orion_sim::{
+    CentralRouterSpec, FlowControl, NetworkSpec, PowerModels, RouterKind, VcDiscipline,
+    VcRouterSpec,
+};
 use orion_tech::{Hertz, Microns, Technology, Watts};
+
+/// A configuration the runner cannot simulate, reported as a typed
+/// error instead of a panic deep inside workload or route construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Injection rate outside `[0, 1]` packets/cycle/node.
+    InvalidRate(f64),
+    /// Packets must carry at least one flit.
+    ZeroPacketLength,
+    /// A custom dimension order that is not a permutation of
+    /// `0..dims` for the configured topology.
+    BadDimensionOrder {
+        /// Number of topology dimensions.
+        dims: u8,
+        /// The rejected order.
+        order: Vec<u8>,
+    },
+    /// A power-model parameter out of range (wraps
+    /// [`ModelError`]).
+    Model(ModelError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidRate(rate) => {
+                write!(f, "injection rate {rate} outside [0, 1] packets/cycle/node")
+            }
+            ConfigError::ZeroPacketLength => write!(f, "packet length must be at least 1 flit"),
+            ConfigError::BadDimensionOrder { dims, order } => write!(
+                f,
+                "dimension order {order:?} is not a permutation of 0..{dims}"
+            ),
+            ConfigError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ConfigError {
+    fn from(e: ModelError) -> ConfigError {
+        ConfigError::Model(e)
+    }
+}
 
 /// Router microarchitecture choice and sizing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,6 +258,37 @@ impl NetworkConfig {
         self
     }
 
+    /// Validates the parts of the configuration that the simulator
+    /// would otherwise reject with a panic: packet length and custom
+    /// dimension orders. (Power-model parameters are validated by
+    /// [`build`](NetworkConfig::build), which returns
+    /// [`ModelError`] wrapped in [`ConfigError::Model`] via the runner.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroPacketLength`] or
+    /// [`ConfigError::BadDimensionOrder`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.packet_len == 0 {
+            return Err(ConfigError::ZeroPacketLength);
+        }
+        if let DimensionOrder::Custom(order) = &self.dim_order {
+            let dims = self.topology.dims() as u8;
+            let mut seen = vec![false; dims as usize];
+            let is_permutation = order.len() == dims as usize
+                && order.iter().all(|&d| {
+                    (d as usize) < seen.len() && !std::mem::replace(&mut seen[d as usize], true)
+                });
+            if !is_permutation {
+                return Err(ConfigError::BadDimensionOrder {
+                    dims,
+                    order: order.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Number of ports per router implied by the topology.
     pub fn ports(&self) -> usize {
         self.topology.ports_per_router()
@@ -239,22 +326,15 @@ impl NetworkConfig {
             &CrossbarParams::new(self.crossbar_kind, ports, ports, self.flit_bits),
             self.tech,
         )?;
-        let arbiter = ArbiterPower::new(
-            &ArbiterParams::new(self.arbiter_kind, ports),
-            self.tech,
-        )?
-        .with_control_energy(crossbar.control_energy());
+        let arbiter = ArbiterPower::new(&ArbiterParams::new(self.arbiter_kind, ports), self.tech)?
+            .with_control_energy(crossbar.control_energy());
         let link = self.link_model();
 
         let (router, central) = match &self.router {
             RouterConfig::Wormhole { buffer_flits } => (
                 RouterKind::Vc(
-                    VcRouterSpec::wormhole(
-                        ports as usize,
-                        *buffer_flits as usize,
-                        self.flit_bits,
-                    )
-                    .with_flow_control(self.flow_control),
+                    VcRouterSpec::wormhole(ports as usize, *buffer_flits as usize, self.flit_bits)
+                        .with_flow_control(self.flow_control),
                 ),
                 None,
             ),
@@ -495,6 +575,44 @@ mod tests {
         );
         assert!(cfg.build().is_err());
         assert!(cfg.router_area().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_good_custom_orders() {
+        assert_eq!(base().validate(), Ok(()));
+        let custom = base().dimension_order(DimensionOrder::Custom(vec![1, 0]));
+        assert_eq!(custom.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs_with_typed_errors() {
+        let zero_len = base().packet_len(0);
+        assert_eq!(zero_len.validate(), Err(ConfigError::ZeroPacketLength));
+
+        for bad in [vec![0u8, 0], vec![0], vec![0, 2], vec![0, 1, 2]] {
+            let cfg = base().dimension_order(DimensionOrder::Custom(bad.clone()));
+            match cfg.validate() {
+                Err(ConfigError::BadDimensionOrder { dims: 2, order }) => {
+                    assert_eq!(order, bad);
+                }
+                other => panic!("expected BadDimensionOrder for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_error_display_and_conversion() {
+        let e = ConfigError::InvalidRate(1.5);
+        assert!(e.to_string().contains("1.5"));
+        assert!(ConfigError::ZeroPacketLength.to_string().contains("1 flit"));
+        let bad = NetworkConfig::new(
+            Topology::torus(&[4, 4]).unwrap(),
+            RouterConfig::Wormhole { buffer_flits: 0 },
+            256,
+        );
+        let wrapped: ConfigError = bad.build().unwrap_err().into();
+        assert!(matches!(wrapped, ConfigError::Model(_)));
+        assert!(std::error::Error::source(&wrapped).is_some());
     }
 
     #[test]

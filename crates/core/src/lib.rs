@@ -15,8 +15,11 @@
 //!   recorded after warm-up ([`run`]),
 //! * [`Report`] — latency, throughput, saturation detection, total /
 //!   per-node / per-component power ([`report`]),
-//! * [`injection_sweep`] — the rate sweeps behind Figures 5 and 7
-//!   ([`sweep`]).
+//! * [`RunOutcome`] — how a run ended: completed, saturated,
+//!   deadlocked (with watchdog diagnostics), faulted (with drop
+//!   accounting) or budget-exhausted ([`report`]),
+//! * [`injection_sweep`] — the rate sweeps behind Figures 5 and 7,
+//!   error-isolating so one bad point cannot abort a sweep ([`sweep`]).
 //!
 //! # Example
 //!
@@ -43,7 +46,7 @@ pub mod report;
 pub mod run;
 pub mod sweep;
 
-pub use config::{LinkConfig, NetworkConfig, RouterConfig};
-pub use report::Report;
+pub use config::{ConfigError, LinkConfig, NetworkConfig, RouterConfig};
+pub use report::{Report, RunOutcome};
 pub use run::Experiment;
-pub use sweep::{injection_sweep, saturation_rate, SweepOptions, SweepPoint};
+pub use sweep::{injection_sweep, saturation_rate, try_injection_sweep, SweepOptions, SweepPoint};

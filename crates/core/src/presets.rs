@@ -37,9 +37,7 @@ fn onchip(router: RouterConfig) -> NetworkConfig {
 fn chip_to_chip(router: RouterConfig) -> NetworkConfig {
     NetworkConfig::new(torus_4x4(), router, 32)
         .clock(Hertz::from_ghz(1.0))
-        .link(LinkConfig::ChipToChip {
-            power: Watts(3.0),
-        })
+        .link(LinkConfig::ChipToChip { power: Watts(3.0) })
 }
 
 /// WH64: wormhole router with a 64-flit input buffer per port (§4.2).

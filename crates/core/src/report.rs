@@ -8,8 +8,97 @@
 //! contribute their constant datasheet power (§4.4), which no switching
 //! event ever charges.
 
-use orion_sim::{Component, SimStats};
+use orion_sim::{Component, SimStats, StallDiagnostics, StallKind};
 use orion_tech::{average_power, Hertz, Joules, Watts};
+
+/// How a simulation run ended.
+///
+/// The paper's measurement discipline (§4.1) distinguishes only
+/// "finished" from "ran out of budget"; this enum separates the ways a
+/// run can fail to finish so sweeps and fault studies can report
+/// *graceful degradation* instead of a single boolean:
+///
+/// * [`Completed`](RunOutcome::Completed) — every tagged packet was
+///   delivered within the cycle budget,
+/// * [`Saturated`](RunOutcome::Saturated) — the runner observed the
+///   source backlog diverging (offered load above capacity) and
+///   terminated early rather than burning the budget,
+/// * [`Deadlocked`](RunOutcome::Deadlocked) — the watchdog detected a
+///   no-progress window; the [`StallDiagnostics`] says whether it was a
+///   true deadlock or a livelock and which VCs were blocked,
+/// * [`Faulted`](RunOutcome::Faulted) — fault-aware routing dropped
+///   packets at injection (no path over surviving links), but the rest
+///   of the sample was delivered,
+/// * [`BudgetExhausted`](RunOutcome::BudgetExhausted) — the cycle
+///   budget ran out with tagged packets still outstanding and no
+///   sharper classification available.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunOutcome {
+    /// Every tagged packet was delivered within the cycle budget.
+    Completed,
+    /// The source backlog diverged: offered load exceeds capacity, so
+    /// the runner stopped early instead of waiting out the budget.
+    Saturated,
+    /// The watchdog fired on a no-progress window; the diagnostics
+    /// carry the classification ([`StallKind`]) and the blocked VCs.
+    Deadlocked(StallDiagnostics),
+    /// Faults made some packets unroutable; they were dropped at the
+    /// source with accounting, and the remainder delivered.
+    Faulted {
+        /// Packets fully delivered despite the faults.
+        delivered: u64,
+        /// Packets dropped at injection (no path over surviving links).
+        dropped: u64,
+    },
+    /// The cycle budget ran out with tagged packets still in flight.
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// Whether the run delivered its full tagged sample without drops.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// The stall diagnostics, when the watchdog fired.
+    pub fn diagnostics(&self) -> Option<&StallDiagnostics> {
+        match self {
+            RunOutcome::Deadlocked(diag) => Some(diag),
+            _ => None,
+        }
+    }
+
+    /// A stable machine-readable label (used by the CLI's JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Saturated => "saturated",
+            RunOutcome::Deadlocked(diag) => match diag.kind {
+                StallKind::Livelock => "livelocked",
+                _ => "deadlocked",
+            },
+            RunOutcome::Faulted { .. } => "faulted",
+            RunOutcome::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Completed => write!(f, "completed"),
+            RunOutcome::Saturated => write!(f, "saturated (source backlog diverging)"),
+            RunOutcome::Deadlocked(diag) => {
+                write!(f, "{} at cycle {}", diag.kind, diag.cycle)
+            }
+            RunOutcome::Faulted { delivered, dropped } => {
+                write!(f, "faulted ({delivered} delivered, {dropped} dropped)")
+            }
+            RunOutcome::BudgetExhausted => write!(f, "budget exhausted"),
+        }
+    }
+}
 
 /// Results of one simulation run.
 #[derive(Debug, Clone)]
@@ -28,14 +117,11 @@ pub struct Report {
     link_static_per_node: Watts,
     /// Analytic zero-load latency of the configuration.
     zero_load_latency: f64,
-    /// Whether every tagged packet was delivered before the cycle
-    /// budget ran out (false deep into saturation).
-    completed: bool,
+    /// How the run ended.
+    outcome: RunOutcome,
     /// Per-node injection rate of the offered workload
     /// (packets/cycle/node, averaged over nodes).
     offered_rate: f64,
-    /// Whether the run was cut short by deadlock detection.
-    deadlocked: bool,
     /// Flits carried per (node, out_port) over the measurement window.
     link_flits: Vec<Vec<u64>>,
     /// Estimated router leakage per node (post-paper extension; not
@@ -52,7 +138,7 @@ impl Report {
         f_clk: Hertz,
         link_static_per_node: Watts,
         zero_load_latency: f64,
-        completed: bool,
+        outcome: RunOutcome,
         offered_rate: f64,
     ) -> Report {
         Report {
@@ -62,17 +148,11 @@ impl Report {
             f_clk,
             link_static_per_node,
             zero_load_latency,
-            completed,
+            outcome,
             offered_rate,
-            deadlocked: false,
             link_flits: Vec::new(),
             router_leakage_per_node: Watts::ZERO,
         }
-    }
-
-    pub(crate) fn with_deadlock(mut self, deadlocked: bool) -> Report {
-        self.deadlocked = deadlocked;
-        self
     }
 
     pub(crate) fn with_link_flits(mut self, link_flits: Vec<Vec<u64>>) -> Report {
@@ -131,11 +211,24 @@ impl Report {
         best
     }
 
-    /// Whether the run was cut short because no flit made progress —
+    /// How the run ended: completed, saturated, deadlocked (with
+    /// diagnostics), faulted (with drop accounting) or out of budget.
+    pub fn outcome(&self) -> &RunOutcome {
+        &self.outcome
+    }
+
+    /// Whether the run was cut short because progress stopped —
     /// dimension-ordered wormhole routing on a torus admits deadlock
-    /// deep past saturation (Dally & Seitz; see DESIGN.md).
+    /// deep past saturation (Dally & Seitz; see DESIGN.md). Includes
+    /// livelock; inspect [`outcome`](Report::outcome) to distinguish.
     pub fn deadlocked(&self) -> bool {
-        self.deadlocked
+        matches!(self.outcome, RunOutcome::Deadlocked(_))
+    }
+
+    /// The watchdog's stall diagnostics, when the run deadlocked or
+    /// livelocked.
+    pub fn stall_diagnostics(&self) -> Option<&StallDiagnostics> {
+        self.outcome.diagnostics()
     }
 
     /// Performance statistics of the tagged sample.
@@ -155,16 +248,26 @@ impl Report {
     }
 
     /// §4.1 saturation criterion: average latency above twice the
-    /// zero-load latency (an unfinished run is saturated by
-    /// definition).
+    /// zero-load latency (a run cut short by the watchdog, backlog
+    /// divergence or the cycle budget is saturated by definition).
     pub fn is_saturated(&self) -> bool {
-        !self.completed || self.avg_latency() > 2.0 * self.zero_load_latency
+        match &self.outcome {
+            RunOutcome::Completed | RunOutcome::Faulted { .. } => {
+                self.avg_latency() > 2.0 * self.zero_load_latency
+            }
+            _ => true,
+        }
     }
 
     /// Whether the run delivered every tagged packet within its cycle
-    /// budget.
+    /// budget without drops.
+    #[deprecated(
+        since = "0.1.0",
+        note = "inspect `Report::outcome()` instead; `completed()` collapses \
+                the outcome taxonomy back to a boolean"
+    )]
     pub fn completed(&self) -> bool {
-        self.completed
+        self.outcome.is_completed()
     }
 
     /// Cycles in the measurement window.
@@ -266,13 +369,25 @@ impl std::fmt::Display for Report {
     /// One-paragraph human-readable summary: latency, saturation,
     /// throughput and the component power breakdown.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let suffix = match &self.outcome {
+            RunOutcome::Completed | RunOutcome::Saturated => String::new(),
+            RunOutcome::Deadlocked(diag) => format!(", {}", diag.kind),
+            RunOutcome::Faulted { delivered, dropped } => {
+                format!(", faulted ({delivered} delivered, {dropped} dropped)")
+            }
+            RunOutcome::BudgetExhausted => ", budget exhausted".to_string(),
+        };
         writeln!(
             f,
             "latency {:.1} cycles (zero-load {:.1}){}{}",
             self.avg_latency(),
             self.zero_load_latency,
-            if self.is_saturated() { ", saturated" } else { "" },
-            if self.deadlocked { ", deadlocked" } else { "" },
+            if self.is_saturated() {
+                ", saturated"
+            } else {
+                ""
+            },
+            suffix,
         )?;
         writeln!(
             f,
@@ -308,7 +423,7 @@ mod tests {
             Hertz::from_ghz(1.0),
             Watts(static_w),
             15.0,
-            true,
+            RunOutcome::Completed,
             0.1,
         )
     }
@@ -351,29 +466,93 @@ mod tests {
             Hertz::from_ghz(1.0),
             Watts::ZERO,
             15.0,
-            true,
+            RunOutcome::Completed,
             0.2,
         );
         assert!(r.is_saturated());
     }
 
-    #[test]
-    fn incomplete_run_is_saturated() {
+    fn outcome_report(outcome: RunOutcome) -> Report {
         let mut stats = SimStats::new();
         stats.tagged_injected = 10;
         stats.record_delivery(20, true);
-        let r = Report::new(
+        Report::new(
             stats,
             vec![[Joules::ZERO; 5]],
             100,
             Hertz::from_ghz(1.0),
             Watts::ZERO,
             15.0,
-            false,
+            outcome,
             0.3,
-        );
+        )
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn incomplete_run_is_saturated() {
+        let r = outcome_report(RunOutcome::BudgetExhausted);
         assert!(r.is_saturated());
-        assert!(!r.completed());
+        assert!(!r.completed(), "compat shim: unfinished is not completed");
+        assert!(!r.deadlocked());
+        assert_eq!(r.outcome(), &RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn outcome_taxonomy_drives_predicates() {
+        use orion_sim::{StallDiagnostics, StallKind};
+        let sat = outcome_report(RunOutcome::Saturated);
+        assert!(sat.is_saturated() && !sat.completed() && !sat.deadlocked());
+
+        let diag = StallDiagnostics {
+            kind: StallKind::Deadlock,
+            cycle: 1234,
+            window: 500,
+            cycles_since_flit_movement: 600,
+            cycles_since_delivery: 700,
+            cycles_since_credit: 650,
+            flits_in_network: 12,
+            source_backlog: 30,
+            packets_delivered: 4,
+            packets_dropped: 0,
+            stalled_vcs: Vec::new(),
+        };
+        let dead = outcome_report(RunOutcome::Deadlocked(diag.clone()));
+        assert!(dead.deadlocked() && dead.is_saturated() && !dead.completed());
+        assert_eq!(dead.stall_diagnostics(), Some(&diag));
+        assert_eq!(dead.outcome().label(), "deadlocked");
+        assert!(dead.to_string().contains("deadlock"));
+
+        // Drops degrade the run without marking it saturated: latency
+        // of the delivered remainder still decides saturation.
+        let faulted = outcome_report(RunOutcome::Faulted {
+            delivered: 8,
+            dropped: 2,
+        });
+        assert!(!faulted.is_saturated(), "latency 20 < 2×15");
+        assert!(!faulted.completed() && !faulted.deadlocked());
+        assert_eq!(faulted.outcome().label(), "faulted");
+        assert!(faulted.to_string().contains("2 dropped"));
+
+        let done = outcome_report(RunOutcome::Completed);
+        assert!(done.completed() && done.outcome().is_completed());
+        assert_eq!(done.stall_diagnostics(), None);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(RunOutcome::Completed.label(), "completed");
+        assert_eq!(RunOutcome::Saturated.label(), "saturated");
+        assert_eq!(RunOutcome::BudgetExhausted.label(), "budget-exhausted");
+        assert_eq!(
+            RunOutcome::Faulted {
+                delivered: 1,
+                dropped: 1
+            }
+            .label(),
+            "faulted"
+        );
     }
 
     #[test]

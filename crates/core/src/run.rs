@@ -8,21 +8,23 @@
 //! calculated."*
 //!
 //! Energy is recorded "over the entire simulation excluding the first
-//! 1000 cycles". A cycle budget bounds runs deep into saturation (where
-//! a wormhole torus without VC deadlock avoidance may even deadlock);
-//! such runs return with [`Report::completed`]` == false` and count as
-//! saturated.
+//! 1000 cycles". A cycle budget still bounds every run, but the runner
+//! does not merely wait it out: a watchdog
+//! ([`Network::check_stall`](orion_sim::Network::check_stall)) detects
+//! no-progress windows and classifies them (deadlock vs livelock), a
+//! backlog-divergence check detects saturation early, and fault-aware
+//! routing accounts for dropped packets — each reported as a structured
+//! [`RunOutcome`] on the [`Report`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use orion_net::{NodeId, TraceTraffic, TrafficPattern};
-use orion_power::ModelError;
-use orion_sim::{Component, Network};
+use orion_net::{FaultSchedule, NodeId, TraceTraffic, TrafficPattern};
+use orion_sim::{Component, Network, StallDiagnostics};
 use orion_tech::Joules;
 
-use crate::config::NetworkConfig;
-use crate::report::Report;
+use crate::config::{ConfigError, NetworkConfig};
+use crate::report::{Report, RunOutcome};
 
 /// A configured simulation experiment.
 ///
@@ -46,7 +48,17 @@ pub struct Experiment {
     warmup: u64,
     sample_packets: u64,
     max_cycles: u64,
+    fault_schedule: Option<FaultSchedule>,
+    watchdog: u64,
 }
+
+/// Default watchdog window: a full millennium of cycles with no flit
+/// movement (or no delivery) means the run is wedged, not slow.
+const DEFAULT_WATCHDOG: u64 = 1000;
+
+/// Consecutive growing backlog samples (one per watchdog window)
+/// required before the runner declares saturation divergence.
+const BACKLOG_SAMPLES: usize = 4;
 
 impl Experiment {
     /// Creates an experiment with the paper's measurement defaults:
@@ -62,6 +74,8 @@ impl Experiment {
             warmup: 1000,
             sample_packets: 10_000,
             max_cycles: 1_000_000,
+            fault_schedule: None,
+            watchdog: DEFAULT_WATCHDOG,
         }
     }
 
@@ -116,24 +130,41 @@ impl Experiment {
         self
     }
 
+    /// Installs a deterministic fault schedule: routing consults it at
+    /// every injection, detouring around dead links and dropping (with
+    /// accounting) packets that no surviving path can carry. A run with
+    /// drops ends as [`RunOutcome::Faulted`].
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Experiment {
+        self.fault_schedule = Some(schedule);
+        self
+    }
+
+    /// Overrides the watchdog's no-progress window in cycles
+    /// (default 1000). The same window paces the saturation
+    /// backlog-divergence check; `0` disables both, restoring
+    /// budget-only termination.
+    pub fn watchdog_cycles(mut self, window: u64) -> Experiment {
+        self.watchdog = window;
+        self
+    }
+
     /// The configuration under test.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
     }
 
-    /// Runs the experiment to completion.
+    /// Runs the experiment to completion, early stall or saturation
+    /// detection, or budget exhaustion — the distinction is recorded in
+    /// [`Report::outcome`].
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidParameter`] if the configuration's
-    /// power models reject their parameters, and propagates workload
-    /// construction failure as a panic only for the internal default
-    /// (its rate is validated here).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the default uniform workload rate is outside `[0, 1]`.
-    pub fn run(self) -> Result<Report, ModelError> {
+    /// Returns a typed [`ConfigError`]: an out-of-range injection rate
+    /// or invalid dimension order is rejected here, and power-model
+    /// parameter errors are wrapped as [`ConfigError::Model`]. No
+    /// configuration input panics.
+    pub fn run(self) -> Result<Report, ConfigError> {
+        self.config.validate()?;
         let (spec, models) = self.config.build()?;
         let ports = self.config.ports();
         let router_leakage = orion_tech::Watts(
@@ -147,17 +178,35 @@ impl Experiment {
                     .unwrap_or(0.0),
         );
         let mut net = Network::new(spec, models);
+        if let Some(schedule) = &self.fault_schedule {
+            net.set_fault_schedule(schedule.clone());
+        }
         let nodes: Vec<NodeId> = self.config.topology.nodes().collect();
 
-        // A torus under dimension-ordered routing without dateline VC
-        // classes can deadlock deep past saturation; detect the
-        // condition and stop rather than burn the cycle budget.
-        const DEADLOCK_THRESHOLD: u64 = 1000;
+        // The watchdog window: no flit movement (deadlock) or no
+        // delivery (livelock) for a full window stops the run with
+        // diagnostics instead of burning the cycle budget. The same
+        // window paces source-backlog sampling for the saturation
+        // divergence check.
+        let window = self.watchdog;
         let mut tagged_budget = self.sample_packets;
-        let mut deadlocked = false;
-        let completed;
+        let mut stall: Option<StallDiagnostics> = None;
+        let mut saturated_early = false;
+        let mut backlog_samples: Vec<usize> = Vec::new();
+        let finished;
         let offered_rate;
         let measure_start;
+
+        // True when the last BACKLOG_SAMPLES window samples grow
+        // strictly and by at least two packets per node overall: the
+        // offered load is above capacity and the backlog diverges.
+        let diverging = |samples: &[usize], nodes: usize| {
+            samples.len() >= BACKLOG_SAMPLES && {
+                let recent = &samples[samples.len() - BACKLOG_SAMPLES..];
+                recent.windows(2).all(|w| w[1] > w[0])
+                    && recent[BACKLOG_SAMPLES - 1] - recent[0] >= 2 * nodes
+            }
+        };
 
         if let Some(mut trace) = self.trace {
             // Trace replay: absolute cycles, no warm-up, measure
@@ -165,10 +214,8 @@ impl Experiment {
             let span = trace.events().last().map(|e| e.cycle + 1).unwrap_or(1);
             offered_rate = trace.events().len() as f64 / (span as f64 * nodes.len() as f64);
             measure_start = net.cycle();
-            while (!trace.is_exhausted() || !net.is_drained()) && net.cycle() < self.max_cycles
-            {
-                let pairs: Vec<(NodeId, NodeId)> =
-                    trace.injections_at(net.cycle()).collect();
+            while (!trace.is_exhausted() || !net.is_drained()) && net.cycle() < self.max_cycles {
+                let pairs: Vec<(NodeId, NodeId)> = trace.injections_at(net.cycle()).collect();
                 for (src, dst) in pairs {
                     let tag = tagged_budget > 0;
                     if tag {
@@ -177,17 +224,24 @@ impl Experiment {
                     net.enqueue_packet(src, dst, tag);
                 }
                 net.step();
-                if net.is_deadlocked(DEADLOCK_THRESHOLD) {
-                    deadlocked = true;
-                    break;
+                if window > 0 {
+                    if let Some(kind) = net.check_stall(window) {
+                        stall = Some(net.stall_diagnostics(kind, window));
+                        break;
+                    }
                 }
             }
-            completed = trace.is_exhausted() && net.is_drained() && !deadlocked;
+            finished = trace.is_exhausted() && net.is_drained() && stall.is_none();
         } else {
             let mut pattern = match self.workload {
                 Some(p) => p,
-                None => TrafficPattern::uniform(&self.config.topology, self.rate)
-                    .expect("injection rate must be within [0, 1]"),
+                None => {
+                    if !(0.0..=1.0).contains(&self.rate) {
+                        return Err(ConfigError::InvalidRate(self.rate));
+                    }
+                    TrafficPattern::uniform(&self.config.topology, self.rate)
+                        .expect("rate validated above")
+                }
             };
             let mut rng = StdRng::seed_from_u64(self.seed);
             offered_rate = pattern.total_injection_rate() / nodes.len() as f64;
@@ -220,7 +274,7 @@ impl Experiment {
             measure_start = net.cycle();
 
             // Measurement phase: tag the next `sample_packets` packets
-            // and run until they all eject (injection continues
+            // and run until they all eject or drop (injection continues
             // throughout).
             if pattern.total_injection_rate() > 0.0 {
                 while (tagged_budget > 0 || net.stats().tagged_outstanding() > 0)
@@ -228,21 +282,49 @@ impl Experiment {
                 {
                     inject(&mut net, &mut pattern, &mut rng, &mut tagged_budget);
                     net.step();
-                    if net.is_deadlocked(DEADLOCK_THRESHOLD) {
-                        deadlocked = true;
-                        break;
+                    if window > 0 {
+                        if let Some(kind) = net.check_stall(window) {
+                            stall = Some(net.stall_diagnostics(kind, window));
+                            break;
+                        }
+                        if net.cycle().is_multiple_of(window) {
+                            backlog_samples.push(net.source_backlog());
+                            if diverging(&backlog_samples, nodes.len()) {
+                                saturated_early = true;
+                                break;
+                            }
+                        }
                     }
                 }
             }
-            completed = (tagged_budget == 0 && net.stats().tagged_outstanding() == 0
+            finished = (tagged_budget == 0 && net.stats().tagged_outstanding() == 0
                 || pattern.total_injection_rate() == 0.0)
-                && !deadlocked;
+                && stall.is_none()
+                && !saturated_early;
         }
+
+        let outcome = if let Some(diag) = stall {
+            RunOutcome::Deadlocked(diag)
+        } else if saturated_early {
+            RunOutcome::Saturated
+        } else if !finished {
+            RunOutcome::BudgetExhausted
+        } else if net.stats().packets_dropped > 0 {
+            RunOutcome::Faulted {
+                delivered: net.stats().packets_delivered,
+                dropped: net.stats().packets_dropped,
+            }
+        } else {
+            RunOutcome::Completed
+        };
+
         // For a deadlocked run, average power over the live portion of
         // the window (a frozen network dissipates no dynamic power and
         // would dilute the plateau the paper reports past saturation).
-        let measured_cycles = if deadlocked {
-            net.last_progress_cycle().saturating_sub(measure_start).max(1)
+        let measured_cycles = if matches!(outcome, RunOutcome::Deadlocked(_)) {
+            net.last_progress_cycle()
+                .saturating_sub(measure_start)
+                .max(1)
         } else {
             net.cycle() - measure_start
         };
@@ -269,10 +351,9 @@ impl Experiment {
             self.config.f_clk,
             link_static_per_node,
             self.config.zero_load_latency(),
-            completed,
+            outcome,
             offered_rate,
         )
-        .with_deadlock(deadlocked)
         .with_link_flits(link_flits)
         .with_router_leakage(router_leakage))
     }
@@ -295,7 +376,7 @@ mod tests {
     #[test]
     fn low_load_run_completes_near_zero_load_latency() {
         let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.02));
-        assert!(r.completed());
+        assert_eq!(r.outcome(), &RunOutcome::Completed);
         assert!(!r.is_saturated());
         let t0 = r.zero_load_latency();
         assert!(
@@ -309,7 +390,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.05).seed(seed));
+            let r = quick(
+                Experiment::new(presets::vc16_onchip())
+                    .injection_rate(0.05)
+                    .seed(seed),
+            );
             (r.avg_latency(), r.total_power().0)
         };
         assert_eq!(run(3), run(3));
@@ -329,7 +414,7 @@ mod tests {
         let src = topo.node_at(&[1, 2]);
         let pattern = TrafficPattern::broadcast(&topo, src, 0.2).unwrap();
         let r = quick(Experiment::new(presets::vc16_onchip()).workload(pattern));
-        assert!(r.completed());
+        assert_eq!(r.outcome(), &RunOutcome::Completed);
         // Source node burns the most power (Fig. 6b).
         let map = r.power_map();
         let max_node = (0..16).max_by(|&a, &b| map[a].0.partial_cmp(&map[b].0).unwrap());
@@ -343,28 +428,130 @@ mod tests {
             .warmup(50)
             .run()
             .unwrap();
-        assert!(r.completed());
+        assert_eq!(r.outcome(), &RunOutcome::Completed);
         assert_eq!(r.stats().sample_count(), 0);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn cycle_budget_bounds_saturated_runs() {
         // Far beyond saturation with a tiny budget: must return, marked
-        // incomplete/saturated.
+        // incomplete/saturated. With the watchdog disabled this is the
+        // legacy budget-only path and must classify as BudgetExhausted.
         let r = Experiment::new(presets::wh64_onchip())
             .injection_rate(0.5)
             .warmup(100)
             .sample_packets(5000)
             .max_cycles(2000)
+            .watchdog_cycles(0)
             .run()
             .unwrap();
-        assert!(!r.completed());
+        assert!(!r.completed(), "deprecated shim still reports unfinished");
+        assert!(r.is_saturated());
+        assert_eq!(r.outcome(), &RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn watchdog_classifies_wormhole_deadlock_with_diagnostics() {
+        // The same deep-saturation wormhole torus with the watchdog on:
+        // the run ends as Deadlocked (or Saturated if detection races),
+        // never by waiting out the budget.
+        let r = Experiment::new(presets::wh64_onchip())
+            .injection_rate(0.5)
+            .warmup(100)
+            .sample_packets(5000)
+            .max_cycles(1_000_000)
+            .watchdog_cycles(500)
+            .run()
+            .unwrap();
+        match r.outcome() {
+            RunOutcome::Deadlocked(diag) => {
+                assert!(!diag.is_empty(), "diagnostics must list stalled VCs");
+                assert!(diag.cycle < 100_000, "fired at {}", diag.cycle);
+                assert!(diag.flits_in_network > 0);
+            }
+            RunOutcome::Saturated => {}
+            other => panic!("expected early termination, got {other:?}"),
+        }
         assert!(r.is_saturated());
     }
 
     #[test]
+    fn backlog_divergence_reports_saturation_without_deadlock() {
+        // Dateline VC classes remove the deadlock cycle, so deep
+        // overload shows up as pure saturation: backlog divergence.
+        let cfg = presets::vc16_onchip().vc_discipline(orion_sim::VcDiscipline::Dateline);
+        let r = Experiment::new(cfg)
+            .injection_rate(0.4)
+            .warmup(100)
+            .sample_packets(5000)
+            .max_cycles(200_000)
+            .watchdog_cycles(500)
+            .run()
+            .unwrap();
+        assert_eq!(r.outcome(), &RunOutcome::Saturated);
+        assert!(r.is_saturated());
+        assert!(
+            r.measured_cycles() < 100_000,
+            "diverging backlog must stop the run early, ran {}",
+            r.measured_cycles()
+        );
+    }
+
+    #[test]
+    fn faulted_run_accounts_drops_and_detours() {
+        use orion_net::{FaultConfig, FaultSchedule};
+        let cfg = presets::vc16_onchip();
+        let schedule = FaultSchedule::generate(
+            &cfg.topology,
+            &FaultConfig {
+                seed: 9,
+                permanent_links: 6,
+                // Tiny horizon: every permanent fault starts at cycle 0,
+                // so even this short run routes around dead links.
+                horizon: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let r = Experiment::new(cfg)
+            .injection_rate(0.03)
+            .fault_schedule(schedule)
+            .warmup(200)
+            .sample_packets(300)
+            .max_cycles(100_000)
+            .run()
+            .unwrap();
+        match r.outcome() {
+            RunOutcome::Faulted { delivered, dropped } => {
+                assert_eq!(*dropped, r.stats().packets_dropped);
+                assert_eq!(*delivered, r.stats().packets_delivered);
+                assert!(*dropped > 0 && *delivered > 0);
+            }
+            RunOutcome::Completed => {
+                // Legal when every injected packet found a detour.
+                assert_eq!(r.stats().packets_dropped, 0);
+                assert!(r.stats().packets_detoured > 0, "6 dead links must detour");
+            }
+            other => panic!("fault run must degrade gracefully, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_rate_is_a_typed_error_not_a_panic() {
+        for rate in [-0.5, 1.5] {
+            match Experiment::new(presets::vc16_onchip())
+                .injection_rate(rate)
+                .run()
+            {
+                Err(crate::ConfigError::InvalidRate(r)) => assert_eq!(r, rate),
+                other => panic!("expected InvalidRate({rate}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn channel_loads_identify_broadcast_hot_links() {
-        use orion_net::{TrafficPattern, Topology};
+        use orion_net::{Topology, TrafficPattern};
         let topo = Topology::torus(&[4, 4]).unwrap();
         let src = topo.node_at(&[1, 2]);
         let r = quick(
@@ -396,7 +583,7 @@ mod tests {
             .max_cycles(50_000)
             .run()
             .expect("valid config");
-        assert!(r.completed());
+        assert_eq!(r.outcome(), &RunOutcome::Completed);
         assert_eq!(r.stats().packets_delivered, 200);
         assert!(r.total_power().0 > 0.0);
         assert!(r.offered_rate() > 0.0);

@@ -1,8 +1,6 @@
 //! Injection-rate sweeps — the x-axis of Figures 5 and 7.
 
-use orion_power::ModelError;
-
-use crate::config::NetworkConfig;
+use crate::config::{ConfigError, NetworkConfig};
 use crate::report::Report;
 use crate::run::Experiment;
 
@@ -40,12 +38,48 @@ impl Default for SweepOptions {
     }
 }
 
+/// Runs `config` under uniform random traffic at each rate in `rates`,
+/// returning every per-rate result — successes *and* failures — so one
+/// bad point cannot abort the sweep.
+///
+/// Deadlocked, saturated and budget-exhausted points are not errors:
+/// they come back as `Ok` reports whose
+/// [`outcome`](Report::outcome) records the degradation. Only rates
+/// the runner refuses to simulate at all (e.g. outside `[0, 1]`)
+/// produce an `Err` entry.
+pub fn try_injection_sweep(
+    config: &NetworkConfig,
+    rates: &[f64],
+    options: SweepOptions,
+) -> Vec<(f64, Result<Report, ConfigError>)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let result = Experiment::new(config.clone())
+                .injection_rate(rate)
+                .seed(options.seed)
+                .warmup(options.warmup)
+                .sample_packets(options.sample_packets)
+                .max_cycles(options.max_cycles)
+                .run();
+            (rate, result)
+        })
+        .collect()
+}
+
 /// Runs `config` under uniform random traffic at each rate in `rates`.
+///
+/// The sweep is error-isolating: a rate the runner rejects (e.g.
+/// outside `[0, 1]`) is skipped and every other point is still
+/// measured and returned. Points that deadlock, saturate or exhaust
+/// their budget are *not* errors — they are reported with the
+/// corresponding [`RunOutcome`](crate::RunOutcome). Use
+/// [`try_injection_sweep`] to see the per-point errors themselves.
 ///
 /// # Errors
 ///
-/// Returns the first configuration error encountered (the same config
-/// is reused, so an error surfaces at the first point).
+/// Returns a [`ConfigError`] only when every requested point fails
+/// (e.g. the configuration itself is invalid, so no rate can run).
 ///
 /// ```no_run
 /// use orion_core::{injection_sweep, presets, SweepOptions};
@@ -59,26 +93,25 @@ impl Default for SweepOptions {
 ///     println!("{:.2}: {:.1} cycles, {:.3} W",
 ///              p.rate, p.report.avg_latency(), p.report.total_power().0);
 /// }
-/// # Ok::<(), orion_power::ModelError>(())
+/// # Ok::<(), orion_core::ConfigError>(())
 /// ```
 pub fn injection_sweep(
     config: &NetworkConfig,
     rates: &[f64],
     options: SweepOptions,
-) -> Result<Vec<SweepPoint>, ModelError> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let report = Experiment::new(config.clone())
-                .injection_rate(rate)
-                .seed(options.seed)
-                .warmup(options.warmup)
-                .sample_packets(options.sample_packets)
-                .max_cycles(options.max_cycles)
-                .run()?;
-            Ok(SweepPoint { rate, report })
-        })
-        .collect()
+) -> Result<Vec<SweepPoint>, ConfigError> {
+    let mut points = Vec::new();
+    let mut last_err = None;
+    for (rate, result) in try_injection_sweep(config, rates, options) {
+        match result {
+            Ok(report) => points.push(SweepPoint { rate, report }),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match (points.is_empty(), last_err) {
+        (true, Some(e)) => Err(e),
+        _ => Ok(points),
+    }
 }
 
 /// The saturation throughput of a sweep: the highest swept rate whose
@@ -109,12 +142,8 @@ mod tests {
 
     #[test]
     fn sweep_latency_monotone_until_saturation() {
-        let points = injection_sweep(
-            &presets::vc16_onchip(),
-            &[0.02, 0.06, 0.10],
-            fast_options(),
-        )
-        .unwrap();
+        let points =
+            injection_sweep(&presets::vc16_onchip(), &[0.02, 0.06, 0.10], fast_options()).unwrap();
         assert_eq!(points.len(), 3);
         assert!(points[0].report.avg_latency() <= points[1].report.avg_latency());
         assert!(points[1].report.avg_latency() <= points[2].report.avg_latency() * 1.05);
@@ -144,8 +173,8 @@ mod tests {
 
     #[test]
     fn sweep_points_carry_their_rates() {
-        let points = injection_sweep(&presets::wh64_onchip(), &[0.03, 0.07], fast_options())
-            .unwrap();
+        let points =
+            injection_sweep(&presets::wh64_onchip(), &[0.03, 0.07], fast_options()).unwrap();
         assert_eq!(points[0].rate, 0.03);
         assert_eq!(points[1].rate, 0.07);
         assert!((points[1].report.offered_rate() - 0.07).abs() < 1e-12);
@@ -156,5 +185,27 @@ mod tests {
         let points = injection_sweep(&presets::vc16_onchip(), &[], fast_options()).unwrap();
         assert!(points.is_empty());
         assert_eq!(saturation_rate(&points), None);
+    }
+
+    #[test]
+    fn bad_rate_is_isolated_not_fatal() {
+        let points =
+            injection_sweep(&presets::vc16_onchip(), &[0.02, 7.0, 0.06], fast_options()).unwrap();
+        assert_eq!(points.len(), 2, "the invalid rate is skipped, not fatal");
+        assert_eq!(points[0].rate, 0.02);
+        assert_eq!(points[1].rate, 0.06);
+
+        let detailed = try_injection_sweep(&presets::vc16_onchip(), &[0.02, 7.0], fast_options());
+        assert!(detailed[0].1.is_ok());
+        assert!(matches!(
+            detailed[1].1,
+            Err(crate::ConfigError::InvalidRate(r)) if r == 7.0
+        ));
+    }
+
+    #[test]
+    fn all_points_failing_surfaces_the_error() {
+        let err = injection_sweep(&presets::vc16_onchip(), &[-1.0, 2.0], fast_options());
+        assert!(matches!(err, Err(crate::ConfigError::InvalidRate(_))));
     }
 }

@@ -1,0 +1,616 @@
+//! Deterministic fault injection for links and router ports.
+//!
+//! Orion's measurement discipline (§4.1) anticipates pathological runs;
+//! this module supplies the other half of robustness testing — injected
+//! hardware faults. A [`FaultSchedule`] is a deterministic, seeded map
+//! from network resources (directed links, router ports) to fault
+//! windows ([`FaultKind::Transient`] heals itself;
+//! [`FaultKind::Permanent`] does not). Routing consults the schedule at
+//! injection time: because the simulator uses *source* dimension-ordered
+//! routing (§4.1, the route is fixed in the packet before injection),
+//! faults act on route computation and admission — a packet whose
+//! minimal dimension-ordered path is broken either detours over the
+//! surviving links or is dropped at the source with accounting, never
+//! corrupted mid-flight.
+//!
+//! ```
+//! use orion_net::{fault_aware_dor_route, DimensionOrder, FaultConfig,
+//!                 FaultSchedule, NodeId, RouteOutcome, Topology};
+//!
+//! let t = Topology::torus(&[4, 4])?;
+//! let schedule = FaultSchedule::generate(&t, &FaultConfig {
+//!     seed: 7,
+//!     permanent_links: 2,
+//!     ..FaultConfig::default()
+//! });
+//! match fault_aware_dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst, &schedule, 0) {
+//!     RouteOutcome::Direct(r) | RouteOutcome::Detour(r) => assert!(!r.hops().is_empty()),
+//!     RouteOutcome::Unroutable => {} // destination cut off: drop with accounting
+//! }
+//! # Ok::<(), orion_net::TopologyError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::routing::{dor_route, DimensionOrder, Route};
+use crate::topology::{Direction, NodeId, Port, Topology};
+
+/// One fault window on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The resource is down for `start..end` cycles, then heals.
+    Transient {
+        /// First faulty cycle.
+        start: u64,
+        /// First healthy cycle again (exclusive end).
+        end: u64,
+    },
+    /// The resource fails at `start` and never recovers.
+    Permanent {
+        /// First faulty cycle.
+        start: u64,
+    },
+}
+
+impl FaultKind {
+    /// Whether the fault is active at `cycle`.
+    pub fn active_at(self, cycle: u64) -> bool {
+        match self {
+            FaultKind::Transient { start, end } => (start..end).contains(&cycle),
+            FaultKind::Permanent { start } => cycle >= start,
+        }
+    }
+}
+
+/// A directed link: the channel leaving `node` along `dim` towards
+/// `dir`. The reverse channel is a distinct link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// The upstream (transmitting) node.
+    pub node: NodeId,
+    /// Dimension of the channel.
+    pub dim: u8,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+/// Parameters for random fault-schedule generation.
+///
+/// `Default` is the all-healthy schedule (no faults, horizon 1M cycles —
+/// the §4.1 cycle budget).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the schedule's private generator. Identical seeds (and
+    /// identical remaining fields) produce identical schedules.
+    pub seed: u64,
+    /// Number of distinct directed links that fail permanently, each at
+    /// a random cycle in the first half of the horizon.
+    pub permanent_links: usize,
+    /// Expected number of transient link-fault events *per directed
+    /// link* over the horizon (events are placed on uniformly random
+    /// links, so individual links may get zero or several).
+    pub transient_rate: f64,
+    /// Length of each transient outage in cycles.
+    pub transient_duration: u64,
+    /// Number of distinct directional router ports that fail
+    /// permanently (local injection/ejection ports are never chosen at
+    /// random; add those explicitly via [`FaultSchedule::with_port_fault`]).
+    pub faulty_router_ports: usize,
+    /// Cycle horizon over which faults are placed.
+    pub horizon: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            permanent_links: 0,
+            transient_rate: 0.0,
+            transient_duration: 1000,
+            faulty_router_ports: 0,
+            horizon: 1_000_000,
+        }
+    }
+}
+
+/// A deterministic schedule of link and router-port faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    links: HashMap<LinkId, Vec<FaultKind>>,
+    ports: HashMap<(NodeId, Port), Vec<FaultKind>>,
+}
+
+impl FaultSchedule {
+    /// The all-healthy schedule.
+    pub fn empty() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Generates a random schedule from `config`, deterministically in
+    /// `config.seed` (and the remaining fields and topology).
+    pub fn generate(topology: &Topology, config: &FaultConfig) -> FaultSchedule {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut schedule = FaultSchedule::empty();
+
+        // All directed links that physically exist (mesh boundaries
+        // have none).
+        let mut links: Vec<LinkId> = Vec::new();
+        for node in topology.nodes() {
+            for dim in 0..topology.dims() {
+                for dir in [Direction::Plus, Direction::Minus] {
+                    if topology.neighbor(node, dim, dir).is_some() {
+                        links.push(LinkId {
+                            node,
+                            dim: dim as u8,
+                            dir,
+                        });
+                    }
+                }
+            }
+        }
+        let num_links = links.len();
+
+        let mut pool = links.clone();
+        for _ in 0..config.permanent_links.min(num_links) {
+            let idx = rng.gen_range(0..pool.len());
+            let link = pool.swap_remove(idx);
+            let start = rng.gen_range(0..(config.horizon / 2).max(1));
+            schedule.add_link_fault(link, FaultKind::Permanent { start });
+        }
+
+        let events = (config.transient_rate * num_links as f64).round() as usize;
+        for _ in 0..events {
+            let link = links[rng.gen_range(0..num_links)];
+            let span = config
+                .horizon
+                .saturating_sub(config.transient_duration)
+                .max(1);
+            let start = rng.gen_range(0..span);
+            schedule.add_link_fault(
+                link,
+                FaultKind::Transient {
+                    start,
+                    end: start + config.transient_duration,
+                },
+            );
+        }
+
+        // Directional ports only: a failed local port would silence a
+        // terminal entirely, which callers opt into explicitly.
+        let mut ports: Vec<(NodeId, Port)> = Vec::new();
+        for node in topology.nodes() {
+            for dim in 0..topology.dims() {
+                for dir in [Direction::Plus, Direction::Minus] {
+                    ports.push((
+                        node,
+                        Port::Dir {
+                            dim: dim as u8,
+                            dir,
+                        },
+                    ));
+                }
+            }
+        }
+        for _ in 0..config.faulty_router_ports.min(ports.len()) {
+            let idx = rng.gen_range(0..ports.len());
+            let (node, port) = ports.swap_remove(idx);
+            let start = rng.gen_range(0..(config.horizon / 2).max(1));
+            schedule.add_port_fault(node, port, FaultKind::Permanent { start });
+        }
+
+        schedule
+    }
+
+    /// Adds a fault window on a directed link (builder form).
+    pub fn with_link_fault(mut self, link: LinkId, kind: FaultKind) -> FaultSchedule {
+        self.add_link_fault(link, kind);
+        self
+    }
+
+    /// Adds a fault window on a router port (builder form).
+    pub fn with_port_fault(mut self, node: NodeId, port: Port, kind: FaultKind) -> FaultSchedule {
+        self.add_port_fault(node, port, kind);
+        self
+    }
+
+    /// Adds a fault window on a directed link.
+    pub fn add_link_fault(&mut self, link: LinkId, kind: FaultKind) {
+        self.links.entry(link).or_default().push(kind);
+    }
+
+    /// Adds a fault window on a router port.
+    pub fn add_port_fault(&mut self, node: NodeId, port: Port, kind: FaultKind) {
+        self.ports.entry((node, port)).or_default().push(kind);
+    }
+
+    /// Whether the directed link out of `node` along `dim`/`dir` is
+    /// healthy at `cycle`.
+    pub fn link_ok(&self, node: NodeId, dim: u8, dir: Direction, cycle: u64) -> bool {
+        match self.links.get(&LinkId { node, dim, dir }) {
+            None => true,
+            Some(faults) => !faults.iter().any(|f| f.active_at(cycle)),
+        }
+    }
+
+    /// Whether `port` of `node`'s router is healthy at `cycle`.
+    pub fn port_ok(&self, node: NodeId, port: Port, cycle: u64) -> bool {
+        match self.ports.get(&(node, port)) {
+            None => true,
+            Some(faults) => !faults.iter().any(|f| f.active_at(cycle)),
+        }
+    }
+
+    /// Whether the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.ports.is_empty()
+    }
+
+    /// Number of distinct faulted resources (links + ports), active or
+    /// not.
+    pub fn num_faulted_resources(&self) -> usize {
+        self.links.len() + self.ports.len()
+    }
+
+    /// Number of links down at `cycle`.
+    pub fn links_down_at(&self, cycle: u64) -> usize {
+        self.links
+            .values()
+            .filter(|faults| faults.iter().any(|f| f.active_at(cycle)))
+            .count()
+    }
+
+    /// Whether traversing from `node` through its `dim`/`dir` output is
+    /// possible at `cycle`: the link itself, the upstream output port
+    /// and the downstream input port must all be healthy.
+    fn hop_ok(
+        &self,
+        topology: &Topology,
+        node: NodeId,
+        dim: u8,
+        dir: Direction,
+        cycle: u64,
+    ) -> bool {
+        let Some(next) = topology.neighbor(node, dim as usize, dir) else {
+            return false;
+        };
+        self.link_ok(node, dim, dir, cycle)
+            && self.port_ok(node, Port::Dir { dim, dir }, cycle)
+            && self.port_ok(
+                next,
+                Port::Dir {
+                    dim,
+                    dir: dir.opposite(),
+                },
+                cycle,
+            )
+    }
+}
+
+/// Result of fault-aware route computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The plain dimension-ordered route is fault-free.
+    Direct(Route),
+    /// The DOR route was broken; this alternative over surviving links
+    /// reaches the destination (possibly non-minimally).
+    Detour(Route),
+    /// No path over surviving links exists — drop at the source.
+    Unroutable,
+}
+
+impl RouteOutcome {
+    /// The route, if one exists.
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            RouteOutcome::Direct(r) | RouteOutcome::Detour(r) => Some(r),
+            RouteOutcome::Unroutable => None,
+        }
+    }
+
+    /// Whether a detour (non-DOR path) was taken.
+    pub fn is_detour(&self) -> bool {
+        matches!(self, RouteOutcome::Detour(_))
+    }
+}
+
+/// Computes a source route from `src` to `dst` honouring `schedule` as
+/// of `cycle` (the injection cycle — source routing fixes the route
+/// before the packet enters the network, so faults arising *after*
+/// injection do not reroute packets already in flight).
+///
+/// The plain dimension-ordered route is preferred; if any of its hops
+/// crosses a faulted link or port, a breadth-first search over the
+/// surviving links finds a shortest detour. Ejection requires the
+/// destination's local port to be healthy; injection requires the
+/// source's.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is out of range, or if a custom dimension
+/// order is not a valid permutation (same contract as [`dor_route`]).
+pub fn fault_aware_dor_route(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    order: DimensionOrder,
+    schedule: &FaultSchedule,
+    cycle: u64,
+) -> RouteOutcome {
+    if !schedule.port_ok(src, Port::Local, cycle) || !schedule.port_ok(dst, Port::Local, cycle) {
+        return RouteOutcome::Unroutable;
+    }
+
+    let direct = dor_route(topology, src, dst, order);
+    let mut at = src;
+    let mut broken = false;
+    for hop in direct.hops() {
+        match *hop {
+            Port::Local => break,
+            Port::Dir { dim, dir } => {
+                if !schedule.hop_ok(topology, at, dim, dir, cycle) {
+                    broken = true;
+                    break;
+                }
+                at = topology
+                    .neighbor(at, dim as usize, dir)
+                    .expect("DOR routes stay inside the topology");
+            }
+        }
+    }
+    if !broken {
+        return RouteOutcome::Direct(direct);
+    }
+
+    // Shortest path over surviving links (BFS; edges checked in a fixed
+    // port order, so the detour is deterministic).
+    let n = topology.num_nodes();
+    let mut prev: Vec<Option<(NodeId, Port)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[src.0] = true;
+    queue.push_back(src);
+    'bfs: while let Some(node) = queue.pop_front() {
+        for dim in 0..topology.dims() {
+            for dir in [Direction::Plus, Direction::Minus] {
+                if !schedule.hop_ok(topology, node, dim as u8, dir, cycle) {
+                    continue;
+                }
+                let next = topology
+                    .neighbor(node, dim, dir)
+                    .expect("hop_ok implies the neighbour exists");
+                if seen[next.0] {
+                    continue;
+                }
+                seen[next.0] = true;
+                prev[next.0] = Some((
+                    node,
+                    Port::Dir {
+                        dim: dim as u8,
+                        dir,
+                    },
+                ));
+                if next == dst {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    if !seen[dst.0] {
+        return RouteOutcome::Unroutable;
+    }
+
+    let mut hops = vec![Port::Local];
+    let mut node = dst;
+    while node != src {
+        let (from, port) = prev[node.0].expect("seen nodes have predecessors");
+        hops.push(port);
+        node = from;
+    }
+    hops.reverse();
+    RouteOutcome::Detour(Route::new(hops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t44() -> Topology {
+        Topology::torus(&[4, 4]).unwrap()
+    }
+
+    fn walk(t: &Topology, src: NodeId, route: &Route) -> NodeId {
+        let mut at = src;
+        for hop in route.hops() {
+            match *hop {
+                Port::Local => return at,
+                Port::Dir { dim, dir } => {
+                    at = t.neighbor(at, dim as usize, dir).expect("in topology");
+                }
+            }
+        }
+        unreachable!("route must end with Local")
+    }
+
+    #[test]
+    fn transient_faults_heal() {
+        let f = FaultKind::Transient { start: 10, end: 20 };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(19));
+        assert!(!f.active_at(20));
+        let p = FaultKind::Permanent { start: 10 };
+        assert!(!p.active_at(9));
+        assert!(p.active_at(1_000_000));
+    }
+
+    #[test]
+    fn empty_schedule_is_transparent() {
+        let t = t44();
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        assert!(s.link_ok(NodeId(0), 0, Direction::Plus, 0));
+        assert!(s.port_ok(NodeId(0), Port::Local, 0));
+        let out = fault_aware_dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst, &s, 0);
+        assert_eq!(
+            out,
+            RouteOutcome::Direct(dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst))
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t = t44();
+        let cfg = FaultConfig {
+            seed: 42,
+            permanent_links: 4,
+            transient_rate: 0.5,
+            transient_duration: 100,
+            faulty_router_ports: 2,
+            horizon: 10_000,
+        };
+        let a = FaultSchedule::generate(&t, &cfg);
+        let b = FaultSchedule::generate(&t, &cfg);
+        assert_eq!(a, b);
+        assert!(a.num_faulted_resources() > 0);
+        let c = FaultSchedule::generate(&t, &FaultConfig { seed: 43, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn detour_avoids_faulted_link() {
+        let t = t44();
+        // Break the single-hop DOR route (0,0) -> (1,0): east out of n0.
+        let s = FaultSchedule::empty().with_link_fault(
+            LinkId {
+                node: NodeId(0),
+                dim: 0,
+                dir: Direction::Plus,
+            },
+            FaultKind::Permanent { start: 0 },
+        );
+        let out = fault_aware_dor_route(&t, NodeId(0), NodeId(1), DimensionOrder::YFirst, &s, 0);
+        let RouteOutcome::Detour(route) = out else {
+            panic!("expected a detour, got {out:?}");
+        };
+        assert_eq!(walk(&t, NodeId(0), &route), NodeId(1));
+        // Shortest surviving path: around the ring or via a neighbour
+        // row — 3 hops either way on a 4-torus.
+        assert_eq!(route.network_hops(), 3);
+    }
+
+    #[test]
+    fn faults_after_injection_cycle_do_not_detour() {
+        let t = t44();
+        let s = FaultSchedule::empty().with_link_fault(
+            LinkId {
+                node: NodeId(0),
+                dim: 0,
+                dir: Direction::Plus,
+            },
+            FaultKind::Transient {
+                start: 100,
+                end: 200,
+            },
+        );
+        // Before and after the outage the DOR route is clean.
+        for cycle in [0, 99, 200] {
+            let out =
+                fault_aware_dor_route(&t, NodeId(0), NodeId(1), DimensionOrder::YFirst, &s, cycle);
+            assert!(
+                matches!(out, RouteOutcome::Direct(_)),
+                "cycle {cycle}: {out:?}"
+            );
+        }
+        let out = fault_aware_dor_route(&t, NodeId(0), NodeId(1), DimensionOrder::YFirst, &s, 100);
+        assert!(out.is_detour());
+    }
+
+    #[test]
+    fn cut_off_destination_is_unroutable() {
+        let t = t44();
+        // Fail every input port of n5: nothing can reach it.
+        let mut s = FaultSchedule::empty();
+        for dim in 0..2u8 {
+            for dir in [Direction::Plus, Direction::Minus] {
+                s.add_port_fault(
+                    NodeId(5),
+                    Port::Dir { dim, dir },
+                    FaultKind::Permanent { start: 0 },
+                );
+            }
+        }
+        let out = fault_aware_dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst, &s, 0);
+        assert_eq!(out, RouteOutcome::Unroutable);
+    }
+
+    #[test]
+    fn dead_local_port_drops_at_source() {
+        let t = t44();
+        let s = FaultSchedule::empty().with_port_fault(
+            NodeId(3),
+            Port::Local,
+            FaultKind::Permanent { start: 0 },
+        );
+        // As destination.
+        let out = fault_aware_dor_route(&t, NodeId(0), NodeId(3), DimensionOrder::YFirst, &s, 0);
+        assert_eq!(out, RouteOutcome::Unroutable);
+        // As source.
+        let out = fault_aware_dor_route(&t, NodeId(3), NodeId(0), DimensionOrder::YFirst, &s, 0);
+        assert_eq!(out, RouteOutcome::Unroutable);
+    }
+
+    #[test]
+    fn detours_always_reach_destination_under_sparse_faults() {
+        let t = t44();
+        let s = FaultSchedule::generate(
+            &t,
+            &FaultConfig {
+                seed: 9,
+                permanent_links: 6,
+                horizon: 1000,
+                ..FaultConfig::default()
+            },
+        );
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                match fault_aware_dor_route(&t, src, dst, DimensionOrder::YFirst, &s, 999) {
+                    RouteOutcome::Direct(r) | RouteOutcome::Detour(r) => {
+                        assert_eq!(walk(&t, src, &r), dst, "{src}->{dst}");
+                    }
+                    RouteOutcome::Unroutable => {} // acceptable under faults
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_down_counts_active_windows() {
+        let s = FaultSchedule::empty()
+            .with_link_fault(
+                LinkId {
+                    node: NodeId(0),
+                    dim: 0,
+                    dir: Direction::Plus,
+                },
+                FaultKind::Transient { start: 5, end: 10 },
+            )
+            .with_link_fault(
+                LinkId {
+                    node: NodeId(1),
+                    dim: 1,
+                    dir: Direction::Minus,
+                },
+                FaultKind::Permanent { start: 8 },
+            );
+        assert_eq!(s.links_down_at(0), 0);
+        assert_eq!(s.links_down_at(6), 1);
+        assert_eq!(s.links_down_at(9), 2);
+        assert_eq!(s.links_down_at(100), 1);
+        assert_eq!(s.num_faulted_resources(), 2);
+    }
+}

@@ -117,12 +117,7 @@ impl fmt::Display for Route {
 ///
 /// Panics if `src` or `dst` is out of range for `topology`, or if a
 /// custom dimension order is not a valid permutation.
-pub fn dor_route(
-    topology: &Topology,
-    src: NodeId,
-    dst: NodeId,
-    order: DimensionOrder,
-) -> Route {
+pub fn dor_route(topology: &Topology, src: NodeId, dst: NodeId, order: DimensionOrder) -> Route {
     let src_c = topology.coords(src);
     let dst_c = topology.coords(dst);
     let mut hops = Vec::new();
@@ -279,12 +274,7 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn custom_order_rejects_bad_permutation() {
         let t = t44();
-        let _ = dor_route(
-            &t,
-            NodeId(0),
-            NodeId(1),
-            DimensionOrder::Custom(vec![0, 0]),
-        );
+        let _ = dor_route(&t, NodeId(0), NodeId(1), DimensionOrder::Custom(vec![0, 0]));
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Port {
             return Port::Local;
         }
         let d = (index - 1) / 2;
-        assert!(d < dims as usize, "port index {index} out of range for {dims} dims");
+        assert!(
+            d < dims as usize,
+            "port index {index} out of range for {dims} dims"
+        );
         Port::Dir {
             dim: d as u8,
             dir: if (index - 1).is_multiple_of(2) {
@@ -362,11 +365,7 @@ impl Topology {
         }
         let total: u64 = self
             .nodes()
-            .flat_map(|a| {
-                self.nodes()
-                    .filter(move |&b| b != a)
-                    .map(move |b| (a, b))
-            })
+            .flat_map(|a| self.nodes().filter(move |&b| b != a).map(move |b| (a, b)))
             .map(|(a, b)| self.distance(a, b) as u64)
             .sum();
         total as f64 / (n * (n - 1)) as f64

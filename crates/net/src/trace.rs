@@ -243,7 +243,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let trace = TraceTraffic::record(&mut p, 100, &mut rng);
         // Expected ~16 · 0.3 · 100 = 480 events.
-        assert!((300..700).contains(&trace.events().len()), "{}", trace.events().len());
+        assert!(
+            (300..700).contains(&trace.events().len()),
+            "{}",
+            trace.events().len()
+        );
         // Every event is valid and self-free.
         for e in trace.events() {
             assert!(e.cycle < 100);

@@ -197,10 +197,7 @@ impl TrafficPattern {
     ///
     /// Returns an error if the node count is not a power of two or the
     /// rate is invalid.
-    pub fn bit_complement(
-        topology: &Topology,
-        rate: f64,
-    ) -> Result<TrafficPattern, TrafficError> {
+    pub fn bit_complement(topology: &Topology, rate: f64) -> Result<TrafficPattern, TrafficError> {
         check_rate(rate)?;
         let n = topology.num_nodes();
         if !n.is_power_of_two() {
@@ -443,9 +440,10 @@ impl TrafficPattern {
                     Some(random_other(src, n, rng))
                 }
             }
-            PatternKind::NearestNeighbor => self
-                .topology
-                .neighbor(src, 0, crate::topology::Direction::Plus),
+            PatternKind::NearestNeighbor => {
+                self.topology
+                    .neighbor(src, 0, crate::topology::Direction::Plus)
+            }
             PatternKind::Shuffle => {
                 let dst = shuffle_of(src.0, n);
                 if dst == src.0 {

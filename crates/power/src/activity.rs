@@ -148,7 +148,10 @@ impl Bits {
     ///
     /// Panics if the widths differ.
     pub fn hamming(&self, other: &Bits) -> u32 {
-        assert_eq!(self.width, other.width, "hamming distance of unequal widths");
+        assert_eq!(
+            self.width, other.width,
+            "hamming distance of unequal widths"
+        );
         self.words
             .iter()
             .zip(&other.words)

@@ -171,8 +171,8 @@ impl ArbiterPower {
         // C_pri = 2·C_g(T_N1) + C_ff
         let c_priority = 2.0 * cap.gate_cap(s.nor_input) + ff.data_cap();
         // C_int = C_d(T_N1) + C_g(T_N2) — 2-high NOR pull-down stack.
-        let c_internal = cap.drain_cap(s.nor_input, TransistorKind::N, 2)
-            + cap.gate_cap(s.nor_input);
+        let c_internal =
+            cap.drain_cap(s.nor_input, TransistorKind::N, 2) + cap.gate_cap(s.nor_input);
         // C_gnt = C_d(T_N2) + C_a(T_I)
         let c_grant = cap.drain_cap(s.nor_input, TransistorKind::N, 2)
             + cap.inverter_cap(s.inv_nmos, s.inv_pmos);

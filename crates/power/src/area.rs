@@ -145,9 +145,8 @@ mod tests {
         let narrow =
             CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
                 .unwrap();
-        let wide =
-            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech())
-                .unwrap();
+        let wide = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech())
+            .unwrap();
         let r = crossbar_area(&wide).0 / crossbar_area(&narrow).0;
         assert!((r - 4.0).abs() < 1e-6, "ratio {r}");
     }
@@ -176,9 +175,8 @@ mod tests {
 
         // XB: 16 VCs × 268 flits per port = 4288 flits of buffering.
         let xb_buf = BufferPower::new(&BufferParams::new(16 * 268, 32), tech()).unwrap();
-        let xb =
-            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
-                .unwrap();
+        let xb = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech())
+            .unwrap();
         let xb_bufs = [&xb_buf; 5];
         let xb_area = router_area(&xb_bufs, Some(&xb), None).total();
 

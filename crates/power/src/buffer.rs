@@ -27,8 +27,7 @@
 //! read-bitline precharge transistor and `T_m` the memory-cell inverter.
 
 use orion_tech::{
-    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind,
-    TransistorSizes,
+    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind, TransistorSizes,
 };
 
 use crate::activity::WriteActivity;
@@ -164,9 +163,7 @@ impl BufferPower {
         let ports = (params.read_ports + params.write_ports) as f64;
 
         // L_wl = F (w_cell + 2 (P_r + P_w) d_w)
-        let wordline_len = Microns(
-            f * (tech.cell_width().0 + 2.0 * ports * tech.wire_spacing().0),
-        );
+        let wordline_len = Microns(f * (tech.cell_width().0 + 2.0 * ports * tech.wire_spacing().0));
         // L_bl = B (h_cell + (P_r + P_w) d_w)
         let bitline_len = Microns(b * (tech.cell_height().0 + ports * tech.wire_spacing().0));
 
@@ -192,9 +189,8 @@ impl BufferPower {
         // width of the array — per cell two inverters plus the pass
         // transistors of every port — and the column/row peripherals.
         let cell_width = 2.0 * (s.cell_nmos + s.cell_pmos) + 2.0 * ports * s.cell_access;
-        let total_width = b * f * cell_width
-            + f * (s.bitline_driver + 2.0 * s.precharge)
-            + b * s.wordline_driver;
+        let total_width =
+            b * f * cell_width + f * (s.bitline_driver + 2.0 * s.precharge) + b * s.wordline_driver;
         let leakage = tech.leakage_power(total_width);
 
         let decoder = if params.include_decoder {
@@ -320,8 +316,7 @@ impl BufferPower {
         let e_wl = switch_energy(self.c_wordline, self.vdd);
         let e_bw = switch_energy(self.c_bitline_write, self.vdd);
         let e_cell = switch_energy(self.c_cell, self.vdd);
-        e_wl
-            + activity.switching_bitlines * e_bw
+        e_wl + activity.switching_bitlines * e_bw
             + activity.switching_cells * e_cell
             + self.decoder_energy()
     }
@@ -435,8 +430,11 @@ mod tests {
 
     #[test]
     fn energy_shrinks_with_technology() {
-        let big = BufferPower::new(&BufferParams::new(16, 64), Technology::new(ProcessNode::Um800))
-            .unwrap();
+        let big = BufferPower::new(
+            &BufferParams::new(16, 64),
+            Technology::new(ProcessNode::Um800),
+        )
+        .unwrap();
         let small = BufferPower::new(&BufferParams::new(16, 64), tech()).unwrap();
         assert!(big.read_energy().0 > small.read_energy().0);
     }
@@ -444,8 +442,7 @@ mod tests {
     #[test]
     fn decoder_extension_adds_energy() {
         let plain = BufferPower::new(&BufferParams::new(64, 64), tech()).unwrap();
-        let decoded =
-            BufferPower::new(&BufferParams::new(64, 64).with_decoder(), tech()).unwrap();
+        let decoded = BufferPower::new(&BufferParams::new(64, 64).with_decoder(), tech()).unwrap();
         assert!(plain.decoder().is_none());
         assert!(decoded.decoder().is_some());
         assert!(decoded.read_energy().0 > plain.read_energy().0);

@@ -206,7 +206,8 @@ impl CentralBufferPower {
     /// Energy of writing one flit into the central buffer: write-fabric
     /// traversal, pipeline-register latch, then a bank write.
     pub fn write_energy(&self, activity: &WriteActivity) -> Joules {
-        self.write_xbar.traversal_energy(activity.switching_bitlines)
+        self.write_xbar
+            .traversal_energy(activity.switching_bitlines)
             + self
                 .pipeline_reg
                 .word_energy(self.flit_bits, activity.switching_bitlines)
@@ -222,7 +223,9 @@ impl CentralBufferPower {
     pub fn read_energy(&self, switching_bits: f64) -> Joules {
         debug_assert!(switching_bits >= 0.0, "switching bits must be non-negative");
         self.bank.read_energy()
-            + self.pipeline_reg.word_energy(self.flit_bits, switching_bits)
+            + self
+                .pipeline_reg
+                .word_energy(self.flit_bits, switching_bits)
             + self.read_xbar.traversal_energy(switching_bits)
     }
 

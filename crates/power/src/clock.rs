@@ -103,7 +103,10 @@ mod tests {
     #[test]
     fn wiring_term_present_even_without_flops() {
         let clk = ClockPower::new(0, SquareMicrons(4.0e6), tech());
-        assert!(clk.total_cap().0 > 0.0, "H-tree wiring still loads the clock");
+        assert!(
+            clk.total_cap().0 > 0.0,
+            "H-tree wiring still loads the clock"
+        );
     }
 
     #[test]

@@ -26,8 +26,8 @@
 //! benign because the data path is much wider than the control path.
 
 use orion_tech::{
-    switch_energy, Capacitor, DriverSizing, Farads, Joules, Microns, Technology,
-    TransistorKind, TransistorSizes,
+    switch_energy, Capacitor, DriverSizing, Farads, Joules, Microns, Technology, TransistorKind,
+    TransistorSizes,
 };
 
 use crate::error::ModelError;
@@ -175,10 +175,9 @@ impl CrossbarPower {
         let c_out_wire = cap.wire_cap(output_line_len);
         let conn_drain = cap.drain_cap(s.crossbar_connector, TransistorKind::N, 1);
 
-        let w_id = params.driver_sizing.width_for_load(
-            &cap,
-            c_in_wire + o * conn_drain,
-        );
+        let w_id = params
+            .driver_sizing
+            .width_for_load(&cap, c_in_wire + o * conn_drain);
         let w_od = params
             .driver_sizing
             .width_for_load(&cap, c_out_wire + i * conn_drain);
@@ -188,8 +187,8 @@ impl CrossbarPower {
         // C_out = C_g(T_od) + I·C_d(T_x) + C_w(L_out)
         let c_output_line = cap.gate_cap(w_od) + i * conn_drain + c_out_wire;
         // C_xb_ctr = W·C_g(T_x) + C_w(L_in/2)
-        let c_control_line = w * cap.gate_cap(s.crossbar_connector)
-            + cap.wire_cap(Microns(input_line_len.0 / 2.0));
+        let c_control_line =
+            w * cap.gate_cap(s.crossbar_connector) + cap.wire_cap(Microns(input_line_len.0 / 2.0));
 
         let (c_mux_stage, mux_depth) = match params.kind {
             CrossbarKind::Matrix | CrossbarKind::Segmented { .. } => (Farads::ZERO, 0),
@@ -380,10 +379,11 @@ mod tests {
     #[test]
     fn rejects_zero_dimensions() {
         for (i, o, w) in [(0, 5, 32), (5, 0, 32), (5, 5, 0)] {
-            assert!(
-                CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, i, o, w), tech())
-                    .is_err()
-            );
+            assert!(CrossbarPower::new(
+                &CrossbarParams::new(CrossbarKind::Matrix, i, o, w),
+                tech()
+            )
+            .is_err());
         }
     }
 
@@ -423,8 +423,11 @@ mod tests {
     #[test]
     fn mux_tree_differs_from_matrix() {
         let m = matrix(5, 5, 64);
-        let t = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::MuxTree, 5, 5, 64), tech())
-            .unwrap();
+        let t = CrossbarPower::new(
+            &CrossbarParams::new(CrossbarKind::MuxTree, 5, 5, 64),
+            tech(),
+        )
+        .unwrap();
         assert!(t.traversal_energy_uniform().0 > 0.0);
         assert_ne!(
             m.traversal_energy_uniform().0,
@@ -446,8 +449,11 @@ mod tests {
         }
         let d2 = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::MuxTree, 2, 5, 8), tech())
             .unwrap();
-        let d16 = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::MuxTree, 16, 5, 8), tech())
-            .unwrap();
+        let d16 = CrossbarPower::new(
+            &CrossbarParams::new(CrossbarKind::MuxTree, 16, 5, 8),
+            tech(),
+        )
+        .unwrap();
         assert!(d16.traversal_energy_uniform().0 > d2.traversal_energy_uniform().0);
     }
 
@@ -478,8 +484,9 @@ mod tests {
             tech(),
         )
         .unwrap();
-        assert!((one.traversal_energy_uniform().0 - matrix.traversal_energy_uniform().0).abs()
-            < 1e-18);
+        assert!(
+            (one.traversal_energy_uniform().0 - matrix.traversal_energy_uniform().0).abs() < 1e-18
+        );
     }
 
     #[test]

@@ -26,8 +26,7 @@
 //! accepts either an exact toggle count or the sequential default.
 
 use orion_tech::{
-    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind,
-    TransistorSizes,
+    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind, TransistorSizes,
 };
 
 use crate::error::ModelError;
@@ -60,7 +59,11 @@ impl DecoderPower {
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidParameter`] if `rows` is zero.
-    pub fn new(rows: u32, array_height: Microns, tech: Technology) -> Result<DecoderPower, ModelError> {
+    pub fn new(
+        rows: u32,
+        array_height: Microns,
+        tech: Technology,
+    ) -> Result<DecoderPower, ModelError> {
         DecoderPower::with_sizes(rows, array_height, tech, &TransistorSizes::default())
     }
 
@@ -86,8 +89,8 @@ impl DecoderPower {
         };
         // Each rail loads one NOR input per row it selects (half the
         // rows) plus the wire running the array height.
-        let c_rail = (rows as f64 / 2.0) * cap.gate_cap(sizes.nor_input)
-            + cap.wire_cap(array_height);
+        let c_rail =
+            (rows as f64 / 2.0) * cap.gate_cap(sizes.nor_input) + cap.wire_cap(array_height);
         // A row-decode output: the stacked NOR pull-down plus the
         // wordline-driver predriver it feeds.
         let c_row = cap.drain_cap(sizes.nor_input, TransistorKind::N, address_bits.max(1))

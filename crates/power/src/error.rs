@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_mentions_parameter() {
         let e = ModelError::invalid("flits", "must be at least 1");
-        assert_eq!(e.to_string(), "invalid parameter `flits`: must be at least 1");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `flits`: must be at least 1"
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! always-on power (zero for on-chip links). Callers account both.
 
 use orion_tech::{
-    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind,
-    TransistorSizes, Volts, Watts,
+    switch_energy, Capacitor, Farads, Joules, Microns, Technology, TransistorKind, TransistorSizes,
+    Volts, Watts,
 };
 
 /// The style of a link, capturing how its power depends on traffic.
@@ -209,9 +209,7 @@ impl LinkPower {
     pub fn traversal_energy(&self, switching_bits: f64) -> Joules {
         debug_assert!(switching_bits >= 0.0, "switching bits must be non-negative");
         match self.kind {
-            LinkKind::OnChip { wire_cap, vdd, .. } => {
-                switching_bits * switch_energy(wire_cap, vdd)
-            }
+            LinkKind::OnChip { wire_cap, vdd, .. } => switching_bits * switch_energy(wire_cap, vdd),
             LinkKind::ChipToChip { .. } => Joules::ZERO,
         }
     }
@@ -303,7 +301,10 @@ mod tests {
         let repeated = LinkPower::on_chip_repeated_default(Microns::from_mm(3.0), 256, tech());
         let ratio = repeated.traversal_energy_uniform().0 / bare.traversal_energy_uniform().0;
         assert!(ratio > 1.0, "repeaters must add load, ratio {ratio}");
-        assert!(ratio < 2.0, "repeater overhead should be modest, ratio {ratio}");
+        assert!(
+            ratio < 2.0,
+            "repeater overhead should be modest, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -328,12 +329,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "repeater segment must be positive")]
     fn rejects_zero_segment() {
-        let _ = LinkPower::on_chip_repeated(
-            Microns::from_mm(1.0),
-            8,
-            Microns::ZERO,
-            60.0,
-            tech(),
-        );
+        let _ = LinkPower::on_chip_repeated(Microns::from_mm(1.0), 8, Microns::ZERO, 60.0, tech());
     }
 }

@@ -245,10 +245,7 @@ impl EnergyLedger {
 
     /// Network-wide energy of `component`.
     pub fn component_energy(&self, component: Component) -> Joules {
-        self.energy
-            .iter()
-            .map(|n| n[component.idx()])
-            .sum()
+        self.energy.iter().map(|n| n[component.idx()]).sum()
     }
 
     /// Network-wide total energy.
@@ -273,16 +270,13 @@ impl EnergyLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orion_power::{
-        ArbiterKind, ArbiterParams, BufferParams, CrossbarKind, CrossbarParams,
-    };
+    use orion_power::{ArbiterKind, ArbiterParams, BufferParams, CrossbarKind, CrossbarParams};
     use orion_tech::{Microns, ProcessNode, Technology};
 
     fn models() -> PowerModels {
         let tech = Technology::new(ProcessNode::Nm100);
         let crossbar =
-            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech)
-                .unwrap();
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech).unwrap();
         let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
             .unwrap()
             .with_control_energy(crossbar.control_energy());

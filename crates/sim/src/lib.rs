@@ -18,7 +18,10 @@
 //!   ([`VcDiscipline`]) and flow-control granularity ([`FlowControl`]),
 //! * [`network`] — the whole-network engine with credit-based flow
 //!   control and single-cycle channels,
-//! * [`stats`] — latency statistics and the zero-load latency model.
+//! * [`stats`] — latency statistics and the zero-load latency model,
+//! * [`watchdog`] — stall classification ([`StallKind`]) and the
+//!   [`StallDiagnostics`] snapshot the network captures when progress
+//!   stops, instead of waiting out the cycle budget.
 //!
 //! # Example
 //!
@@ -75,6 +78,7 @@ pub mod flit;
 pub mod network;
 pub mod router;
 pub mod stats;
+pub mod watchdog;
 
 pub use arb::{FunctionalArbiter, Grant, MatrixArbiter, RoundRobinArbiter};
 pub use energy::{scaled_hamming, Component, EnergyLedger, PowerModels};
@@ -84,3 +88,4 @@ pub use network::{Network, NetworkSpec, RouterKind};
 pub use router::central::{CentralRouter, CentralRouterSpec};
 pub use router::vc::{FlowControl, VcDiscipline, VcRouter, VcRouterSpec};
 pub use stats::{zero_load_latency, SimStats};
+pub use watchdog::{StallDiagnostics, StallKind, StalledVc};

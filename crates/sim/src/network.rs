@@ -16,7 +16,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use orion_net::{dor_route, DimensionOrder, NodeId, Port, Topology, TopologyKind};
+use orion_net::{
+    dor_route, fault_aware_dor_route, DimensionOrder, FaultSchedule, NodeId, Port, RouteOutcome,
+    Topology, TopologyKind,
+};
 
 use crate::energy::{EnergyLedger, PowerModels};
 use crate::flit::{make_packet, Flit, PacketId};
@@ -24,6 +27,7 @@ use crate::router::central::{CentralRouter, CentralRouterSpec};
 use crate::router::vc::{VcRouter, VcRouterSpec};
 use crate::router::StepOutput;
 use crate::stats::SimStats;
+use crate::watchdog::{StallDiagnostics, StallKind, StalledVc};
 
 /// Which router microarchitecture populates the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +71,14 @@ enum AnyRouter {
 }
 
 impl AnyRouter {
-    fn accept(&mut self, flit: Flit, port: usize, vc: usize, cycle: u64, ledger: &mut EnergyLedger) {
+    fn accept(
+        &mut self,
+        flit: Flit,
+        port: usize,
+        vc: usize,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+    ) {
         match self {
             AnyRouter::Vc(r) => r.accept(flit, port, vc, cycle, ledger),
             AnyRouter::Central(r) => r.accept(flit, port, vc, cycle, ledger),
@@ -216,6 +227,13 @@ pub struct Network {
     /// Last cycle at which any flit moved (departed a router or was
     /// injected/ejected) — used for deadlock detection.
     last_progress: u64,
+    /// Last cycle at which a packet completed delivery — used to tell
+    /// livelock (movement without completion) from deadlock.
+    last_delivery: u64,
+    /// Last cycle at which a credit returned upstream.
+    last_credit: u64,
+    /// Injected faults consulted at routing time; None = all healthy.
+    fault_schedule: Option<FaultSchedule>,
     /// wires[node * ports + out_port]; None for the local port.
     wires: Vec<Option<Wire>>,
 }
@@ -296,6 +314,9 @@ impl Network {
             cycle: 0,
             next_packet: 0,
             last_progress: 0,
+            last_delivery: 0,
+            last_credit: 0,
+            fault_schedule: None,
             wires,
             spec,
         }
@@ -353,6 +374,28 @@ impl Network {
         self.last_progress
     }
 
+    /// The cycle at which a packet last completed delivery.
+    pub fn last_delivery_cycle(&self) -> u64 {
+        self.last_delivery
+    }
+
+    /// Installs a fault schedule. From now on, every enqueued packet's
+    /// route is computed by [`fault_aware_dor_route`] as of the
+    /// injection cycle: detours are counted in
+    /// [`SimStats::packets_detoured`], unroutable packets are dropped
+    /// at the source with [`SimStats::packets_dropped`] accounting.
+    /// Because routes become time-dependent, the route cache is
+    /// bypassed (and cleared here) while a schedule is installed.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.route_cache.clear();
+        self.fault_schedule = Some(schedule);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fault_schedule.as_ref()
+    }
+
     /// Queues a `packet_len`-flit packet at `src`'s source queue,
     /// returning its id. `tagged` marks it as part of the measured
     /// sample.
@@ -396,24 +439,49 @@ impl Network {
         }
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
-        let route = self
-            .route_cache
-            .entry((src.0, dst.0))
-            .or_insert_with(|| {
-                Arc::new(dor_route(
-                    &self.spec.topology,
-                    src,
-                    dst,
-                    self.spec.dim_order.clone(),
-                ))
-            })
-            .clone();
-        let flits = make_packet(id, src, dst, route, len, self.cycle, tagged);
-        self.sources[src.0].queue.extend(flits);
         self.stats.packets_injected += 1;
         if tagged {
             self.stats.tagged_injected += 1;
         }
+        let route = if let Some(schedule) = &self.fault_schedule {
+            // Routes are time-dependent under faults: skip the cache.
+            match fault_aware_dor_route(
+                &self.spec.topology,
+                src,
+                dst,
+                self.spec.dim_order.clone(),
+                schedule,
+                self.cycle,
+            ) {
+                RouteOutcome::Direct(r) => Arc::new(r),
+                RouteOutcome::Detour(r) => {
+                    self.stats.packets_detoured += 1;
+                    Arc::new(r)
+                }
+                RouteOutcome::Unroutable => {
+                    self.stats.packets_dropped += 1;
+                    self.stats.flits_dropped += len as u64;
+                    if tagged {
+                        self.stats.tagged_dropped += 1;
+                    }
+                    return id;
+                }
+            }
+        } else {
+            self.route_cache
+                .entry((src.0, dst.0))
+                .or_insert_with(|| {
+                    Arc::new(dor_route(
+                        &self.spec.topology,
+                        src,
+                        dst,
+                        self.spec.dim_order.clone(),
+                    ))
+                })
+                .clone()
+        };
+        let flits = make_packet(id, src, dst, route, len, self.cycle, tagged);
+        self.sources[src.0].queue.extend(flits);
         id
     }
 
@@ -446,6 +514,95 @@ impl Network {
     /// `threshold` cycles.
     pub fn is_deadlocked(&self, threshold: u64) -> bool {
         !self.is_drained() && self.cycles_since_progress() >= threshold
+    }
+
+    /// Flits still waiting in per-node source queues.
+    pub fn source_backlog(&self) -> usize {
+        self.sources.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Watchdog check: whether the network has gone a full `window` of
+    /// cycles without progress, and if so which failure it looks like.
+    ///
+    /// * [`StallKind::Deadlock`] — flits in flight, none moved for
+    ///   `window` cycles (a resource cycle; §4.1's wormhole-torus
+    ///   warning).
+    /// * [`StallKind::Livelock`] — flits still move, but no packet has
+    ///   completed delivery for `window` cycles.
+    ///
+    /// [`StallKind::Saturation`] is never returned here: saturation is
+    /// a *divergence* (deliveries continue while source backlog grows
+    /// without bound), which the experiment runner detects by watching
+    /// [`Network::source_backlog`] across windows.
+    pub fn check_stall(&self, window: u64) -> Option<StallKind> {
+        if window == 0 || self.is_drained() {
+            return None;
+        }
+        if self.cycles_since_progress() >= window {
+            return Some(StallKind::Deadlock);
+        }
+        let undelivered =
+            self.stats.packets_injected > self.stats.packets_delivered + self.stats.packets_dropped;
+        if undelivered && self.cycle - self.last_delivery >= window {
+            return Some(StallKind::Livelock);
+        }
+        None
+    }
+
+    /// Captures a [`StallDiagnostics`] snapshot: the progress clocks
+    /// plus every occupied input VC with its blocked head packet. Call
+    /// when [`Network::check_stall`] fires (or at saturation early-exit
+    /// with [`StallKind::Saturation`]).
+    pub fn stall_diagnostics(&self, kind: StallKind, window: u64) -> StallDiagnostics {
+        let mut stalled_vcs = Vec::new();
+        for (node, router) in self.routers.iter().enumerate() {
+            match router {
+                AnyRouter::Vc(r) => {
+                    for (port, vc, occupancy, head, waiting) in r.occupied_vcs() {
+                        stalled_vcs.push(StalledVc {
+                            node,
+                            port,
+                            vc,
+                            occupancy,
+                            packet: head.packet,
+                            src: head.src,
+                            dst: head.dst,
+                            hop: head.hop,
+                            head_blocked: head.is_head() && waiting,
+                        });
+                    }
+                }
+                AnyRouter::Central(r) => {
+                    for (port, occupancy, head) in r.occupied_inputs() {
+                        stalled_vcs.push(StalledVc {
+                            node,
+                            port,
+                            vc: 0,
+                            occupancy,
+                            packet: head.packet,
+                            src: head.src,
+                            dst: head.dst,
+                            hop: head.hop,
+                            head_blocked: head.is_head(),
+                        });
+                    }
+                }
+            }
+        }
+        let source_backlog = self.source_backlog();
+        StallDiagnostics {
+            kind,
+            cycle: self.cycle,
+            window,
+            cycles_since_flit_movement: self.cycles_since_progress(),
+            cycles_since_delivery: self.cycle - self.last_delivery,
+            cycles_since_credit: self.cycle - self.last_credit,
+            flits_in_network: self.flits_in_flight() - source_backlog,
+            source_backlog,
+            packets_delivered: self.stats.packets_delivered,
+            packets_dropped: self.stats.packets_dropped,
+            stalled_vcs,
+        }
     }
 
     /// Advances the network by one cycle.
@@ -486,6 +643,7 @@ impl Network {
 
     fn deliver_credits(&mut self, cycle: u64) {
         for c in self.credit_wheel.take(cycle) {
+            self.last_credit = cycle;
             self.routers[c.dest].credit(c.out_port, c.vc);
         }
     }
@@ -504,6 +662,7 @@ impl Network {
             let tagged = progress.tagged;
             self.sinks.remove(&flit.packet);
             self.stats.record_delivery(latency, tagged);
+            self.last_delivery = cycle;
         }
     }
 
@@ -693,7 +852,10 @@ mod tests {
         while !net.is_drained() && net.cycle() < max_cycles {
             net.step();
         }
-        assert!(net.is_drained(), "network failed to drain in {max_cycles} cycles");
+        assert!(
+            net.is_drained(),
+            "network failed to drain in {max_cycles} cycles"
+        );
     }
 
     #[test]
@@ -763,7 +925,10 @@ mod tests {
         // but far fewer than the 30 a bypass-free model would count
         // (the paper's §4.4 fabric-vs-buffer access ratio).
         let buffer_ops = led.total_ops(Component::Buffer);
-        assert!(buffer_ops < 30, "bypass must elide accesses, got {buffer_ops}");
+        assert!(
+            buffer_ops < 30,
+            "bypass must elide accesses, got {buffer_ops}"
+        );
         // Crossbar traversals: 3 per flit (one per router).
         assert_eq!(led.total_ops(Component::Crossbar), 15);
         // Link traversals: 2 per flit.
@@ -912,7 +1077,10 @@ mod tests {
         let start = net.cycle();
         run_until_drained(&mut net, 2000);
         let elapsed = net.cycle() - start;
-        assert!(elapsed >= 20 + 3, "{elapsed} cycles is too fast for 20 flits");
+        assert!(
+            elapsed >= 20 + 3,
+            "{elapsed} cycles is too fast for 20 flits"
+        );
         assert_eq!(net.stats().flits_delivered, 20);
     }
 
@@ -955,5 +1123,129 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn watchdog_classifies_wormhole_torus_deadlock() {
+        use crate::watchdog::StallKind;
+        use rand::{rngs::StdRng, SeedableRng};
+        // A wormhole torus without VC deadlock avoidance, flooded far
+        // past saturation — §4.1 warns exactly this "may even deadlock".
+        let mut net = wormhole_net();
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let mut pattern = orion_net::TrafficPattern::uniform(&topo, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        const WINDOW: u64 = 500;
+        const BUDGET: u64 = 100_000;
+        let mut fired = None;
+        while net.cycle() < BUDGET {
+            if net.cycle() < 2000 {
+                for node in topo.nodes() {
+                    if pattern.should_inject(node, &mut rng) {
+                        if let Some(dst) = pattern.destination(node, &mut rng) {
+                            net.enqueue_packet(node, dst, false);
+                        }
+                    }
+                }
+            }
+            net.step();
+            if let Some(kind) = net.check_stall(WINDOW) {
+                fired = Some((kind, net.cycle()));
+                break;
+            }
+        }
+        let (kind, cycle) = fired.expect("watchdog must fire on a deadlocked torus");
+        assert_eq!(kind, StallKind::Deadlock);
+        assert!(
+            cycle < BUDGET / 2,
+            "fired at {cycle}, not well under budget"
+        );
+        let diag = net.stall_diagnostics(kind, WINDOW);
+        assert!(!diag.is_empty(), "deadlock must pin occupied VCs");
+        assert!(diag.flits_in_network > 0);
+        assert!(diag.cycles_since_flit_movement >= WINDOW);
+        assert!(diag.blocked_head_flits() > 0, "some head must be stuck");
+    }
+
+    #[test]
+    fn healthy_run_never_trips_watchdog() {
+        let mut net = vc_net(2, 8);
+        for src in 0..16 {
+            net.enqueue_packet(NodeId(src), NodeId(15 - src), true);
+        }
+        while !net.is_drained() && net.cycle() < 2000 {
+            net.step();
+            assert_eq!(net.check_stall(500), None);
+        }
+        assert!(net.is_drained());
+        assert_eq!(net.check_stall(500), None, "drained network never stalls");
+    }
+
+    #[test]
+    fn faulted_link_detours_and_still_delivers() {
+        use orion_net::{Direction, FaultKind, FaultSchedule, LinkId};
+        let mut net = vc_net(2, 8);
+        // 0 -> 1 normally takes d0+ out of n0 (one hop); break it.
+        net.set_fault_schedule(FaultSchedule::empty().with_link_fault(
+            LinkId {
+                node: NodeId(0),
+                dim: 0,
+                dir: Direction::Plus,
+            },
+            FaultKind::Permanent { start: 0 },
+        ));
+        net.enqueue_packet(NodeId(0), NodeId(1), true);
+        run_until_drained(&mut net, 500);
+        let s = net.stats();
+        assert_eq!(s.packets_delivered, 1);
+        assert_eq!(s.packets_detoured, 1);
+        assert_eq!(s.packets_dropped, 0);
+    }
+
+    #[test]
+    fn unroutable_packet_dropped_with_accounting() {
+        use orion_net::{FaultKind, FaultSchedule};
+        let mut net = vc_net(2, 8);
+        // Kill the destination's ejection port: nothing can be
+        // delivered to n5 and fault-aware routing drops at the source.
+        net.set_fault_schedule(FaultSchedule::empty().with_port_fault(
+            NodeId(5),
+            Port::Local,
+            FaultKind::Permanent { start: 0 },
+        ));
+        net.enqueue_packet(NodeId(0), NodeId(5), true);
+        net.enqueue_packet(NodeId(0), NodeId(2), true);
+        run_until_drained(&mut net, 500);
+        let s = net.stats();
+        assert_eq!(s.packets_injected, 2);
+        assert_eq!(s.packets_delivered, 1);
+        assert_eq!(s.packets_dropped, 1);
+        assert_eq!(s.flits_dropped, 5);
+        assert_eq!(s.tagged_dropped, 1);
+        assert_eq!(s.tagged_outstanding(), 0, "drops are not outstanding");
+        assert!((s.drop_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_fault_heals_and_direct_routes_resume() {
+        use orion_net::{Direction, FaultKind, FaultSchedule, LinkId};
+        let mut net = vc_net(2, 8);
+        net.set_fault_schedule(FaultSchedule::empty().with_link_fault(
+            LinkId {
+                node: NodeId(0),
+                dim: 0,
+                dir: Direction::Plus,
+            },
+            FaultKind::Transient { start: 0, end: 50 },
+        ));
+        net.enqueue_packet(NodeId(0), NodeId(1), false); // during outage
+        while net.cycle() < 60 {
+            net.step();
+        }
+        net.enqueue_packet(NodeId(0), NodeId(1), false); // after healing
+        run_until_drained(&mut net, 500);
+        let s = net.stats();
+        assert_eq!(s.packets_delivered, 2);
+        assert_eq!(s.packets_detoured, 1, "only the in-outage packet detours");
     }
 }

@@ -157,6 +157,15 @@ impl CentralRouter {
         self.occupancy
     }
 
+    /// Snapshot of every occupied input FIFO, for stall diagnostics:
+    /// `(port, occupancy, head flit)`.
+    pub fn occupied_inputs(&self) -> impl Iterator<Item = (usize, usize, &Flit)> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(port, fifo)| fifo.head().map(|head| (port, fifo.len(), head)))
+    }
+
     /// Accepts a flit into input `port` at `cycle`, charging the
     /// buffer-write event.
     ///
@@ -234,10 +243,7 @@ impl CentralRouter {
                 flit,
             });
             self.occupancy += 1;
-            out.credits.push(CreditReturn {
-                in_port,
-                vc: 0,
-            });
+            out.credits.push(CreditReturn { in_port, vc: 0 });
         }
     }
 
@@ -290,9 +296,8 @@ mod tests {
     use crate::flit::{make_packet, PacketId};
     use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
     use orion_power::{
-        ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower,
-        CentralBufferParams, CentralBufferPower, CrossbarKind, CrossbarParams, CrossbarPower,
-        LinkPower,
+        ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CentralBufferParams,
+        CentralBufferPower, CrossbarKind, CrossbarParams, CrossbarPower, LinkPower,
     };
     use orion_tech::{ProcessNode, Technology, Watts};
     use std::sync::Arc;
@@ -300,10 +305,9 @@ mod tests {
     fn ledger(nodes: usize) -> EnergyLedger {
         let tech = Technology::new(ProcessNode::Nm100);
         let crossbar =
-            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech)
-                .unwrap();
-        let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::RoundRobin, 5), tech)
-            .unwrap();
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 32), tech).unwrap();
+        let arbiter =
+            ArbiterPower::new(&ArbiterParams::new(ArbiterKind::RoundRobin, 5), tech).unwrap();
         EnergyLedger::new(
             PowerModels {
                 flit_bits: 32,
@@ -352,9 +356,9 @@ mod tests {
         assert_eq!(out.departures[0].out_port, 3); // d1+
         assert_eq!(r.occupancy(), 0);
         assert_eq!(led.op_count(0, Component::CentralBuffer), 2); // write+read
-        // The input FIFO was empty: the flit bypassed it (no SRAM ops),
-        // but the central buffer is the switching medium and is always
-        // charged.
+                                                                  // The input FIFO was empty: the flit bypassed it (no SRAM ops),
+                                                                  // but the central buffer is the switching medium and is always
+                                                                  // charged.
         assert_eq!(led.op_count(0, Component::Buffer), 0);
     }
 
@@ -389,7 +393,15 @@ mod tests {
                 NodeId(*dst),
                 DimensionOrder::YFirst,
             ));
-            let f = make_packet(PacketId(i as u64), NodeId(0), NodeId(*dst), route, 1, 0, false);
+            let f = make_packet(
+                PacketId(i as u64),
+                NodeId(0),
+                NodeId(*dst),
+                route,
+                1,
+                0,
+                false,
+            );
             r.accept(f[0].clone(), i, 0, 0, &mut led);
         }
         // Cycle 1-2: writes (2 ports). Cycle 2+: reads capped at 2.

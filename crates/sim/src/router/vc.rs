@@ -136,12 +136,7 @@ impl VcRouterSpec {
     /// which the experiment runner detects and reports. Use
     /// [`with_discipline`](VcRouterSpec::with_discipline) for the
     /// provably deadlock-free alternatives at some throughput cost.
-    pub fn virtual_channel(
-        ports: usize,
-        vcs: usize,
-        depth: usize,
-        flit_bits: u32,
-    ) -> VcRouterSpec {
+    pub fn virtual_channel(ports: usize, vcs: usize, depth: usize, flit_bits: u32) -> VcRouterSpec {
         VcRouterSpec {
             ports,
             vcs,
@@ -207,10 +202,7 @@ enum VcState {
     /// output port.
     Routing,
     /// Packet holds output `(port, vc)` until its tail passes.
-    Active {
-        out_port: usize,
-        out_vc: usize,
-    },
+    Active { out_port: usize, out_vc: usize },
 }
 
 #[derive(Debug, Clone)]
@@ -318,11 +310,23 @@ impl VcRouter {
 
     /// Total flits buffered in the router (for drain detection).
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flatten()
-            .map(|vc| vc.fifo.len())
-            .sum()
+        self.inputs.iter().flatten().map(|vc| vc.fifo.len()).sum()
+    }
+
+    /// Snapshot of every occupied input VC, for stall diagnostics:
+    /// `(port, vc, occupancy, head flit, waiting)`, where `waiting` is
+    /// `true` while the VC's packet has not yet been allocated an
+    /// output — a blocked head still negotiating VA/SA rather than a
+    /// body flit trailing an established path.
+    pub fn occupied_vcs(&self) -> impl Iterator<Item = (usize, usize, usize, &Flit, bool)> {
+        self.inputs.iter().enumerate().flat_map(|(port, vcs)| {
+            vcs.iter().enumerate().filter_map(move |(vc, ivc)| {
+                ivc.fifo.head().map(|head| {
+                    let waiting = !matches!(ivc.state, VcState::Active { .. });
+                    (port, vc, ivc.fifo.len(), head, waiting)
+                })
+            })
+        })
     }
 
     /// Accepts a flit into input `(port, vc)` at `cycle`. A buffer-write
@@ -587,10 +591,7 @@ impl VcRouter {
 
             // Credit back upstream for the freed slot (the network skips
             // this for the local injection port).
-            out.credits.push(CreditReturn {
-                in_port,
-                vc: in_vc,
-            });
+            out.credits.push(CreditReturn { in_port, vc: in_vc });
 
             // Consume a downstream credit, except on ejection.
             if out_port != 0 {
@@ -625,9 +626,8 @@ impl VcRouter {
             FlowControl::Bubble => {
                 // Same-dimension continuation keeps the ring's bubble
                 // intact; any dimension entry must leave one behind.
-                let same_dim = in_port != 0
-                    && out_port != 0
-                    && (in_port - 1) / 2 == (out_port - 1) / 2;
+                let same_dim =
+                    in_port != 0 && out_port != 0 && (in_port - 1) / 2 == (out_port - 1) / 2;
                 if same_dim {
                     flit.packet_len
                 } else {
@@ -639,7 +639,12 @@ impl VcRouter {
 
     /// Whether input `(port, vc)`'s head flit may request the switch at
     /// `cycle`; returns `(out_port, out_vc, claims_output)`.
-    fn sa_candidate(&self, in_port: usize, in_vc: usize, cycle: u64) -> Option<(usize, usize, bool)> {
+    fn sa_candidate(
+        &self,
+        in_port: usize,
+        in_vc: usize,
+        cycle: u64,
+    ) -> Option<(usize, usize, bool)> {
         let ivc = &self.inputs[in_port][in_vc];
         let head = ivc.fifo.head()?;
         if cycle < head.ready {
@@ -660,9 +665,7 @@ impl VcRouter {
                 if slot.owner.is_some() {
                     return None;
                 }
-                if out_port != 0
-                    && slot.credits < self.required_credits(head, in_port, out_port)
-                {
+                if out_port != 0 && slot.credits < self.required_credits(head, in_port, out_port) {
                     return None;
                 }
                 Some((out_port, out_vc, true))
@@ -713,8 +716,7 @@ mod tests {
     fn ledger(nodes: usize) -> EnergyLedger {
         let tech = Technology::new(ProcessNode::Nm100);
         let crossbar =
-            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech)
-                .unwrap();
+            CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech).unwrap();
         let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
             .unwrap()
             .with_control_energy(crossbar.control_energy());
@@ -750,8 +752,8 @@ mod tests {
         let out = r.step(11, &mut led);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].out_port, 3); // d1+ port index = 3
-        // The lone flit streamed through an empty queue: buffer bypass,
-        // no SRAM write or read charged (§4.4 access-ratio behaviour).
+                                                   // The lone flit streamed through an empty queue: buffer bypass,
+                                                   // no SRAM write or read charged (§4.4 access-ratio behaviour).
         assert_eq!(led.op_count(0, Component::Buffer), 0);
         assert!(led.op_count(0, Component::Arbiter) >= 1);
         assert_eq!(led.op_count(0, Component::Crossbar), 1);
@@ -831,7 +833,10 @@ mod tests {
         }
         assert_eq!(order.len(), 4);
         // No interleaving: the first packet's two flits are consecutive.
-        assert_eq!(order[0].0, order[1].0, "head and body of first packet together");
+        assert_eq!(
+            order[0].0, order[1].0,
+            "head and body of first packet together"
+        );
         assert_eq!(order[2].0, order[3].0);
     }
 
@@ -894,7 +899,10 @@ mod tests {
 
     #[test]
     fn dateline_partitions_output_vcs() {
-        let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 2, 8, 64).with_discipline(VcDiscipline::Dateline));
+        let mut r = VcRouter::new(
+            0,
+            VcRouterSpec::virtual_channel(5, 2, 8, 64).with_discipline(VcDiscipline::Dateline),
+        );
         let mut led = ledger(1);
         // A class-1 packet may only get VC 1.
         let mut flits = packet(1);

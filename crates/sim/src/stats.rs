@@ -22,6 +22,15 @@ pub struct SimStats {
     pub tagged_injected: u64,
     /// Tagged packets delivered.
     pub tagged_delivered: u64,
+    /// Packets dropped at the source by fault-aware routing (no path
+    /// over surviving links, or a dead local port).
+    pub packets_dropped: u64,
+    /// Flits belonging to dropped packets (never entered the network).
+    pub flits_dropped: u64,
+    /// Tagged packets among the dropped.
+    pub tagged_dropped: u64,
+    /// Packets routed around a fault on a non-dimension-ordered detour.
+    pub packets_detoured: u64,
 }
 
 impl SimStats {
@@ -40,9 +49,19 @@ impl SimStats {
         }
     }
 
-    /// Tagged packets still in flight.
+    /// Tagged packets still in flight (dropped packets will never
+    /// arrive, so they are not outstanding).
     pub fn tagged_outstanding(&self) -> u64 {
-        self.tagged_injected - self.tagged_delivered
+        self.tagged_injected - self.tagged_delivered - self.tagged_dropped
+    }
+
+    /// Fraction of injected packets that were dropped at the source;
+    /// 0 when nothing was injected.
+    pub fn drop_rate(&self) -> f64 {
+        if self.packets_injected == 0 {
+            return 0.0;
+        }
+        self.packets_dropped as f64 / self.packets_injected as f64
     }
 
     /// Number of latency samples.

@@ -57,8 +57,7 @@ fn dateline_network_uses_both_vc_classes_on_wrap_routes() {
         NetworkSpec {
             topology: topo.clone(),
             router: RouterKind::Vc(
-                VcRouterSpec::virtual_channel(5, 2, 8, 64)
-                    .with_discipline(VcDiscipline::Dateline),
+                VcRouterSpec::virtual_channel(5, 2, 8, 64).with_discipline(VcDiscipline::Dateline),
             ),
             packet_len: 5,
             dim_order: DimensionOrder::YFirst,
@@ -249,8 +248,8 @@ fn three_dimensional_torus_works_end_to_end() {
         tech,
     )
     .expect("valid");
-    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, ports), tech)
-        .expect("valid");
+    let arbiter =
+        ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, ports), tech).expect("valid");
     let m = PowerModels {
         flit_bits: 64,
         buffer: BufferPower::new(&BufferParams::new(8, 64), tech).expect("valid"),

@@ -115,8 +115,7 @@ impl Capacitor {
         let mut cap = 3.0 * l_eff * w * c_area + (6.0 * l_eff + w) * c_side + w * c_ovlp;
         // Internal junctions of a series stack share smaller diffusions.
         if stack > 1 {
-            let internal =
-                l_eff * w * c_area + 4.0 * l_eff * c_side + 2.0 * w * c_ovlp;
+            let internal = l_eff * w * c_area + 4.0 * l_eff * c_side + 2.0 * w * c_ovlp;
             cap += (stack - 1) as f64 * internal;
         }
         Farads(s * cap)

@@ -370,7 +370,10 @@ impl TechnologyBuilder {
     ///
     /// Panics if `widths` is not positive and finite.
     pub fn cell_width_features(mut self, widths: f64) -> TechnologyBuilder {
-        assert!(widths > 0.0 && widths.is_finite(), "cell width must be positive");
+        assert!(
+            widths > 0.0 && widths.is_finite(),
+            "cell width must be positive"
+        );
         self.cell_width_f = widths;
         self
     }
@@ -381,7 +384,10 @@ impl TechnologyBuilder {
     ///
     /// Panics if `heights` is not positive and finite.
     pub fn cell_height_features(mut self, heights: f64) -> TechnologyBuilder {
-        assert!(heights > 0.0 && heights.is_finite(), "cell height must be positive");
+        assert!(
+            heights > 0.0 && heights.is_finite(),
+            "cell height must be positive"
+        );
         self.cell_height_f = heights;
         self
     }
@@ -392,7 +398,10 @@ impl TechnologyBuilder {
     ///
     /// Panics if `pitch` is not positive and finite.
     pub fn wire_pitch_features(mut self, pitch: f64) -> TechnologyBuilder {
-        assert!(pitch > 0.0 && pitch.is_finite(), "wire pitch must be positive");
+        assert!(
+            pitch > 0.0 && pitch.is_finite(),
+            "wire pitch must be positive"
+        );
         self.wire_pitch_f = pitch;
         self
     }
@@ -403,7 +412,10 @@ impl TechnologyBuilder {
     ///
     /// Panics if `cap` is negative or not finite.
     pub fn sense_amp_cap_base(mut self, cap: crate::units::Farads) -> TechnologyBuilder {
-        assert!(cap.0 >= 0.0 && cap.0.is_finite(), "sense amp cap must be non-negative");
+        assert!(
+            cap.0 >= 0.0 && cap.0.is_finite(),
+            "sense amp cap must be non-negative"
+        );
         self.sense_amp_cap_base = cap.0;
         self
     }
@@ -460,7 +472,10 @@ mod tests {
         // Cacti geometry: 8 µm × 16 µm cells at 0.8 µm (10F × 20F).
         assert!((big.cell_width().0 - 8.0).abs() < 1e-9);
         assert!((big.cell_height().0 - 16.0).abs() < 1e-9);
-        assert!(small.cell_height().0 > small.cell_width().0, "cells are taller than wide");
+        assert!(
+            small.cell_height().0 > small.cell_width().0,
+            "cells are taller than wide"
+        );
         assert!(small.wire_spacing().0 > 0.0);
     }
 

@@ -27,7 +27,9 @@ fn main() {
 
     for (vcs, depth) in [(1, 16), (1, 64), (2, 8), (2, 16), (4, 8), (8, 8), (8, 16)] {
         let router = if vcs == 1 {
-            RouterConfig::Wormhole { buffer_flits: depth }
+            RouterConfig::Wormhole {
+                buffer_flits: depth,
+            }
         } else {
             RouterConfig::VirtualChannel { vcs, depth }
         };
@@ -67,9 +69,9 @@ fn main() {
     for c in &results {
         // A configuration is Pareto-efficient if nothing beats it on
         // both latency and power.
-        let dominated = results.iter().any(|o| {
-            o.latency < c.latency && o.power_w < c.power_w && !o.saturated
-        });
+        let dominated = results
+            .iter()
+            .any(|o| o.latency < c.latency && o.power_w < c.power_w && !o.saturated);
         println!(
             "{:>8} | {:>8.1}{} | {:>8.3} | {:>10.2} | {}",
             c.name,

@@ -31,7 +31,10 @@ fn main() -> std::io::Result<()> {
         TrafficPattern::hotspot(&topo, NodeId(5), 0.2, 0.03).expect("valid parameters");
     let mut rng = StdRng::seed_from_u64(2026);
     let trace = TraceTraffic::record(&mut pattern, 2000, &mut rng);
-    println!("recorded {} packet injections over 2000 cycles", trace.events().len());
+    println!(
+        "recorded {} packet injections over 2000 cycles",
+        trace.events().len()
+    );
 
     // 2. Round-trip through the text format (stand-in for a file).
     let mut text = Vec::new();
@@ -86,7 +89,10 @@ fn main() -> std::io::Result<()> {
         cycle2 += 1;
     }
     assert_eq!(net.stats().avg_latency(), net2.stats().avg_latency());
-    assert_eq!(net.ledger().total_energy().0, net2.ledger().total_energy().0);
+    assert_eq!(
+        net.ledger().total_energy().0,
+        net2.ledger().total_energy().0
+    );
     println!("second replay identical: deterministic trace-driven simulation");
     Ok(())
 }

@@ -24,7 +24,11 @@ fn shade(p: Watts, max: Watts) -> char {
 fn show(name: &str, report: &Report) {
     let map = report.power_map();
     let max = map.iter().copied().fold(Watts::ZERO, Watts::max);
-    println!("\n{name}: total {:.3} W, max node {:.4} W", report.total_power().0, max.0);
+    println!(
+        "\n{name}: total {:.3} W, max node {:.4} W",
+        report.total_power().0,
+        max.0
+    );
     for y in (0..4).rev() {
         let row: String = (0..4)
             .map(|x| shade(map[y * 4 + x], max))

@@ -294,6 +294,120 @@ fn report_breakdown_fractions_sum_to_one() {
 }
 
 #[test]
+fn deep_saturation_terminates_early_via_watchdog() {
+    // A wormhole torus without dateline VCs driven deep past
+    // saturation must not wait out its million-cycle budget: the
+    // watchdog (or the backlog-divergence check) classifies the run
+    // and stops it. Acceptance criterion of the robustness tentpole.
+    use orion::core::RunOutcome;
+    const BUDGET: u64 = 1_000_000;
+    let report = Experiment::new(presets::wh64_onchip())
+        .injection_rate(0.5)
+        .seed(11)
+        .warmup(100)
+        .sample_packets(5_000)
+        .max_cycles(BUDGET)
+        .watchdog_cycles(500)
+        .run()
+        .expect("valid config");
+    match report.outcome() {
+        RunOutcome::Deadlocked(diag) => {
+            assert!(!diag.is_empty(), "diagnostics must name stalled VCs");
+            assert!(
+                diag.blocked_head_flits() > 0,
+                "a deadlock blocks head flits"
+            );
+            assert!(
+                diag.cycle < BUDGET / 2,
+                "watchdog fired at {} — not 'well under' the {BUDGET} budget",
+                diag.cycle
+            );
+            assert!(diag.flits_in_network > 0);
+        }
+        RunOutcome::Saturated => {
+            assert!(
+                report.measured_cycles() < BUDGET / 2,
+                "divergence check must stop the run early"
+            );
+        }
+        other => panic!("expected Deadlocked or Saturated, got {other:?}"),
+    }
+    assert!(report.is_saturated());
+}
+
+#[test]
+fn sweep_isolates_the_deadlock_prone_point() {
+    // An injection sweep containing a deadlock-prone rate still
+    // returns results for every other rate, and the degraded point
+    // carries its outcome instead of poisoning the sweep.
+    use orion::core::{injection_sweep, RunOutcome, SweepOptions};
+    let points = injection_sweep(
+        &presets::wh64_onchip(),
+        &[0.02, 0.5],
+        SweepOptions {
+            seed: 3,
+            warmup: 200,
+            sample_packets: 300,
+            max_cycles: 100_000,
+        },
+    )
+    .expect("sweep must not abort");
+    assert_eq!(points.len(), 2, "every rate reported");
+    assert_eq!(points[0].report.outcome(), &RunOutcome::Completed);
+    assert!(
+        matches!(
+            points[1].report.outcome(),
+            RunOutcome::Deadlocked(_) | RunOutcome::Saturated | RunOutcome::BudgetExhausted
+        ),
+        "0.5 is deep past saturation: {:?}",
+        points[1].report.outcome()
+    );
+    assert!(points[1].report.is_saturated());
+}
+
+#[test]
+fn faulted_network_degrades_gracefully_end_to_end() {
+    use orion::core::RunOutcome;
+    use orion::net::{FaultConfig, FaultSchedule};
+    let cfg = presets::vc16_onchip();
+    let schedule = FaultSchedule::generate(
+        &cfg.topology,
+        &FaultConfig {
+            seed: 4,
+            permanent_links: 8,
+            horizon: 1, // active from cycle 0
+            ..FaultConfig::default()
+        },
+    );
+    let report = Experiment::new(cfg)
+        .injection_rate(0.03)
+        .seed(4)
+        .warmup(200)
+        .sample_packets(300)
+        .max_cycles(100_000)
+        .fault_schedule(schedule)
+        .run()
+        .expect("valid config");
+    let stats = report.stats();
+    // Conservation under faults: every injected packet is delivered,
+    // dropped (at the source, with accounting) or still queued.
+    assert!(stats.packets_delivered > 0);
+    assert!(
+        stats.packets_detoured > 0 || stats.packets_dropped > 0,
+        "8 dead links must perturb routing"
+    );
+    assert!(stats.packets_delivered + stats.packets_dropped <= stats.packets_injected);
+    match report.outcome() {
+        RunOutcome::Faulted { delivered, dropped } => {
+            assert_eq!(*delivered, stats.packets_delivered);
+            assert_eq!(*dropped, stats.packets_dropped);
+        }
+        RunOutcome::Completed => assert_eq!(stats.packets_dropped, 0),
+        other => panic!("fault run must degrade gracefully, got {other:?}"),
+    }
+}
+
+#[test]
 fn trace_replay_matches_live_pattern_statistics() {
     use orion::net::TraceTraffic;
     use rand::{rngs::StdRng, SeedableRng};

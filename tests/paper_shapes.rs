@@ -229,7 +229,11 @@ fn fig7d_cb_beats_xb_under_broadcast() {
     };
     let xb = run_bc(presets::xb_chip_to_chip());
     let cb = run_bc(presets::cb_chip_to_chip());
-    assert!(cb.completed(), "CB absorbs 0.3 pkt/cycle broadcast");
+    assert_eq!(
+        cb.outcome(),
+        &orion::core::RunOutcome::Completed,
+        "CB absorbs 0.3 pkt/cycle broadcast"
+    );
     assert!(
         cb.avg_latency() * 2.0 < xb.avg_latency(),
         "CB {} must be far below XB {}",

@@ -20,10 +20,9 @@ fn mini_network(kx: u32, ky: u32, vcs: usize, wormhole: bool) -> orion::sim::Net
     use orion::sim::{Network, NetworkSpec, RouterKind, VcRouterSpec};
     let topo = Topology::torus(&[kx, ky]).expect("valid radices");
     let t = tech();
-    let crossbar = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), t)
-        .expect("valid");
-    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), t)
-        .expect("valid");
+    let crossbar =
+        CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), t).expect("valid");
+    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), t).expect("valid");
     let models = orion::sim::PowerModels {
         flit_bits: 64,
         buffer: BufferPower::new(&BufferParams::new(8, 64), t).expect("valid"),
@@ -297,6 +296,50 @@ proptest! {
         .expect("valid");
         for e in [buf.read_energy().0, buf.write_energy_uniform().0, buf.write_energy_max().0] {
             prop_assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault schedules are a pure function of (topology, config): the
+    /// same seed yields bit-identical schedules, so degraded runs are
+    /// reproducible.
+    #[test]
+    fn fault_schedules_are_deterministic_per_seed(
+        seed in any::<u64>(),
+        permanent_links in 0usize..12,
+        transient_rate in 0.0f64..2.0,
+        faulty_router_ports in 0usize..6,
+        horizon in 1u64..200_000,
+    ) {
+        use orion::net::{FaultConfig, FaultSchedule};
+        let topo = Topology::torus(&[4, 4]).expect("valid radices");
+        let config = FaultConfig {
+            seed,
+            permanent_links,
+            transient_rate,
+            transient_duration: 500,
+            faulty_router_ports,
+            horizon,
+        };
+        let a = FaultSchedule::generate(&topo, &config);
+        let b = FaultSchedule::generate(&topo, &config);
+        prop_assert_eq!(&a, &b);
+
+        // A different seed perturbs the schedule. Only checked when the
+        // schedule has enough random structure that an accidental
+        // collision is astronomically unlikely.
+        if permanent_links >= 2 && horizon >= 1_000 {
+            let other = FaultSchedule::generate(
+                &topo,
+                &FaultConfig { seed: seed ^ 0x9e37_79b9_7f4a_7c15, ..config },
+            );
+            prop_assert!(
+                a != other || a.is_empty(),
+                "distinct seeds should not collide on non-empty schedules"
+            );
         }
     }
 }
