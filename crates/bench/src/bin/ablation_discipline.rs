@@ -7,8 +7,8 @@
 //! classes halve the VCs visible to a packet; Duato-style escape VCs
 //! restrict only two of them.
 
-use orion_bench::{fmt_report_latency, print_table};
-use orion_core::{Experiment, NetworkConfig, RouterConfig};
+use orion_bench::{fmt_report_latency, print_table, rate_rows};
+use orion_core::{Experiment, NetworkConfig, Report, RouterConfig};
 use orion_net::Topology;
 use orion_sim::VcDiscipline;
 
@@ -30,26 +30,28 @@ fn main() {
     let rates = [0.06, 0.10, 0.12, 0.14, 0.16, 0.20];
 
     for &vcs in &[2u32, 4, 8] {
-        let mut rows = Vec::new();
-        for &rate in &rates {
-            let mut row = vec![format!("{rate:.2}")];
-            for (_, d) in &disciplines {
-                let report = Experiment::new(config(vcs, *d))
-                    .injection_rate(rate)
-                    .seed(2)
-                    .warmup(500)
-                    .sample_packets(1500)
-                    .max_cycles(80_000)
-                    .run()
-                    .expect("valid config");
-                row.push(fmt_report_latency(&report));
-            }
-            rows.push(row);
-        }
+        let columns: Vec<Vec<Report>> = disciplines
+            .iter()
+            .map(|(_, d)| {
+                rates
+                    .iter()
+                    .map(|&rate| {
+                        Experiment::new(config(vcs, *d))
+                            .injection_rate(rate)
+                            .seed(2)
+                            .warmup(500)
+                            .sample_packets(1500)
+                            .max_cycles(80_000)
+                            .run()
+                            .expect("valid config")
+                    })
+                    .collect()
+            })
+            .collect();
         print_table(
             &format!("{vcs} VCs x 8 flits: latency (cycles; * saturated, ! deadlocked)"),
             &["rate", "unrestricted", "dateline", "escape"],
-            &rows,
+            &rate_rows(&rates, &columns, fmt_report_latency),
         );
     }
     println!("\n(unrestricted matches the paper's behaviour but deadlocks past the");

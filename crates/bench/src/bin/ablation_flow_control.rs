@@ -7,68 +7,42 @@
 //! (Puente/Carrion, as in the BlueGene/L torus) — the latter is
 //! provably deadlock-free and shows the post-saturation power plateau
 //! the paper reports, at the cost of slightly earlier saturation.
+//!
+//! The grid lives in `examples/specs/ablation_flow_control.toml` and
+//! runs through the `orion-exp` engine; this binary only renders the
+//! records.
 
-use orion_bench::{fmt_report_latency, fmt_report_power, print_table, Effort};
-use orion_core::{Experiment, NetworkConfig, RouterConfig};
-use orion_net::Topology;
-use orion_sim::FlowControl;
+use orion_bench::{
+    fmt_record_latency, fmt_record_power, print_table, rate_rows, record_columns, Effort,
+};
+use orion_exp::{run_spec, EngineOptions, ExperimentSpec};
 
-fn config(flow: FlowControl) -> NetworkConfig {
-    NetworkConfig::new(
-        Topology::torus(&[4, 4]).expect("valid"),
-        RouterConfig::Wormhole { buffer_flits: 64 },
-        256,
-    )
-    .flow_control(flow)
-}
+const SPEC: &str = include_str!("../../../../examples/specs/ablation_flow_control.toml");
 
 fn main() {
-    let effort = Effort::from_args();
-    let options = effort.options();
-    let flows = [
-        ("flit-level", FlowControl::FlitLevel),
-        ("cut-through", FlowControl::CutThrough),
-        ("bubble", FlowControl::Bubble),
-    ];
-    let rates: Vec<f64> = (1..=10).map(|i| 0.02 * i as f64).collect();
+    let mut spec = ExperimentSpec::parse(SPEC).expect("embedded spec is valid");
+    Effort::from_args().apply_to_spec(&mut spec);
 
-    let mut lat_rows = Vec::new();
-    let mut pow_rows = Vec::new();
-    let mut reports = Vec::new();
-    for (name, flow) in &flows {
-        eprintln!("sweeping {name} ...");
-        let mut row = Vec::new();
-        for &rate in &rates {
-            row.push(
-                Experiment::new(config(*flow))
-                    .injection_rate(rate)
-                    .seed(options.seed)
-                    .warmup(options.warmup)
-                    .sample_packets(options.sample_packets)
-                    .max_cycles(options.max_cycles)
-                    .run()
-                    .expect("valid config"),
-            );
-        }
-        reports.push(row);
-    }
-    for (i, &rate) in rates.iter().enumerate() {
-        let mut lat = vec![format!("{rate:.2}")];
-        let mut pow = vec![format!("{rate:.2}")];
-        for row in &reports {
-            lat.push(fmt_report_latency(&row[i]));
-            pow.push(fmt_report_power(&row[i]));
-        }
-        lat_rows.push(lat);
-        pow_rows.push(pow);
-    }
+    let opts = EngineOptions {
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cache_dir: None,
+        progress: true,
+    };
+    let (records, _) = run_spec(&spec, &opts).expect("cacheless runs do no I/O");
+
+    let flows = ["flit-level", "cut-through", "bubble"];
+    let cols = record_columns(&records, &flows, |r| &r.flow_control);
     let header = ["rate", "flit-level", "cut-through", "bubble"];
     print_table(
         "WH64 latency under three flow controls (cycles; * saturated, ! deadlocked)",
         &header,
-        &lat_rows,
+        &rate_rows(&spec.rates, &cols, |r| fmt_record_latency(r)),
     );
-    print_table("WH64 total network power (W)", &header, &pow_rows);
+    print_table(
+        "WH64 total network power (W)",
+        &header,
+        &rate_rows(&spec.rates, &cols, |r| fmt_record_power(r)),
+    );
     println!("\n(bubble never deadlocks: its power column shows the full");
     println!(" post-saturation plateau the paper draws for every configuration)");
 }

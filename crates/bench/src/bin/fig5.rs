@@ -15,83 +15,71 @@
 //! power-hungry with no throughput gain over VC64; power levels off
 //! past saturation; buffers + crossbar exceed 85% of node power with
 //! arbiters < 1%.
+//!
+//! The grid itself lives in `examples/specs/fig5.toml` and runs
+//! through the `orion-exp` engine — this binary only renders the
+//! resulting records as the paper's tables. The same spec is runnable
+//! (with caching and resume) via
+//! `orion-power-cli experiment run examples/specs/fig5.toml`.
 
-use orion_bench::{fmt_report_latency, fmt_report_power, print_table, Effort};
-use orion_core::{injection_sweep, presets, Experiment, NetworkConfig};
-use orion_sim::Component;
+use orion_bench::{
+    fmt_record_latency, fmt_record_power, print_saturation_summary, print_table, rate_rows,
+    record_columns, record_saturation_rate, Effort,
+};
+use orion_exp::{run_spec, EngineOptions, ExperimentSpec};
+
+const SPEC: &str = include_str!("../../../../examples/specs/fig5.toml");
 
 fn main() {
-    let effort = Effort::from_args();
-    let options = effort.options();
-    let rates: Vec<f64> = (1..=10).map(|i| 0.02 * i as f64).collect();
+    let mut spec = ExperimentSpec::parse(SPEC).expect("embedded spec is valid");
+    Effort::from_args().apply_to_spec(&mut spec);
 
-    let configs: Vec<(&str, NetworkConfig)> = vec![
-        ("WH64", presets::wh64_onchip()),
-        ("VC16", presets::vc16_onchip()),
-        ("VC64", presets::vc64_onchip()),
-        ("VC128", presets::vc128_onchip()),
-    ];
+    let opts = EngineOptions {
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cache_dir: None,
+        progress: true,
+    };
+    let (records, _) = run_spec(&spec, &opts).expect("cacheless runs do no I/O");
 
-    let mut latency_rows = Vec::new();
-    let mut power_rows = Vec::new();
-    let mut sweeps = Vec::new();
-    for (name, cfg) in &configs {
-        eprintln!("sweeping {name} ...");
-        let points = injection_sweep(cfg, &rates, options).expect("preset configs are valid");
-        sweeps.push((name, points));
-    }
-
-    for (i, &rate) in rates.iter().enumerate() {
-        let mut lat = vec![format!("{rate:.2}")];
-        let mut pow = vec![format!("{rate:.2}")];
-        for (_, points) in &sweeps {
-            let r = &points[i].report;
-            lat.push(fmt_report_latency(r));
-            pow.push(fmt_report_power(r));
-        }
-        latency_rows.push(lat);
-        power_rows.push(pow);
-    }
-
+    let presets = ["wh64", "vc16", "vc64", "vc128"];
+    let cols = record_columns(&records, &presets, |r| &r.preset);
     let header = ["rate (pkt/cyc/node)", "WH64", "VC16", "VC64", "VC128"];
     print_table(
         "Figure 5(a): average packet latency (cycles; * = saturated)",
         &header,
-        &latency_rows,
+        &rate_rows(&spec.rates, &cols, |r| fmt_record_latency(r)),
     );
     print_table(
         "Figure 5(b): total network power (W; ! = deadlocked, power over live window)",
         &header,
-        &power_rows,
+        &rate_rows(&spec.rates, &cols, |r| fmt_record_power(r)),
     );
-
-    for (name, points) in &sweeps {
-        let sat = orion_core::saturation_rate(points);
-        match sat {
-            Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
-            None => println!("  {name}: saturated at every swept rate"),
-        }
-    }
+    let saturation: Vec<(&str, Option<f64>)> = header[1..]
+        .iter()
+        .zip(&cols)
+        .map(|(name, col)| (*name, record_saturation_rate(col)))
+        .collect();
+    print_saturation_summary(&saturation);
 
     // 5(c): VC64 breakdown at a representative pre-saturation rate.
     let rate = 0.10;
-    let report = Experiment::new(presets::vc64_onchip())
-        .injection_rate(rate)
-        .seed(options.seed)
-        .warmup(options.warmup)
-        .sample_packets(options.sample_packets)
-        .max_cycles(options.max_cycles)
-        .run()
-        .expect("preset configs are valid");
-    let rows: Vec<Vec<String>> = report
-        .breakdown()
+    let vc64 = cols[2]
         .iter()
-        .filter(|(c, _, _)| *c != Component::CentralBuffer)
-        .map(|(c, p, f)| {
+        .find(|r| (r.rate - rate).abs() < 1e-9)
+        .expect("0.10 is a grid rate");
+    let parts = [
+        ("buffer", vc64.buffer_w),
+        ("crossbar", vc64.crossbar_w),
+        ("arbiter", vc64.arbiter_w),
+        ("link", vc64.link_w),
+    ];
+    let rows: Vec<Vec<String>> = parts
+        .iter()
+        .map(|(name, w)| {
             vec![
-                c.to_string(),
-                format!("{:.4}", p.0),
-                format!("{:.2}%", 100.0 * f),
+                name.to_string(),
+                format!("{w:.4}"),
+                format!("{:.2}%", 100.0 * w / vc64.total_power_w),
             ]
         })
         .collect();
@@ -100,14 +88,8 @@ fn main() {
         &["component", "power (W)", "share"],
         &rows,
     );
-    let buf_xb: f64 = report
-        .breakdown()
-        .iter()
-        .filter(|(c, _, _)| matches!(c, Component::Buffer | Component::Crossbar))
-        .map(|(_, _, f)| f)
-        .sum();
     println!(
         "  buffers + crossbar = {:.1}% of node power (paper: > 85%)",
-        100.0 * buf_xb
+        100.0 * (vc64.buffer_w + vc64.crossbar_w) / vc64.total_power_w
     );
 }

@@ -16,7 +16,9 @@
 //! buffer dominates); links exceed 70% of XB node power (3 W
 //! traffic-insensitive chip-to-chip links).
 
-use orion_bench::{fmt_report_latency, fmt_report_power, print_table, Effort};
+use orion_bench::{
+    fmt_report_latency, fmt_report_power, print_saturation_summary, print_table, rate_rows, Effort,
+};
 use orion_core::{injection_sweep, presets, Experiment, Report};
 use orion_net::TrafficPattern;
 use orion_sim::Component;
@@ -45,38 +47,24 @@ fn main() {
     eprintln!("sweeping CB under uniform traffic ...");
     let cb_points = injection_sweep(&cb, &rates, options).expect("valid config");
 
-    let mut lat_rows = Vec::new();
-    let mut pow_rows = Vec::new();
-    for (i, &rate) in rates.iter().enumerate() {
-        let (rx, rc) = (&xb_points[i].report, &cb_points[i].report);
-        lat_rows.push(vec![
-            format!("{rate:.2}"),
-            fmt_report_latency(rx),
-            fmt_report_latency(rc),
-        ]);
-        pow_rows.push(vec![
-            format!("{rate:.2}"),
-            fmt_report_power(rx),
-            fmt_report_power(rc),
-        ]);
-    }
+    let cols: Vec<Vec<&Report>> = [&xb_points, &cb_points]
+        .map(|pts| pts.iter().map(|p| &p.report).collect())
+        .into();
     let header = ["rate (pkt/cyc/node)", "XB", "CB"];
     print_table(
         "Figure 7(a): average packet latency, uniform random (cycles; * = saturated)",
         &header,
-        &lat_rows,
+        &rate_rows(&rates, &cols, |r| fmt_report_latency(r)),
     );
     print_table(
         "Figure 7(b): total network power, uniform random (W)",
         &header,
-        &pow_rows,
+        &rate_rows(&rates, &cols, |r| fmt_report_power(r)),
     );
-    for (name, points) in [("XB", &xb_points), ("CB", &cb_points)] {
-        match orion_core::saturation_rate(points) {
-            Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
-            None => println!("  {name}: saturated at every swept rate"),
-        }
-    }
+    print_saturation_summary(&[
+        ("XB", orion_core::saturation_rate(&xb_points)),
+        ("CB", orion_core::saturation_rate(&cb_points)),
+    ]);
 
     // --- 7(d)/(e): broadcast traffic from (1,2). ---
     let src = topo.node_at(&[1, 2]);
@@ -91,33 +79,20 @@ fn main() {
             .run()
             .expect("valid config")
     };
-    let mut lat_rows = Vec::new();
-    let mut pow_rows = Vec::new();
     eprintln!("sweeping broadcast rates ...");
-    for &rate in &bc_rates {
-        let rx = run_bc(&xb, rate);
-        let rc = run_bc(&cb, rate);
-        lat_rows.push(vec![
-            format!("{rate:.2}"),
-            fmt_report_latency(&rx),
-            fmt_report_latency(&rc),
-        ]);
-        pow_rows.push(vec![
-            format!("{rate:.2}"),
-            fmt_report_power(&rx),
-            fmt_report_power(&rc),
-        ]);
-    }
+    let bc_cols: Vec<Vec<Report>> = [&xb, &cb]
+        .map(|cfg| bc_rates.iter().map(|&rate| run_bc(cfg, rate)).collect())
+        .into();
     let header = ["source rate (pkt/cyc)", "XB", "CB"];
     print_table(
         "Figure 7(d): average packet latency, broadcast from (1,2) (cycles; * = saturated)",
         &header,
-        &lat_rows,
+        &rate_rows(&bc_rates, &bc_cols, fmt_report_latency),
     );
     print_table(
         "Figure 7(e): total network power, broadcast from (1,2) (W)",
         &header,
-        &pow_rows,
+        &rate_rows(&bc_rates, &bc_cols, fmt_report_power),
     );
 
     // --- 7(c)/(f): node power breakdowns under random traffic. ---

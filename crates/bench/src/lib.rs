@@ -8,6 +8,7 @@
 //! 10 000-packet sample).
 
 use orion_core::SweepOptions;
+use orion_exp::{CellRecord, ExperimentSpec};
 
 /// Measurement effort selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,19 @@ impl Effort {
         }
     }
 
+    /// Applies this effort's measurement discipline to an experiment
+    /// spec. Full keeps the spec's own numbers (the spec files under
+    /// `examples/specs/` carry the paper's §4.1 discipline); Quick
+    /// shrinks the sample for smoke runs.
+    pub fn apply_to_spec(self, spec: &mut ExperimentSpec) {
+        if self == Effort::Quick {
+            let o = self.options();
+            spec.measure.warmup = o.warmup;
+            spec.measure.sample_packets = o.sample_packets;
+            spec.measure.max_cycles = o.max_cycles;
+        }
+    }
+
     /// Sweep options for this effort level.
     pub fn options(self) -> SweepOptions {
         match self {
@@ -36,12 +50,14 @@ impl Effort {
                 warmup: 1000,
                 sample_packets: 10_000,
                 max_cycles: 300_000,
+                threads: 1,
             },
             Effort::Quick => SweepOptions {
                 seed: 1,
                 warmup: 300,
                 sample_packets: 1_000,
                 max_cycles: 60_000,
+                threads: 1,
             },
         }
     }
@@ -107,6 +123,81 @@ pub fn fmt_report_power(report: &orion_core::Report) -> String {
     s
 }
 
+/// Formats an experiment cell record's latency cell like
+/// [`fmt_report_latency`]: `*` marks saturation, `!` marks a
+/// deadlocked/livelocked run, `-` a failed cell.
+pub fn fmt_record_latency(r: &CellRecord) -> String {
+    let mut s = fmt_latency(r.avg_latency, r.saturated);
+    if matches!(r.outcome.as_str(), "deadlocked" | "livelocked") {
+        s.push('!');
+    }
+    s
+}
+
+/// Formats an experiment cell record's total-power cell, marking
+/// deadlock/livelock (`!`).
+pub fn fmt_record_power(r: &CellRecord) -> String {
+    let mut s = format!("{:.3}", r.total_power_w);
+    if matches!(r.outcome.as_str(), "deadlocked" | "livelocked") {
+        s.push('!');
+    }
+    s
+}
+
+/// Builds one table row per rate — `[rate, col0-cell, col1-cell, ...]`
+/// — from per-series columns indexed the same way as `rates`. This is
+/// the row-assembly loop every sweep binary used to hand-roll.
+pub fn rate_rows<T>(
+    rates: &[f64],
+    columns: &[Vec<T>],
+    cell: impl Fn(&T) -> String,
+) -> Vec<Vec<String>> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, rate)| {
+            let mut row = vec![format!("{rate:.2}")];
+            row.extend(columns.iter().map(|col| cell(&col[i])));
+            row
+        })
+        .collect()
+}
+
+/// Splits engine-sorted experiment records into per-series columns,
+/// one per entry of `keys` in order. Each column keeps the engine's
+/// record order, which for a single-traffic grid is ascending rate —
+/// exactly what [`rate_rows`] expects.
+pub fn record_columns<'a>(
+    records: &'a [CellRecord],
+    keys: &[&str],
+    key: impl Fn(&CellRecord) -> &str,
+) -> Vec<Vec<&'a CellRecord>> {
+    keys.iter()
+        .map(|k| records.iter().filter(|r| key(r) == *k).collect())
+        .collect()
+}
+
+/// The largest swept rate a record series survives without saturating
+/// (the record analogue of [`orion_core::saturation_rate`]).
+pub fn record_saturation_rate(column: &[&CellRecord]) -> Option<f64> {
+    column
+        .iter()
+        .filter(|r| !r.saturated && !r.is_error())
+        .map(|r| r.rate)
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+}
+
+/// Prints the per-series saturation summary lines shown under a sweep
+/// table.
+pub fn print_saturation_summary(series: &[(&str, Option<f64>)]) {
+    for (name, sat) in series {
+        match sat {
+            Some(r) => println!("  {name}: saturation throughput ~ {r:.2} pkt/cycle/node"),
+            None => println!("  {name}: saturated at every swept rate"),
+        }
+    }
+}
+
 /// Renders a per-node power map as the 4×4 grid of Figure 6, labelled
 /// in the paper's (x, y) Cartesian tuples.
 pub fn print_power_map(title: &str, map: &[orion_tech::Watts], kx: usize, ky: usize) {
@@ -150,5 +241,75 @@ mod tests {
     #[should_panic(expected = "map size mismatch")]
     fn map_rejects_wrong_size() {
         print_power_map("t", &[orion_tech::Watts(1.0)], 4, 4);
+    }
+
+    #[test]
+    fn quick_effort_rewrites_spec_measure() {
+        let mut spec = ExperimentSpec::parse(
+            "[experiment]\nname = \"t\"\n[grid]\npresets = [\"wh64\"]\nrates = [0.02]\n",
+        )
+        .unwrap();
+        Effort::Full.apply_to_spec(&mut spec);
+        assert_eq!(spec.measure.sample_packets, 10_000);
+        Effort::Quick.apply_to_spec(&mut spec);
+        assert_eq!(spec.measure.sample_packets, 1_000);
+        assert_eq!(spec.measure.warmup, 300);
+    }
+
+    fn fake_records() -> Vec<CellRecord> {
+        let spec = ExperimentSpec::parse(
+            "[experiment]\nname = \"t\"\n[grid]\npresets = [\"wh64\", \"vc16\"]\nrates = [0.02, 0.04]\n",
+        )
+        .unwrap();
+        spec.expand()
+            .iter()
+            .map(|c| CellRecord::from_error(c, "unit-test stub"))
+            .collect()
+    }
+
+    #[test]
+    fn record_columns_split_by_key_in_rate_order() {
+        let records = fake_records();
+        let cols = record_columns(&records, &["wh64", "vc16"], |r| &r.preset);
+        assert_eq!(cols.len(), 2);
+        for col in &cols {
+            assert_eq!(col.iter().map(|r| r.rate).collect::<Vec<_>>(), [0.02, 0.04]);
+        }
+        assert!(cols[0].iter().all(|r| r.preset == "wh64"));
+    }
+
+    #[test]
+    fn rate_rows_lead_with_rate_and_follow_columns() {
+        let records = fake_records();
+        let cols = record_columns(&records, &["wh64", "vc16"], |r| &r.preset);
+        let rows = rate_rows(&[0.02, 0.04], &cols, |r| fmt_record_latency(r));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["0.02", "-", "-"]); // error cells render "-"
+    }
+
+    #[test]
+    fn record_saturation_rate_skips_saturated_and_failed() {
+        let mut records = fake_records();
+        for r in &mut records {
+            r.outcome = "completed".into();
+            r.error = None;
+            r.avg_latency = 10.0;
+        }
+        records[1].saturated = true; // wh64 @ 0.04 saturates
+        let cols = record_columns(&records, &["wh64", "vc16"], |r| &r.preset);
+        assert_eq!(record_saturation_rate(&cols[0]), Some(0.02));
+        assert_eq!(record_saturation_rate(&cols[1]), Some(0.04));
+        assert_eq!(record_saturation_rate(&[]), None);
+    }
+
+    #[test]
+    fn record_cells_carry_markers() {
+        let mut records = fake_records();
+        records[0].outcome = "deadlocked".into();
+        records[0].avg_latency = 55.0;
+        records[0].saturated = true;
+        records[0].total_power_w = 9.5;
+        assert_eq!(fmt_record_latency(&records[0]), "55.0*!");
+        assert_eq!(fmt_record_power(&records[0]), "9.500!");
     }
 }

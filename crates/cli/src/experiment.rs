@@ -1,0 +1,332 @@
+//! The `experiment` subcommand: run a declarative TOML experiment spec
+//! through the orchestration engine (`orion-exp`).
+//!
+//! ```text
+//! orion-power-cli experiment run examples/specs/fig5.toml \
+//!     --threads 8 --cache-dir .exp-cache --out-dir experiments
+//! ```
+//!
+//! Unlike the component subcommands, `experiment run` takes a
+//! positional spec path, so it is dispatched before the option-only
+//! [`Args`](crate::args::Args) grammar. Exit codes follow the scheme
+//! in [`crate::run`]: 2 for bad input (spec errors), 1 for I/O
+//! failures, 3 when any cell failed, 0 otherwise.
+
+use std::path::PathBuf;
+
+use orion_exp::{run_spec, write_artifacts, EngineOptions, ExperimentSpec};
+
+use crate::args::ArgError;
+use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
+
+/// Usage fragment shown on `experiment` argument errors.
+const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
+     [--cache-dir DIR] [--out-dir DIR] [--json] [--quiet]";
+
+struct ExperimentArgs {
+    spec_path: PathBuf,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    out_dir: PathBuf,
+    json: bool,
+    quiet: bool,
+}
+
+fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
+    let mut it = tokens.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown experiment subcommand `{other}`\n{EXPERIMENT_USAGE}"
+            )))
+        }
+        None => return Err(ArgError(format!("missing subcommand\n{EXPERIMENT_USAGE}"))),
+    }
+
+    let mut spec_path: Option<PathBuf> = None;
+    let mut threads = 1usize;
+    let mut cache_dir = None;
+    let mut out_dir = PathBuf::from("experiments");
+    let mut json = false;
+    let mut quiet = false;
+
+    let value = |it: &mut std::slice::Iter<String>, name: &str| -> Result<String, ArgError> {
+        it.next()
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| ArgError(format!("--{name} requires a value")))
+    };
+
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--threads" => {
+                let v = value(&mut it, "threads")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--threads expects an integer, got `{v}`")))?;
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(&mut it, "cache-dir")?)),
+            "--out-dir" => out_dir = PathBuf::from(value(&mut it, "out-dir")?),
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            opt if opt.starts_with("--") => {
+                return Err(ArgError(format!(
+                    "unknown option `{opt}` for `experiment run`\n{EXPERIMENT_USAGE}"
+                )))
+            }
+            path if spec_path.is_none() => spec_path = Some(PathBuf::from(path)),
+            extra => {
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{extra}`\n{EXPERIMENT_USAGE}"
+                )))
+            }
+        }
+    }
+
+    Ok(ExperimentArgs {
+        spec_path: spec_path
+            .ok_or_else(|| ArgError(format!("missing spec path\n{EXPERIMENT_USAGE}")))?,
+        threads,
+        cache_dir,
+        out_dir,
+        json,
+        quiet,
+    })
+}
+
+/// Executes `experiment <tokens...>`, returning rendered output and
+/// the exit code (never panics; every failure maps to a coded result).
+pub fn execute(tokens: &[String]) -> CmdOutput {
+    let args = match parse_args(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: {e}\n"),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: cannot read `{}`: {e}\n", args.spec_path.display()),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+    let spec = match ExperimentSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: {}: {e}\n", args.spec_path.display()),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+
+    let opts = EngineOptions {
+        threads: args.threads,
+        cache_dir: args.cache_dir.clone(),
+        progress: !args.quiet && !args.json,
+    };
+    let (records, summary) = match run_spec(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: engine I/O failure: {e}\n"),
+                code: EXIT_RUNTIME,
+            }
+        }
+    };
+    let artifacts = match write_artifacts(&args.out_dir, &spec.name, &records) {
+        Ok(a) => a,
+        Err(e) => {
+            return CmdOutput {
+                text: format!(
+                    "error: cannot write artifacts under `{}`: {e}\n",
+                    args.out_dir.display()
+                ),
+                code: EXIT_RUNTIME,
+            }
+        }
+    };
+
+    let elapsed = summary.elapsed.as_secs_f64();
+    let text = if args.json {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema_version\": {},\n",
+                "  \"experiment\": \"{}\",\n",
+                "  \"cells\": {},\n",
+                "  \"simulated\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"failed\": {},\n",
+                "  \"corrupt_cache_lines\": {},\n",
+                "  \"elapsed_s\": {:.3},\n",
+                "  \"artifacts\": {{\"jsonl\": \"{}\", \"csv\": \"{}\"}}\n",
+                "}}\n"
+            ),
+            JSON_SCHEMA_VERSION,
+            spec.name,
+            summary.total,
+            summary.simulated,
+            summary.cache_hits,
+            summary.failed,
+            summary.corrupt_cache_lines,
+            elapsed,
+            artifacts.jsonl.display(),
+            artifacts.csv.display(),
+        )
+    } else {
+        let mut out = format!(
+            "experiment {}: {} cells, {} simulated, {} cached, {} failed in {:.1}s\n",
+            spec.name,
+            summary.total,
+            summary.simulated,
+            summary.cache_hits,
+            summary.failed,
+            elapsed,
+        );
+        if summary.corrupt_cache_lines > 0 {
+            out.push_str(&format!(
+                "warning: skipped {} corrupt cache line(s); affected cells re-simulated\n",
+                summary.corrupt_cache_lines
+            ));
+        }
+        out.push_str(&format!(
+            "artifacts: {}, {}\n",
+            artifacts.jsonl.display(),
+            artifacts.csv.display()
+        ));
+        out
+    };
+
+    let code = if summary.failed > 0 { EXIT_DEGRADED } else { 0 };
+    CmdOutput { text, code }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::Path;
+
+    fn toks(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("orion-cli-exp-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_spec(dir: &Path) -> PathBuf {
+        let path = dir.join("spec.toml");
+        fs::write(
+            &path,
+            r#"
+[experiment]
+name = "cli-smoke"
+
+[measure]
+warmup = 100
+sample_packets = 100
+max_cycles = 20000
+
+[grid]
+presets = ["vc16"]
+rates = [0.02, 0.04]
+"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn bad_input_exits_2() {
+        for line in [
+            "",                      // missing subcommand
+            "walk spec.toml",        // unknown subcommand
+            "run",                   // missing spec path
+            "run a.toml b.toml",     // extra positional
+            "run a.toml --threads",  // value-less option
+            "run a.toml --bogus 1",  // unknown option
+            "run /nonexistent.toml", // unreadable file
+        ] {
+            let out = execute(&toks(line));
+            assert_eq!(out.code, EXIT_BAD_INPUT, "{line:?} -> {}", out.text);
+            assert!(out.text.starts_with("error:"), "{line:?} -> {}", out.text);
+        }
+    }
+
+    #[test]
+    fn malformed_spec_exits_2_with_diagnostic() {
+        let dir = temp_dir("badspec");
+        let path = dir.join("bad.toml");
+        fs::write(
+            &path,
+            "[experiment]\nname = \"x\"\n[grid]\npresets = [\"warp9\"]\nrates = [0.1]\n",
+        )
+        .unwrap();
+        let out = execute(&toks(&format!("run {}", path.display())));
+        assert_eq!(out.code, EXIT_BAD_INPUT);
+        assert!(out.text.contains("warp9"), "{}", out.text);
+        assert!(out.text.contains("line 4"), "{}", out.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_writes_artifacts_then_hits_cache() {
+        let dir = temp_dir("run");
+        let spec = write_spec(&dir);
+        let line = format!(
+            "run {} --threads 2 --cache-dir {} --out-dir {} --json --quiet",
+            spec.display(),
+            dir.join("cache").display(),
+            dir.join("out").display(),
+        );
+
+        let first = execute(&toks(&line));
+        assert_eq!(first.code, 0, "{}", first.text);
+        assert!(
+            first.text.contains("\"schema_version\": 1"),
+            "{}",
+            first.text
+        );
+        assert!(first.text.contains("\"cache_hits\": 0"), "{}", first.text);
+        assert!(first.text.contains("\"simulated\": 2"), "{}", first.text);
+        assert!(dir.join("out/cli-smoke.jsonl").exists());
+        assert!(dir.join("out/cli-smoke.csv").exists());
+
+        let second = execute(&toks(&line));
+        assert_eq!(second.code, 0);
+        assert!(second.text.contains("\"simulated\": 0"), "{}", second.text);
+        assert!(second.text.contains("\"cache_hits\": 2"), "{}", second.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn human_summary_mentions_artifacts() {
+        let dir = temp_dir("human");
+        let spec = write_spec(&dir);
+        let out = execute(&toks(&format!(
+            "run {} --out-dir {} --quiet",
+            spec.display(),
+            dir.join("out").display(),
+        )));
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(
+            out.text.contains("experiment cli-smoke: 2 cells"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("cli-smoke.csv"), "{}", out.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -24,8 +24,22 @@
 //! orion-power-cli simulate --preset wh64 --rate 0.5 --watchdog-cycles 500
 //! orion-power-cli simulate --preset vc16 --fault-links 4 --fault-seed 7 --json
 //! ```
+//!
+//! The `experiment` subcommand runs whole declarative grids (TOML
+//! specs) through the `orion-exp` engine with parallel workers and a
+//! content-addressed result cache (see `docs/ORCHESTRATION.md`):
+//!
+//! ```text
+//! orion-power-cli experiment run examples/specs/fig5.toml --threads 8 \
+//!     --cache-dir .exp-cache --out-dir experiments
+//! ```
+//!
+//! Exit codes are structured for scripting: 0 success, 1 runtime I/O
+//! failure, 2 bad input, 3 degraded result (non-completed simulation
+//! or failed experiment cells).
 
 mod args;
+mod experiment;
 mod report;
 mod run;
 mod simulate;
@@ -38,15 +52,22 @@ fn main() -> ExitCode {
         print!("{}", run::USAGE);
         return ExitCode::SUCCESS;
     }
+    // `experiment` takes a positional spec path, which the option-only
+    // Args grammar would reject — dispatch it on raw tokens.
+    if tokens[0] == "experiment" {
+        let out = experiment::execute(&tokens[1..]);
+        print!("{}", out.text);
+        return ExitCode::from(out.code);
+    }
     match args::Args::parse(tokens).and_then(|a| run::run(&a)) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            ExitCode::from(output.code)
         }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `orion-power-cli help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(run::EXIT_BAD_INPUT)
         }
     }
 }

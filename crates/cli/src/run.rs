@@ -16,6 +16,7 @@ orion-power-cli — Orion's architectural power models as a standalone tool
 
 USAGE:
   orion-power-cli <component> [options]
+  orion-power-cli experiment run <spec.toml> [options]
 
 COMPONENTS:
   buffer          --flits N --bits N [--read-ports N] [--write-ports N] [--decoder]
@@ -28,10 +29,19 @@ COMPONENTS:
                   [--warmup N] [--sample N] [--max-cycles N]
                   [--watchdog-cycles N] [--fault-links N] [--fault-rate X]
                   [--fault-ports N] [--fault-seed N] [--json]
+  experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
+                  [--json] [--quiet]    (see docs/ORCHESTRATION.md)
 
 COMMON OPTIONS:
   --node <0.8um|0.35um|0.25um|0.18um|0.13um|0.1um|70nm>   (default 0.1um)
   --vdd <volts>                                           (node default)
+
+EXIT CODES:
+  0  success (simulate: run completed; experiment: no failed cells)
+  1  runtime I/O failure (cache or artifact files)
+  2  bad input (unknown options, malformed spec, invalid configuration)
+  3  degraded result (simulate: deadlock/saturation/budget/faults;
+     experiment: one or more cells failed)
 
 EXAMPLES:
   orion-power-cli buffer --flits 64 --bits 256
@@ -39,7 +49,40 @@ EXAMPLES:
   orion-power-cli link --chip2chip --watts 3 --bits 32
   orion-power-cli simulate --preset wh64 --rate 0.5 --watchdog-cycles 500
   orion-power-cli simulate --preset vc16 --fault-links 4 --fault-seed 7 --json
+  orion-power-cli experiment run examples/specs/fig5.toml --threads 8 \\
+      --cache-dir .exp-cache --out-dir experiments
 ";
+
+/// Version of the CLI's JSON output layouts (`simulate --json` and
+/// `experiment run --json`), emitted as `schema_version`. Bump on any
+/// field change. Per-cell artifact records carry their own
+/// [`orion_exp::SCHEMA_VERSION`].
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// Exit code for runtime I/O failures (cache/artifact files).
+pub const EXIT_RUNTIME: u8 = 1;
+/// Exit code for bad input: unknown options, malformed specs, invalid
+/// configurations.
+pub const EXIT_BAD_INPUT: u8 = 2;
+/// Exit code for degraded results: a simulation that did not complete
+/// cleanly, or an experiment with failed cells.
+pub const EXIT_DEGRADED: u8 = 3;
+
+/// A command's rendered output plus the process exit code it asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code (0 = clean success).
+    pub code: u8,
+}
+
+impl CmdOutput {
+    /// Output with the success code.
+    pub fn ok(text: String) -> CmdOutput {
+        CmdOutput { text, code: 0 }
+    }
+}
 
 const COMMON: [&str; 2] = ["node", "vdd"];
 
@@ -80,19 +123,21 @@ fn allowed(extra: &[&str]) -> Vec<&'static str> {
     v
 }
 
-/// Executes a parsed command line, returning the rendered report.
+/// Executes a parsed command line, returning the rendered report and
+/// the exit code to use (`simulate` signals degraded outcomes via
+/// [`EXIT_DEGRADED`]).
 ///
 /// # Errors
 ///
 /// Returns a human-readable [`ArgError`] for unknown components,
 /// unknown or malformed options, and invalid model parameters.
-pub fn run(args: &Args) -> Result<String, ArgError> {
+pub fn run(args: &Args) -> Result<CmdOutput, ArgError> {
     match args.command.as_str() {
-        "buffer" => buffer(args),
-        "crossbar" => crossbar(args),
-        "arbiter" => arbiter(args),
-        "link" => link(args),
-        "central-buffer" => central_buffer(args),
+        "buffer" => buffer(args).map(CmdOutput::ok),
+        "crossbar" => crossbar(args).map(CmdOutput::ok),
+        "arbiter" => arbiter(args).map(CmdOutput::ok),
+        "link" => link(args).map(CmdOutput::ok),
+        "central-buffer" => central_buffer(args).map(CmdOutput::ok),
         "simulate" => crate::simulate::simulate(args),
         other => Err(ArgError(format!("unknown component `{other}`"))),
     }
@@ -286,7 +331,10 @@ mod tests {
     use super::*;
 
     fn run_line(line: &str) -> Result<String, ArgError> {
-        run(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+        run(&Args::parse(line.split_whitespace().map(String::from)).unwrap()).map(|o| {
+            assert_eq!(o.code, 0, "component reports exit with success");
+            o.text
+        })
     }
 
     #[test]

@@ -7,6 +7,7 @@ use orion_net::{FaultConfig, FaultSchedule};
 use orion_sim::StallDiagnostics;
 
 use crate::args::{ArgError, Args};
+use crate::run::{CmdOutput, EXIT_DEGRADED, JSON_SCHEMA_VERSION};
 
 const OPTIONS: [&str; 12] = [
     "preset",
@@ -37,13 +38,17 @@ fn preset(name: &str) -> Result<NetworkConfig, ArgError> {
     }
 }
 
-/// Runs a simulation experiment per the parsed command line.
+/// Runs a simulation experiment per the parsed command line. The exit
+/// code distinguishes how the run ended: 0 for a cleanly completed
+/// run, [`EXIT_DEGRADED`] for any other outcome (deadlock, saturation,
+/// exhausted budget, faults) — scripts can branch on the code without
+/// parsing output.
 ///
 /// # Errors
 ///
 /// Returns an [`ArgError`] for unknown options, malformed numbers and
 /// configurations the runner rejects ([`orion_core::ConfigError`]).
-pub fn simulate(args: &Args) -> Result<String, ArgError> {
+pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
     args.ensure_known(&OPTIONS)?;
     // Every simulate option except `--json` takes a value; a trailing
     // `--rate` (parsed as a flag) must not silently fall back to the
@@ -109,11 +114,16 @@ pub fn simulate(args: &Args) -> Result<String, ArgError> {
     }
 
     let report = experiment.run().map_err(|e| ArgError(e.to_string()))?;
-    if args.flag("json") {
-        Ok(render_json(&preset_name, rate, &report))
+    let text = if args.flag("json") {
+        render_json(&preset_name, rate, &report)
     } else {
-        Ok(render_human(&preset_name, rate, &report, schedule_summary))
-    }
+        render_human(&preset_name, rate, &report, schedule_summary)
+    };
+    let code = match report.outcome() {
+        RunOutcome::Completed => 0,
+        _ => EXIT_DEGRADED,
+    };
+    Ok(CmdOutput { text, code })
 }
 
 fn render_human(preset: &str, rate: f64, report: &Report, faults: Option<(usize, u64)>) -> String {
@@ -179,6 +189,7 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
     format!(
         concat!(
             "{{\n",
+            "  \"schema_version\": {schema_version},\n",
             "  \"preset\": \"{preset}\",\n",
             "  \"offered_rate\": {rate},\n",
             "  \"outcome\": \"{outcome}\",\n",
@@ -193,6 +204,7 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
             "  \"diagnostics\": {diagnostics}\n",
             "}}\n"
         ),
+        schema_version = JSON_SCHEMA_VERSION,
         preset = preset,
         rate = json_f64(rate),
         outcome = report.outcome().label(),
@@ -214,18 +226,23 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
 mod tests {
     use super::*;
 
-    fn run_line(line: &str) -> Result<String, ArgError> {
+    fn run_full(line: &str) -> Result<CmdOutput, ArgError> {
         simulate(&Args::parse(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    fn run_line(line: &str) -> Result<String, ArgError> {
+        run_full(line).map(|o| o.text)
     }
 
     const QUICK: &str = "--warmup 100 --sample 100 --max-cycles 20000";
 
     #[test]
     fn healthy_run_reports_completed() {
-        let out = run_line(&format!("simulate --preset vc16 --rate 0.03 {QUICK}")).unwrap();
-        assert!(out.contains("outcome: completed"), "{out}");
-        assert!(out.contains("latency"), "{out}");
-        assert!(!out.contains("degradation"), "{out}");
+        let out = run_full(&format!("simulate --preset vc16 --rate 0.03 {QUICK}")).unwrap();
+        assert!(out.text.contains("outcome: completed"), "{}", out.text);
+        assert!(out.text.contains("latency"), "{}", out.text);
+        assert!(!out.text.contains("degradation"), "{}", out.text);
+        assert_eq!(out.code, 0, "completed runs exit 0");
     }
 
     #[test]
@@ -234,6 +251,7 @@ mod tests {
             "simulate --preset vc16 --rate 0.03 {QUICK} --json"
         ))
         .unwrap();
+        assert!(out.contains("\"schema_version\": 1"), "{out}");
         assert!(out.contains("\"outcome\": \"completed\""), "{out}");
         assert!(out.contains("\"diagnostics\": null"), "{out}");
         assert!(out.contains("\"dropped\": 0"), "{out}");
@@ -242,15 +260,20 @@ mod tests {
 
     #[test]
     fn deadlock_prone_run_renders_diagnostics() {
-        let out = run_line(
+        let out = run_full(
             "simulate --preset wh64 --rate 0.5 --warmup 100 --sample 2000 \
              --max-cycles 200000 --watchdog-cycles 400",
         )
         .unwrap();
         // A wormhole torus this deep past saturation either deadlocks
         // (diagnostics rendered) or is caught by backlog divergence.
-        assert!(out.contains("deadlock") || out.contains("saturat"), "{out}");
-        assert!(!out.contains("budget exhausted"), "{out}");
+        let text = &out.text;
+        assert!(
+            text.contains("deadlock") || text.contains("saturat"),
+            "{text}"
+        );
+        assert!(!text.contains("budget exhausted"), "{text}");
+        assert_eq!(out.code, EXIT_DEGRADED, "degraded outcomes exit 3");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod exec;
 pub mod presets;
 pub mod report;
 pub mod run;

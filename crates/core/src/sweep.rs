@@ -24,6 +24,11 @@ pub struct SweepOptions {
     pub sample_packets: u64,
     /// Cycle budget per point.
     pub max_cycles: u64,
+    /// Worker threads for the sweep (default 1). Results are
+    /// bit-identical for any value: each point is seeded
+    /// independently and collected in rate order (see
+    /// [`par_map`](crate::exec::par_map)).
+    pub threads: usize,
 }
 
 impl Default for SweepOptions {
@@ -34,6 +39,7 @@ impl Default for SweepOptions {
             warmup: 1000,
             sample_packets: 10_000,
             max_cycles: 1_000_000,
+            threads: 1,
         }
     }
 }
@@ -52,19 +58,16 @@ pub fn try_injection_sweep(
     rates: &[f64],
     options: SweepOptions,
 ) -> Vec<(f64, Result<Report, ConfigError>)> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let result = Experiment::new(config.clone())
-                .injection_rate(rate)
-                .seed(options.seed)
-                .warmup(options.warmup)
-                .sample_packets(options.sample_packets)
-                .max_cycles(options.max_cycles)
-                .run();
-            (rate, result)
-        })
-        .collect()
+    crate::exec::par_map(options.threads, rates.to_vec(), |rate| {
+        let result = Experiment::new(config.clone())
+            .injection_rate(rate)
+            .seed(options.seed)
+            .warmup(options.warmup)
+            .sample_packets(options.sample_packets)
+            .max_cycles(options.max_cycles)
+            .run();
+        (rate, result)
+    })
 }
 
 /// Runs `config` under uniform random traffic at each rate in `rates`.
@@ -137,6 +140,7 @@ mod tests {
             warmup: 200,
             sample_packets: 200,
             max_cycles: 50_000,
+            threads: 1,
         }
     }
 
@@ -201,6 +205,33 @@ mod tests {
             detailed[1].1,
             Err(crate::ConfigError::InvalidRate(r)) if r == 7.0
         ));
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_sequential() {
+        let rates = [0.02, 0.04, 0.06, 0.08];
+        let run = |threads| {
+            try_injection_sweep(
+                &presets::vc16_onchip(),
+                &rates,
+                SweepOptions {
+                    threads,
+                    ..fast_options()
+                },
+            )
+            .into_iter()
+            .map(|(r, res)| {
+                let rep = res.unwrap();
+                (
+                    r.to_bits(),
+                    rep.avg_latency().to_bits(),
+                    rep.total_power().0.to_bits(),
+                    rep.measured_cycles(),
+                )
+            })
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

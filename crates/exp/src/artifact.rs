@@ -1,0 +1,65 @@
+//! Artifact writers: the engine's records as versioned JSONL and CSV
+//! files.
+//!
+//! Files are written atomically-enough for experiment use (full
+//! buffer, single create) with records in the order the engine
+//! returns them — sorted by cell key — so two runs of the same spec
+//! produce byte-identical files regardless of thread count or cache
+//! state.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::record::CellRecord;
+
+/// Paths of the artifacts one engine run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifacts {
+    /// The JSONL file (one [`CellRecord`] per line).
+    pub jsonl: PathBuf,
+    /// The CSV file (header + one row per record).
+    pub csv: PathBuf,
+}
+
+/// Renders records as JSONL bytes.
+pub fn to_jsonl(records: &[CellRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders records as CSV bytes (header included).
+pub fn to_csv(records: &[CellRecord]) -> String {
+    let mut out = String::from(CellRecord::csv_header());
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.to_csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `<name>.jsonl` and `<name>.csv` under `dir` (created if
+/// missing).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_artifacts(
+    dir: &Path,
+    name: &str,
+    records: &[CellRecord],
+) -> std::io::Result<Artifacts> {
+    fs::create_dir_all(dir)?;
+    let jsonl = dir.join(format!("{name}.jsonl"));
+    let csv = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&jsonl)?;
+    f.write_all(to_jsonl(records).as_bytes())?;
+    let mut f = fs::File::create(&csv)?;
+    f.write_all(to_csv(records).as_bytes())?;
+    Ok(Artifacts { jsonl, csv })
+}

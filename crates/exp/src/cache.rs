@@ -1,0 +1,223 @@
+//! Content-addressed result cache: one JSONL file per cache directory,
+//! keyed by cell fingerprint.
+//!
+//! * **Hit** — a line whose `fingerprint` matches the cell's current
+//!   fingerprint. Fingerprints cover the code-model version, the full
+//!   parameter point and the measurement discipline, so a hit is safe
+//!   to reuse verbatim.
+//! * **Miss** — no such line. The cell is simulated and its record
+//!   appended, making interrupted or extended grids resumable: only
+//!   new or invalidated cells pay simulation time.
+//! * **Corruption** — a line that fails to parse (truncated append,
+//!   manual edit, version skew) is skipped and counted. Damage is
+//!   per-line: every other entry remains usable.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::CellRecord;
+
+/// File name of the cache inside a `--cache-dir`.
+pub const CACHE_FILE: &str = "orion-exp-cache.jsonl";
+
+/// An on-disk result cache, loaded eagerly and appended incrementally.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    entries: HashMap<u64, CellRecord>,
+    corrupt_lines: usize,
+}
+
+impl ResultCache {
+    /// Opens (or initializes) the cache under `dir`. Missing files and
+    /// directories are created lazily on first append; corrupt lines
+    /// are skipped and counted, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only when an *existing* cache file cannot
+    /// be read.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        let path = dir.join(CACHE_FILE);
+        let mut entries = HashMap::new();
+        let mut corrupt_lines = 0;
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match CellRecord::from_json_line(line) {
+                    // Later lines win: a re-simulated cell supersedes
+                    // its earlier entry.
+                    Some(rec) => {
+                        entries.insert(rec.fingerprint, rec);
+                    }
+                    None => corrupt_lines += 1,
+                }
+            }
+        }
+        Ok(ResultCache {
+            path,
+            entries,
+            corrupt_lines,
+        })
+    }
+
+    /// Looks up a result by fingerprint. The returned record is marked
+    /// `cached`.
+    pub fn get(&self, fingerprint: u64) -> Option<&CellRecord> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// Number of usable entries loaded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of unparseable lines skipped at load.
+    pub fn corrupt_lines(&self) -> usize {
+        self.corrupt_lines
+    }
+
+    /// Opens an append handle for writing fresh results as they
+    /// complete (creating the directory and file on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory or file cannot be created.
+    pub fn appender(&self) -> std::io::Result<CacheAppender> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(CacheAppender {
+            writer: BufWriter::new(file),
+        })
+    }
+}
+
+/// An append-only handle to the cache file. Each record is written as
+/// one line and flushed immediately, so an interrupted run loses at
+/// most the record being written — and a torn final line is exactly
+/// the corruption [`ResultCache::open`] tolerates.
+#[derive(Debug)]
+pub struct CacheAppender {
+    writer: BufWriter<File>,
+}
+
+impl CacheAppender {
+    /// Appends one record and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append(&mut self, record: &CellRecord) -> std::io::Result<()> {
+        self.writer.write_all(record.to_json_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("orion-exp-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn records(n: usize) -> Vec<CellRecord> {
+        let rates: Vec<String> = (1..=n).map(|i| format!("0.{i:02}")).collect();
+        let spec = ExperimentSpec::parse(&format!(
+            "[experiment]\nname = \"t\"\n[grid]\npresets = [\"vc16\"]\nrates = [{}]\n",
+            rates.join(", ")
+        ))
+        .unwrap();
+        spec.expand()
+            .iter()
+            .map(|c| CellRecord::from_error(c, "placeholder"))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        let recs = records(3);
+        let mut app = cache.appender().unwrap();
+        for r in &recs[..2] {
+            app.append(r).unwrap();
+        }
+        drop(app);
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.corrupt_lines(), 0);
+        assert!(cache.get(recs[0].fingerprint).unwrap().cached);
+        assert!(cache.get(recs[2].fingerprint).is_none(), "miss for unseen");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_line_skipped_not_fatal() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let recs = records(3);
+        let mut app = cache.appender().unwrap();
+        for r in &recs {
+            app.append(r).unwrap();
+        }
+        drop(app);
+
+        // Corrupt the middle line.
+        let path = dir.join(CACHE_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = lines[1][..lines[1].len() / 2].to_string();
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2, "the other lines survive");
+        assert_eq!(cache.corrupt_lines(), 1);
+        assert!(cache.get(recs[1].fingerprint).is_none());
+        assert!(cache.get(recs[0].fingerprint).is_some());
+        assert!(cache.get(recs[2].fingerprint).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_entries_supersede_earlier() {
+        let dir = temp_dir("supersede");
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut rec = records(1).remove(0);
+        let mut app = cache.appender().unwrap();
+        app.append(&rec).unwrap();
+        rec.error = Some("newer".into());
+        app.append(&rec).unwrap();
+        drop(app);
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.get(rec.fingerprint).unwrap().error.as_deref(),
+            Some("newer")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,163 @@
+//! The experiment engine: cache partition → deterministic parallel
+//! simulation → sorted merge.
+//!
+//! Determinism contract: the record set produced by
+//! [`run_spec`] is a pure function of the spec (and the code-model
+//! version). Worker count, scheduling order and cache state change
+//! only *wall-clock time and hit counts*, never results — each cell's
+//! RNG is seeded from a hash of its parameter point, fresh records are
+//! collected in grid order, and the merged output is sorted by cell
+//! key before it is returned or written.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use orion_core::exec::par_map;
+use orion_core::Experiment;
+
+use crate::cache::ResultCache;
+use crate::record::CellRecord;
+use crate::spec::{Cell, ExperimentSpec};
+
+/// Execution options for [`run_spec`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads (0 or 1 = run inline).
+    pub threads: usize,
+    /// Cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Emit a live progress line to stderr.
+    pub progress: bool,
+}
+
+/// Accounting for one engine invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cells in the expanded grid.
+    pub total: usize,
+    /// Cells actually simulated this run.
+    pub simulated: usize,
+    /// Cells served from the cache.
+    pub cache_hits: usize,
+    /// Cells whose configuration was rejected (outcome `"error"`).
+    pub failed: usize,
+    /// Unparseable cache lines skipped at load.
+    pub corrupt_cache_lines: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs one cell to a record; never panics on configuration or
+/// workload errors — they become `outcome: "error"` records.
+pub fn run_cell(cell: &Cell) -> CellRecord {
+    let config = cell.config();
+    let pattern = match cell.traffic.pattern(&config.topology, cell.rate) {
+        Ok(p) => p,
+        Err(e) => return CellRecord::from_error(cell, &e.to_string()),
+    };
+    let result = Experiment::new(config)
+        .workload(pattern)
+        .seed(cell.derived_seed())
+        .warmup(cell.measure.warmup)
+        .sample_packets(cell.measure.sample_packets)
+        .max_cycles(cell.measure.max_cycles)
+        .watchdog_cycles(cell.measure.watchdog_cycles)
+        .run();
+    match result {
+        Ok(report) => CellRecord::from_report(cell, &report),
+        Err(e) => CellRecord::from_error(cell, &e.to_string()),
+    }
+}
+
+/// Expands the spec's grid, serves cached cells, simulates the rest in
+/// parallel, and returns all records **sorted by cell key** together
+/// with hit/miss accounting.
+///
+/// # Errors
+///
+/// Returns an I/O error only for cache file problems (unreadable
+/// existing cache, failed append). Simulation-level failures are data,
+/// not errors: they come back as `outcome: "error"` records and are
+/// counted in [`RunSummary::failed`].
+pub fn run_spec(
+    spec: &ExperimentSpec,
+    opts: &EngineOptions,
+) -> std::io::Result<(Vec<CellRecord>, RunSummary)> {
+    let start = Instant::now();
+    let cells = spec.expand();
+    let total = cells.len();
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let corrupt_cache_lines = cache.as_ref().map_or(0, ResultCache::corrupt_lines);
+
+    // Partition the grid: cached cells are done, the rest simulate.
+    let mut records: Vec<CellRecord> = Vec::with_capacity(total);
+    let mut misses: Vec<Cell> = Vec::new();
+    for cell in cells {
+        match cache.as_ref().and_then(|c| c.get(cell.fingerprint())) {
+            Some(hit) => records.push(hit.clone()),
+            None => misses.push(cell),
+        }
+    }
+    let cache_hits = records.len();
+    let simulated = misses.len();
+
+    let appender = match &cache {
+        Some(c) if simulated > 0 => Some(Mutex::new(c.appender()?)),
+        _ => None,
+    };
+    let append_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let done = AtomicUsize::new(0);
+    let progress = |finished: usize| {
+        if opts.progress {
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            eprint!(
+                "\r[{}] {}/{} cells ({} cached), {:.1} cells/s   ",
+                spec.name,
+                cache_hits + finished,
+                total,
+                cache_hits,
+                finished as f64 / secs,
+            );
+        }
+    };
+    progress(0);
+
+    let fresh = par_map(opts.threads, misses, |cell| {
+        let record = run_cell(&cell);
+        if let Some(app) = &appender {
+            if let Err(e) = app.lock().unwrap().append(&record) {
+                append_error.lock().unwrap().get_or_insert(e);
+            }
+        }
+        progress(done.fetch_add(1, Ordering::Relaxed) + 1);
+        record
+    });
+    if opts.progress {
+        eprintln!();
+    }
+    if let Some(e) = append_error.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    records.extend(fresh);
+    records.sort_by(|a, b| a.cell.cmp(&b.cell));
+    let failed = records.iter().filter(|r| r.is_error()).count();
+
+    Ok((
+        records,
+        RunSummary {
+            total,
+            simulated,
+            cache_hits,
+            failed,
+            corrupt_cache_lines,
+            elapsed: start.elapsed(),
+        },
+    ))
+}

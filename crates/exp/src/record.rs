@@ -1,0 +1,631 @@
+//! The versioned per-cell result record: one JSON object per line in
+//! artifacts and cache files, one row in CSV exports.
+//!
+//! Records are written with a **fixed field order** and Rust's
+//! shortest-roundtrip `{}` float formatting, so a record's byte
+//! representation is a pure function of its contents — the property
+//! the determinism tests rely on (`--threads 8` artifacts must equal
+//! `--threads 1` artifacts byte-for-byte).
+//!
+//! Numbers are parsed back from their **raw JSON tokens**, not through
+//! `f64`: `derived_seed` is a full-range `u64` that an `f64` detour
+//! would silently round.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use orion_core::Report;
+use orion_sim::Component;
+
+use crate::fingerprint;
+use crate::spec::{flow_control_name, vc_discipline_name, Cell};
+
+/// Version of the record layout (JSONL fields and CSV columns). Bump
+/// on any field addition, removal or reordering.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One grid cell's outcome, flattened for artifacts and the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Record-layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The cell key (stable identity; artifact sort order).
+    pub cell: String,
+    /// Content-address of the result (see [`crate::fingerprint`]).
+    pub fingerprint: u64,
+    /// Preset name.
+    pub preset: String,
+    /// Traffic pattern name.
+    pub traffic: String,
+    /// Injection rate in packets/cycle/node.
+    pub rate: f64,
+    /// Spec-level seed.
+    pub seed: u64,
+    /// RNG seed derived from the cell key.
+    pub derived_seed: u64,
+    /// Resolved flow control.
+    pub flow_control: String,
+    /// Resolved VC discipline.
+    pub vc_discipline: String,
+    /// Resolved packet length in flits.
+    pub packet_len: u32,
+    /// How the run ended ([`orion_core::RunOutcome`] label, or
+    /// `"error"` when the configuration was rejected).
+    pub outcome: String,
+    /// Typed-error message for rejected configurations.
+    pub error: Option<String>,
+    /// Whether the network was at or beyond saturation.
+    pub saturated: bool,
+    /// Average tagged-packet latency in cycles (NaN when no packet
+    /// completed; serialized as `null`).
+    pub avg_latency: f64,
+    /// Analytic zero-load latency in cycles.
+    pub zero_load_latency: f64,
+    /// Measured cycles (after warm-up).
+    pub measured_cycles: u64,
+    /// Delivered flits per cycle over the measured window.
+    pub throughput: f64,
+    /// Total network power in watts.
+    pub total_power_w: f64,
+    /// Buffer component power in watts.
+    pub buffer_w: f64,
+    /// Crossbar component power in watts.
+    pub crossbar_w: f64,
+    /// Arbiter component power in watts.
+    pub arbiter_w: f64,
+    /// Link component power in watts.
+    pub link_w: f64,
+    /// Central-buffer component power in watts.
+    pub central_w: f64,
+    /// Packets injected during the run.
+    pub packets_injected: u64,
+    /// Packets delivered during the run.
+    pub packets_delivered: u64,
+    /// Packets dropped (fault runs).
+    pub packets_dropped: u64,
+    /// Packets detoured around faults.
+    pub packets_detoured: u64,
+    /// Whether this record came from the cache rather than a fresh
+    /// simulation. Runtime bookkeeping only — never serialized, so
+    /// cached and fresh runs produce identical artifacts.
+    pub cached: bool,
+}
+
+impl CellRecord {
+    /// Builds the record for a completed (or degraded) simulation.
+    pub fn from_report(cell: &Cell, report: &Report) -> CellRecord {
+        let zero = |x: f64| if x == 0.0 { 0.0 } else { x };
+        CellRecord {
+            schema_version: SCHEMA_VERSION,
+            cell: cell.key(),
+            fingerprint: cell.fingerprint(),
+            preset: cell.preset.clone(),
+            traffic: cell.traffic.as_str().to_string(),
+            rate: cell.rate,
+            seed: cell.seed,
+            derived_seed: cell.derived_seed(),
+            flow_control: flow_control_name(cell.flow_control).to_string(),
+            vc_discipline: vc_discipline_name(cell.vc_discipline).to_string(),
+            packet_len: cell.packet_len,
+            outcome: report.outcome().label().to_string(),
+            error: None,
+            saturated: report.is_saturated(),
+            avg_latency: report.avg_latency(),
+            zero_load_latency: report.zero_load_latency(),
+            measured_cycles: report.measured_cycles(),
+            throughput: zero(report.throughput_flits_per_cycle()),
+            total_power_w: report.total_power().0,
+            buffer_w: report.component_power(Component::Buffer).0,
+            crossbar_w: report.component_power(Component::Crossbar).0,
+            arbiter_w: report.component_power(Component::Arbiter).0,
+            link_w: report.component_power(Component::Link).0,
+            central_w: report.component_power(Component::CentralBuffer).0,
+            packets_injected: report.stats().packets_injected,
+            packets_delivered: report.stats().packets_delivered,
+            packets_dropped: report.stats().packets_dropped,
+            packets_detoured: report.stats().packets_detoured,
+            cached: false,
+        }
+    }
+
+    /// Builds the record for a cell whose configuration was rejected
+    /// with a typed error (the cell still occupies its grid point, so
+    /// artifacts stay rectangular).
+    pub fn from_error(cell: &Cell, message: &str) -> CellRecord {
+        CellRecord {
+            schema_version: SCHEMA_VERSION,
+            cell: cell.key(),
+            fingerprint: cell.fingerprint(),
+            preset: cell.preset.clone(),
+            traffic: cell.traffic.as_str().to_string(),
+            rate: cell.rate,
+            seed: cell.seed,
+            derived_seed: cell.derived_seed(),
+            flow_control: flow_control_name(cell.flow_control).to_string(),
+            vc_discipline: vc_discipline_name(cell.vc_discipline).to_string(),
+            packet_len: cell.packet_len,
+            outcome: "error".to_string(),
+            error: Some(message.to_string()),
+            saturated: false,
+            avg_latency: f64::NAN,
+            zero_load_latency: 0.0,
+            measured_cycles: 0,
+            throughput: 0.0,
+            total_power_w: 0.0,
+            buffer_w: 0.0,
+            crossbar_w: 0.0,
+            arbiter_w: 0.0,
+            link_w: 0.0,
+            central_w: 0.0,
+            packets_injected: 0,
+            packets_delivered: 0,
+            packets_dropped: 0,
+            packets_detoured: 0,
+            cached: false,
+        }
+    }
+
+    /// Whether the cell failed (configuration rejected).
+    pub fn is_error(&self) -> bool {
+        self.outcome == "error"
+    }
+
+    /// Serializes to one JSON line (no trailing newline). Field order
+    /// is fixed; `cached` is deliberately omitted.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_num(&mut s, "schema_version", self.schema_version);
+        push_str(&mut s, "cell", &self.cell);
+        push_raw_str(
+            &mut s,
+            "fingerprint",
+            &fingerprint::to_hex(self.fingerprint),
+        );
+        push_str(&mut s, "preset", &self.preset);
+        push_str(&mut s, "traffic", &self.traffic);
+        push_f64(&mut s, "rate", self.rate);
+        push_num(&mut s, "seed", self.seed);
+        push_num(&mut s, "derived_seed", self.derived_seed);
+        push_str(&mut s, "flow_control", &self.flow_control);
+        push_str(&mut s, "vc_discipline", &self.vc_discipline);
+        push_num(&mut s, "packet_len", self.packet_len);
+        push_str(&mut s, "outcome", &self.outcome);
+        match &self.error {
+            Some(e) => push_str(&mut s, "error", e),
+            None => push_null(&mut s, "error"),
+        }
+        push_bool(&mut s, "saturated", self.saturated);
+        push_f64(&mut s, "avg_latency", self.avg_latency);
+        push_f64(&mut s, "zero_load_latency", self.zero_load_latency);
+        push_num(&mut s, "measured_cycles", self.measured_cycles);
+        push_f64(&mut s, "throughput", self.throughput);
+        push_f64(&mut s, "total_power_w", self.total_power_w);
+        push_f64(&mut s, "buffer_w", self.buffer_w);
+        push_f64(&mut s, "crossbar_w", self.crossbar_w);
+        push_f64(&mut s, "arbiter_w", self.arbiter_w);
+        push_f64(&mut s, "link_w", self.link_w);
+        push_f64(&mut s, "central_w", self.central_w);
+        push_num(&mut s, "packets_injected", self.packets_injected);
+        push_num(&mut s, "packets_delivered", self.packets_delivered);
+        push_num(&mut s, "packets_dropped", self.packets_dropped);
+        push_num(&mut s, "packets_detoured", self.packets_detoured);
+        s.pop(); // trailing comma
+        s.push('}');
+        s
+    }
+
+    /// Parses a record from one JSON line, rejecting anything
+    /// malformed, incomplete or from a different schema version. The
+    /// parsed record is marked `cached`.
+    pub fn from_json_line(line: &str) -> Option<CellRecord> {
+        let obj = parse_flat_object(line)?;
+        let schema_version: u32 = obj.get("schema_version")?.as_u64()?.try_into().ok()?;
+        if schema_version != SCHEMA_VERSION {
+            return None;
+        }
+        Some(CellRecord {
+            schema_version,
+            cell: obj.get("cell")?.as_str()?.to_string(),
+            fingerprint: fingerprint::from_hex(obj.get("fingerprint")?.as_str()?)?,
+            preset: obj.get("preset")?.as_str()?.to_string(),
+            traffic: obj.get("traffic")?.as_str()?.to_string(),
+            rate: obj.get("rate")?.as_f64()?,
+            seed: obj.get("seed")?.as_u64()?,
+            derived_seed: obj.get("derived_seed")?.as_u64()?,
+            flow_control: obj.get("flow_control")?.as_str()?.to_string(),
+            vc_discipline: obj.get("vc_discipline")?.as_str()?.to_string(),
+            packet_len: obj.get("packet_len")?.as_u64()?.try_into().ok()?,
+            outcome: obj.get("outcome")?.as_str()?.to_string(),
+            error: match obj.get("error")? {
+                JsonVal::Null => None,
+                v => Some(v.as_str()?.to_string()),
+            },
+            saturated: obj.get("saturated")?.as_bool()?,
+            avg_latency: match obj.get("avg_latency")? {
+                JsonVal::Null => f64::NAN,
+                v => v.as_f64()?,
+            },
+            zero_load_latency: obj.get("zero_load_latency")?.as_f64()?,
+            measured_cycles: obj.get("measured_cycles")?.as_u64()?,
+            throughput: obj.get("throughput")?.as_f64()?,
+            total_power_w: obj.get("total_power_w")?.as_f64()?,
+            buffer_w: obj.get("buffer_w")?.as_f64()?,
+            crossbar_w: obj.get("crossbar_w")?.as_f64()?,
+            arbiter_w: obj.get("arbiter_w")?.as_f64()?,
+            link_w: obj.get("link_w")?.as_f64()?,
+            central_w: obj.get("central_w")?.as_f64()?,
+            packets_injected: obj.get("packets_injected")?.as_u64()?,
+            packets_delivered: obj.get("packets_delivered")?.as_u64()?,
+            packets_dropped: obj.get("packets_dropped")?.as_u64()?,
+            packets_detoured: obj.get("packets_detoured")?.as_u64()?,
+            cached: true,
+        })
+    }
+
+    /// CSV column header, matching [`CellRecord::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "schema_version,cell,fingerprint,preset,traffic,rate,seed,derived_seed,\
+         flow_control,vc_discipline,packet_len,outcome,saturated,avg_latency,\
+         zero_load_latency,measured_cycles,throughput,total_power_w,buffer_w,\
+         crossbar_w,arbiter_w,link_w,central_w,packets_injected,packets_delivered,\
+         packets_dropped,packets_detoured"
+    }
+
+    /// One CSV data row (no trailing newline). The free-text `error`
+    /// field is JSONL-only; CSV carries the outcome label.
+    pub fn to_csv_row(&self) -> String {
+        let f = |x: f64| {
+            if x.is_nan() {
+                String::new()
+            } else {
+                format!("{x}")
+            }
+        };
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.schema_version,
+            self.cell,
+            fingerprint::to_hex(self.fingerprint),
+            self.preset,
+            self.traffic,
+            self.rate,
+            self.seed,
+            self.derived_seed,
+            self.flow_control,
+            self.vc_discipline,
+            self.packet_len,
+            self.outcome,
+            self.saturated,
+            f(self.avg_latency),
+            f(self.zero_load_latency),
+            self.measured_cycles,
+            f(self.throughput),
+            f(self.total_power_w),
+            f(self.buffer_w),
+            f(self.crossbar_w),
+            f(self.arbiter_w),
+            f(self.link_w),
+            f(self.central_w),
+            self.packets_injected,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.packets_detoured,
+        )
+    }
+}
+
+fn push_key(s: &mut String, key: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+}
+
+fn push_num<N: std::fmt::Display>(s: &mut String, key: &str, v: N) {
+    push_key(s, key);
+    let _ = write!(s, "{v},");
+}
+
+fn push_f64(s: &mut String, key: &str, v: f64) {
+    push_key(s, key);
+    if v.is_finite() {
+        let _ = write!(s, "{v},");
+    } else {
+        s.push_str("null,");
+    }
+}
+
+fn push_bool(s: &mut String, key: &str, v: bool) {
+    push_key(s, key);
+    s.push_str(if v { "true," } else { "false," });
+}
+
+fn push_null(s: &mut String, key: &str) {
+    push_key(s, key);
+    s.push_str("null,");
+}
+
+fn push_raw_str(s: &mut String, key: &str, v: &str) {
+    push_key(s, key);
+    s.push('"');
+    s.push_str(v);
+    s.push_str("\",");
+}
+
+fn push_str(s: &mut String, key: &str, v: &str) {
+    push_key(s, key);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push_str("\",");
+}
+
+/// A value in a flat JSON object. Numbers keep their **raw token**
+/// so `u64`s round-trip without an `f64` detour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// A string (unescaped).
+    Str(String),
+    /// A number, as its raw source token.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonVal {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single-line flat JSON object (string/number/bool/null
+/// values only — no nesting). Returns `None` on any malformation.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonVal>> {
+    let mut out = BTreeMap::new();
+    let bytes = line.trim().as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+
+    let parse_string = |i: &mut usize| -> Option<String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut s = String::new();
+        loop {
+            match bytes.get(*i)? {
+                b'"' => {
+                    *i += 1;
+                    return Some(s);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match bytes.get(*i)? {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'/' => s.push('/'),
+                        b'u' => {
+                            let hex = line.trim().get(*i + 1..*i + 5)?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            s.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&bytes[*i..]).ok()?;
+                    let c = rest.chars().next()?;
+                    s.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+    };
+
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        return if i + 1 == bytes.len() {
+            Some(out)
+        } else {
+            None
+        };
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let val = match bytes.get(i)? {
+            b'"' => JsonVal::Str(parse_string(&mut i)?),
+            b't' if line.trim().get(i..i + 4) == Some("true") => {
+                i += 4;
+                JsonVal::Bool(true)
+            }
+            b'f' if line.trim().get(i..i + 5) == Some("false") => {
+                i += 5;
+                JsonVal::Bool(false)
+            }
+            b'n' if line.trim().get(i..i + 4) == Some("null") => {
+                i += 4;
+                JsonVal::Null
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                let raw = std::str::from_utf8(&bytes[start..i]).ok()?;
+                // Validate the token parses as a number at all.
+                raw.parse::<f64>().ok()?;
+                JsonVal::Num(raw.to_string())
+            }
+            _ => return None,
+        };
+        if out.insert(key, val).is_some() {
+            return None; // duplicate key: corrupt line
+        }
+        skip_ws(&mut i);
+        match bytes.get(i)? {
+            b',' => i += 1,
+            b'}' => {
+                i += 1;
+                skip_ws(&mut i);
+                return if i == bytes.len() { Some(out) } else { None };
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn sample_cell() -> Cell {
+        ExperimentSpec::parse(
+            "[experiment]\nname = \"t\"\n[grid]\npresets = [\"vc16\"]\nrates = [0.05]\n",
+        )
+        .unwrap()
+        .expand()
+        .remove(0)
+    }
+
+    fn sample_record() -> CellRecord {
+        let cell = sample_cell();
+        let mut r = CellRecord::from_error(&cell, "boom \"quoted\" \\ path");
+        r.avg_latency = 33.25;
+        r.total_power_w = 0.123456789012345;
+        r.measured_cycles = 12345;
+        r.outcome = "completed".into();
+        r.error = None;
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_exact() {
+        let rec = sample_record();
+        let line = rec.to_json_line();
+        let back = CellRecord::from_json_line(&line).expect("parses");
+        // `cached` flips on load; everything else must round-trip.
+        let mut expect = rec.clone();
+        expect.cached = true;
+        assert_eq!(back, expect);
+        // Serialization is canonical: re-serializing gives the same bytes.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn u64_seeds_roundtrip_without_f64_loss() {
+        let mut rec = sample_record();
+        rec.derived_seed = u64::MAX - 1; // not representable as f64
+        let back = CellRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back.derived_seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn nan_latency_serializes_as_null() {
+        let rec = CellRecord::from_error(&sample_cell(), "bad");
+        let line = rec.to_json_line();
+        assert!(line.contains("\"avg_latency\":null"));
+        let back = CellRecord::from_json_line(&line).unwrap();
+        assert!(back.avg_latency.is_nan());
+        assert_eq!(back.error.as_deref(), Some("bad"));
+        assert!(back.is_error());
+    }
+
+    #[test]
+    fn corrupt_lines_rejected() {
+        let good = sample_record().to_json_line();
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{}",                      // missing fields
+            &good[..good.len() - 10],  // truncated
+            &format!("{good}trailer"), // trailing garbage
+            &good.replace("\"schema_version\":1", "\"schema_version\":999"),
+        ] {
+            assert_eq!(CellRecord::from_json_line(bad), None, "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut rec = sample_record();
+        rec.error = Some("line1\nline2\ttab \"q\" back\\slash \u{1}".into());
+        rec.outcome = "error".into();
+        let back = CellRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back.error, rec.error);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = CellRecord::csv_header().split(',').count();
+        let row_cols = sample_record().to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 27);
+    }
+}

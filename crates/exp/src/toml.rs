@@ -1,0 +1,437 @@
+//! A minimal TOML reader for experiment specs.
+//!
+//! The build environment has no registry access, so rather than pull in
+//! a full TOML crate this module parses the small, line-oriented subset
+//! the spec format needs:
+//!
+//! * `# comments` and blank lines,
+//! * `[section]` headers (one level, no dotted or array-of-table
+//!   syntax),
+//! * `key = value` pairs where a value is a double-quoted string, an
+//!   integer, a float, a boolean, or a (possibly multi-line) array of
+//!   those scalars.
+//!
+//! Every error carries the 1-based line number it was found on, so spec
+//! diagnostics can point at the offending line.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A double-quoted string.
+    Str(String),
+    /// An integer (no underscores or exponents).
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A homogeneous or mixed array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// A value plus the line it was defined on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based line of the `key = value` pair.
+    pub line: usize,
+}
+
+/// A parsed document: sections (`""` is the root, before any header)
+/// mapping keys to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// Section name → key → entry.
+    pub sections: BTreeMap<String, BTreeMap<String, Entry>>,
+    section_lines: BTreeMap<String, usize>,
+}
+
+impl Document {
+    /// The entry for `key` in `section`, if present.
+    pub fn get(&self, section: &str, key: &str) -> Option<&Entry> {
+        self.sections.get(section).and_then(|s| s.get(key))
+    }
+
+    /// Whether a `[section]` header was present.
+    pub fn has_section(&self, section: &str) -> bool {
+        self.sections.contains_key(section)
+    }
+
+    /// The line a section header appeared on (0 for the root).
+    pub fn section_line(&self, section: &str) -> usize {
+        self.section_lines.get(section).copied().unwrap_or(0)
+    }
+}
+
+/// A syntax error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses a scalar token (no arrays).
+fn parse_scalar(token: &str, line: usize) -> Result<Value, ParseError> {
+    let token = token.trim();
+    if let Some(rest) = token.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(err(line, format!("unterminated string `{token}`")));
+        };
+        // Reject internal unescaped quotes like `"a"b"`.
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => {
+                        return Err(err(
+                            line,
+                            format!("unsupported escape `\\{}`", other.unwrap_or(' ')),
+                        ))
+                    }
+                },
+                '"' => return Err(err(line, format!("stray quote inside string `{token}`"))),
+                c => out.push(c),
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return Err(err(line, "missing value")),
+        _ => {}
+    }
+    if let Ok(i) = token.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Err(err(line, format!("unrecognised value `{token}`")))
+}
+
+/// Splits the inside of an array on top-level commas (strings may
+/// contain commas).
+fn split_array_items(body: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                current.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                items.push(std::mem::take(&mut current));
+                current.clear();
+            }
+            '[' | ']' if !in_str => {
+                return Err(err(line, "nested arrays are not supported"));
+            }
+            c => current.push(c),
+        }
+        escaped = false;
+    }
+    if in_str {
+        return Err(err(line, "unterminated string in array"));
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    Ok(items)
+}
+
+/// Parses a complete document.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] with its line number.
+pub fn parse(text: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    doc.sections.insert(String::new(), BTreeMap::new());
+    let mut current = String::new();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, format!("malformed section header `{line}`")));
+            };
+            let name = name.trim();
+            if name.starts_with('[') || name.ends_with(']') {
+                return Err(err(
+                    lineno,
+                    "array-of-tables `[[...]]` syntax is not supported",
+                ));
+            }
+            if !valid_key(name) {
+                return Err(err(lineno, format!("invalid section name `{name}`")));
+            }
+            if doc.sections.contains_key(name) {
+                return Err(err(lineno, format!("duplicate section `[{name}]`")));
+            }
+            doc.sections.insert(name.to_string(), BTreeMap::new());
+            doc.section_lines.insert(name.to_string(), lineno);
+            current = name.to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value`, found `{line}`"),
+            ));
+        };
+        let key = line[..eq].trim();
+        if !valid_key(key) {
+            return Err(err(lineno, format!("invalid key `{key}`")));
+        }
+        let mut rhs = line[eq + 1..].trim().to_string();
+
+        // Multi-line array: keep consuming lines until brackets balance.
+        if rhs.starts_with('[') {
+            while !balanced(&rhs) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(lineno, format!("unterminated array for key `{key}`")));
+                };
+                rhs.push(' ');
+                rhs.push_str(strip_comment(next).trim());
+            }
+        }
+
+        let value = if let Some(body) = rhs.strip_prefix('[') {
+            let Some(body) = body.strip_suffix(']') else {
+                return Err(err(lineno, format!("malformed array for key `{key}`")));
+            };
+            let items = split_array_items(body, lineno)?;
+            let mut values = Vec::new();
+            for item in items {
+                values.push(parse_scalar(&item, lineno)?);
+            }
+            Value::Array(values)
+        } else {
+            parse_scalar(&rhs, lineno)?
+        };
+
+        let section = doc.sections.get_mut(&current).expect("current exists");
+        if section.contains_key(key) {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+        section.insert(
+            key.to_string(),
+            Entry {
+                value,
+                line: lineno,
+            },
+        );
+    }
+    Ok(doc)
+}
+
+/// Whether every `[` outside a string has a matching `]`.
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = parse(
+            r#"
+# a comment
+top = 1
+
+[experiment]
+name = "fig5"      # trailing comment
+quick = false
+scale = 2.5
+
+[grid]
+rates = [0.02, 0.04, 0.06]
+presets = ["wh64", "vc64"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("", "top").unwrap().value, Value::Int(1));
+        assert_eq!(
+            doc.get("experiment", "name").unwrap().value,
+            Value::Str("fig5".into())
+        );
+        assert_eq!(
+            doc.get("experiment", "quick").unwrap().value,
+            Value::Bool(false)
+        );
+        assert_eq!(
+            doc.get("experiment", "scale").unwrap().value,
+            Value::Float(2.5)
+        );
+        match &doc.get("grid", "rates").unwrap().value {
+            Value::Array(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+        match &doc.get("grid", "presets").unwrap().value {
+            Value::Array(v) => assert_eq!(v[1], Value::Str("vc64".into())),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_line_arrays() {
+        let doc = parse("[g]\nrates = [\n  0.1, # one\n  0.2,\n  0.3\n]\nnext = 4\n").unwrap();
+        match &doc.get("g", "rates").unwrap().value {
+            Value::Array(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(doc.get("g", "next").unwrap().value, Value::Int(4));
+    }
+
+    #[test]
+    fn strings_keep_hashes_and_escapes() {
+        let doc = parse("k = \"a # not comment\"\ne = \"q\\\"t\\\\\"\n").unwrap();
+        assert_eq!(
+            doc.get("", "k").unwrap().value,
+            Value::Str("a # not comment".into())
+        );
+        assert_eq!(doc.get("", "e").unwrap().value, Value::Str("q\"t\\".into()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("\n\nk = \"unterminated\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse("[a]\nx = 1\n[a]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate"));
+        let e = parse("k = [1, [2]]\n").unwrap_err();
+        assert!(e.message.contains("nested"));
+        let e = parse("[g]\nr = [1, 2\n").unwrap_err();
+        assert!(e.message.contains("unterminated array"));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(parse("k = 1..5\n").is_err());
+        assert!(parse("k =\n").is_err());
+        assert!(parse("bad key = 1\n").is_err());
+        assert!(parse("[bad name]\n").is_err());
+        assert!(parse("[[table]]\n").is_err());
+        assert!(parse("k = 1\nk = 2\n").is_err());
+    }
+
+    #[test]
+    fn entry_lines_recorded() {
+        let doc = parse("\n[s]\nk = 1\n").unwrap();
+        assert_eq!(doc.get("s", "k").unwrap().line, 3);
+        assert_eq!(doc.section_line("s"), 2);
+        assert!(doc.has_section("s"));
+        assert!(!doc.has_section("t"));
+    }
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(Value::Int(1).kind(), "integer");
+        assert_eq!(Value::Str(String::new()).kind(), "string");
+        assert_eq!(Value::Float(0.5).kind(), "float");
+        assert_eq!(Value::Bool(true).kind(), "boolean");
+        assert_eq!(Value::Array(vec![]).kind(), "array");
+    }
+}

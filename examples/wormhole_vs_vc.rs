@@ -15,6 +15,7 @@ fn main() {
         warmup: 500,
         sample_packets: 2_000,
         max_cycles: 100_000,
+        threads: 1,
     };
     let rates = [0.02, 0.05, 0.08, 0.11, 0.14];
 

@@ -349,6 +349,7 @@ fn sweep_isolates_the_deadlock_prone_point() {
             warmup: 200,
             sample_packets: 300,
             max_cycles: 100_000,
+            threads: 1,
         },
     )
     .expect("sweep must not abort");
