@@ -27,6 +27,7 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cache_dir: None,
         progress: true,
+        ..EngineOptions::default()
     };
     let (records, _) = run_spec(&spec, &opts).expect("cacheless runs do no I/O");
 

@@ -9,10 +9,19 @@
 //! Unlike the component subcommands, `experiment run` takes a
 //! positional spec path, so it is dispatched before the option-only
 //! [`Args`](crate::args::Args) grammar. Exit codes follow the scheme
-//! in [`crate::run`]: 2 for bad input (spec errors), 1 for I/O
-//! failures, 3 when any cell failed, 0 otherwise.
+//! in [`crate::run`]: 2 for bad input (spec errors, a cache directory
+//! locked by another live run), 1 for I/O failures, 3 when the grid
+//! degraded (failed, crashed, timed-out or corrupted cells),
+//! 0 otherwise.
+//!
+//! Supervision knobs: `--retries` grants panicking cells reseeded
+//! extra attempts, `--cell-timeout-ms` sets a per-cell wall-clock
+//! budget, and `--audit-every` overrides the spec's invariant-audit
+//! cadence. The `ORION_EXP_PANIC_CELL` environment variable feeds the
+//! engine's poison hook (testing/CI only).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use orion_exp::{run_spec, write_artifacts, EngineOptions, ExperimentSpec};
 
@@ -21,13 +30,17 @@ use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SC
 
 /// Usage fragment shown on `experiment` argument errors.
 const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
-     [--cache-dir DIR] [--out-dir DIR] [--json] [--quiet]";
+     [--cache-dir DIR] [--out-dir DIR] [--retries N] [--cell-timeout-ms N] \
+     [--audit-every N] [--json] [--quiet]";
 
 struct ExperimentArgs {
     spec_path: PathBuf,
     threads: usize,
     cache_dir: Option<PathBuf>,
     out_dir: PathBuf,
+    retries: u32,
+    cell_timeout: Option<Duration>,
+    audit_every: Option<u64>,
     json: bool,
     quiet: bool,
 }
@@ -48,6 +61,9 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
     let mut threads = 1usize;
     let mut cache_dir = None;
     let mut out_dir = PathBuf::from("experiments");
+    let mut retries = 0u32;
+    let mut cell_timeout = None;
+    let mut audit_every = None;
     let mut json = false;
     let mut quiet = false;
 
@@ -68,6 +84,28 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
             }
             "--cache-dir" => cache_dir = Some(PathBuf::from(value(&mut it, "cache-dir")?)),
             "--out-dir" => out_dir = PathBuf::from(value(&mut it, "out-dir")?),
+            "--retries" => {
+                let v = value(&mut it, "retries")?;
+                retries = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--retries expects an integer, got `{v}`")))?;
+            }
+            "--cell-timeout-ms" => {
+                let v = value(&mut it, "cell-timeout-ms")?;
+                let ms: u64 = v.parse().map_err(|_| {
+                    ArgError(format!("--cell-timeout-ms expects an integer, got `{v}`"))
+                })?;
+                if ms == 0 {
+                    return Err(ArgError("--cell-timeout-ms must be positive".into()));
+                }
+                cell_timeout = Some(Duration::from_millis(ms));
+            }
+            "--audit-every" => {
+                let v = value(&mut it, "audit-every")?;
+                audit_every = Some(v.parse().map_err(|_| {
+                    ArgError(format!("--audit-every expects an integer, got `{v}`"))
+                })?);
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             opt if opt.starts_with("--") => {
@@ -90,6 +128,9 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
         threads,
         cache_dir,
         out_dir,
+        retries,
+        cell_timeout,
+        audit_every,
         json,
         quiet,
     })
@@ -117,7 +158,7 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
             }
         }
     };
-    let spec = match ExperimentSpec::parse(&text) {
+    let mut spec = match ExperimentSpec::parse(&text) {
         Ok(s) => s,
         Err(e) => {
             return CmdOutput {
@@ -126,14 +167,26 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
             }
         }
     };
+    if let Some(n) = args.audit_every {
+        spec.measure.audit_every = n;
+    }
 
     let opts = EngineOptions {
         threads: args.threads,
         cache_dir: args.cache_dir.clone(),
         progress: !args.quiet && !args.json,
+        max_retries: args.retries,
+        cell_timeout: args.cell_timeout,
+        poison: std::env::var("ORION_EXP_PANIC_CELL").ok(),
     };
     let (records, summary) = match run_spec(&spec, &opts) {
         Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            return CmdOutput {
+                text: format!("error: {e}\n"),
+                code: EXIT_BAD_INPUT,
+            }
+        }
         Err(e) => {
             return CmdOutput {
                 text: format!("error: engine I/O failure: {e}\n"),
@@ -165,7 +218,12 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
                 "  \"simulated\": {},\n",
                 "  \"cache_hits\": {},\n",
                 "  \"failed\": {},\n",
+                "  \"crashed\": {},\n",
+                "  \"timed_out\": {},\n",
+                "  \"retried\": {},\n",
+                "  \"corrupted\": {},\n",
                 "  \"corrupt_cache_lines\": {},\n",
+                "  \"append_failures\": {},\n",
                 "  \"elapsed_s\": {:.3},\n",
                 "  \"artifacts\": {{\"jsonl\": \"{}\", \"csv\": \"{}\"}}\n",
                 "}}\n"
@@ -176,7 +234,12 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
             summary.simulated,
             summary.cache_hits,
             summary.failed,
+            summary.crashed,
+            summary.timed_out,
+            summary.retried,
+            summary.corrupted,
             summary.corrupt_cache_lines,
+            summary.append_failures,
             elapsed,
             artifacts.jsonl.display(),
             artifacts.csv.display(),
@@ -191,10 +254,28 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
             summary.failed,
             elapsed,
         );
+        if summary.crashed > 0 || summary.timed_out > 0 || summary.retried > 0 {
+            out.push_str(&format!(
+                "supervision: {} crashed, {} timed out, {} recovered by retry\n",
+                summary.crashed, summary.timed_out, summary.retried
+            ));
+        }
+        if summary.corrupted > 0 {
+            out.push_str(&format!(
+                "warning: {} cell(s) failed the runtime invariant audit (outcome `corrupted`)\n",
+                summary.corrupted
+            ));
+        }
         if summary.corrupt_cache_lines > 0 {
             out.push_str(&format!(
                 "warning: skipped {} corrupt cache line(s); affected cells re-simulated\n",
                 summary.corrupt_cache_lines
+            ));
+        }
+        if let Some(e) = &summary.append_error {
+            out.push_str(&format!(
+                "warning: cache append broke mid-run ({} record(s) not cached): {e}\n",
+                summary.append_failures
             ));
         }
         out.push_str(&format!(
@@ -205,7 +286,11 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
         out
     };
 
-    let code = if summary.failed > 0 { EXIT_DEGRADED } else { 0 };
+    let code = if summary.is_degraded() {
+        EXIT_DEGRADED
+    } else {
+        0
+    };
     CmdOutput { text, code }
 }
 
@@ -251,13 +336,16 @@ rates = [0.02, 0.04]
     #[test]
     fn bad_input_exits_2() {
         for line in [
-            "",                      // missing subcommand
-            "walk spec.toml",        // unknown subcommand
-            "run",                   // missing spec path
-            "run a.toml b.toml",     // extra positional
-            "run a.toml --threads",  // value-less option
-            "run a.toml --bogus 1",  // unknown option
-            "run /nonexistent.toml", // unreadable file
+            "",                               // missing subcommand
+            "walk spec.toml",                 // unknown subcommand
+            "run",                            // missing spec path
+            "run a.toml b.toml",              // extra positional
+            "run a.toml --threads",           // value-less option
+            "run a.toml --bogus 1",           // unknown option
+            "run /nonexistent.toml",          // unreadable file
+            "run a.toml --retries x",         // non-integer retries
+            "run a.toml --cell-timeout-ms 0", // zero budget
+            "run a.toml --audit-every",       // value-less option
         ] {
             let out = execute(&toks(line));
             assert_eq!(out.code, EXIT_BAD_INPUT, "{line:?} -> {}", out.text);
@@ -295,10 +383,11 @@ rates = [0.02, 0.04]
         let first = execute(&toks(&line));
         assert_eq!(first.code, 0, "{}", first.text);
         assert!(
-            first.text.contains("\"schema_version\": 1"),
+            first.text.contains("\"schema_version\": 2"),
             "{}",
             first.text
         );
+        assert!(first.text.contains("\"crashed\": 0"), "{}", first.text);
         assert!(first.text.contains("\"cache_hits\": 0"), "{}", first.text);
         assert!(first.text.contains("\"simulated\": 2"), "{}", first.text);
         assert!(dir.join("out/cli-smoke.jsonl").exists());
@@ -308,6 +397,71 @@ rates = [0.02, 0.04]
         assert_eq!(second.code, 0);
         assert!(second.text.contains("\"simulated\": 0"), "{}", second.text);
         assert!(second.text.contains("\"cache_hits\": 2"), "{}", second.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn locked_cache_dir_exits_2_with_holder_diagnostic() {
+        let dir = temp_dir("locked");
+        let spec = write_spec(&dir);
+        let cache = dir.join("cache");
+        let _lock = orion_exp::CacheLock::acquire(&cache).unwrap();
+        let out = execute(&toks(&format!(
+            "run {} --cache-dir {} --out-dir {} --quiet",
+            spec.display(),
+            cache.display(),
+            dir.join("out").display(),
+        )));
+        assert_eq!(out.code, EXIT_BAD_INPUT, "{}", out.text);
+        assert!(out.text.contains("lock"), "{}", out.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_cell_exits_3_but_grid_completes() {
+        let dir = temp_dir("poison");
+        let path = dir.join("spec.toml");
+        // Rate 0.055 is unique to this test: the poison env var is
+        // process-global, so the pattern must not match any cell that
+        // a concurrently running test simulates.
+        fs::write(
+            &path,
+            r#"
+[experiment]
+name = "cli-poison"
+
+[measure]
+warmup = 100
+sample_packets = 100
+max_cycles = 20000
+
+[grid]
+presets = ["vc16"]
+rates = [0.02, 0.055]
+"#,
+        )
+        .unwrap();
+        std::env::set_var("ORION_EXP_PANIC_CELL", "r0.055000");
+        let out = execute(&toks(&format!(
+            "run {} --out-dir {} --json --quiet",
+            path.display(),
+            dir.join("out").display(),
+        )));
+        std::env::remove_var("ORION_EXP_PANIC_CELL");
+        assert_eq!(out.code, EXIT_DEGRADED, "{}", out.text);
+        assert!(out.text.contains("\"crashed\": 1"), "{}", out.text);
+
+        // The grid still produced a full artifact: the healthy cell's
+        // record plus exactly one quarantined record.
+        let jsonl = fs::read_to_string(dir.join("out/cli-poison.jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(
+            jsonl
+                .lines()
+                .filter(|l| l.contains("\"cell_outcome\":\"crashed\""))
+                .count(),
+            1
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

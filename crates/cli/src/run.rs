@@ -27,9 +27,10 @@ COMPONENTS:
   central-buffer  --banks N --rows N --bits N [--read-ports N] [--write-ports N]
   simulate        [--preset wh64|vc16|vc64|vc128|xb|cb] [--rate X] [--seed N]
                   [--warmup N] [--sample N] [--max-cycles N]
-                  [--watchdog-cycles N] [--fault-links N] [--fault-rate X]
-                  [--fault-ports N] [--fault-seed N] [--json]
+                  [--watchdog-cycles N] [--audit-every N] [--fault-links N]
+                  [--fault-rate X] [--fault-ports N] [--fault-seed N] [--json]
   experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
+                  [--retries N] [--cell-timeout-ms N] [--audit-every N]
                   [--json] [--quiet]    (see docs/ORCHESTRATION.md)
 
 COMMON OPTIONS:
@@ -39,9 +40,11 @@ COMMON OPTIONS:
 EXIT CODES:
   0  success (simulate: run completed; experiment: no failed cells)
   1  runtime I/O failure (cache or artifact files)
-  2  bad input (unknown options, malformed spec, invalid configuration)
-  3  degraded result (simulate: deadlock/saturation/budget/faults;
-     experiment: one or more cells failed)
+  2  bad input (unknown options, malformed spec, invalid configuration,
+     cache directory locked by another live run)
+  3  degraded result (simulate: deadlock/saturation/budget/faults/
+     corrupted audit; experiment: failed, crashed, timed-out or
+     corrupted cells)
 
 EXAMPLES:
   orion-power-cli buffer --flits 64 --bits 256
@@ -57,7 +60,11 @@ EXAMPLES:
 /// `experiment run --json`), emitted as `schema_version`. Bump on any
 /// field change. Per-cell artifact records carry their own
 /// [`orion_exp::SCHEMA_VERSION`].
-pub const JSON_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 2 added supervision fields (`crashed`, `timed_out`,
+/// `retried`, `corrupted`, `append_failures` to `experiment run`;
+/// `audit` to `simulate`).
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// Exit code for runtime I/O failures (cache/artifact files).
 pub const EXIT_RUNTIME: u8 = 1;

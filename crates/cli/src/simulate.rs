@@ -9,7 +9,7 @@ use orion_sim::StallDiagnostics;
 use crate::args::{ArgError, Args};
 use crate::run::{CmdOutput, EXIT_DEGRADED, JSON_SCHEMA_VERSION};
 
-const OPTIONS: [&str; 12] = [
+const OPTIONS: [&str; 13] = [
     "preset",
     "rate",
     "seed",
@@ -17,6 +17,7 @@ const OPTIONS: [&str; 12] = [
     "sample",
     "max-cycles",
     "watchdog-cycles",
+    "audit-every",
     "fault-links",
     "fault-rate",
     "fault-ports",
@@ -66,6 +67,7 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
     let sample = args.u64_or("sample", 10_000)?;
     let max_cycles = args.u64_or("max-cycles", 1_000_000)?;
     let watchdog = args.u64_or("watchdog-cycles", 1000)?;
+    let audit_every = args.u64_or("audit-every", 0)?;
 
     let fault_links = args.u64_or("fault-links", 0)? as usize;
     let fault_rate = args.f64_or("fault-rate", 0.0)?;
@@ -83,7 +85,8 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         .warmup(warmup)
         .sample_packets(sample)
         .max_cycles(max_cycles)
-        .watchdog_cycles(watchdog);
+        .watchdog_cycles(watchdog)
+        .audit_every(audit_every);
 
     let faults = fault_links > 0 || fault_rate > 0.0 || fault_ports > 0;
     let mut schedule_summary = None;
@@ -144,6 +147,14 @@ fn render_human(preset: &str, rate: f64, report: &Report, faults: Option<(usize,
             stats.packets_detoured,
         ));
     }
+    if let RunOutcome::Corrupted { violations, cycle } = report.outcome() {
+        out.push_str(&format!(
+            "invariant audit failed at cycle {cycle}; numbers are untrustworthy:\n"
+        ));
+        for v in violations {
+            out.push_str(&format!("  - {v}\n"));
+        }
+    }
     if let Some(diag) = report.stall_diagnostics() {
         out.push_str(&format!("{diag}"));
     }
@@ -186,6 +197,19 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
         RunOutcome::Deadlocked(diag) => json_diagnostics(diag),
         _ => "null".to_string(),
     };
+    let audit = match report.outcome() {
+        RunOutcome::Corrupted { violations, cycle } => {
+            let kinds: Vec<String> = violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.kind()))
+                .collect();
+            format!(
+                "{{\"cycle\": {cycle}, \"violations\": [{}]}}",
+                kinds.join(", ")
+            )
+        }
+        _ => "null".to_string(),
+    };
     format!(
         concat!(
             "{{\n",
@@ -201,7 +225,8 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
             "  \"packets\": {{\"injected\": {injected}, \"delivered\": {delivered}, ",
             "\"dropped\": {dropped}, \"detoured\": {detoured}}},\n",
             "  \"drop_rate\": {drop_rate},\n",
-            "  \"diagnostics\": {diagnostics}\n",
+            "  \"diagnostics\": {diagnostics},\n",
+            "  \"audit\": {audit}\n",
             "}}\n"
         ),
         schema_version = JSON_SCHEMA_VERSION,
@@ -219,6 +244,7 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
         detoured = stats.packets_detoured,
         drop_rate = json_f64(stats.drop_rate()),
         diagnostics = diagnostics,
+        audit = audit,
     )
 }
 
@@ -251,11 +277,39 @@ mod tests {
             "simulate --preset vc16 --rate 0.03 {QUICK} --json"
         ))
         .unwrap();
-        assert!(out.contains("\"schema_version\": 1"), "{out}");
+        assert!(out.contains("\"schema_version\": 2"), "{out}");
         assert!(out.contains("\"outcome\": \"completed\""), "{out}");
         assert!(out.contains("\"diagnostics\": null"), "{out}");
+        assert!(out.contains("\"audit\": null"), "{out}");
         assert!(out.contains("\"dropped\": 0"), "{out}");
         assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn audit_passes_cleanly_and_changes_no_numbers() {
+        // The auditor is read-only: a pre-saturation run with the
+        // tightest cadence must produce byte-identical output to the
+        // same run without auditing — and never classify as corrupted.
+        for preset in ["wh64", "vc16", "vc64", "vc128"] {
+            let base = format!("simulate --preset {preset} --rate 0.03 {QUICK}");
+            let plain = run_full(&base).unwrap();
+            let audited = run_full(&format!("{base} --audit-every 1")).unwrap();
+            assert_eq!(
+                plain.text, audited.text,
+                "{preset}: audit perturbed the run"
+            );
+            assert_eq!(audited.code, 0, "{preset}: audit flagged a healthy run");
+        }
+    }
+
+    #[test]
+    fn audit_json_field_is_null_on_clean_runs() {
+        let out = run_line(&format!(
+            "simulate --preset wh64 --rate 0.03 {QUICK} --audit-every 100 --json"
+        ))
+        .unwrap();
+        assert!(out.contains("\"outcome\": \"completed\""), "{out}");
+        assert!(out.contains("\"audit\": null"), "{out}");
     }
 
     #[test]
@@ -318,6 +372,8 @@ mod tests {
         assert!(run_line("simulate --fault-rate 2.0").is_err());
         assert!(run_line("simulate --typo 1").is_err());
         assert!(run_line("simulate --rate").is_err()); // value-less option
+        assert!(run_line("simulate --audit-every").is_err());
+        assert!(run_line("simulate --audit-every many").is_err());
         assert!(run_line(&format!("simulate --rate 0.03 {QUICK} --json")).is_ok());
     }
 }

@@ -8,7 +8,7 @@
 //! contribute their constant datasheet power (§4.4), which no switching
 //! event ever charges.
 
-use orion_sim::{Component, SimStats, StallDiagnostics, StallKind};
+use orion_sim::{AuditViolation, Component, SimStats, StallDiagnostics, StallKind};
 use orion_tech::{average_power, Hertz, Joules, Watts};
 
 /// How a simulation run ended.
@@ -31,7 +31,13 @@ use orion_tech::{average_power, Hertz, Joules, Watts};
 ///   of the sample was delivered,
 /// * [`BudgetExhausted`](RunOutcome::BudgetExhausted) — the cycle
 ///   budget ran out with tagged packets still outstanding and no
-///   sharper classification available.
+///   sharper classification available,
+/// * [`Corrupted`](RunOutcome::Corrupted) — the opt-in invariant
+///   auditor ([`Experiment::audit_every`]) caught the simulator
+///   violating its own conservation laws; the run's numbers are
+///   untrustworthy and must not be published.
+///
+/// [`Experiment::audit_every`]: crate::run::Experiment::audit_every
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum RunOutcome {
@@ -53,6 +59,15 @@ pub enum RunOutcome {
     },
     /// The cycle budget ran out with tagged packets still in flight.
     BudgetExhausted,
+    /// The invariant auditor found the simulator's accounting broken —
+    /// the numbers of this run cannot be trusted.
+    Corrupted {
+        /// The violations found, in detection order (first audit that
+        /// fired; the run stops immediately).
+        violations: Vec<AuditViolation>,
+        /// The cycle at which the failing audit ran.
+        cycle: u64,
+    },
 }
 
 impl RunOutcome {
@@ -80,6 +95,16 @@ impl RunOutcome {
             },
             RunOutcome::Faulted { .. } => "faulted",
             RunOutcome::BudgetExhausted => "budget-exhausted",
+            RunOutcome::Corrupted { .. } => "corrupted",
+        }
+    }
+
+    /// The auditor's violations, when the run was classified
+    /// [`Corrupted`](RunOutcome::Corrupted).
+    pub fn audit_violations(&self) -> Option<&[AuditViolation]> {
+        match self {
+            RunOutcome::Corrupted { violations, .. } => Some(violations),
+            _ => None,
         }
     }
 }
@@ -96,6 +121,17 @@ impl std::fmt::Display for RunOutcome {
                 write!(f, "faulted ({delivered} delivered, {dropped} dropped)")
             }
             RunOutcome::BudgetExhausted => write!(f, "budget exhausted"),
+            RunOutcome::Corrupted { violations, cycle } => {
+                write!(
+                    f,
+                    "corrupted at cycle {cycle}: {} invariant violation(s)",
+                    violations.len()
+                )?;
+                if let Some(first) = violations.first() {
+                    write!(f, " — {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -376,6 +412,9 @@ impl std::fmt::Display for Report {
                 format!(", faulted ({delivered} delivered, {dropped} dropped)")
             }
             RunOutcome::BudgetExhausted => ", budget exhausted".to_string(),
+            RunOutcome::Corrupted { violations, .. } => {
+                format!(", CORRUPTED ({} violations)", violations.len())
+            }
         };
         writeln!(
             f,
@@ -553,6 +592,34 @@ mod tests {
             .label(),
             "faulted"
         );
+        assert_eq!(
+            RunOutcome::Corrupted {
+                violations: Vec::new(),
+                cycle: 0
+            }
+            .label(),
+            "corrupted"
+        );
+    }
+
+    #[test]
+    fn corrupted_outcome_exposes_violations() {
+        let violation = AuditViolation::EnergyNonMonotonic {
+            previous: 2.0,
+            current: 1.0,
+        };
+        let outcome = RunOutcome::Corrupted {
+            violations: vec![violation.clone()],
+            cycle: 777,
+        };
+        assert_eq!(outcome.audit_violations(), Some(&[violation][..]));
+        assert!(outcome.to_string().contains("cycle 777"), "{outcome}");
+        assert!(outcome.to_string().contains("decreased"), "{outcome}");
+        assert_eq!(RunOutcome::Completed.audit_violations(), None);
+
+        let r = outcome_report(outcome);
+        assert!(r.is_saturated(), "corrupted numbers are never publishable");
+        assert!(r.to_string().contains("CORRUPTED"), "{r}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use orion_net::{FaultSchedule, NodeId, TraceTraffic, TrafficPattern};
-use orion_sim::{Component, Network, StallDiagnostics};
+use orion_sim::{AuditViolation, Component, InvariantAuditor, Network, StallDiagnostics};
 use orion_tech::Joules;
 
 use crate::config::{ConfigError, NetworkConfig};
@@ -50,6 +50,7 @@ pub struct Experiment {
     max_cycles: u64,
     fault_schedule: Option<FaultSchedule>,
     watchdog: u64,
+    audit_every: u64,
 }
 
 /// Default watchdog window: a full millennium of cycles with no flit
@@ -76,6 +77,7 @@ impl Experiment {
             max_cycles: 1_000_000,
             fault_schedule: None,
             watchdog: DEFAULT_WATCHDOG,
+            audit_every: 0,
         }
     }
 
@@ -148,6 +150,20 @@ impl Experiment {
         self
     }
 
+    /// Enables the invariant auditor
+    /// ([`Network::audit`](orion_sim::Network::audit)): every `n`
+    /// cycles of the measured phase — and once more at run end — flit
+    /// conservation, credit/occupancy bounds and energy-ledger sanity
+    /// are re-checked from independent state. Any violation aborts the
+    /// run as [`RunOutcome::Corrupted`] instead of reporting numbers
+    /// the simulator itself cannot account for. `0` (the default)
+    /// disables auditing. The checks are read-only: a healthy audited
+    /// run is bit-identical to the same run unaudited.
+    pub fn audit_every(mut self, n: u64) -> Experiment {
+        self.audit_every = n;
+        self
+    }
+
     /// The configuration under test.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
@@ -191,6 +207,12 @@ impl Experiment {
         let window = self.watchdog;
         let mut tagged_budget = self.sample_packets;
         let mut stall: Option<StallDiagnostics> = None;
+        // Invariant auditing (opt-in): checked on a cycle stride during
+        // the measured phase, plus once at run end. The first failing
+        // audit stops the run — numbers past that point are garbage.
+        let audit_every = self.audit_every;
+        let mut auditor = InvariantAuditor::new();
+        let mut corrupted: Option<(Vec<AuditViolation>, u64)> = None;
         let mut saturated_early = false;
         let mut backlog_samples: Vec<usize> = Vec::new();
         let finished;
@@ -227,6 +249,13 @@ impl Experiment {
                 if window > 0 {
                     if let Some(kind) = net.check_stall(window) {
                         stall = Some(net.stall_diagnostics(kind, window));
+                        break;
+                    }
+                }
+                if audit_every > 0 && net.cycle().is_multiple_of(audit_every) {
+                    let violations = auditor.check(&net);
+                    if !violations.is_empty() {
+                        corrupted = Some((violations, net.cycle()));
                         break;
                     }
                 }
@@ -295,6 +324,13 @@ impl Experiment {
                             }
                         }
                     }
+                    if audit_every > 0 && net.cycle().is_multiple_of(audit_every) {
+                        let violations = auditor.check(&net);
+                        if !violations.is_empty() {
+                            corrupted = Some((violations, net.cycle()));
+                            break;
+                        }
+                    }
                 }
             }
             finished = (tagged_budget == 0 && net.stats().tagged_outstanding() == 0
@@ -303,7 +339,19 @@ impl Experiment {
                 && !saturated_early;
         }
 
-        let outcome = if let Some(diag) = stall {
+        // One final audit at run end, whatever the cycle stride: a
+        // corruption that appeared after the last periodic check must
+        // not escape into a published record.
+        if audit_every > 0 && corrupted.is_none() {
+            let violations = auditor.check(&net);
+            if !violations.is_empty() {
+                corrupted = Some((violations, net.cycle()));
+            }
+        }
+
+        let outcome = if let Some((violations, cycle)) = corrupted {
+            RunOutcome::Corrupted { violations, cycle }
+        } else if let Some(diag) = stall {
             RunOutcome::Deadlocked(diag)
         } else if saturated_early {
             RunOutcome::Saturated
@@ -596,6 +644,72 @@ mod tests {
         let with = r.total_power_with_leakage().0;
         let without = r.total_power().0;
         assert!((with - without - 16.0 * r.router_leakage_per_node().0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn audited_run_is_bit_identical_to_unaudited() {
+        let run = |audit_every: u64| {
+            let r = quick(
+                Experiment::new(presets::vc16_onchip())
+                    .injection_rate(0.05)
+                    .seed(11)
+                    .audit_every(audit_every),
+            );
+            (
+                r.avg_latency().to_bits(),
+                r.total_power().0.to_bits(),
+                r.measured_cycles(),
+                r.stats().packets_delivered,
+            )
+        };
+        let unaudited = run(0);
+        assert_eq!(run(1), unaudited, "auditing every cycle changes nothing");
+        assert_eq!(run(100), unaudited);
+    }
+
+    #[test]
+    fn audited_healthy_run_reports_completed_not_corrupted() {
+        let r = quick(
+            Experiment::new(presets::vc16_onchip())
+                .injection_rate(0.05)
+                .audit_every(50),
+        );
+        assert_eq!(r.outcome(), &RunOutcome::Completed);
+        assert_eq!(r.outcome().audit_violations(), None);
+    }
+
+    #[test]
+    fn audited_faulted_run_keeps_its_classification() {
+        // Drops are legitimate accounting, not corruption: the auditor
+        // must not misread fault-dropped flits as a conservation leak.
+        use orion_net::{FaultConfig, FaultSchedule};
+        let cfg = presets::vc16_onchip();
+        let schedule = FaultSchedule::generate(
+            &cfg.topology,
+            &FaultConfig {
+                seed: 9,
+                permanent_links: 6,
+                horizon: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let r = Experiment::new(cfg)
+            .injection_rate(0.03)
+            .fault_schedule(schedule)
+            .warmup(200)
+            .sample_packets(300)
+            .max_cycles(100_000)
+            .audit_every(25)
+            .run()
+            .unwrap();
+        assert!(
+            matches!(
+                r.outcome(),
+                RunOutcome::Faulted { .. } | RunOutcome::Completed
+            ),
+            "got {:?}",
+            r.outcome()
+        );
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Artifact writers: the engine's records as versioned JSONL and CSV
 //! files.
 //!
-//! Files are written atomically-enough for experiment use (full
-//! buffer, single create) with records in the order the engine
-//! returns them — sorted by cell key — so two runs of the same spec
-//! produce byte-identical files regardless of thread count or cache
-//! state.
+//! Files are written **atomically**: bytes land in a `.tmp` sibling,
+//! are fsynced, and are renamed over the destination in one step. A
+//! run killed mid-write therefore leaves either the previous complete
+//! artifact or the new complete artifact — never a torn file. Records
+//! are written in the order the engine returns them — sorted by cell
+//! key — so two runs of the same spec produce byte-identical files
+//! regardless of thread count or cache state.
 
 use std::fs;
 use std::io::Write;
@@ -43,8 +45,35 @@ pub fn to_csv(records: &[CellRecord]) -> String {
     out
 }
 
+/// Writes `bytes` to `path` crash-safely: a `.tmp` sibling is written
+/// in full, fsynced, then renamed over the destination. Readers never
+/// observe a partially written file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; a failed write leaves the
+/// destination untouched (the orphan `.tmp` is removed best-effort).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Writes `<name>.jsonl` and `<name>.csv` under `dir` (created if
-/// missing).
+/// missing), each via [`write_atomic`].
 ///
 /// # Errors
 ///
@@ -57,9 +86,28 @@ pub fn write_artifacts(
     fs::create_dir_all(dir)?;
     let jsonl = dir.join(format!("{name}.jsonl"));
     let csv = dir.join(format!("{name}.csv"));
-    let mut f = fs::File::create(&jsonl)?;
-    f.write_all(to_jsonl(records).as_bytes())?;
-    let mut f = fs::File::create(&csv)?;
-    f.write_all(to_csv(records).as_bytes())?;
+    write_atomic(&jsonl, to_jsonl(records).as_bytes())?;
+    write_atomic(&csv, to_csv(records).as_bytes())?;
     Ok(Artifacts { jsonl, csv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("orion-exp-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        write_atomic(&path, b"first\n").unwrap();
+        write_atomic(&path, b"second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(
+            !dir.join("out.jsonl.tmp").exists(),
+            "temp file must not survive a successful write"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

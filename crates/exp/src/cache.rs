@@ -11,16 +11,160 @@
 //! * **Corruption** — a line that fails to parse (truncated append,
 //!   manual edit, version skew) is skipped and counted. Damage is
 //!   per-line: every other entry remains usable.
+//!
+//! The directory is additionally guarded by an exclusive [`CacheLock`]
+//! (two concurrent runs interleaving appends would tear each other's
+//! lines), carries a crash-safe [`Manifest`] describing the last run's
+//! progress, and heals itself: [`ResultCache::compact`] atomically
+//! rewrites a file that accumulated torn or superseded lines.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, ErrorKind, Write};
 use std::path::{Path, PathBuf};
 
-use crate::record::CellRecord;
+use crate::artifact::write_atomic;
+use crate::record::{parse_flat_object, CellRecord};
 
 /// File name of the cache inside a `--cache-dir`.
 pub const CACHE_FILE: &str = "orion-exp-cache.jsonl";
+
+/// File name of the exclusive lock inside a `--cache-dir`.
+pub const LOCK_FILE: &str = "orion-exp-cache.lock";
+
+/// File name of the run manifest inside a `--cache-dir`.
+pub const MANIFEST_FILE: &str = "orion-exp-manifest.json";
+
+/// Exclusive advisory lock on a cache directory, held for the duration
+/// of an engine run and released (file removed) on drop.
+///
+/// The lock file is created with `create_new` — an atomic
+/// create-or-fail on every platform — and records the holder's PID. A
+/// lock whose holder is no longer alive (a run killed mid-grid) is
+/// considered stale and broken automatically, so kill-and-resume needs
+/// no manual cleanup; a lock held by a live process is an error the
+/// CLI surfaces as bad input (exit 2).
+#[derive(Debug)]
+pub struct CacheLock {
+    path: PathBuf,
+}
+
+impl CacheLock {
+    /// Acquires the lock under `dir`, creating the directory if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::AlreadyExists`] when another live run holds the
+    /// lock; any other I/O error from creating the directory or file.
+    pub fn acquire(dir: &Path) -> std::io::Result<CacheLock> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOCK_FILE);
+        let mut tried_break = false;
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(CacheLock { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    if !tried_break && stale_lock(&path) {
+                        tried_break = true;
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    let holder = fs::read_to_string(&path).unwrap_or_default();
+                    return Err(std::io::Error::new(
+                        ErrorKind::AlreadyExists,
+                        format!(
+                            "cache directory `{}` is locked by a live run (pid {}); \
+                             wait for it to finish or remove `{}`",
+                            dir.display(),
+                            holder.trim(),
+                            path.display(),
+                        ),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a lock file's holder is provably gone: unreadable PIDs are
+/// stale (a torn lock write), and on Linux a PID with no `/proc` entry
+/// is stale. Elsewhere liveness cannot be checked cheaply, so a
+/// well-formed lock is conservatively treated as held.
+fn stale_lock(path: &Path) -> bool {
+    let Ok(text) = fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(pid) = text.trim().parse::<u32>() else {
+        return true;
+    };
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
+/// Crash-safe progress marker for the last grid run against a cache
+/// directory, written atomically so a killed run never leaves a torn
+/// manifest. A resumed run reads it purely for reporting — the cache
+/// contents, not the manifest, decide what re-simulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Name of the experiment that ran.
+    pub spec_name: String,
+    /// Cells in that experiment's expanded grid.
+    pub total_cells: usize,
+    /// Cells whose results were durably cached when it was written.
+    pub completed_cells: usize,
+}
+
+impl Manifest {
+    /// Writes the manifest under `dir` via an atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        let mut name = String::new();
+        for c in self.spec_name.chars() {
+            match c {
+                '"' | '\\' => {
+                    name.push('\\');
+                    name.push(c);
+                }
+                c => name.push(c),
+            }
+        }
+        let json = format!(
+            "{{\"spec_name\":\"{}\",\"total_cells\":{},\"completed_cells\":{}}}\n",
+            name, self.total_cells, self.completed_cells,
+        );
+        write_atomic(&dir.join(MANIFEST_FILE), json.as_bytes())
+    }
+
+    /// Reads the manifest under `dir`; `None` when absent or
+    /// malformed (both mean "no usable progress information").
+    pub fn read(dir: &Path) -> Option<Manifest> {
+        let text = fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?;
+        let obj = parse_flat_object(text.trim())?;
+        Some(Manifest {
+            spec_name: obj.get("spec_name")?.as_str()?.to_string(),
+            total_cells: obj.get("total_cells")?.as_u64()?.try_into().ok()?,
+            completed_cells: obj.get("completed_cells")?.as_u64()?.try_into().ok()?,
+        })
+    }
+}
 
 /// An on-disk result cache, loaded eagerly and appended incrementally.
 #[derive(Debug)]
@@ -28,6 +172,7 @@ pub struct ResultCache {
     path: PathBuf,
     entries: HashMap<u64, CellRecord>,
     corrupt_lines: usize,
+    superseded_lines: usize,
 }
 
 impl ResultCache {
@@ -43,6 +188,7 @@ impl ResultCache {
         let path = dir.join(CACHE_FILE);
         let mut entries = HashMap::new();
         let mut corrupt_lines = 0;
+        let mut superseded_lines = 0;
         if path.exists() {
             let text = fs::read_to_string(&path)?;
             for line in text.lines() {
@@ -53,7 +199,9 @@ impl ResultCache {
                     // Later lines win: a re-simulated cell supersedes
                     // its earlier entry.
                     Some(rec) => {
-                        entries.insert(rec.fingerprint, rec);
+                        if entries.insert(rec.fingerprint, rec).is_some() {
+                            superseded_lines += 1;
+                        }
                     }
                     None => corrupt_lines += 1,
                 }
@@ -63,6 +211,7 @@ impl ResultCache {
             path,
             entries,
             corrupt_lines,
+            superseded_lines,
         })
     }
 
@@ -85,6 +234,36 @@ impl ResultCache {
     /// Number of unparseable lines skipped at load.
     pub fn corrupt_lines(&self) -> usize {
         self.corrupt_lines
+    }
+
+    /// Whether the on-disk file deviates from the loaded entry set:
+    /// torn lines (a killed append) or superseded duplicates.
+    pub fn needs_compaction(&self) -> bool {
+        self.corrupt_lines > 0 || self.superseded_lines > 0
+    }
+
+    /// Rewrites the cache file to exactly the loaded entries, sorted
+    /// by cell key, via an atomic temp-file rename — healing torn and
+    /// duplicate lines a killed run left behind. A no-op (returning
+    /// `false`) when the file already matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the original file survives a
+    /// failed rewrite.
+    pub fn compact(&self) -> std::io::Result<bool> {
+        if !self.needs_compaction() {
+            return Ok(false);
+        }
+        let mut recs: Vec<&CellRecord> = self.entries.values().collect();
+        recs.sort_by(|a, b| a.cell.cmp(&b.cell));
+        let mut text = String::new();
+        for r in recs {
+            text.push_str(&r.to_json_line());
+            text.push('\n');
+        }
+        write_atomic(&self.path, text.as_bytes())?;
+        Ok(true)
     }
 
     /// Opens an append handle for writing fresh results as they
@@ -218,6 +397,85 @@ mod tests {
             cache.get(rec.fingerprint).unwrap().error.as_deref(),
             Some("newer")
         );
+        assert!(cache.needs_compaction(), "a superseded line is debris");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_released_on_drop() {
+        let dir = temp_dir("lock");
+        let lock = CacheLock::acquire(&dir).unwrap();
+        let second = CacheLock::acquire(&dir);
+        let err = second.expect_err("a live lock must not be re-acquired");
+        assert_eq!(err.kind(), ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains(LOCK_FILE), "{err}");
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop removes the lock");
+        let relock = CacheLock::acquire(&dir).unwrap();
+        drop(relock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_is_broken_automatically() {
+        let dir = temp_dir("stale-lock");
+        fs::create_dir_all(&dir).unwrap();
+        // A garbage PID is always stale; on Linux a dead PID would be
+        // detected the same way via /proc.
+        fs::write(dir.join(LOCK_FILE), "not-a-pid").unwrap();
+        let lock = CacheLock::acquire(&dir).expect("stale lock must be broken");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrips_atomically() {
+        let dir = temp_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir), None, "absent manifest reads None");
+        let m = Manifest {
+            spec_name: "fig5".into(),
+            total_cells: 16,
+            completed_cells: 7,
+        };
+        m.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir), Some(m));
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+        fs::write(dir.join(MANIFEST_FILE), "{torn").unwrap();
+        assert_eq!(Manifest::read(&dir), None, "torn manifest reads None");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_heals_torn_and_duplicate_lines() {
+        let dir = temp_dir("compact");
+        let cache = ResultCache::open(&dir).unwrap();
+        let recs = records(3);
+        let mut app = cache.appender().unwrap();
+        for r in &recs {
+            app.append(r).unwrap();
+        }
+        app.append(&recs[1]).unwrap(); // duplicate
+        drop(app);
+        // Tear the final line, as a SIGKILL mid-append would.
+        let path = dir.join(CACHE_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 30]).unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.needs_compaction());
+        assert!(cache.compact().unwrap(), "a rewrite happened");
+
+        let healed = ResultCache::open(&dir).unwrap();
+        assert_eq!(healed.len(), 3);
+        assert!(!healed.needs_compaction(), "compaction converges");
+        assert!(!healed.compact().unwrap(), "second compact is a no-op");
+        let keys: Vec<String> = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(|l| l.to_string())
+            .collect();
+        assert_eq!(keys.len(), 3, "exactly one line per cell");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,5 +1,5 @@
-//! The experiment engine: cache partition → deterministic parallel
-//! simulation → sorted merge.
+//! The experiment engine: cache partition → supervised deterministic
+//! parallel simulation → sorted merge.
 //!
 //! Determinism contract: the record set produced by
 //! [`run_spec`] is a pure function of the spec (and the code-model
@@ -8,16 +8,25 @@
 //! RNG is seeded from a hash of its parameter point, fresh records are
 //! collected in grid order, and the merged output is sorted by cell
 //! key before it is returned or written.
+//!
+//! Supervision contract: one misbehaving cell never kills the grid.
+//! Panicking cells are isolated per-item ([`try_par_map`]), retried a
+//! bounded number of times with deterministically reseeded RNGs, and
+//! quarantined as `crashed` records when every attempt fails; cells
+//! that overrun their wall-clock budget are classified `timed-out`.
+//! Quarantine records are **not** cached — only genuine simulation
+//! results are — so a fixed build retries them automatically.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use orion_core::exec::par_map;
+use orion_core::exec::try_par_map;
 use orion_core::Experiment;
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheLock, Manifest, ResultCache};
+use crate::fingerprint::splitmix64;
 use crate::record::CellRecord;
 use crate::spec::{Cell, ExperimentSpec};
 
@@ -30,6 +39,20 @@ pub struct EngineOptions {
     pub cache_dir: Option<PathBuf>,
     /// Emit a live progress line to stderr.
     pub progress: bool,
+    /// Extra attempts granted to a panicking cell (0 = fail fast).
+    /// Attempt `k > 0` reruns with a deterministically reseeded RNG —
+    /// `splitmix64(derived_seed ^ k)` — and the seed actually used is
+    /// recorded in the cell's `derived_seed` field for replayability.
+    pub max_retries: u32,
+    /// Wall-clock budget per cell attempt; overruns are classified
+    /// `timed-out` post-hoc (a running cell cannot be preempted).
+    /// `None` disables the budget.
+    pub cell_timeout: Option<Duration>,
+    /// Fault-injection hook for supervision tests: cells whose key
+    /// contains this substring panic on every attempt; with a
+    /// `once:` prefix, only the first attempt panics (exercising the
+    /// retry path). `None` — the production default — injects nothing.
+    pub poison: Option<String>,
 }
 
 /// Accounting for one engine invocation.
@@ -43,15 +66,43 @@ pub struct RunSummary {
     pub cache_hits: usize,
     /// Cells whose configuration was rejected (outcome `"error"`).
     pub failed: usize,
+    /// Cells quarantined after panicking on every attempt.
+    pub crashed: usize,
+    /// Cells that exceeded the wall-clock budget.
+    pub timed_out: usize,
+    /// Cells that succeeded only after at least one retry.
+    pub retried: usize,
+    /// Cells whose runtime invariant audit failed (`corrupted`).
+    pub corrupted: usize,
     /// Unparseable cache lines skipped at load.
     pub corrupt_cache_lines: usize,
+    /// Records that could not be appended to the cache because the
+    /// sink broke mid-run (appending stops at the first failure; every
+    /// subsequently skipped record is counted here too).
+    pub append_failures: usize,
+    /// First cache-append error message, when any append failed.
+    pub append_error: Option<String>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+}
+
+impl RunSummary {
+    /// Whether any cell was quarantined or failed — the condition the
+    /// CLI maps to its degraded exit code.
+    pub fn is_degraded(&self) -> bool {
+        self.failed > 0 || self.crashed > 0 || self.timed_out > 0 || self.corrupted > 0
+    }
 }
 
 /// Runs one cell to a record; never panics on configuration or
 /// workload errors — they become `outcome: "error"` records.
 pub fn run_cell(cell: &Cell) -> CellRecord {
+    run_cell_seeded(cell, cell.derived_seed())
+}
+
+/// Runs one cell with an explicit RNG seed (retry attempts use
+/// reseeded RNGs; the record carries the seed actually used).
+fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
     let config = cell.config();
     let pattern = match cell.traffic.pattern(&config.topology, cell.rate) {
         Ok(p) => p,
@@ -59,28 +110,55 @@ pub fn run_cell(cell: &Cell) -> CellRecord {
     };
     let result = Experiment::new(config)
         .workload(pattern)
-        .seed(cell.derived_seed())
+        .seed(seed)
         .warmup(cell.measure.warmup)
         .sample_packets(cell.measure.sample_packets)
         .max_cycles(cell.measure.max_cycles)
         .watchdog_cycles(cell.measure.watchdog_cycles)
+        .audit_every(cell.measure.audit_every)
         .run();
-    match result {
+    let mut record = match result {
         Ok(report) => CellRecord::from_report(cell, &report),
         Err(e) => CellRecord::from_error(cell, &e.to_string()),
+    };
+    record.derived_seed = seed;
+    record
+}
+
+/// The RNG seed for retry attempt `k` (attempt 0 is the cell's
+/// derived seed). Deterministic, so a retried cell's record is
+/// reproducible from its recorded seed alone.
+fn retry_seed(derived_seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        derived_seed
+    } else {
+        splitmix64(derived_seed ^ u64::from(attempt))
     }
 }
 
+/// Whether the poison hook fires for this cell and attempt.
+fn poison_matches(poison: Option<&str>, cell: &Cell, attempt: u32) -> bool {
+    let Some(p) = poison else { return false };
+    let (once, pat) = match p.strip_prefix("once:") {
+        Some(rest) => (true, rest),
+        None => (false, p),
+    };
+    !pat.is_empty() && cell.key().contains(pat) && (!once || attempt == 0)
+}
+
 /// Expands the spec's grid, serves cached cells, simulates the rest in
-/// parallel, and returns all records **sorted by cell key** together
-/// with hit/miss accounting.
+/// parallel under per-cell supervision, and returns all records
+/// **sorted by cell key** together with hit/miss and quarantine
+/// accounting.
 ///
 /// # Errors
 ///
-/// Returns an I/O error only for cache file problems (unreadable
-/// existing cache, failed append). Simulation-level failures are data,
-/// not errors: they come back as `outcome: "error"` records and are
-/// counted in [`RunSummary::failed`].
+/// Returns an I/O error only for cache *setup* problems: a held lock
+/// ([`std::io::ErrorKind::AlreadyExists`]), or an unreadable existing
+/// cache. Simulation-level failures are data, not errors (`"error"`,
+/// `"crashed"`, `"timed-out"` records counted in the summary), and a
+/// cache append that fails mid-run degrades to
+/// [`RunSummary::append_failures`] rather than aborting the grid.
 pub fn run_spec(
     spec: &ExperimentSpec,
     opts: &EngineOptions,
@@ -89,8 +167,20 @@ pub fn run_spec(
     let cells = spec.expand();
     let total = cells.len();
 
+    // Exclusive lock first: two concurrent runs interleaving appends
+    // would tear each other's cache lines. Held until return.
+    let _lock = match &opts.cache_dir {
+        Some(dir) => Some(CacheLock::acquire(dir)?),
+        None => None,
+    };
     let cache = match &opts.cache_dir {
-        Some(dir) => Some(ResultCache::open(dir)?),
+        Some(dir) => {
+            let cache = ResultCache::open(dir)?;
+            // Heal debris a killed run left behind (torn final line,
+            // superseded duplicates) before appending more.
+            cache.compact()?;
+            Some(cache)
+        }
         None => None,
     };
     let corrupt_cache_lines = cache.as_ref().map_or(0, ResultCache::corrupt_lines);
@@ -111,7 +201,9 @@ pub fn run_spec(
         Some(c) if simulated > 0 => Some(Mutex::new(c.appender()?)),
         _ => None,
     };
-    let append_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let sink_broken = AtomicBool::new(false);
+    let append_failures = AtomicUsize::new(0);
+    let append_error: Mutex<Option<String>> = Mutex::new(None);
     let done = AtomicUsize::new(0);
     let progress = |finished: usize| {
         if opts.progress {
@@ -128,26 +220,93 @@ pub fn run_spec(
     };
     progress(0);
 
-    let fresh = par_map(opts.threads, misses, |cell| {
-        let record = run_cell(&cell);
-        if let Some(app) = &appender {
-            if let Err(e) = app.lock().unwrap().append(&record) {
-                append_error.lock().unwrap().get_or_insert(e);
+    // Supervised rounds: attempt 0 runs every miss; each later round
+    // reruns only the cells that panicked, reseeded, up to
+    // `max_retries` times. `try_par_map` isolates panics per item, so
+    // one poisoned cell cannot take down its worker's whole share.
+    let mut pending = misses;
+    let mut attempt: u32 = 0;
+    loop {
+        let cells_this_round = pending.clone();
+        let results = try_par_map(opts.threads, pending, |cell| {
+            if poison_matches(opts.poison.as_deref(), &cell, attempt) {
+                panic!("poison hook: injected panic for cell {}", cell.key());
+            }
+            let attempt_start = Instant::now();
+            let mut record = run_cell_seeded(&cell, retry_seed(cell.derived_seed(), attempt));
+            let elapsed = attempt_start.elapsed();
+            record.attempts = attempt + 1;
+            if attempt > 0 {
+                record.cell_outcome = "retried".to_string();
+            }
+            if let Some(budget) = opts.cell_timeout {
+                if elapsed > budget {
+                    record = CellRecord::from_timeout(
+                        &cell,
+                        budget.as_millis() as u64,
+                        elapsed.as_millis() as u64,
+                        attempt + 1,
+                    );
+                }
+            }
+            // Quarantine verdicts are wall-clock-dependent, never
+            // cached; genuine results are made durable immediately.
+            if !record.is_timed_out() {
+                if let Some(app) = &appender {
+                    if sink_broken.load(Ordering::Relaxed) {
+                        append_failures.fetch_add(1, Ordering::Relaxed);
+                    } else if let Err(e) = app.lock().unwrap().append(&record) {
+                        sink_broken.store(true, Ordering::Relaxed);
+                        append_failures.fetch_add(1, Ordering::Relaxed);
+                        append_error.lock().unwrap().get_or_insert(e.to_string());
+                    }
+                }
+            }
+            progress(done.fetch_add(1, Ordering::Relaxed) + 1);
+            record
+        });
+
+        let mut next = Vec::new();
+        for (cell, result) in cells_this_round.into_iter().zip(results) {
+            match result {
+                Ok(record) => records.push(record),
+                Err(_) if attempt < opts.max_retries => next.push(cell),
+                Err(panic_msg) => {
+                    progress(done.fetch_add(1, Ordering::Relaxed) + 1);
+                    records.push(CellRecord::from_crash(&cell, &panic_msg, attempt + 1));
+                }
             }
         }
-        progress(done.fetch_add(1, Ordering::Relaxed) + 1);
-        record
-    });
+        if next.is_empty() {
+            break;
+        }
+        pending = next;
+        attempt += 1;
+    }
     if opts.progress {
         eprintln!();
     }
-    if let Some(e) = append_error.into_inner().unwrap() {
-        return Err(e);
-    }
 
-    records.extend(fresh);
     records.sort_by(|a, b| a.cell.cmp(&b.cell));
     let failed = records.iter().filter(|r| r.is_error()).count();
+    let crashed = records.iter().filter(|r| r.is_crashed()).count();
+    let timed_out = records.iter().filter(|r| r.is_timed_out()).count();
+    let retried = records
+        .iter()
+        .filter(|r| r.cell_outcome == "retried")
+        .count();
+    let corrupted = records.iter().filter(|r| r.outcome == "corrupted").count();
+
+    if let Some(dir) = &opts.cache_dir {
+        // Reporting-only progress marker; the cache contents, not the
+        // manifest, decide what a resumed run re-simulates.
+        let _ = Manifest {
+            spec_name: spec.name.clone(),
+            total_cells: total,
+            completed_cells: total - crashed - timed_out,
+        }
+        .write(dir);
+    }
 
     Ok((
         records,
@@ -156,7 +315,13 @@ pub fn run_spec(
             simulated,
             cache_hits,
             failed,
+            crashed,
+            timed_out,
+            retried,
+            corrupted,
             corrupt_cache_lines,
+            append_failures: append_failures.into_inner(),
+            append_error: append_error.into_inner().unwrap(),
             elapsed: start.elapsed(),
         },
     ))

@@ -17,7 +17,13 @@
 //!    only new or invalidated cells ([`cache`]).
 //! 3. **Versioned artifacts** — results land as JSONL and CSV with an
 //!    explicit `schema_version`, sorted by cell key so repeated runs
-//!    produce byte-identical files ([`record`], [`artifact`]).
+//!    produce byte-identical files, written atomically so a killed run
+//!    never leaves a torn file ([`record`], [`artifact`]).
+//! 4. **Supervised execution** — a panicking cell is isolated,
+//!    retried with deterministically reseeded RNGs and, failing that,
+//!    quarantined as one `crashed` record instead of killing the grid;
+//!    the cache directory is guarded by an exclusive lock and heals
+//!    its own torn lines ([`engine`], [`cache`]).
 //!
 //! # Example
 //!
@@ -36,6 +42,7 @@
 //!     threads: 4,
 //!     cache_dir: Some("cache".into()),
 //!     progress: true,
+//!     ..EngineOptions::default()
 //! })?;
 //! println!("{} cells, {} cached", summary.total, summary.cache_hits);
 //! for r in &records {
@@ -58,8 +65,10 @@ pub mod record;
 pub mod spec;
 pub mod toml;
 
-pub use artifact::{write_artifacts, Artifacts};
-pub use cache::{CacheAppender, ResultCache, CACHE_FILE};
+pub use artifact::{write_artifacts, write_atomic, Artifacts};
+pub use cache::{
+    CacheAppender, CacheLock, Manifest, ResultCache, CACHE_FILE, LOCK_FILE, MANIFEST_FILE,
+};
 pub use engine::{run_cell, run_spec, EngineOptions, RunSummary};
 pub use record::{CellRecord, SCHEMA_VERSION};
 pub use spec::{Cell, ExperimentSpec, MeasureSpec, SpecError, TrafficKind};

@@ -22,7 +22,11 @@ use crate::spec::{flow_control_name, vc_discipline_name, Cell};
 
 /// Version of the record layout (JSONL fields and CSV columns). Bump
 /// on any field addition, removal or reordering.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial layout; 2 = added the supervision
+/// fields `cell_outcome` and `attempts` (old caches are invalidated by
+/// design — their lines parse as version skew and re-simulate).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One grid cell's outcome, flattened for artifacts and the cache.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +56,16 @@ pub struct CellRecord {
     /// How the run ended ([`orion_core::RunOutcome`] label, or
     /// `"error"` when the configuration was rejected).
     pub outcome: String,
-    /// Typed-error message for rejected configurations.
+    /// Typed-error message for rejected configurations, or the panic
+    /// payload for crashed cells.
     pub error: Option<String>,
+    /// Supervision verdict for this cell: `"ok"` (first-try success),
+    /// `"retried"` (succeeded after one or more panicking attempts),
+    /// `"crashed"` (every attempt panicked; quarantined) or
+    /// `"timed-out"` (exceeded its wall-clock budget).
+    pub cell_outcome: String,
+    /// Simulation attempts made (1 for a first-try success).
+    pub attempts: u32,
     /// Whether the network was at or beyond saturation.
     pub saturated: bool,
     /// Average tagged-packet latency in cycles (NaN when no packet
@@ -109,6 +121,8 @@ impl CellRecord {
             packet_len: cell.packet_len,
             outcome: report.outcome().label().to_string(),
             error: None,
+            cell_outcome: "ok".to_string(),
+            attempts: 1,
             saturated: report.is_saturated(),
             avg_latency: report.avg_latency(),
             zero_load_latency: report.zero_load_latency(),
@@ -146,6 +160,8 @@ impl CellRecord {
             packet_len: cell.packet_len,
             outcome: "error".to_string(),
             error: Some(message.to_string()),
+            cell_outcome: "ok".to_string(),
+            attempts: 1,
             saturated: false,
             avg_latency: f64::NAN,
             zero_load_latency: 0.0,
@@ -165,9 +181,46 @@ impl CellRecord {
         }
     }
 
+    /// Builds the quarantine record for a cell whose every supervised
+    /// attempt panicked. The panic payload lands in `error`, so the
+    /// grid stays rectangular and the failure is inspectable, while
+    /// all other cells keep their results.
+    pub fn from_crash(cell: &Cell, panic_msg: &str, attempts: u32) -> CellRecord {
+        let mut r = CellRecord::from_error(cell, panic_msg);
+        r.outcome = "crashed".to_string();
+        r.cell_outcome = "crashed".to_string();
+        r.attempts = attempts;
+        r
+    }
+
+    /// Builds the quarantine record for a cell whose attempt exceeded
+    /// its wall-clock budget. Classification is post-hoc (a running
+    /// cell cannot be preempted), so the overrun is recorded but its
+    /// numbers are discarded as untrustworthy under load.
+    pub fn from_timeout(cell: &Cell, budget_ms: u64, elapsed_ms: u64, attempts: u32) -> CellRecord {
+        let mut r = CellRecord::from_error(
+            cell,
+            &format!("cell exceeded its {budget_ms} ms wall-clock budget (took {elapsed_ms} ms)"),
+        );
+        r.outcome = "timed-out".to_string();
+        r.cell_outcome = "timed-out".to_string();
+        r.attempts = attempts;
+        r
+    }
+
     /// Whether the cell failed (configuration rejected).
     pub fn is_error(&self) -> bool {
         self.outcome == "error"
+    }
+
+    /// Whether every supervised attempt of this cell panicked.
+    pub fn is_crashed(&self) -> bool {
+        self.cell_outcome == "crashed"
+    }
+
+    /// Whether this cell exceeded its wall-clock budget.
+    pub fn is_timed_out(&self) -> bool {
+        self.cell_outcome == "timed-out"
     }
 
     /// Serializes to one JSON line (no trailing newline). Field order
@@ -195,6 +248,8 @@ impl CellRecord {
             Some(e) => push_str(&mut s, "error", e),
             None => push_null(&mut s, "error"),
         }
+        push_str(&mut s, "cell_outcome", &self.cell_outcome);
+        push_num(&mut s, "attempts", self.attempts);
         push_bool(&mut s, "saturated", self.saturated);
         push_f64(&mut s, "avg_latency", self.avg_latency);
         push_f64(&mut s, "zero_load_latency", self.zero_load_latency);
@@ -241,6 +296,8 @@ impl CellRecord {
                 JsonVal::Null => None,
                 v => Some(v.as_str()?.to_string()),
             },
+            cell_outcome: obj.get("cell_outcome")?.as_str()?.to_string(),
+            attempts: obj.get("attempts")?.as_u64()?.try_into().ok()?,
             saturated: obj.get("saturated")?.as_bool()?,
             avg_latency: match obj.get("avg_latency")? {
                 JsonVal::Null => f64::NAN,
@@ -266,10 +323,10 @@ impl CellRecord {
     /// CSV column header, matching [`CellRecord::to_csv_row`].
     pub fn csv_header() -> &'static str {
         "schema_version,cell,fingerprint,preset,traffic,rate,seed,derived_seed,\
-         flow_control,vc_discipline,packet_len,outcome,saturated,avg_latency,\
-         zero_load_latency,measured_cycles,throughput,total_power_w,buffer_w,\
-         crossbar_w,arbiter_w,link_w,central_w,packets_injected,packets_delivered,\
-         packets_dropped,packets_detoured"
+         flow_control,vc_discipline,packet_len,outcome,cell_outcome,attempts,\
+         saturated,avg_latency,zero_load_latency,measured_cycles,throughput,\
+         total_power_w,buffer_w,crossbar_w,arbiter_w,link_w,central_w,\
+         packets_injected,packets_delivered,packets_dropped,packets_detoured"
     }
 
     /// One CSV data row (no trailing newline). The free-text `error`
@@ -283,7 +340,7 @@ impl CellRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.schema_version,
             self.cell,
             fingerprint::to_hex(self.fingerprint),
@@ -296,6 +353,8 @@ impl CellRecord {
             self.vc_discipline,
             self.packet_len,
             self.outcome,
+            self.cell_outcome,
+            self.attempts,
             self.saturated,
             f(self.avg_latency),
             f(self.zero_load_latency),
@@ -606,7 +665,11 @@ mod tests {
             "{}",                      // missing fields
             &good[..good.len() - 10],  // truncated
             &format!("{good}trailer"), // trailing garbage
-            &good.replace("\"schema_version\":1", "\"schema_version\":999"),
+            &good.replace("\"schema_version\":2", "\"schema_version\":999"),
+            // Version skew: a v1 line (no supervision fields) must not load.
+            &good
+                .replace("\"schema_version\":2", "\"schema_version\":1")
+                .replace("\"cell_outcome\":\"ok\",\"attempts\":1,", ""),
         ] {
             assert_eq!(CellRecord::from_json_line(bad), None, "accepted: {bad:?}");
         }
@@ -626,6 +689,28 @@ mod tests {
         let header_cols = CellRecord::csv_header().split(',').count();
         let row_cols = sample_record().to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 27);
+        assert_eq!(header_cols, 29);
+    }
+
+    #[test]
+    fn supervision_records_roundtrip() {
+        let cell = sample_cell();
+        let crash = CellRecord::from_crash(&cell, "index out of bounds: 9 >= 5", 3);
+        assert!(crash.is_crashed() && !crash.is_error() && !crash.is_timed_out());
+        assert_eq!(crash.outcome, "crashed");
+        assert_eq!(crash.attempts, 3);
+        let back = CellRecord::from_json_line(&crash.to_json_line()).unwrap();
+        assert_eq!(back.cell_outcome, "crashed");
+        assert_eq!(back.attempts, 3);
+        assert_eq!(back.error.as_deref(), Some("index out of bounds: 9 >= 5"));
+
+        let timeout = CellRecord::from_timeout(&cell, 50, 1234, 1);
+        assert!(timeout.is_timed_out() && !timeout.is_crashed());
+        assert!(
+            timeout.error.as_deref().unwrap().contains("50 ms"),
+            "{:?}",
+            timeout.error
+        );
+        assert!(timeout.to_csv_row().contains(",timed-out,"));
     }
 }

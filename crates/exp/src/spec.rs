@@ -205,6 +205,10 @@ pub struct MeasureSpec {
     pub max_cycles: u64,
     /// Watchdog / backlog-divergence window (0 disables).
     pub watchdog_cycles: u64,
+    /// Invariant-audit period in cycles (0 disables). Auditing is
+    /// read-only: it never changes a healthy cell's numbers, only how
+    /// a corrupted run is classified.
+    pub audit_every: u64,
 }
 
 impl Default for MeasureSpec {
@@ -214,6 +218,7 @@ impl Default for MeasureSpec {
             sample_packets: 10_000,
             max_cycles: 300_000,
             watchdog_cycles: 1000,
+            audit_every: 0,
         }
     }
 }
@@ -385,12 +390,13 @@ impl Cell {
     pub fn fingerprint(&self) -> u64 {
         fnv1a64(
             format!(
-                "{MODEL_VERSION}|{}|w{}|sp{}|mc{}|wd{}",
+                "{MODEL_VERSION}|{}|w{}|sp{}|mc{}|wd{}|ae{}",
                 self.key(),
                 self.measure.warmup,
                 self.measure.sample_packets,
                 self.measure.max_cycles,
                 self.measure.watchdog_cycles,
+                self.measure.audit_every,
             )
             .as_bytes(),
         )
@@ -415,7 +421,13 @@ impl Cell {
 /// Spec-schema tables and keys (anything else is an [`SpecError::UnknownKey`]).
 const SECTIONS: [&str; 4] = ["", "experiment", "measure", "grid"];
 const EXPERIMENT_KEYS: [&str; 2] = ["name", "description"];
-const MEASURE_KEYS: [&str; 4] = ["warmup", "sample_packets", "max_cycles", "watchdog_cycles"];
+const MEASURE_KEYS: [&str; 5] = [
+    "warmup",
+    "sample_packets",
+    "max_cycles",
+    "watchdog_cycles",
+    "audit_every",
+];
 const GRID_KEYS: [&str; 7] = [
     "presets",
     "traffic",
@@ -603,6 +615,7 @@ impl ExperimentSpec {
             sample_packets: get_u64(&doc, "measure", "sample_packets", defaults.sample_packets)?,
             max_cycles: get_u64(&doc, "measure", "max_cycles", defaults.max_cycles)?,
             watchdog_cycles: get_u64(&doc, "measure", "watchdog_cycles", defaults.watchdog_cycles)?,
+            audit_every: get_u64(&doc, "measure", "audit_every", defaults.audit_every)?,
         };
 
         let (presets, presets_line) =
@@ -894,6 +907,24 @@ flow_control = ["flit-level", "cut-through", "bubble"]
             b.expand()[0].fingerprint(),
             "changing the measurement discipline must invalidate the cache"
         );
+        let mut c = a.clone();
+        c.measure.audit_every = 100;
+        assert_ne!(
+            a.expand()[0].fingerprint(),
+            c.expand()[0].fingerprint(),
+            "the audit period is part of the measurement discipline"
+        );
+    }
+
+    #[test]
+    fn audit_every_parses_from_measure_section() {
+        let spec = ExperimentSpec::parse(
+            "[experiment]\nname = \"t\"\n[measure]\naudit_every = 50\n\
+             [grid]\npresets = [\"vc16\"]\nrates = [0.02]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.measure.audit_every, 50);
+        assert_eq!(spec.expand()[0].measure.audit_every, 50);
     }
 
     #[test]

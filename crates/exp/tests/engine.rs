@@ -1,10 +1,11 @@
 //! End-to-end engine guarantees: thread-count invariance,
-//! cache-driven incremental resume, and per-line corruption isolation.
+//! cache-driven incremental resume, per-line corruption isolation,
+//! and supervised execution (panic quarantine, retries, lockout).
 
 use std::fs;
 use std::path::PathBuf;
 
-use orion_exp::{artifact, run_spec, EngineOptions, ExperimentSpec, CACHE_FILE};
+use orion_exp::{artifact, run_spec, CacheLock, EngineOptions, ExperimentSpec, CACHE_FILE};
 
 /// A Fig.5-style grid kept quick: two presets (wormhole + VC) on the
 /// 4×4 torus, 8 injection rates, reduced measurement effort.
@@ -36,6 +37,7 @@ fn opts(threads: usize, cache_dir: Option<PathBuf>) -> EngineOptions {
         threads,
         cache_dir,
         progress: false,
+        ..EngineOptions::default()
     }
 }
 
@@ -152,12 +154,190 @@ fn artifacts_written_sorted_and_versioned() {
     let mut sorted = keys.clone();
     sorted.sort();
     assert_eq!(keys, sorted, "JSONL rows sorted by cell key");
-    assert!(jsonl.lines().all(|l| l.contains("\"schema_version\":1")));
+    assert!(jsonl.lines().all(|l| l.contains("\"schema_version\":2")));
 
     let csv = fs::read_to_string(&arts.csv).unwrap();
     assert_eq!(csv.lines().count(), 17, "header + 16 rows");
     assert!(csv.starts_with("schema_version,cell,"));
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The key of exactly one SPEC cell, used as the poison target.
+const POISON_KEY: &str = "wh64/uniform/r0.030000";
+
+#[test]
+fn poisoned_cell_is_quarantined_and_grid_completes() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let (clean, _) = run_spec(&spec, &opts(4, None)).unwrap();
+
+    let mut poisoned_opts = opts(4, None);
+    poisoned_opts.poison = Some(POISON_KEY.to_string());
+    let (records, summary) = run_spec(&spec, &poisoned_opts).unwrap();
+
+    assert_eq!(records.len(), 16, "the grid stays rectangular");
+    assert_eq!(summary.crashed, 1);
+    assert!(summary.is_degraded());
+    let crashed: Vec<_> = records.iter().filter(|r| r.is_crashed()).collect();
+    assert_eq!(crashed.len(), 1, "exactly one crashed record");
+    assert!(crashed[0].cell.starts_with(POISON_KEY));
+    assert_eq!(crashed[0].outcome, "crashed");
+    assert!(
+        crashed[0].error.as_deref().unwrap().contains("poison hook"),
+        "panic payload captured: {:?}",
+        crashed[0].error
+    );
+    // Every other cell's result is bit-identical to the clean run:
+    // the panic was isolated, not contagious.
+    for (a, b) in clean.iter().zip(&records) {
+        if !a.cell.starts_with(POISON_KEY) {
+            assert_eq!(a, b, "cell {} perturbed by a sibling's panic", a.cell);
+        }
+    }
+}
+
+#[test]
+fn crashed_cells_are_not_cached_and_heal_on_rerun() {
+    let dir = temp_dir("crash-heal");
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let mut poisoned_opts = opts(2, Some(dir.clone()));
+    poisoned_opts.poison = Some(POISON_KEY.to_string());
+    let (_, s1) = run_spec(&spec, &poisoned_opts).unwrap();
+    assert_eq!(s1.crashed, 1);
+
+    // Same cache, poison gone (the "fixed build"): only the
+    // quarantined cell re-simulates, and the grid is clean again.
+    let (records, s2) = run_spec(&spec, &opts(2, Some(dir.clone()))).unwrap();
+    assert_eq!(s2.cache_hits, 15);
+    assert_eq!(s2.simulated, 1, "only the crashed cell re-runs");
+    assert_eq!(s2.crashed, 0);
+    assert!(!s2.is_degraded());
+    assert!(records.iter().all(|r| !r.is_crashed()));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retries_reseed_deterministically_and_recover() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let (clean, _) = run_spec(&spec, &opts(2, None)).unwrap();
+
+    let mut retry_opts = opts(2, None);
+    retry_opts.poison = Some(format!("once:{POISON_KEY}"));
+    retry_opts.max_retries = 2;
+    let (records, summary) = run_spec(&spec, &retry_opts).unwrap();
+
+    assert_eq!(summary.crashed, 0);
+    assert_eq!(summary.retried, 1);
+    assert!(!summary.is_degraded());
+    let rec = records
+        .iter()
+        .find(|r| r.cell.starts_with(POISON_KEY))
+        .unwrap();
+    assert_eq!(rec.cell_outcome, "retried");
+    assert_eq!(rec.attempts, 2, "first attempt panicked, second ran");
+    let original = clean
+        .iter()
+        .find(|r| r.cell.starts_with(POISON_KEY))
+        .unwrap();
+    assert_ne!(
+        rec.derived_seed, original.derived_seed,
+        "the retry seed is annotated on the record for replayability"
+    );
+
+    // Retry outcomes are deterministic: same options, same record.
+    let (again, _) = run_spec(&spec, &retry_opts).unwrap();
+    assert_eq!(records, again);
+}
+
+#[test]
+fn zero_wall_clock_budget_times_every_cell_out() {
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    let mut timeout_opts = opts(2, None);
+    timeout_opts.cell_timeout = Some(std::time::Duration::from_nanos(1));
+    let (records, summary) = run_spec(&spec, &timeout_opts).unwrap();
+    assert_eq!(summary.timed_out, 16);
+    assert!(summary.is_degraded());
+    assert!(records.iter().all(|r| r.is_timed_out()));
+    assert!(records[0]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("wall-clock budget"));
+}
+
+#[test]
+fn second_engine_on_a_locked_cache_is_refused() {
+    let dir = temp_dir("lockout");
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+    // Engine 1 holds the cache lock (an in-flight run).
+    let lock = CacheLock::acquire(&dir).unwrap();
+    let err = run_spec(&spec, &opts(2, Some(dir.clone())))
+        .expect_err("engine 2 must refuse a locked cache dir");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    // Engine 1 finishes; engine 2 now proceeds.
+    drop(lock);
+    let (_, summary) = run_spec(&spec, &opts(2, Some(dir.clone()))).unwrap();
+    assert_eq!(summary.simulated, 16);
+    assert!(
+        !dir.join(orion_exp::LOCK_FILE).exists(),
+        "the engine releases its lock on return"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_run_resumes_with_byte_identical_artifacts() {
+    let reference_dir = temp_dir("kill-ref");
+    let resumed_dir = temp_dir("kill-resume");
+    let spec = ExperimentSpec::parse(SPEC).unwrap();
+
+    // The uninterrupted reference run.
+    let (reference, _) = run_spec(&spec, &opts(2, Some(reference_dir.clone()))).unwrap();
+
+    // Forge the aftermath of a SIGKILL mid-grid: a partial cache with
+    // a torn final line, plus the stale lock of the dead holder.
+    run_spec(&spec, &opts(2, Some(resumed_dir.clone()))).unwrap();
+    let cache_path = resumed_dir.join(CACHE_FILE);
+    let text = fs::read_to_string(&cache_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut partial = lines[..7].join("\n");
+    partial.push('\n');
+    partial.push_str(&lines[7][..lines[7].len() / 2]); // torn append
+    fs::write(&cache_path, partial).unwrap();
+    fs::write(resumed_dir.join(orion_exp::LOCK_FILE), "999999999").unwrap();
+
+    let (resumed, summary) = run_spec(&spec, &opts(2, Some(resumed_dir.clone()))).unwrap();
+    assert_eq!(summary.cache_hits, 7, "intact lines are reused");
+    assert_eq!(summary.simulated, 9, "torn + missing cells re-run");
+    assert_eq!(
+        artifact::to_jsonl(&reference),
+        artifact::to_jsonl(&resumed),
+        "a killed-and-resumed grid converges to the reference bytes"
+    );
+
+    // Zero duplicate records: one cache line per cell key.
+    let healed = fs::read_to_string(&cache_path).unwrap();
+    let mut keys: Vec<&str> = healed
+        .lines()
+        .map(|l| {
+            let start = l.find("\"cell\":\"").unwrap() + 8;
+            let end = l[start..].find('"').unwrap() + start;
+            &l[start..end]
+        })
+        .collect();
+    let total = keys.len();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), total, "no duplicate cell keys in the cache");
+    assert_eq!(total, 16);
+
+    // The crash-safe manifest reflects the completed grid.
+    let manifest = orion_exp::Manifest::read(&resumed_dir).unwrap();
+    assert_eq!(manifest.spec_name, "grid-test");
+    assert_eq!(manifest.total_cells, 16);
+    assert_eq!(manifest.completed_cells, 16);
+
+    let _ = fs::remove_dir_all(&reference_dir);
+    let _ = fs::remove_dir_all(&resumed_dir);
 }
 
 #[test]

@@ -1,0 +1,220 @@
+//! Runtime invariant auditing.
+//!
+//! A simulator that silently corrupts its own accounting produces
+//! wrong latency and power numbers that *look* plausible — the worst
+//! failure mode a measurement tool can have. The auditor re-derives
+//! conservation laws the engine must obey from independent state and
+//! reports every discrepancy as a typed [`AuditViolation`]:
+//!
+//! * **Flit conservation** — every flit ever handed to a source queue
+//!   is still in flight, was ejected at a sink, or was dropped at
+//!   injection by fault-aware routing. Checked against monotone
+//!   counters that survive [`Network::reset_measurement`], so the
+//!   warm-up boundary cannot mask a leak.
+//! * **Credit bounds** — no output VC may hold more credits than the
+//!   downstream buffer has slots (a spurious credit would let the
+//!   switch overrun a full buffer).
+//! * **Occupancy bounds** — no input FIFO may report more flits than
+//!   its configured depth.
+//! * **Energy-ledger sanity** — accumulated energy is finite and,
+//!   between checks of the same [`InvariantAuditor`], never decreases
+//!   (energy is charged per event and only ever added).
+//!
+//! Auditing is read-only: a healthy run audited every cycle produces
+//! bit-identical results to the same run unaudited.
+//!
+//! [`Network::reset_measurement`]: crate::network::Network::reset_measurement
+
+use std::fmt;
+
+use crate::network::Network;
+
+/// One violated invariant, captured at the audit cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditViolation {
+    /// Flits have appeared or vanished: the monotone injection count
+    /// no longer equals ejected + dropped + in-flight.
+    FlitConservation {
+        /// Flits ever placed on a source queue.
+        enqueued: u64,
+        /// Flits ever ejected at sinks.
+        ejected: u64,
+        /// Flits ever dropped at injection (unroutable under faults).
+        dropped: u64,
+        /// Flits currently in source queues, router buffers or links.
+        in_flight: u64,
+    },
+    /// An output VC holds more credits than the downstream buffer has
+    /// slots.
+    CreditOverflow {
+        /// Router node index.
+        node: usize,
+        /// Output port index.
+        port: usize,
+        /// Virtual channel within the port.
+        vc: usize,
+        /// Credits currently held.
+        credits: u32,
+        /// Downstream buffer depth (the legal maximum).
+        depth: usize,
+    },
+    /// An input FIFO reports more flits than its configured depth.
+    OccupancyOverflow {
+        /// Router node index.
+        node: usize,
+        /// Input port index.
+        port: usize,
+        /// Virtual channel within the port (0 for central routers).
+        vc: usize,
+        /// Flits currently buffered.
+        occupancy: usize,
+        /// Configured FIFO depth.
+        depth: usize,
+    },
+    /// Total accumulated energy is NaN or infinite.
+    EnergyNotFinite {
+        /// The offending total, in joules.
+        energy: f64,
+    },
+    /// Total accumulated energy decreased between audits without a
+    /// measurement reset.
+    EnergyNonMonotonic {
+        /// Total at the previous audit, in joules.
+        previous: f64,
+        /// Total now, in joules.
+        current: f64,
+    },
+}
+
+impl AuditViolation {
+    /// Short machine-readable classification label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditViolation::FlitConservation { .. } => "flit-conservation",
+            AuditViolation::CreditOverflow { .. } => "credit-overflow",
+            AuditViolation::OccupancyOverflow { .. } => "occupancy-overflow",
+            AuditViolation::EnergyNotFinite { .. } => "energy-not-finite",
+            AuditViolation::EnergyNonMonotonic { .. } => "energy-non-monotonic",
+        }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::FlitConservation {
+                enqueued,
+                ejected,
+                dropped,
+                in_flight,
+            } => write!(
+                f,
+                "flit conservation violated: {enqueued} enqueued != \
+                 {ejected} ejected + {dropped} dropped + {in_flight} in flight"
+            ),
+            AuditViolation::CreditOverflow {
+                node,
+                port,
+                vc,
+                credits,
+                depth,
+            } => write!(
+                f,
+                "credit overflow at n{node} port {port} vc {vc}: \
+                 {credits} credits for a {depth}-deep buffer"
+            ),
+            AuditViolation::OccupancyOverflow {
+                node,
+                port,
+                vc,
+                occupancy,
+                depth,
+            } => write!(
+                f,
+                "occupancy overflow at n{node} port {port} vc {vc}: \
+                 {occupancy} flits in a {depth}-deep buffer"
+            ),
+            AuditViolation::EnergyNotFinite { energy } => {
+                write!(f, "energy ledger total is not finite: {energy}")
+            }
+            AuditViolation::EnergyNonMonotonic { previous, current } => write!(
+                f,
+                "energy ledger decreased: {previous} J at last audit, {current} J now"
+            ),
+        }
+    }
+}
+
+/// Periodic invariant checker for one run.
+///
+/// The stateless checks live on [`Network::audit`]; this wrapper adds
+/// the one stateful check — energy monotonicity — by remembering the
+/// ledger total across audits. Create a fresh auditor after
+/// [`Network::reset_measurement`] (the reset legitimately rewinds the
+/// ledger to zero).
+///
+/// [`Network::audit`]: crate::network::Network::audit
+#[derive(Debug, Clone, Default)]
+pub struct InvariantAuditor {
+    last_energy: f64,
+}
+
+impl InvariantAuditor {
+    /// A fresh auditor with an energy baseline of zero.
+    pub fn new() -> InvariantAuditor {
+        InvariantAuditor::default()
+    }
+
+    /// Runs every invariant check against the network's current state,
+    /// returning all violations found (empty on a healthy network).
+    pub fn check(&mut self, net: &Network) -> Vec<AuditViolation> {
+        let mut violations = net.audit();
+        let total = net.ledger().total_energy().0;
+        if total.is_finite() {
+            if total < self.last_energy {
+                violations.push(AuditViolation::EnergyNonMonotonic {
+                    previous: self.last_energy,
+                    current: total,
+                });
+            } else {
+                self.last_energy = total;
+            }
+        }
+        // A non-finite total is already reported by `Network::audit`.
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let v = AuditViolation::FlitConservation {
+            enqueued: 10,
+            ejected: 4,
+            dropped: 1,
+            in_flight: 4,
+        };
+        assert_eq!(v.kind(), "flit-conservation");
+        assert!(v.to_string().contains("10 enqueued"));
+
+        let v = AuditViolation::CreditOverflow {
+            node: 3,
+            port: 1,
+            vc: 0,
+            credits: 9,
+            depth: 8,
+        };
+        assert_eq!(v.kind(), "credit-overflow");
+        assert!(v.to_string().contains("n3 port 1 vc 0"));
+
+        let v = AuditViolation::EnergyNonMonotonic {
+            previous: 2.0,
+            current: 1.0,
+        };
+        assert_eq!(v.kind(), "energy-non-monotonic");
+        assert!(v.to_string().contains("decreased"));
+    }
+}

@@ -21,7 +21,10 @@
 //! * [`stats`] — latency statistics and the zero-load latency model,
 //! * [`watchdog`] — stall classification ([`StallKind`]) and the
 //!   [`StallDiagnostics`] snapshot the network captures when progress
-//!   stops, instead of waiting out the cycle budget.
+//!   stops, instead of waiting out the cycle budget,
+//! * [`audit`] — the opt-in invariant auditor: flit conservation,
+//!   credit/occupancy bounds and energy-ledger sanity, reported as
+//!   typed [`AuditViolation`]s instead of silently wrong numbers.
 //!
 //! # Example
 //!
@@ -72,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub mod arb;
+pub mod audit;
 pub mod energy;
 pub mod fifo;
 pub mod flit;
@@ -81,6 +85,7 @@ pub mod stats;
 pub mod watchdog;
 
 pub use arb::{FunctionalArbiter, Grant, MatrixArbiter, RoundRobinArbiter};
+pub use audit::{AuditViolation, InvariantAuditor};
 pub use energy::{scaled_hamming, Component, EnergyLedger, PowerModels};
 pub use fifo::FlitFifo;
 pub use flit::{Flit, PacketId};

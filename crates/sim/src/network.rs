@@ -21,6 +21,7 @@ use orion_net::{
     Topology, TopologyKind,
 };
 
+use crate::audit::AuditViolation;
 use crate::energy::{EnergyLedger, PowerModels};
 use crate::flit::{make_packet, Flit, PacketId};
 use crate::router::central::{CentralRouter, CentralRouterSpec};
@@ -236,6 +237,14 @@ pub struct Network {
     fault_schedule: Option<FaultSchedule>,
     /// wires[node * ports + out_port]; None for the local port.
     wires: Vec<Option<Wire>>,
+    /// Monotone audit counters, never reset (unlike [`SimStats`], which
+    /// rewinds at the warm-up boundary): flits ever handed to a source
+    /// queue, ever ejected at a sink, ever dropped at injection. Flit
+    /// conservation demands `enqueued == ejected + dropped + in_flight`
+    /// at every cycle of a run's lifetime.
+    audit_enqueued: u64,
+    audit_ejected: u64,
+    audit_dropped: u64,
 }
 
 impl Network {
@@ -318,6 +327,9 @@ impl Network {
             last_credit: 0,
             fault_schedule: None,
             wires,
+            audit_enqueued: 0,
+            audit_ejected: 0,
+            audit_dropped: 0,
             spec,
         }
     }
@@ -461,6 +473,10 @@ impl Network {
                 RouteOutcome::Unroutable => {
                     self.stats.packets_dropped += 1;
                     self.stats.flits_dropped += len as u64;
+                    // A source-dropped packet is injected-then-dropped:
+                    // both sides of the conservation equation see it.
+                    self.audit_enqueued += len as u64;
+                    self.audit_dropped += len as u64;
                     if tagged {
                         self.stats.tagged_dropped += 1;
                     }
@@ -481,6 +497,7 @@ impl Network {
                 .clone()
         };
         let flits = make_packet(id, src, dst, route, len, self.cycle, tagged);
+        self.audit_enqueued += flits.len() as u64;
         self.sources[src.0].queue.extend(flits);
         id
     }
@@ -605,6 +622,102 @@ impl Network {
         }
     }
 
+    /// Runs every *stateless* invariant check against the current
+    /// state, returning all violations found (see [`crate::audit`]).
+    /// Healthy networks return an empty vector at every cycle; the
+    /// check is read-only, so auditing never perturbs a run.
+    ///
+    /// Energy monotonicity needs memory across audits — use
+    /// [`crate::audit::InvariantAuditor`] for the full set.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut violations = Vec::new();
+
+        // Flit conservation over the run's whole lifetime: the audit
+        // counters are never reset, so a flit leaked at any point —
+        // even before a measurement reset — stays visible forever.
+        let in_flight = self.flits_in_flight() as u64;
+        if self.audit_enqueued != self.audit_ejected + self.audit_dropped + in_flight {
+            violations.push(AuditViolation::FlitConservation {
+                enqueued: self.audit_enqueued,
+                ejected: self.audit_ejected,
+                dropped: self.audit_dropped,
+                in_flight,
+            });
+        }
+
+        for (node, router) in self.routers.iter().enumerate() {
+            match router {
+                AnyRouter::Vc(r) => {
+                    let spec = r.spec();
+                    for port in 0..spec.ports {
+                        for vc in 0..spec.vcs {
+                            let credits = r.output_credits(port, vc);
+                            if credits as usize > spec.depth {
+                                violations.push(AuditViolation::CreditOverflow {
+                                    node,
+                                    port,
+                                    vc,
+                                    credits,
+                                    depth: spec.depth,
+                                });
+                            }
+                        }
+                    }
+                    for (port, vc, occupancy, _, _) in r.occupied_vcs() {
+                        if occupancy > spec.depth {
+                            violations.push(AuditViolation::OccupancyOverflow {
+                                node,
+                                port,
+                                vc,
+                                occupancy,
+                                depth: spec.depth,
+                            });
+                        }
+                    }
+                }
+                AnyRouter::Central(r) => {
+                    let depth = r.spec().input_depth;
+                    for (port, occupancy, _) in r.occupied_inputs() {
+                        if occupancy > depth {
+                            violations.push(AuditViolation::OccupancyOverflow {
+                                node,
+                                port,
+                                vc: 0,
+                                occupancy,
+                                depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let total = self.ledger.total_energy().0;
+        if !total.is_finite() {
+            violations.push(AuditViolation::EnergyNotFinite { energy: total });
+        }
+
+        violations
+    }
+
+    /// Test hook: fabricate a phantom flit in the conservation books
+    /// (as if one was enqueued but never entered a queue). Exists so
+    /// auditor tests can prove a leak is detected; never called by the
+    /// engine.
+    #[doc(hidden)]
+    pub fn debug_leak_flit(&mut self) {
+        self.audit_enqueued += 1;
+    }
+
+    /// Test hook: return a spurious credit to an output VC, as a
+    /// corrupted flow-control channel would. On an idle network this
+    /// pushes the credit count past the downstream depth, which the
+    /// auditor must flag. Never called by the engine.
+    #[doc(hidden)]
+    pub fn debug_spurious_credit(&mut self, node: usize, port: usize, vc: usize) {
+        self.routers[node].credit(port, vc);
+    }
+
     /// Advances the network by one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
@@ -650,6 +763,7 @@ impl Network {
 
     fn eject(&mut self, flit: Flit, cycle: u64) {
         self.stats.flits_delivered += 1;
+        self.audit_ejected += 1;
         let progress = self.sinks.entry(flit.packet).or_insert(Progress {
             received: 0,
             len: flit.packet_len,
@@ -1224,6 +1338,96 @@ mod tests {
         assert_eq!(s.tagged_dropped, 1);
         assert_eq!(s.tagged_outstanding(), 0, "drops are not outstanding");
         assert!((s.drop_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_is_clean_every_cycle_of_a_healthy_run() {
+        let mut auditor = crate::audit::InvariantAuditor::new();
+        let mut net = vc_net(2, 8);
+        for src in 0..16 {
+            net.enqueue_packet(NodeId(src), NodeId(15 - src), true);
+        }
+        while !net.is_drained() && net.cycle() < 2000 {
+            net.step();
+            let violations = auditor.check(&net);
+            assert!(
+                violations.is_empty(),
+                "cycle {}: {violations:?}",
+                net.cycle()
+            );
+        }
+        assert!(net.is_drained());
+    }
+
+    #[test]
+    fn audit_survives_measurement_reset_and_drops() {
+        use orion_net::{FaultKind, FaultSchedule};
+        // Drops and a mid-run stats reset must not fake a conservation
+        // violation: the audit counters are independent of SimStats.
+        let mut net = vc_net(2, 8);
+        net.set_fault_schedule(FaultSchedule::empty().with_port_fault(
+            NodeId(5),
+            Port::Local,
+            FaultKind::Permanent { start: 0 },
+        ));
+        net.enqueue_packet(NodeId(0), NodeId(5), true); // dropped at source
+        net.enqueue_packet(NodeId(0), NodeId(2), true);
+        for _ in 0..10 {
+            net.step();
+        }
+        net.reset_measurement();
+        run_until_drained(&mut net, 500);
+        assert!(net.audit().is_empty(), "{:?}", net.audit());
+    }
+
+    #[test]
+    fn audit_detects_leaked_flit() {
+        let mut net = vc_net(2, 8);
+        net.enqueue_packet(NodeId(0), NodeId(5), true);
+        run_until_drained(&mut net, 200);
+        net.debug_leak_flit();
+        let violations = net.audit();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind(), "flit-conservation");
+        assert!(
+            matches!(
+                violations[0],
+                crate::audit::AuditViolation::FlitConservation {
+                    enqueued: 6,
+                    ejected: 5,
+                    dropped: 0,
+                    in_flight: 0,
+                }
+            ),
+            "{:?}",
+            violations[0]
+        );
+    }
+
+    #[test]
+    fn audit_detects_spurious_credit() {
+        let mut net = vc_net(2, 8);
+        run_until_drained(&mut net, 10);
+        // All credits are at full complement on an idle network; one
+        // more overflows the downstream depth.
+        net.debug_spurious_credit(3, 1, 0);
+        let violations = net.audit();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].kind(), "credit-overflow");
+        assert!(
+            matches!(
+                violations[0],
+                crate::audit::AuditViolation::CreditOverflow {
+                    node: 3,
+                    port: 1,
+                    vc: 0,
+                    credits: 9,
+                    depth: 8,
+                }
+            ),
+            "{:?}",
+            violations[0]
+        );
     }
 
     #[test]

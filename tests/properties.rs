@@ -343,3 +343,44 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The invariant auditor, run at its tightest cadence, never fires
+    /// on a healthy simulator: across presets, pre-saturation rates
+    /// and arbitrary seeds, no run classifies as `Corrupted`. (The
+    /// sibling tests in `orion-sim` prove the auditor *does* fire on
+    /// deliberately corrupted state — together they pin both error
+    /// directions.)
+    #[test]
+    fn healthy_runs_audit_clean(
+        preset_idx in 0usize..4,
+        rate in 0.01f64..0.08,
+        seed in any::<u64>(),
+    ) {
+        use orion::core::{presets, Experiment, RunOutcome};
+        let config = [
+            presets::wh64_onchip(),
+            presets::vc16_onchip(),
+            presets::vc64_onchip(),
+            presets::vc128_onchip(),
+        ][preset_idx]
+            .clone();
+        let report = Experiment::new(config)
+            .injection_rate(rate)
+            .seed(seed)
+            .warmup(50)
+            .sample_packets(60)
+            .max_cycles(20_000)
+            .watchdog_cycles(400)
+            .audit_every(1)
+            .run()
+            .expect("valid configuration");
+        prop_assert!(
+            !matches!(report.outcome(), RunOutcome::Corrupted { .. }),
+            "auditor fired on a healthy run: {}",
+            report.outcome()
+        );
+    }
+}
