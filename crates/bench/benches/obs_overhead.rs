@@ -1,0 +1,111 @@
+//! Overhead of the observability subsystem (`orion-obs`).
+//!
+//! The subsystem's contract is *zero cost when disabled*: every event
+//! site in the simulator is a single `Option<&mut ObsSink>` check, so
+//! an unobserved run must match an uninstrumented one (the bit-identity
+//! test in `orion-core` pins the outputs; these benchmarks pin the
+//! speed). The `network/*` pair measures the end-to-end gap on a
+//! loaded 4x4 torus; `event_site/*` isolates the per-event cost and
+//! `sink/*` the cost of the individual instruments when enabled.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use orion_core::{presets, NetworkConfig};
+use orion_net::TrafficPattern;
+use orion_obs::{MetricsRegistry, ObsSink};
+use orion_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Steps a loaded network `cycles` times, with or without a sink.
+fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64, observe: bool) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    if observe {
+        net.set_obs(ObsSink::new());
+    }
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats().packets_delivered
+}
+
+fn bench_network_overhead(c: &mut Criterion) {
+    const CYCLES: u64 = 2_000;
+    let mut group = c.benchmark_group("network");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.sample_size(10);
+
+    let cfg = presets::vc16_onchip();
+    group.bench_function("vc16_rate0.05_unobserved", |b| {
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES, false))
+    });
+    group.bench_function("vc16_rate0.05_observed", |b| {
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES, true))
+    });
+    group.finish();
+}
+
+fn bench_event_site(c: &mut Criterion) {
+    // The exact pattern every instrumentation site in `orion-sim`
+    // uses: one `Option` check, then (when enabled) a counter bump.
+    c.bench_function("event_site/disabled", |b| {
+        let mut obs: Option<Box<ObsSink>> = None;
+        b.iter(|| {
+            if let Some(o) = black_box(&mut obs).as_deref_mut() {
+                o.flit_ejected();
+            }
+        })
+    });
+    c.bench_function("event_site/enabled", |b| {
+        let mut obs: Option<Box<ObsSink>> = Some(Box::new(ObsSink::new()));
+        b.iter(|| {
+            if let Some(o) = black_box(&mut obs).as_deref_mut() {
+                o.flit_ejected();
+            }
+        })
+    });
+}
+
+fn bench_sink_instruments(c: &mut Criterion) {
+    c.bench_function("sink/counter_inc", |b| {
+        let mut m = MetricsRegistry::new();
+        b.iter(|| m.inc(black_box(orion_obs::keys::LINK_FLITS)))
+    });
+    c.bench_function("sink/histogram_observe", |b| {
+        let mut m = MetricsRegistry::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 37) % 4096;
+            m.observe(orion_obs::keys::PACKET_LATENCY, black_box(v))
+        })
+    });
+    c.bench_function("sink/traced_delivery", |b| {
+        let mut sink = ObsSink::new().with_tracer(256);
+        let mut packet = 0u64;
+        b.iter(|| {
+            packet += 1;
+            sink.packet_injected(packet, 0, 5, 5, packet);
+            sink.sa_grant(0, packet, packet + 1);
+            sink.link_traversal(0, packet, packet + 2);
+            sink.packet_delivered(packet, packet + 10, 10);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_network_overhead,
+    bench_event_site,
+    bench_sink_instruments
+);
+criterion_main!(benches);

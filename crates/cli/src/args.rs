@@ -52,11 +52,14 @@ impl Args {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError(format!("unexpected positional argument `{tok}`")));
             };
-            match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    options.insert(name.to_string(), it.next().expect("peeked"));
+            // `next_if` consumes the value without the peek-then-next
+            // dance, so no panic-capable `expect` sits on this
+            // user-input path.
+            match it.next_if(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    options.insert(name.to_string(), value);
                 }
-                _ => flags.push(name.to_string()),
+                None => flags.push(name.to_string()),
             }
         }
         Ok(Args {

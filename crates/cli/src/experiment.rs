@@ -383,7 +383,7 @@ rates = [0.02, 0.04]
         let first = execute(&toks(&line));
         assert_eq!(first.code, 0, "{}", first.text);
         assert!(
-            first.text.contains("\"schema_version\": 2"),
+            first.text.contains("\"schema_version\": 3"),
             "{}",
             first.text
         );

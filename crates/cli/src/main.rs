@@ -40,6 +40,7 @@
 
 mod args;
 mod experiment;
+mod powermap;
 mod report;
 mod run;
 mod simulate;

@@ -28,7 +28,12 @@ COMPONENTS:
   simulate        [--preset wh64|vc16|vc64|vc128|xb|cb] [--rate X] [--seed N]
                   [--warmup N] [--sample N] [--max-cycles N]
                   [--watchdog-cycles N] [--audit-every N] [--fault-links N]
-                  [--fault-rate X] [--fault-ports N] [--fault-seed N] [--json]
+                  [--fault-rate X] [--fault-ports N] [--fault-seed N]
+                  [--traffic uniform|broadcast|transpose|tornado|bit-complement]
+                  [--traffic-src x,y] [--observe-dir DIR] [--sample-every N]
+                  [--trace-packets N] [--json]    (see docs/OBSERVABILITY.md)
+  powermap        --observe-dir DIR | --file powermap.jsonl
+                  (renders the per-node power map of an observed run)
   experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
                   [--retries N] [--cell-timeout-ms N] [--audit-every N]
                   [--json] [--quiet]    (see docs/ORCHESTRATION.md)
@@ -52,6 +57,9 @@ EXAMPLES:
   orion-power-cli link --chip2chip --watts 3 --bits 32
   orion-power-cli simulate --preset wh64 --rate 0.5 --watchdog-cycles 500
   orion-power-cli simulate --preset vc16 --fault-links 4 --fault-seed 7 --json
+  orion-power-cli simulate --preset vc64 --rate 0.2 --traffic broadcast \\
+      --traffic-src 1,2 --observe-dir obs --sample-every 50
+  orion-power-cli powermap --observe-dir obs
   orion-power-cli experiment run examples/specs/fig5.toml --threads 8 \\
       --cache-dir .exp-cache --out-dir experiments
 ";
@@ -63,8 +71,10 @@ EXAMPLES:
 ///
 /// History: 2 added supervision fields (`crashed`, `timed_out`,
 /// `retried`, `corrupted`, `append_failures` to `experiment run`;
-/// `audit` to `simulate`).
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// `audit` to `simulate`); 3 added the latency/flit summary fields
+/// (`latency_p50_cycles`, `latency_p99_cycles`, `flits_delivered` to
+/// `simulate`).
+pub const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// Exit code for runtime I/O failures (cache/artifact files).
 pub const EXIT_RUNTIME: u8 = 1;
@@ -146,6 +156,7 @@ pub fn run(args: &Args) -> Result<CmdOutput, ArgError> {
         "link" => link(args).map(CmdOutput::ok),
         "central-buffer" => central_buffer(args).map(CmdOutput::ok),
         "simulate" => crate::simulate::simulate(args),
+        "powermap" => crate::powermap::powermap(args),
         other => Err(ArgError(format!("unknown component `{other}`"))),
     }
 }

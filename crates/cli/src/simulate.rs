@@ -1,15 +1,26 @@
 //! The `simulate` subcommand: run a whole-network experiment from the
-//! command line, with fault injection and watchdog control, and render
-//! the structured [`RunOutcome`] as human-readable text or JSON.
+//! command line, with fault injection, watchdog control, workload
+//! selection and opt-in observability, and render the structured
+//! [`RunOutcome`] as human-readable text or JSON.
+//!
+//! With `--observe-dir DIR` the run additionally collects event
+//! metrics, per-node probe time series and (with `--trace-packets N`)
+//! flit lifecycle spans, and writes them under `DIR` as
+//! `metrics.json`, `probes.jsonl`, `powermap.jsonl` and `trace.jsonl`
+//! (see `docs/OBSERVABILITY.md`). The `powermap` subcommand renders
+//! the emitted `powermap.jsonl` as the paper's Fig. 6 grid.
 
-use orion_core::{presets, Experiment, NetworkConfig, Report, RunOutcome};
-use orion_net::{FaultConfig, FaultSchedule};
-use orion_sim::StallDiagnostics;
+use std::path::{Path, PathBuf};
+
+use orion_core::{presets, Experiment, NetworkConfig, ObserveOptions, Report, RunOutcome};
+use orion_net::{FaultConfig, FaultSchedule, NodeId, TrafficPattern};
+use orion_sim::{Component, StallDiagnostics};
 
 use crate::args::{ArgError, Args};
-use crate::run::{CmdOutput, EXIT_DEGRADED, JSON_SCHEMA_VERSION};
+use crate::powermap::POWERMAP_SCHEMA_VERSION;
+use crate::run::{CmdOutput, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
 
-const OPTIONS: [&str; 13] = [
+const OPTIONS: [&str; 18] = [
     "preset",
     "rate",
     "seed",
@@ -22,6 +33,11 @@ const OPTIONS: [&str; 13] = [
     "fault-rate",
     "fault-ports",
     "fault-seed",
+    "traffic",
+    "traffic-src",
+    "observe-dir",
+    "sample-every",
+    "trace-packets",
     "json",
 ];
 
@@ -35,6 +51,76 @@ fn preset(name: &str) -> Result<NetworkConfig, ArgError> {
         "cb" => Ok(presets::cb_chip_to_chip()),
         other => Err(ArgError(format!(
             "unknown preset `{other}` (expected wh64|vc16|vc64|vc128|xb|cb)"
+        ))),
+    }
+}
+
+/// Parses `--traffic-src` coordinates (`x,y[,z...]`) into a node of
+/// `config`'s topology, validating dimensionality and range.
+fn traffic_src(config: &NetworkConfig, spec: &str) -> Result<NodeId, ArgError> {
+    let topo = &config.topology;
+    let coords: Vec<u32> = spec
+        .split(',')
+        .map(|c| {
+            c.trim().parse().map_err(|_| {
+                ArgError(format!(
+                    "--traffic-src expects comma-separated coordinates, got `{spec}`"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if coords.len() != topo.dims() {
+        return Err(ArgError(format!(
+            "--traffic-src `{spec}` has {} coordinate(s); the topology has {} dimension(s)",
+            coords.len(),
+            topo.dims()
+        )));
+    }
+    for (dim, &c) in coords.iter().enumerate() {
+        if c >= topo.radix(dim) {
+            return Err(ArgError(format!(
+                "--traffic-src coordinate {c} out of range for dimension {dim} (radix {})",
+                topo.radix(dim)
+            )));
+        }
+    }
+    Ok(topo.node_at(&coords))
+}
+
+/// Builds the non-uniform workload requested by `--traffic`; `None`
+/// means the default uniform-random workload (kept on the default
+/// path so unobserved runs stay byte-identical).
+fn traffic_pattern(
+    config: &NetworkConfig,
+    name: &str,
+    src: Option<&str>,
+    rate: f64,
+) -> Result<Option<TrafficPattern>, ArgError> {
+    let topo = &config.topology;
+    let pattern_err =
+        |e: orion_net::traffic::TrafficError| ArgError(format!("--traffic {name}: {e}"));
+    match name {
+        "uniform" => Ok(None),
+        "broadcast" => {
+            let spec = src
+                .ok_or_else(|| ArgError("--traffic broadcast requires --traffic-src x,y".into()))?;
+            let source = traffic_src(config, spec)?;
+            TrafficPattern::broadcast(topo, source, rate)
+                .map(Some)
+                .map_err(pattern_err)
+        }
+        "transpose" => TrafficPattern::transpose(topo, rate)
+            .map(Some)
+            .map_err(pattern_err),
+        "tornado" => TrafficPattern::tornado(topo, rate)
+            .map(Some)
+            .map_err(pattern_err),
+        "bit-complement" | "bitcomp" => TrafficPattern::bit_complement(topo, rate)
+            .map(Some)
+            .map_err(pattern_err),
+        other => Err(ArgError(format!(
+            "unknown traffic pattern `{other}` \
+             (expected uniform|broadcast|transpose|tornado|bit-complement)"
         ))),
     }
 }
@@ -69,6 +155,23 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
     let watchdog = args.u64_or("watchdog-cycles", 1000)?;
     let audit_every = args.u64_or("audit-every", 0)?;
 
+    let observe_dir = args.get("observe-dir").map(PathBuf::from);
+    let sample_every = args.u64_or("sample-every", 100)?;
+    let trace_packets = args.u64_or("trace-packets", 0)? as usize;
+    if observe_dir.is_none() {
+        for name in ["sample-every", "trace-packets"] {
+            if args.get(name).is_some() {
+                return Err(ArgError(format!("--{name} requires --observe-dir")));
+            }
+        }
+    }
+    let workload = traffic_pattern(
+        &config,
+        args.get("traffic").unwrap_or("uniform"),
+        args.get("traffic-src"),
+        rate,
+    )?;
+
     let fault_links = args.u64_or("fault-links", 0)? as usize;
     let fault_rate = args.f64_or("fault-rate", 0.0)?;
     let fault_ports = args.u64_or("fault-ports", 0)? as usize;
@@ -87,6 +190,15 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         .max_cycles(max_cycles)
         .watchdog_cycles(watchdog)
         .audit_every(audit_every);
+    if let Some(pattern) = workload {
+        experiment = experiment.workload(pattern);
+    }
+    if observe_dir.is_some() {
+        experiment = experiment.observe(ObserveOptions {
+            sample_every,
+            trace_packets,
+        });
+    }
 
     let faults = fault_links > 0 || fault_rate > 0.0 || fault_ports > 0;
     let mut schedule_summary = None;
@@ -117,6 +229,17 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
     }
 
     let report = experiment.run().map_err(|e| ArgError(e.to_string()))?;
+    if let Some(dir) = &observe_dir {
+        if let Err(e) = write_observations(dir, &config, &report) {
+            return Ok(CmdOutput {
+                text: format!(
+                    "error: cannot write observability artifacts under `{}`: {e}\n",
+                    dir.display()
+                ),
+                code: EXIT_RUNTIME,
+            });
+        }
+    }
     let text = if args.flag("json") {
         render_json(&preset_name, rate, &report)
     } else {
@@ -127,6 +250,63 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         _ => EXIT_DEGRADED,
     };
     Ok(CmdOutput { text, code })
+}
+
+/// Writes the run's observability artifacts under `dir`:
+/// `metrics.json` (counter/gauge/histogram snapshot), `probes.jsonl`
+/// (per-node time series), `powermap.jsonl` (the Fig. 6 per-node
+/// energy/power map) and, when tracing was on, `trace.jsonl` (flit
+/// lifecycle spans). Failures surface as I/O errors (exit code 1).
+fn write_observations(dir: &Path, config: &NetworkConfig, report: &Report) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("powermap.jsonl"), powermap_jsonl(config, report))?;
+    let Some(obs) = report.observations() else {
+        return Ok(());
+    };
+    std::fs::write(dir.join("metrics.json"), obs.metrics.to_json())?;
+    std::fs::write(
+        dir.join("probes.jsonl"),
+        orion_obs::rows_to_jsonl(&obs.probes),
+    )?;
+    if !obs.spans.is_empty() {
+        std::fs::write(
+            dir.join("trace.jsonl"),
+            orion_obs::spans_to_jsonl(&obs.spans),
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes the per-node energy/power map as one flat JSON object
+/// per node (the format the `powermap` subcommand renders).
+fn powermap_jsonl(config: &NetworkConfig, report: &Report) -> String {
+    let mut out = String::new();
+    for node in 0..report.num_nodes() {
+        let coords = config.topology.coords(NodeId(node));
+        let energy: f64 = Component::ALL
+            .iter()
+            .map(|c| report.node_component_energy(node, *c).0)
+            .sum();
+        out.push_str(&format!(
+            "{{\"schema_version\":{POWERMAP_SCHEMA_VERSION},\"node\":{node},\
+             \"x\":{},\"y\":{},\"total_energy_j\":{},\"power_w\":{}}}\n",
+            coords.first().copied().unwrap_or(0),
+            coords.get(1).copied().unwrap_or(0),
+            fmt_json_f64(energy),
+            fmt_json_f64(report.node_power(node).0),
+        ));
+    }
+    out
+}
+
+/// Full-precision JSON number (unlike the rounded [`json_f64`] used
+/// for report summaries); non-finite values become `null`.
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
 }
 
 fn render_human(preset: &str, rate: f64, report: &Report, faults: Option<(usize, u64)>) -> String {
@@ -168,6 +348,15 @@ fn json_f64(v: f64) -> String {
         format!("{v:.6}")
     } else {
         "null".to_string()
+    }
+}
+
+/// The `p`-th latency percentile of the tagged sample as a JSON
+/// number, `null` when no tagged packet completed.
+fn percentile_json(stats: &orion_sim::SimStats, p: f64) -> String {
+    match stats.latency_percentile(p) {
+        Some(v) => format!("{v}"),
+        None => "null".to_string(),
     }
 }
 
@@ -219,11 +408,14 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
             "  \"outcome\": \"{outcome}\",\n",
             "  \"saturated\": {saturated},\n",
             "  \"avg_latency_cycles\": {latency},\n",
+            "  \"latency_p50_cycles\": {p50},\n",
+            "  \"latency_p99_cycles\": {p99},\n",
             "  \"zero_load_latency_cycles\": {zero_load},\n",
             "  \"measured_cycles\": {cycles},\n",
             "  \"total_power_w\": {power},\n",
             "  \"packets\": {{\"injected\": {injected}, \"delivered\": {delivered}, ",
             "\"dropped\": {dropped}, \"detoured\": {detoured}}},\n",
+            "  \"flits_delivered\": {flits},\n",
             "  \"drop_rate\": {drop_rate},\n",
             "  \"diagnostics\": {diagnostics},\n",
             "  \"audit\": {audit}\n",
@@ -235,6 +427,8 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
         outcome = report.outcome().label(),
         saturated = report.is_saturated(),
         latency = json_f64(report.avg_latency()),
+        p50 = percentile_json(stats, 50.0),
+        p99 = percentile_json(stats, 99.0),
         zero_load = json_f64(report.zero_load_latency()),
         cycles = report.measured_cycles(),
         power = json_f64(report.total_power().0),
@@ -242,6 +436,7 @@ fn render_json(preset: &str, rate: f64, report: &Report) -> String {
         delivered = stats.packets_delivered,
         dropped = stats.packets_dropped,
         detoured = stats.packets_detoured,
+        flits = stats.flits_delivered,
         drop_rate = json_f64(stats.drop_rate()),
         diagnostics = diagnostics,
         audit = audit,
@@ -277,8 +472,11 @@ mod tests {
             "simulate --preset vc16 --rate 0.03 {QUICK} --json"
         ))
         .unwrap();
-        assert!(out.contains("\"schema_version\": 2"), "{out}");
+        assert!(out.contains("\"schema_version\": 3"), "{out}");
         assert!(out.contains("\"outcome\": \"completed\""), "{out}");
+        assert!(out.contains("\"latency_p50_cycles\": "), "{out}");
+        assert!(out.contains("\"latency_p99_cycles\": "), "{out}");
+        assert!(out.contains("\"flits_delivered\": "), "{out}");
         assert!(out.contains("\"diagnostics\": null"), "{out}");
         assert!(out.contains("\"audit\": null"), "{out}");
         assert!(out.contains("\"dropped\": 0"), "{out}");
@@ -375,5 +573,89 @@ mod tests {
         assert!(run_line("simulate --audit-every").is_err());
         assert!(run_line("simulate --audit-every many").is_err());
         assert!(run_line(&format!("simulate --rate 0.03 {QUICK} --json")).is_ok());
+    }
+
+    #[test]
+    fn helpful_observe_and_traffic_errors() {
+        // Observability knobs without a destination directory.
+        assert!(run_line("simulate --sample-every 10").is_err());
+        assert!(run_line("simulate --trace-packets 8").is_err());
+        // Workload selection errors are typed, not panics.
+        assert!(run_line("simulate --traffic warp").is_err());
+        assert!(run_line("simulate --traffic broadcast").is_err()); // no src
+        assert!(run_line("simulate --traffic broadcast --traffic-src abc").is_err());
+        assert!(run_line("simulate --traffic broadcast --traffic-src 1").is_err());
+        assert!(run_line("simulate --traffic broadcast --traffic-src 9,9").is_err());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("orion-cli-obs-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn observe_dir_leaves_the_report_unchanged() {
+        let dir = temp_dir("ident");
+        let base = format!("simulate --preset vc16 --rate 0.03 {QUICK} --json");
+        let plain = run_full(&base).unwrap();
+        let observed = run_full(&format!(
+            "{base} --observe-dir {} --sample-every 20 --trace-packets 16",
+            dir.display()
+        ))
+        .unwrap();
+        assert_eq!(plain.text, observed.text, "observers perturbed the run");
+        assert_eq!(observed.code, 0);
+        for artifact in [
+            "metrics.json",
+            "probes.jsonl",
+            "powermap.jsonl",
+            "trace.jsonl",
+        ] {
+            assert!(dir.join(artifact).exists(), "missing {artifact}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn broadcast_powermap_has_the_fig6b_hotspot() {
+        // Acceptance: VC64, broadcast from (1,2) at 0.2 pkt/cycle with
+        // --observe-dir emits a per-node energy JSONL whose source node
+        // sits strictly above the mean per-node energy (Fig. 6b).
+        let dir = temp_dir("fig6b");
+        let out = run_full(&format!(
+            "simulate --preset vc64 --rate 0.2 --traffic broadcast --traffic-src 1,2 \
+             --warmup 200 --sample 300 --max-cycles 100000 --observe-dir {}",
+            dir.display()
+        ))
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+
+        let jsonl = std::fs::read_to_string(dir.join("powermap.jsonl")).unwrap();
+        let mut energies = Vec::new();
+        for line in jsonl.lines() {
+            let obj = orion_exp::record::parse_flat_object(line).expect("flat JSON line");
+            assert_eq!(
+                obj.get("schema_version").and_then(|v| v.as_u64()),
+                Some(u64::from(POWERMAP_SCHEMA_VERSION))
+            );
+            let node = obj.get("node").and_then(|v| v.as_u64()).unwrap() as usize;
+            let energy = obj.get("total_energy_j").and_then(|v| v.as_f64()).unwrap();
+            energies.push((node, energy));
+        }
+        assert_eq!(energies.len(), 16, "one line per node of the 4x4 torus");
+        let source = orion_core::presets::vc64_onchip().topology.node_at(&[1, 2]);
+        let mean: f64 = energies.iter().map(|(_, e)| e).sum::<f64>() / energies.len() as f64;
+        let source_energy = energies
+            .iter()
+            .find(|(n, _)| *n == source.0)
+            .expect("source node present")
+            .1;
+        assert!(
+            source_energy > mean,
+            "broadcast source {} at {source_energy} J not above mean {mean} J",
+            source.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -19,7 +19,12 @@
 //!   deadlocked (with watchdog diagnostics), faulted (with drop
 //!   accounting) or budget-exhausted ([`report`]),
 //! * [`injection_sweep`] — the rate sweeps behind Figures 5 and 7,
-//!   error-isolating so one bad point cannot abort a sweep ([`sweep`]).
+//!   error-isolating so one bad point cannot abort a sweep ([`sweep`]),
+//! * [`ObserveOptions`] — opt-in observability: event metrics, per-node
+//!   probe time series (the Fig. 6 power map over time) and flit
+//!   lifecycle spans, collected into
+//!   [`Report::observations`](report::Report::observations) without
+//!   perturbing the run ([`run`]).
 //!
 //! # Example
 //!
@@ -49,5 +54,7 @@ pub mod sweep;
 
 pub use config::{ConfigError, LinkConfig, NetworkConfig, RouterConfig};
 pub use report::{Report, RunOutcome};
-pub use run::Experiment;
+pub use run::{Experiment, ObserveOptions};
 pub use sweep::{injection_sweep, saturation_rate, try_injection_sweep, SweepOptions, SweepPoint};
+
+pub use orion_obs::Observations;

@@ -163,6 +163,9 @@ pub struct Report {
     /// Estimated router leakage per node (post-paper extension; not
     /// part of [`total_power`](Report::total_power)).
     router_leakage_per_node: Watts,
+    /// What the run's observer collected, when one was attached
+    /// ([`Experiment::observe`](crate::run::Experiment::observe)).
+    observations: Option<orion_obs::Observations>,
 }
 
 impl Report {
@@ -188,6 +191,7 @@ impl Report {
             offered_rate,
             link_flits: Vec::new(),
             router_leakage_per_node: Watts::ZERO,
+            observations: None,
         }
     }
 
@@ -199,6 +203,20 @@ impl Report {
     pub(crate) fn with_router_leakage(mut self, per_node: Watts) -> Report {
         self.router_leakage_per_node = per_node;
         self
+    }
+
+    pub(crate) fn with_observations(mut self, observations: orion_obs::Observations) -> Report {
+        self.observations = Some(observations);
+        self
+    }
+
+    /// Metrics, probe time series and flit spans collected by the
+    /// run's observer; `None` unless
+    /// [`Experiment::observe`](crate::run::Experiment::observe) was
+    /// set. Observation never changes the simulated numbers (pinned by
+    /// the `sweep_identity` bit-identity test).
+    pub fn observations(&self) -> Option<&orion_obs::Observations> {
+        self.observations.as_ref()
     }
 
     /// Estimated router leakage per node — a post-paper extension (the
@@ -509,6 +527,26 @@ mod tests {
             0.2,
         );
         assert!(r.is_saturated());
+    }
+
+    #[test]
+    fn zero_delivered_tagged_packets_not_classified_saturated() {
+        // A completed run whose tagged sample is empty has NaN average
+        // latency; the §4.1 criterion (latency > 2·t0) must evaluate
+        // false rather than panic or spuriously flag saturation.
+        let r = Report::new(
+            SimStats::new(),
+            vec![[Joules::ZERO; 5]],
+            100,
+            Hertz::from_ghz(1.0),
+            Watts::ZERO,
+            15.0,
+            RunOutcome::Completed,
+            0.0,
+        );
+        assert!(r.avg_latency().is_nan());
+        assert!(!r.is_saturated());
+        assert_eq!(r.stats().latency_percentile(99.0), None);
     }
 
     fn outcome_report(outcome: RunOutcome) -> Report {

@@ -20,11 +20,36 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use orion_net::{FaultSchedule, NodeId, TraceTraffic, TrafficPattern};
+use orion_obs::{ObsSink, Prober};
 use orion_sim::{AuditViolation, Component, InvariantAuditor, Network, StallDiagnostics};
 use orion_tech::Joules;
 
 use crate::config::{ConfigError, NetworkConfig};
 use crate::report::{Report, RunOutcome};
+
+/// What an observed run collects (see
+/// [`Experiment::observe`]): per-node probe samples on a cycle stride,
+/// and optionally flit-lifecycle spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveOptions {
+    /// Probe sampling period in cycles (clamped to at least 1). Each
+    /// sample records every node's buffer occupancy, free credits,
+    /// link flits and per-component energy — the paper's Fig. 6
+    /// per-node power map as a time series.
+    pub sample_every: u64,
+    /// Completed flit-span ring capacity; `0` disables tracing.
+    pub trace_packets: usize,
+}
+
+impl Default for ObserveOptions {
+    /// 100-cycle sampling, no tracing.
+    fn default() -> ObserveOptions {
+        ObserveOptions {
+            sample_every: 100,
+            trace_packets: 0,
+        }
+    }
+}
 
 /// A configured simulation experiment.
 ///
@@ -51,6 +76,7 @@ pub struct Experiment {
     fault_schedule: Option<FaultSchedule>,
     watchdog: u64,
     audit_every: u64,
+    observe: Option<ObserveOptions>,
 }
 
 /// Default watchdog window: a full millennium of cycles with no flit
@@ -78,6 +104,7 @@ impl Experiment {
             fault_schedule: None,
             watchdog: DEFAULT_WATCHDOG,
             audit_every: 0,
+            observe: None,
         }
     }
 
@@ -164,6 +191,19 @@ impl Experiment {
         self
     }
 
+    /// Attaches an observer to the run: the engine publishes event
+    /// metrics (and, if `trace_packets > 0`, flit-lifecycle spans) into
+    /// an [`ObsSink`], and a probe scheduler samples every node's state
+    /// each `sample_every` cycles of the measured phase. The collected
+    /// [`orion_obs::Observations`] land on
+    /// [`Report::observations`](crate::Report::observations).
+    /// Observation is read-only: the simulated numbers are bit-identical
+    /// with or without it.
+    pub fn observe(mut self, options: ObserveOptions) -> Experiment {
+        self.observe = Some(options);
+        self
+    }
+
     /// The configuration under test.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
@@ -198,6 +238,28 @@ impl Experiment {
             net.set_fault_schedule(schedule.clone());
         }
         let nodes: Vec<NodeId> = self.config.topology.nodes().collect();
+
+        // Observability (opt-in): the sink is attached at the start of
+        // the *measured* phase so its metrics cover the same window as
+        // SimStats, and the prober samples node state on its stride.
+        // Everything here is read-only with respect to the simulation.
+        let observe_opts = self.observe.clone();
+        let mut pending_sink = observe_opts.as_ref().map(|o| {
+            let sink = ObsSink::new();
+            if o.trace_packets > 0 {
+                sink.with_tracer(o.trace_packets)
+            } else {
+                sink
+            }
+        });
+        let mut prober = observe_opts.as_ref().map(|o| Prober::new(o.sample_every));
+        fn probe_tick(net: &Network, prober: &mut Option<Prober>) {
+            if let Some(p) = prober.as_mut() {
+                if p.due(net.cycle()) {
+                    p.record(net.cycle(), &net.node_states());
+                }
+            }
+        }
 
         // The watchdog window: no flit movement (deadlock) or no
         // delivery (livelock) for a full window stops the run with
@@ -236,6 +298,9 @@ impl Experiment {
             let span = trace.events().last().map(|e| e.cycle + 1).unwrap_or(1);
             offered_rate = trace.events().len() as f64 / (span as f64 * nodes.len() as f64);
             measure_start = net.cycle();
+            if let Some(sink) = pending_sink.take() {
+                net.set_obs(sink);
+            }
             while (!trace.is_exhausted() || !net.is_drained()) && net.cycle() < self.max_cycles {
                 let pairs: Vec<(NodeId, NodeId)> = trace.injections_at(net.cycle()).collect();
                 for (src, dst) in pairs {
@@ -246,6 +311,7 @@ impl Experiment {
                     net.enqueue_packet(src, dst, tag);
                 }
                 net.step();
+                probe_tick(&net, &mut prober);
                 if window > 0 {
                     if let Some(kind) = net.check_stall(window) {
                         stall = Some(net.stall_diagnostics(kind, window));
@@ -301,6 +367,9 @@ impl Experiment {
             }
             net.reset_measurement();
             measure_start = net.cycle();
+            if let Some(sink) = pending_sink.take() {
+                net.set_obs(sink);
+            }
 
             // Measurement phase: tag the next `sample_packets` packets
             // and run until they all eject or drop (injection continues
@@ -311,6 +380,7 @@ impl Experiment {
                 {
                     inject(&mut net, &mut pattern, &mut rng, &mut tagged_budget);
                     net.step();
+                    probe_tick(&net, &mut prober);
                     if window > 0 {
                         if let Some(kind) = net.check_stall(window) {
                             stall = Some(net.stall_diagnostics(kind, window));
@@ -392,7 +462,19 @@ impl Experiment {
             .map(|n| (0..ports).map(|p| net.link_flits(n, p)).collect())
             .collect();
 
-        Ok(Report::new(
+        // Freeze what the observer collected: one final probe sample at
+        // run end (whatever the stride), then the metrics snapshot,
+        // probe rows and completed spans travel on the report.
+        let observations = net.take_obs().zip(observe_opts).map(|(obs, o)| {
+            let mut observations = obs.into_observations(o.sample_every.max(1));
+            if let Some(mut p) = prober.take() {
+                p.record(net.cycle(), &net.node_states());
+                observations.probes = p.into_rows();
+            }
+            observations
+        });
+
+        let mut report = Report::new(
             net.stats().clone(),
             energy,
             measured_cycles.max(1),
@@ -403,7 +485,11 @@ impl Experiment {
             offered_rate,
         )
         .with_link_flits(link_flits)
-        .with_router_leakage(router_leakage))
+        .with_router_leakage(router_leakage);
+        if let Some(observations) = observations {
+            report = report.with_observations(observations);
+        }
+        Ok(report)
     }
 }
 
@@ -716,5 +802,131 @@ mod tests {
     fn offered_rate_reported() {
         let r = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.07));
         assert!((r.offered_rate() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_unobserved() {
+        let run = |observe: bool| {
+            let mut e = Experiment::new(presets::vc16_onchip())
+                .injection_rate(0.05)
+                .seed(11);
+            if observe {
+                e = e.observe(ObserveOptions {
+                    sample_every: 10,
+                    trace_packets: 32,
+                });
+            }
+            let r = quick(e);
+            (
+                r.avg_latency().to_bits(),
+                r.total_power().0.to_bits(),
+                r.measured_cycles(),
+                r.stats().packets_delivered,
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn observations_land_on_the_report() {
+        let r = quick(
+            Experiment::new(presets::vc16_onchip())
+                .injection_rate(0.05)
+                .observe(ObserveOptions {
+                    sample_every: 25,
+                    trace_packets: 16,
+                }),
+        );
+        let obs = r.observations().expect("observer was attached");
+        assert_eq!(obs.sample_every, 25);
+        // Metrics mirror the run's own statistics.
+        let delivered = obs
+            .metrics
+            .counters
+            .iter()
+            .find(|(k, _)| k == orion_obs::keys::PACKETS_DELIVERED)
+            .map(|(_, v)| *v);
+        assert_eq!(delivered, Some(r.stats().packets_delivered));
+        // Probe rows: one per node per sample, cycles on the stride,
+        // final cumulative energy summing to the report's total.
+        assert!(!obs.probes.is_empty());
+        assert!(obs.probes.len().is_multiple_of(16), "16 nodes per sample");
+        let last_cycle = obs.probes.last().unwrap().cycle;
+        let final_energy: f64 = obs
+            .probes
+            .iter()
+            .filter(|p| p.cycle == last_cycle)
+            .map(|p| p.total_energy_j())
+            .sum();
+        let ledger_energy: f64 = (0..16)
+            .flat_map(|n| Component::ALL.iter().map(move |&c| (n, c)))
+            .map(|(n, c)| r.node_component_energy(n, c).0)
+            .sum();
+        assert!((final_energy - ledger_energy).abs() <= 1e-12 * ledger_energy.abs());
+        // Spans: bounded by the ring, complete, with latency breakdown.
+        assert!(!obs.spans.is_empty());
+        assert!(obs.spans.len() <= 16);
+        for span in &obs.spans {
+            assert!(span.ejected_at.is_some());
+            assert!(span.queuing_cycles().is_some());
+        }
+        // An unobserved run reports no observations.
+        let plain = quick(Experiment::new(presets::vc16_onchip()).injection_rate(0.05));
+        assert!(plain.observations().is_none());
+    }
+
+    #[test]
+    fn broadcast_probe_identifies_the_fig6b_hotspot() {
+        // The acceptance shape of the observability subsystem: a VC64
+        // broadcast from (1,2) at 0.2 pkt/cycle, probed per node, must
+        // show the source node strictly above the mean per-node energy
+        // (the Fig. 6b asymmetry).
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let src = topo.node_at(&[1, 2]);
+        let pattern = TrafficPattern::broadcast(&topo, src, 0.2).unwrap();
+        let r = quick(
+            Experiment::new(presets::vc64_onchip())
+                .workload(pattern)
+                .observe(ObserveOptions::default()),
+        );
+        let obs = r.observations().expect("observer attached");
+        let last_cycle = obs.probes.last().expect("probe rows").cycle;
+        let energies: Vec<f64> = obs
+            .probes
+            .iter()
+            .filter(|p| p.cycle == last_cycle)
+            .map(|p| p.total_energy_j())
+            .collect();
+        assert_eq!(energies.len(), 16);
+        let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+        assert!(
+            energies[src.0] > mean,
+            "source node energy {} must exceed the mean {mean}",
+            energies[src.0]
+        );
+    }
+
+    #[test]
+    fn trace_replay_collects_observations_too() {
+        use orion_net::{TraceEvent, TraceTraffic};
+        let events: Vec<TraceEvent> = (0..50u64)
+            .map(|i| TraceEvent {
+                cycle: i * 3,
+                src: NodeId((i % 16) as usize),
+                dst: NodeId(((i + 5) % 16) as usize),
+            })
+            .collect();
+        let r = Experiment::new(presets::vc16_onchip())
+            .trace(TraceTraffic::new(events))
+            .max_cycles(50_000)
+            .observe(ObserveOptions {
+                sample_every: 50,
+                trace_packets: 8,
+            })
+            .run()
+            .expect("valid config");
+        let obs = r.observations().expect("observer attached");
+        assert!(!obs.probes.is_empty());
+        assert_eq!(obs.spans.len(), 8, "ring keeps the most recent spans");
     }
 }

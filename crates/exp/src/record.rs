@@ -24,9 +24,11 @@ use crate::spec::{flow_control_name, vc_discipline_name, Cell};
 /// on any field addition, removal or reordering.
 ///
 /// Version history: 1 = initial layout; 2 = added the supervision
-/// fields `cell_outcome` and `attempts` (old caches are invalidated by
-/// design — their lines parse as version skew and re-simulate).
-pub const SCHEMA_VERSION: u32 = 2;
+/// fields `cell_outcome` and `attempts`; 3 = added the per-cell
+/// metrics fields `flits_delivered`, `latency_p50` and `latency_p99`
+/// (old caches are invalidated by design — their lines parse as
+/// version skew and re-simulate).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One grid cell's outcome, flattened for artifacts and the cache.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +99,14 @@ pub struct CellRecord {
     pub packets_dropped: u64,
     /// Packets detoured around faults.
     pub packets_detoured: u64,
+    /// Flits ejected during the run.
+    pub flits_delivered: u64,
+    /// Median tagged-packet latency in cycles (NaN when the latency
+    /// sample is empty; serialized as `null`).
+    pub latency_p50: f64,
+    /// 99th-percentile tagged-packet latency in cycles (NaN when the
+    /// latency sample is empty; serialized as `null`).
+    pub latency_p99: f64,
     /// Whether this record came from the cache rather than a fresh
     /// simulation. Runtime bookkeeping only — never serialized, so
     /// cached and fresh runs produce identical artifacts.
@@ -138,6 +148,9 @@ impl CellRecord {
             packets_delivered: report.stats().packets_delivered,
             packets_dropped: report.stats().packets_dropped,
             packets_detoured: report.stats().packets_detoured,
+            flits_delivered: report.stats().flits_delivered,
+            latency_p50: percentile_or_nan(report, 50.0),
+            latency_p99: percentile_or_nan(report, 99.0),
             cached: false,
         }
     }
@@ -177,6 +190,9 @@ impl CellRecord {
             packets_delivered: 0,
             packets_dropped: 0,
             packets_detoured: 0,
+            flits_delivered: 0,
+            latency_p50: f64::NAN,
+            latency_p99: f64::NAN,
             cached: false,
         }
     }
@@ -265,6 +281,9 @@ impl CellRecord {
         push_num(&mut s, "packets_delivered", self.packets_delivered);
         push_num(&mut s, "packets_dropped", self.packets_dropped);
         push_num(&mut s, "packets_detoured", self.packets_detoured);
+        push_num(&mut s, "flits_delivered", self.flits_delivered);
+        push_f64(&mut s, "latency_p50", self.latency_p50);
+        push_f64(&mut s, "latency_p99", self.latency_p99);
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -316,6 +335,15 @@ impl CellRecord {
             packets_delivered: obj.get("packets_delivered")?.as_u64()?,
             packets_dropped: obj.get("packets_dropped")?.as_u64()?,
             packets_detoured: obj.get("packets_detoured")?.as_u64()?,
+            flits_delivered: obj.get("flits_delivered")?.as_u64()?,
+            latency_p50: match obj.get("latency_p50")? {
+                JsonVal::Null => f64::NAN,
+                v => v.as_f64()?,
+            },
+            latency_p99: match obj.get("latency_p99")? {
+                JsonVal::Null => f64::NAN,
+                v => v.as_f64()?,
+            },
             cached: true,
         })
     }
@@ -326,7 +354,8 @@ impl CellRecord {
          flow_control,vc_discipline,packet_len,outcome,cell_outcome,attempts,\
          saturated,avg_latency,zero_load_latency,measured_cycles,throughput,\
          total_power_w,buffer_w,crossbar_w,arbiter_w,link_w,central_w,\
-         packets_injected,packets_delivered,packets_dropped,packets_detoured"
+         packets_injected,packets_delivered,packets_dropped,packets_detoured,\
+         flits_delivered,latency_p50,latency_p99"
     }
 
     /// One CSV data row (no trailing newline). The free-text `error`
@@ -340,7 +369,7 @@ impl CellRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.schema_version,
             self.cell,
             fingerprint::to_hex(self.fingerprint),
@@ -370,8 +399,22 @@ impl CellRecord {
             self.packets_delivered,
             self.packets_dropped,
             self.packets_detoured,
+            self.flits_delivered,
+            f(self.latency_p50),
+            f(self.latency_p99),
         )
     }
+}
+
+/// The `p`-th latency percentile of a report's tagged sample as `f64`,
+/// NaN when the sample is empty (serialized as `null`, like
+/// `avg_latency`).
+fn percentile_or_nan(report: &Report, p: f64) -> f64 {
+    report
+        .stats()
+        .latency_percentile(p)
+        .map(|v| v as f64)
+        .unwrap_or(f64::NAN)
 }
 
 fn push_key(s: &mut String, key: &str) {
@@ -616,6 +659,8 @@ mod tests {
         let cell = sample_cell();
         let mut r = CellRecord::from_error(&cell, "boom \"quoted\" \\ path");
         r.avg_latency = 33.25;
+        r.latency_p50 = 31.0;
+        r.latency_p99 = 88.5;
         r.total_power_w = 0.123456789012345;
         r.measured_cycles = 12345;
         r.outcome = "completed".into();
@@ -665,11 +710,14 @@ mod tests {
             "{}",                      // missing fields
             &good[..good.len() - 10],  // truncated
             &format!("{good}trailer"), // trailing garbage
-            &good.replace("\"schema_version\":2", "\"schema_version\":999"),
-            // Version skew: a v1 line (no supervision fields) must not load.
+            &good.replace("\"schema_version\":3", "\"schema_version\":999"),
+            // Version skew: a v2 line (no per-cell metrics fields) must
+            // not load.
             &good
-                .replace("\"schema_version\":2", "\"schema_version\":1")
-                .replace("\"cell_outcome\":\"ok\",\"attempts\":1,", ""),
+                .replace("\"schema_version\":3", "\"schema_version\":2")
+                .replace(",\"flits_delivered\":0", "")
+                .replace(",\"latency_p50\":31", "")
+                .replace(",\"latency_p99\":88.5", ""),
         ] {
             assert_eq!(CellRecord::from_json_line(bad), None, "accepted: {bad:?}");
         }
@@ -689,7 +737,31 @@ mod tests {
         let header_cols = CellRecord::csv_header().split(',').count();
         let row_cols = sample_record().to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 29);
+        assert_eq!(header_cols, 32);
+    }
+
+    #[test]
+    fn percentile_fields_roundtrip() {
+        let mut rec = sample_record();
+        rec.flits_delivered = 605;
+        rec.latency_p50 = 31.0;
+        rec.latency_p99 = 88.0;
+        let line = rec.to_json_line();
+        assert!(line.contains("\"latency_p50\":31"));
+        let back = CellRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.flits_delivered, 605);
+        assert_eq!(back.latency_p50, 31.0);
+        assert_eq!(back.latency_p99, 88.0);
+        let row = rec.to_csv_row();
+        assert!(row.ends_with(",605,31,88"), "{row}");
+
+        // Empty latency sample: percentiles serialize as null and CSV
+        // leaves the cells blank, like `avg_latency`.
+        let empty = CellRecord::from_error(&sample_cell(), "bad");
+        assert!(empty.to_json_line().contains("\"latency_p99\":null"));
+        assert!(empty.to_csv_row().ends_with(",0,,"));
+        let back = CellRecord::from_json_line(&empty.to_json_line()).unwrap();
+        assert!(back.latency_p50.is_nan() && back.latency_p99.is_nan());
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //!   credit/occupancy bounds and energy-ledger sanity, reported as
 //!   typed [`AuditViolation`]s instead of silently wrong numbers.
 //!
+//! Observability hangs off [`Network::set_obs`]: with an
+//! [`orion_obs::ObsSink`] attached, the engine publishes injection,
+//! VA/SA-grant, link-traversal, ejection and credit events into its
+//! metrics registry and (optionally) flit tracer, and
+//! [`Network::node_states`] exposes per-node probe samples. With no
+//! sink attached every event site is a single `None` check and runs are
+//! bit-identical to an uninstrumented build.
+//!
 //! # Example
 //!
 //! ```
@@ -94,3 +102,5 @@ pub use router::central::{CentralRouter, CentralRouterSpec};
 pub use router::vc::{FlowControl, VcDiscipline, VcRouter, VcRouterSpec};
 pub use stats::{zero_load_latency, SimStats};
 pub use watchdog::{StallDiagnostics, StallKind, StalledVc};
+
+pub use orion_obs::{NodeState, ObsSink};

@@ -20,6 +20,7 @@ use orion_net::{
     dor_route, fault_aware_dor_route, DimensionOrder, FaultSchedule, NodeId, Port, RouteOutcome,
     Topology, TopologyKind,
 };
+use orion_obs::{NodeState, ObsSink};
 
 use crate::audit::AuditViolation;
 use crate::energy::{EnergyLedger, PowerModels};
@@ -93,10 +94,15 @@ impl AnyRouter {
         }
     }
 
-    fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
+    fn step(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        obs: Option<&mut ObsSink>,
+    ) -> StepOutput {
         match self {
-            AnyRouter::Vc(r) => r.step(cycle, ledger),
-            AnyRouter::Central(r) => r.step(cycle, ledger),
+            AnyRouter::Vc(r) => r.step_observed(cycle, ledger, obs),
+            AnyRouter::Central(r) => r.step_observed(cycle, ledger, obs),
         }
     }
 
@@ -104,6 +110,23 @@ impl AnyRouter {
         match self {
             AnyRouter::Vc(r) => r.buffered_flits(),
             AnyRouter::Central(r) => r.buffered_flits(),
+        }
+    }
+
+    /// Downstream flow-control credits summed over all output ports
+    /// (and VCs), as sampled by the probe scheduler.
+    fn free_credits(&self) -> usize {
+        match self {
+            AnyRouter::Vc(r) => {
+                let spec = r.spec();
+                (0..spec.ports)
+                    .flat_map(|p| (0..spec.vcs).map(move |v| (p, v)))
+                    .map(|(p, v)| r.output_credits(p, v) as usize)
+                    .sum()
+            }
+            AnyRouter::Central(r) => (0..r.spec().ports)
+                .map(|p| r.output_credits(p) as usize)
+                .sum(),
         }
     }
 
@@ -245,6 +268,10 @@ pub struct Network {
     audit_enqueued: u64,
     audit_ejected: u64,
     audit_dropped: u64,
+    /// Optional observer. `None` (the default) keeps every event site a
+    /// single branch; the unobserved path is pinned bit-identical by
+    /// `orion-core`'s `sweep_identity` test.
+    obs: Option<Box<ObsSink>>,
 }
 
 impl Network {
@@ -330,8 +357,55 @@ impl Network {
             audit_enqueued: 0,
             audit_ejected: 0,
             audit_dropped: 0,
+            obs: None,
             spec,
         }
+    }
+
+    /// Attaches an observer. Events (injections, VA/SA grants, link
+    /// traversals, ejections, credits) flow into it from the next
+    /// [`Network::step`] on.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = Some(Box::new(obs));
+    }
+
+    /// The attached observer, if any.
+    pub fn obs(&self) -> Option<&ObsSink> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the attached observer (e.g. to set gauges).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsSink> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Detaches and returns the observer.
+    pub fn take_obs(&mut self) -> Option<ObsSink> {
+        self.obs.take().map(|b| *b)
+    }
+
+    /// Samples every node's probe-visible state: buffered flits, free
+    /// flow-control credits, cumulative link flits out of the node, and
+    /// cumulative per-component energy in `Component::ALL` order
+    /// (which a test pins against [`orion_obs::COMPONENTS`]).
+    pub fn node_states(&self) -> Vec<NodeState> {
+        let ports = self.spec.topology.ports_per_router();
+        self.routers
+            .iter()
+            .enumerate()
+            .map(|(node, router)| {
+                let mut energy = [0.0; 5];
+                for (i, c) in crate::energy::Component::ALL.iter().enumerate() {
+                    energy[i] = self.ledger.energy(node, *c).0;
+                }
+                NodeState {
+                    buffered_flits: router.buffered_flits(),
+                    free_credits: router.free_credits(),
+                    link_flits: (0..ports).map(|p| self.link_flits[node * ports + p]).sum(),
+                    energy_j: energy,
+                }
+            })
+            .collect()
     }
 
     /// The network specification.
@@ -455,6 +529,9 @@ impl Network {
         if tagged {
             self.stats.tagged_injected += 1;
         }
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.packet_injected(id.0, src.0, dst.0, len as usize, self.cycle);
+        }
         let route = if let Some(schedule) = &self.fault_schedule {
             // Routes are time-dependent under faults: skip the cache.
             match fault_aware_dor_route(
@@ -479,6 +556,9 @@ impl Network {
                     self.audit_dropped += len as u64;
                     if tagged {
                         self.stats.tagged_dropped += 1;
+                    }
+                    if let Some(obs) = self.obs.as_deref_mut() {
+                        obs.packet_dropped(id.0);
                     }
                     return id;
                 }
@@ -764,6 +844,9 @@ impl Network {
     fn eject(&mut self, flit: Flit, cycle: u64) {
         self.stats.flits_delivered += 1;
         self.audit_ejected += 1;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.flit_ejected();
+        }
         let progress = self.sinks.entry(flit.packet).or_insert(Progress {
             received: 0,
             len: flit.packet_len,
@@ -777,6 +860,9 @@ impl Network {
             self.sinks.remove(&flit.packet);
             self.stats.record_delivery(latency, tagged);
             self.last_delivery = cycle;
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.packet_delivered(flit.packet.0, cycle, latency);
+            }
         }
     }
 
@@ -821,7 +907,7 @@ impl Network {
     fn run_routers(&mut self, cycle: u64) {
         let ports = self.spec.topology.ports_per_router();
         for node in 0..self.routers.len() {
-            let out = self.routers[node].step(cycle, &mut self.ledger);
+            let out = self.routers[node].step(cycle, &mut self.ledger, self.obs.as_deref_mut());
             if !out.departures.is_empty() {
                 self.last_progress = cycle;
             }
@@ -849,6 +935,9 @@ impl Network {
                     .link_traversal(node, self.link_last[key], dep.flit.payload);
                 self.link_last[key] = dep.flit.payload;
                 self.link_flits[key] += 1;
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.link_traversal(node, dep.flit.packet.0, cycle);
+                }
                 self.flit_wheel.schedule(
                     cycle + 2,
                     FlitArrival {
@@ -866,6 +955,9 @@ impl Network {
                     // The local source observes buffer occupancy
                     // directly; no credit channel exists.
                     continue;
+                }
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.credit_returned();
                 }
                 // The upstream router sits in the direction of this
                 // input port; its output port is the opposite one.
@@ -1451,5 +1543,120 @@ mod tests {
         let s = net.stats();
         assert_eq!(s.packets_delivered, 2);
         assert_eq!(s.packets_detoured, 1, "only the in-outage packet detours");
+    }
+
+    #[test]
+    fn component_order_matches_obs_labels() {
+        // Probe rows label energy columns with orion_obs::COMPONENTS;
+        // the ledger indexes them with Component::ALL. The two must
+        // agree position by position forever.
+        let labels: Vec<&str> = Component::ALL
+            .iter()
+            .map(|c| match c {
+                Component::Buffer => "buffer",
+                Component::CentralBuffer => "central_buffer",
+                Component::Crossbar => "crossbar",
+                Component::Arbiter => "arbiter",
+                Component::Link => "link",
+            })
+            .collect();
+        assert_eq!(labels, orion_obs::COMPONENTS);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_counts_events() {
+        let run = |observe: bool| {
+            let mut net = vc_net(2, 8);
+            if observe {
+                net.set_obs(orion_obs::ObsSink::new());
+            }
+            for src in 0..16 {
+                net.enqueue_packet(NodeId(src), NodeId(15 - src), true);
+            }
+            run_until_drained(&mut net, 2000);
+            net
+        };
+        let mut observed = run(true);
+        let unobserved = run(false);
+        assert_eq!(
+            observed.stats().avg_latency(),
+            unobserved.stats().avg_latency(),
+            "observation must not perturb the simulation"
+        );
+        assert_eq!(
+            observed.ledger().total_energy().0,
+            unobserved.ledger().total_energy().0
+        );
+        let stats_delivered = observed.stats().packets_delivered;
+        let stats_flits = observed.stats().flits_delivered;
+        let link_total: u64 = (0..16)
+            .flat_map(|n| (0..5).map(move |p| (n, p)))
+            .map(|(n, p)| observed.link_flits(n, p))
+            .sum();
+        let obs = observed.take_obs().expect("observer attached");
+        use orion_obs::keys;
+        assert_eq!(obs.metrics.counter(keys::PACKETS_INJECTED), 16);
+        assert_eq!(
+            obs.metrics.counter(keys::PACKETS_DELIVERED),
+            stats_delivered
+        );
+        assert_eq!(obs.metrics.counter(keys::FLITS_EJECTED), stats_flits);
+        assert_eq!(obs.metrics.counter(keys::LINK_FLITS), link_total);
+        assert!(obs.metrics.counter(keys::VA_GRANTS) > 0, "VC router has VA");
+        assert!(obs.metrics.counter(keys::SA_GRANTS) >= stats_flits);
+        assert!(obs.metrics.counter(keys::CREDITS_RETURNED) > 0);
+        let lat = obs
+            .metrics
+            .histogram(keys::PACKET_LATENCY)
+            .expect("latency");
+        assert_eq!(lat.count(), stats_delivered);
+    }
+
+    #[test]
+    fn tracer_records_packet_lifecycle() {
+        let mut net = wormhole_net();
+        net.set_obs(orion_obs::ObsSink::new().with_tracer(8));
+        net.enqueue_packet(NodeId(0), NodeId(5), false);
+        run_until_drained(&mut net, 200);
+        let obs = net.take_obs().expect("observer attached");
+        let observations = obs.into_observations(1);
+        assert_eq!(observations.spans.len(), 1);
+        let span = &observations.spans[0];
+        assert_eq!((span.src, span.dst, span.len), (0, 5, 5));
+        assert!(span.ejected_at.is_some());
+        use orion_obs::HopStage;
+        assert!(
+            span.hops
+                .iter()
+                .any(|h| h.node == 0 && h.stage == HopStage::SaGrant),
+            "source SA grant recorded: {:?}",
+            span.hops
+        );
+        assert!(
+            span.hops
+                .iter()
+                .any(|h| h.node == 4 && h.stage == HopStage::LinkTraversal),
+            "second-hop link traversal recorded: {:?}",
+            span.hops
+        );
+        assert!(span.queuing_cycles().unwrap() < span.latency().unwrap());
+    }
+
+    #[test]
+    fn node_states_expose_probe_fields() {
+        let mut net = wormhole_net();
+        net.enqueue_packet(NodeId(0), NodeId(5), false);
+        run_until_drained(&mut net, 200);
+        let states = net.node_states();
+        assert_eq!(states.len(), 16);
+        assert_eq!(states[0].link_flits, 5, "node 0 sent 5 flits on d1+");
+        assert_eq!(states[4].link_flits, 5, "node 4 forwarded 5 flits");
+        assert_eq!(states[1].link_flits, 0);
+        let total: f64 = states.iter().map(|s| s.energy_j.iter().sum::<f64>()).sum();
+        assert!(
+            (total - net.ledger().total_energy().0).abs() <= 1e-15 * total.abs(),
+            "per-node probe energy sums to the ledger total"
+        );
+        assert!(states.iter().all(|s| s.buffered_flits == 0), "drained");
     }
 }

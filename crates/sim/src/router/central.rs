@@ -28,6 +28,7 @@ use crate::energy::{scaled_hamming, EnergyLedger};
 use crate::fifo::FlitFifo;
 use crate::flit::Flit;
 use crate::router::{CreditReturn, Departure, StepOutput};
+use orion_obs::ObsSink;
 use orion_power::WriteActivity;
 use std::collections::VecDeque;
 
@@ -249,7 +250,13 @@ impl CentralRouter {
 
     /// Read-port allocation: move up to `read_ports` flits from the
     /// central buffer onto output links.
-    fn read_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, out: &mut StepOutput) {
+    fn read_stage(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        out: &mut StepOutput,
+        mut obs: Option<&mut ObsSink>,
+    ) {
         let mut mask = 0u128;
         for (port, q) in self.out_queues.iter().enumerate() {
             if let Some(staged) = q.front() {
@@ -276,15 +283,30 @@ impl CentralRouter {
                 self.out_credits[out_port] -= 1;
             }
             flit.target_vc = 0;
+            if let Some(o) = obs.as_deref_mut() {
+                o.sa_grant(self.node, flit.packet.0, cycle);
+            }
             out.departures.push(Departure { out_port, flit });
         }
     }
 
     /// Advances the router one cycle.
     pub fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
+        self.step_observed(cycle, ledger, None)
+    }
+
+    /// [`CentralRouter::step`] with an optional observer receiving a
+    /// switch-traversal event per read-port grant (the CB analogue of a
+    /// crossbar router's SA grant).
+    pub fn step_observed(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        obs: Option<&mut ObsSink>,
+    ) -> StepOutput {
         let mut out = StepOutput::new();
         self.write_stage(cycle, ledger, &mut out);
-        self.read_stage(cycle, ledger, &mut out);
+        self.read_stage(cycle, ledger, &mut out, obs);
         out
     }
 }

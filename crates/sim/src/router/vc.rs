@@ -79,6 +79,8 @@ pub enum VcDiscipline {
     Escape,
 }
 
+use orion_obs::ObsSink;
+
 use crate::arb::{FunctionalArbiter, RoundRobinArbiter};
 use crate::energy::EnergyLedger;
 use crate::fifo::FlitFifo;
@@ -400,7 +402,7 @@ impl VcRouter {
     /// may overlap under the escape discipline, so allocation is
     /// per-VC rather than per-class).
     #[allow(clippy::needless_range_loop)] // indices double as requester ids
-    fn va_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger) {
+    fn va_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, mut obs: Option<&mut ObsSink>) {
         let ports = self.spec.ports;
         let vcs = self.spec.vcs;
         // Single pass over the input VCs, binning requesters by output
@@ -452,6 +454,11 @@ impl VcRouter {
                 let Some(w) = grant.winner else { continue };
                 requesters &= !(1 << w);
                 let (in_port, in_vc) = (w / vcs, w % vcs);
+                if let Some(o) = obs.as_deref_mut() {
+                    if let Some(head) = self.inputs[in_port][in_vc].fifo.head() {
+                        o.va_grant(self.node, head.packet.0, cycle);
+                    }
+                }
                 self.outputs[out_port][out_vc].owner = Some((in_port, in_vc));
                 let ivc = &mut self.inputs[in_port][in_vc];
                 ivc.state = VcState::Active { out_port, out_vc };
@@ -468,7 +475,13 @@ impl VcRouter {
     /// that lost an output re-bid a different VC — this is what gives
     /// virtual-channel routers their higher switch utilisation relative
     /// to wormhole routers (Fig. 5a).
-    fn sa_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, out: &mut StepOutput) {
+    fn sa_stage(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        out: &mut StepOutput,
+        mut obs: Option<&mut ObsSink>,
+    ) {
         let ports = self.spec.ports;
         let vcs = self.spec.vcs;
         let mut in_matched = vec![false; ports];
@@ -485,6 +498,7 @@ impl VcRouter {
                 &mut out_matched,
                 &mut nominees,
                 &mut meta,
+                obs.as_deref_mut(),
             ) {
                 break;
             }
@@ -503,6 +517,7 @@ impl VcRouter {
         out_matched: &mut [bool],
         nominees: &mut [Option<(usize, usize, usize, bool)>],
         meta: &mut [Option<(usize, usize, bool)>],
+        mut obs: Option<&mut ObsSink>,
     ) -> bool {
         let ports = self.spec.ports;
         let vcs = self.spec.vcs;
@@ -577,6 +592,9 @@ impl VcRouter {
             let (mut flit, stored) = ivc.fifo.pop().expect("granted VC has a flit");
             if stored {
                 ledger.buffer_read(self.node);
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                o.sa_grant(self.node, flit.packet.0, cycle);
             }
 
             // Crossbar traversal with exact line-switching activity.
@@ -687,15 +705,27 @@ impl VcRouter {
 
     /// Advances the router one cycle: VA (if configured) then SA/ST.
     pub fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
+        self.step_observed(cycle, ledger, None)
+    }
+
+    /// [`VcRouter::step`] with an optional observer receiving VA/SA
+    /// grant events. `step` is exactly `step_observed(.., None)`; the
+    /// split keeps the common unobserved call sites untouched.
+    pub fn step_observed(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        mut obs: Option<&mut ObsSink>,
+    ) -> StepOutput {
         let mut out = StepOutput::new();
         if self.buffered_flits() == 0 {
             return out;
         }
         self.update_states();
         if self.spec.has_va_stage {
-            self.va_stage(cycle, ledger);
+            self.va_stage(cycle, ledger, obs.as_deref_mut());
         }
-        self.sa_stage(cycle, ledger, &mut out);
+        self.sa_stage(cycle, ledger, &mut out, obs);
         out
     }
 }

@@ -140,6 +140,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_sample_percentile_extremes_do_not_panic() {
+        // Percentile bounds on a zero-delivery run: both extremes of
+        // the valid range return None rather than indexing an empty
+        // sorted vector.
+        let s = SimStats::new();
+        assert_eq!(s.latency_percentile(0.0), None);
+        assert_eq!(s.latency_percentile(100.0), None);
+        assert_eq!(s.sample_count(), 0);
+        assert_eq!(s.tagged_outstanding(), 0);
+        assert_eq!(s.drop_rate(), 0.0);
+    }
+
+    #[test]
     fn only_tagged_packets_sampled() {
         let mut s = SimStats::new();
         s.tagged_injected = 2;
