@@ -1,0 +1,47 @@
+//! Steady-state cycle-loop throughput on the VC16 on-chip preset.
+//!
+//! This is the generic hot-loop figure for the allocation-free core:
+//! whole-engine cycles per second at moderate load, flit arena and ring
+//! FIFOs warm. The machine-readable twin (with a regression gate) is
+//! `src/bin/perf_smoke.rs`, metric `cycle_loop_cycles_per_sec`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orion_core::{presets, NetworkConfig};
+use orion_net::TrafficPattern;
+use orion_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats().packets_delivered
+}
+
+fn bench_cycle_loop(c: &mut Criterion) {
+    const CYCLES: u64 = 2_000;
+    let mut group = c.benchmark_group("cycle_loop");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.sample_size(10);
+    group.bench_function("vc16_4x4_torus_rate0.05", |b| {
+        let cfg = presets::vc16_onchip();
+        b.iter(|| run_cycles(&cfg, 0.05, CYCLES))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_loop);
+criterion_main!(benches);

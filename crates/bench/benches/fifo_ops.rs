@@ -1,0 +1,52 @@
+//! Ring-buffer FIFO push/pop throughput, isolated from router logic.
+//!
+//! Measures the fixed-capacity `FlitFifo` on resident flits (SRAM path,
+//! not the empty-queue bypass). The machine-readable twin is the
+//! `fifo_ops_per_sec` metric of `src/bin/perf_smoke.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orion_sim::fifo::FlitFifo;
+use orion_sim::flit::{make_packet, PacketId};
+use orion_sim::Flit;
+
+fn bench_fifo_ops(c: &mut Criterion) {
+    const OPS: u64 = 100_000;
+    let topo = orion_net::Topology::torus(&[4, 4]).expect("valid torus");
+    let route = std::sync::Arc::new(orion_net::dor_route(
+        &topo,
+        orion_net::NodeId(0),
+        orion_net::NodeId(5),
+        orion_net::DimensionOrder::YFirst,
+    ));
+    let flits = make_packet(
+        PacketId(1),
+        orion_net::NodeId(0),
+        orion_net::NodeId(5),
+        route,
+        8,
+        0,
+        false,
+    );
+
+    let mut group = c.benchmark_group("fifo_ops");
+    group.throughput(Throughput::Elements(OPS));
+    group.sample_size(10);
+    group.bench_function("push_pop_depth8", |b| {
+        b.iter(|| {
+            let mut fifo: FlitFifo<Flit> = FlitFifo::new(8, 256);
+            // Keep two resident so pushes charge the SRAM mirror.
+            fifo.push(flits[0].clone(), flits[0].payload);
+            fifo.push(flits[1].clone(), flits[1].payload);
+            for i in 0..OPS {
+                let f = &flits[(i % 8) as usize];
+                fifo.push(f.clone(), f.payload);
+                std::hint::black_box(fifo.pop());
+            }
+            fifo.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fifo_ops);
+criterion_main!(benches);

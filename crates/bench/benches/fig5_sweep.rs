@@ -1,0 +1,51 @@
+//! Flit throughput on the Fig. 5 VC64 configuration — the acceptance
+//! metric of the allocation-free cycle-core rewrite.
+//!
+//! Throughput is reported in *flits simulated per second* (delivered
+//! flits over wall time), the figure pinned in `BENCH_cycle_loop.json`
+//! as `fig5_sweep_vc64_flits_per_sec` and gated by the CI perf-smoke
+//! job (see docs/PERFORMANCE.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orion_core::{presets, NetworkConfig};
+use orion_net::TrafficPattern;
+use orion_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats().flits_delivered
+}
+
+fn bench_fig5_sweep(c: &mut Criterion) {
+    const CYCLES: u64 = 2_000;
+    let mut group = c.benchmark_group("fig5_sweep");
+    group.sample_size(10);
+    // Flits delivered varies per run; time the fixed-cycle run and let
+    // the reported elements be the delivered-flit count of one run.
+    let cfg = presets::vc64_onchip();
+    let flits = run_cycles(&cfg, 0.10, CYCLES);
+    group.throughput(Throughput::Elements(flits));
+    group.bench_function("vc64_4x4_torus_rate0.10", |b| {
+        b.iter(|| run_cycles(&cfg, 0.10, CYCLES))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_sweep);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Machine-readable performance smoke benchmark and regression gate.
+//!
+//! Measures the same three figures as the criterion suite in
+//! `benches/{cycle_loop,fig5_sweep,fifo_ops}.rs`, but emits them as a
+//! JSON baseline (`BENCH_cycle_loop.json` at the repo root) and can
+//! compare a fresh measurement against a checked-in baseline with a
+//! tolerance band — the CI `perf-smoke` job's teeth.
+//!
+//! ```text
+//! perf_smoke --write BENCH_cycle_loop.json            # record a baseline
+//! perf_smoke --check BENCH_cycle_loop.json            # gate: fail on >15% regression
+//! perf_smoke --check BENCH_cycle_loop.json --tolerance 0.25
+//! perf_smoke --quick ...                              # fewer repetitions (CI)
+//! ```
+//!
+//! The binary exits non-zero when `--check` finds any throughput metric
+//! more than `tolerance` below the baseline. Higher-than-baseline
+//! numbers never fail: the gate is one-sided, regressions only.
+
+use std::time::Instant;
+
+use orion_core::{presets, NetworkConfig};
+use orion_net::TrafficPattern;
+use orion_sim::fifo::FlitFifo;
+use orion_sim::flit::{make_packet, PacketId};
+use orion_sim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCHEMA: &str = "orion-bench-baseline-v1";
+
+/// One measured throughput figure.
+struct Metric {
+    name: &'static str,
+    /// Elements (cycles, flits or FIFO ops) per second; higher is better.
+    per_sec: f64,
+}
+
+/// Steps a loaded network `cycles` times and returns flits delivered
+/// (the same inner loop the criterion benches time).
+fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats().flits_delivered
+}
+
+/// Runs `work` `reps` times and returns the median elements/second.
+fn median_rate(reps: usize, mut work: impl FnMut() -> u64) -> f64 {
+    let mut rates: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let elements = work();
+            elements as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[rates.len() / 2]
+}
+
+fn measure(quick: bool) -> Vec<Metric> {
+    let (reps, cycles) = if quick { (3, 2_000) } else { (7, 6_000) };
+
+    // cycle_loop: whole-engine cycles/second on the VC16 on-chip preset
+    // at moderate load — the generic hot-loop figure.
+    let vc16 = presets::vc16_onchip();
+    let cycle_loop = median_rate(reps, || {
+        run_cycles(&vc16, 0.05, cycles);
+        cycles
+    });
+
+    // fig5_sweep: flits simulated per second on the VC64 Fig. 5
+    // configuration — the acceptance metric of the allocation-free
+    // rewrite (ISSUE 5 requires >= 2x the pre-rewrite baseline).
+    let vc64 = presets::vc64_onchip();
+    let fig5 = median_rate(reps, || run_cycles(&vc64, 0.10, cycles));
+
+    // fifo_ops: ring-buffer push/pop pairs per second, isolated from
+    // the router logic around it.
+    let fifo_flits = {
+        let t = orion_net::Topology::torus(&[4, 4]).expect("valid torus");
+        let r = std::sync::Arc::new(orion_net::dor_route(
+            &t,
+            orion_net::NodeId(0),
+            orion_net::NodeId(5),
+            orion_net::DimensionOrder::YFirst,
+        ));
+        make_packet(
+            PacketId(1),
+            orion_net::NodeId(0),
+            orion_net::NodeId(5),
+            r,
+            8,
+            0,
+            false,
+        )
+    };
+    let fifo_iters: u64 = if quick { 200_000 } else { 1_000_000 };
+    let fifo_ops = median_rate(reps, || {
+        let mut fifo: FlitFifo<orion_sim::Flit> = FlitFifo::new(8, 256);
+        // Keep two resident so pushes hit the SRAM path, not the bypass.
+        fifo.push(fifo_flits[0].clone(), fifo_flits[0].payload);
+        fifo.push(fifo_flits[1].clone(), fifo_flits[1].payload);
+        for i in 0..fifo_iters {
+            let f = &fifo_flits[(i % 8) as usize];
+            fifo.push(f.clone(), f.payload);
+            std::hint::black_box(fifo.pop());
+        }
+        fifo_iters
+    });
+
+    vec![
+        Metric {
+            name: "cycle_loop_cycles_per_sec",
+            per_sec: cycle_loop,
+        },
+        Metric {
+            name: "fig5_sweep_vc64_flits_per_sec",
+            per_sec: fig5,
+        },
+        Metric {
+            name: "fifo_ops_per_sec",
+            per_sec: fifo_ops,
+        },
+    ]
+}
+
+fn to_json(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str("  \"bench\": \"cycle_loop\",\n");
+    s.push_str("  \"metrics\": {\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {:.1}{sep}\n", m.name, m.per_sec));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Minimal parser for the baseline JSON this binary writes: extracts
+/// `"name": number` pairs. Tolerates reformatting but not renaming.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let tolerance: f64 = flag_value("--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a fraction, e.g. 0.15"))
+        .unwrap_or(0.15);
+
+    let metrics = measure(quick);
+    for m in &metrics {
+        println!("bench {:<34} {:>14.1} elem/s", m.name, m.per_sec);
+    }
+
+    if let Some(path) = flag_value("--write") {
+        std::fs::write(&path, to_json(&metrics)).expect("baseline file is writable");
+        println!("wrote baseline {path}");
+    }
+
+    if let Some(path) = flag_value("--check") {
+        let text = std::fs::read_to_string(&path).expect("baseline file exists");
+        let baseline = parse_baseline(&text);
+        let mut failed = false;
+        for m in &metrics {
+            let Some((_, base)) = baseline.iter().find(|(k, _)| k == m.name) else {
+                println!("check {:<34} no baseline entry, skipping", m.name);
+                continue;
+            };
+            let floor = base * (1.0 - tolerance);
+            let verdict = if m.per_sec < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "check {:<34} {:>14.1} vs baseline {:>14.1} (floor {:>14.1}) {verdict}",
+                m.name, m.per_sec, base, floor
+            );
+        }
+        if failed {
+            eprintln!(
+                "perf-smoke: throughput regressed more than {:.0}%",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("perf-smoke: within {:.0}% of baseline", tolerance * 100.0);
+    }
+}

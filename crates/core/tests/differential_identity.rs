@@ -1,0 +1,138 @@
+//! Differential bit-identity suite for the allocation-free cycle core.
+//!
+//! The v0.3.0 simulator's outputs across the Fig. 5 sweep grid
+//! (WH64/VC16/VC64/VC128 × injection rates) are recorded below, down to
+//! the bit pattern of every floating-point statistic and per-component
+//! energy total. Any rewrite of the hot path — flit arena, ring-buffer
+//! FIFOs, reusable event slots, batched ledger accounting — must
+//! reproduce every cell **exactly**, with and without an [`ObsSink`]
+//! attached (observability must stay zero-cost *and* zero-effect).
+//!
+//! This is deliberately stronger than `sweep_identity.rs`: it pins flit
+//! counts, the full latency percentile ladder, the `RunOutcome` label
+//! and all five per-component power totals for every cell, not just the
+//! sweep summary of one preset.
+//!
+//! Regenerating after an *intentional* semantic change (never for a
+//! perf-only refactor, which must be bit-identical):
+//!
+//! ```text
+//! cargo test -p orion-core --test differential_identity \
+//!     -- --ignored print_golden_grid --nocapture
+//! ```
+//!
+//! [`ObsSink`]: orion_obs::ObsSink
+
+use orion_core::{presets, Experiment, NetworkConfig, ObserveOptions, Report};
+use orion_sim::Component;
+
+/// The measurement discipline for every cell: small enough for CI, long
+/// enough that all five event types fire and queues cycle many times.
+const SEED: u64 = 2;
+const WARMUP: u64 = 200;
+const SAMPLE_PACKETS: u64 = 200;
+const MAX_CYCLES: u64 = 50_000;
+
+/// The Fig. 5 grid: every on-chip preset × three injection rates, from
+/// light load to near the shallowest configuration's knee.
+const RATES: [f64; 3] = [0.02, 0.05, 0.08];
+
+fn grid() -> Vec<(&'static str, NetworkConfig)> {
+    vec![
+        ("wh64", presets::wh64_onchip()),
+        ("vc16", presets::vc16_onchip()),
+        ("vc64", presets::vc64_onchip()),
+        ("vc128", presets::vc128_onchip()),
+    ]
+}
+
+fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool) -> Report {
+    let mut e = Experiment::new(cfg.clone())
+        .injection_rate(rate)
+        .seed(SEED)
+        .warmup(WARMUP)
+        .sample_packets(SAMPLE_PACKETS)
+        .max_cycles(MAX_CYCLES);
+    if observed {
+        e = e.observe(ObserveOptions {
+            sample_every: 50,
+            trace_packets: 64,
+        });
+    }
+    e.run().expect("preset configurations are valid")
+}
+
+/// Renders one cell as a semicolon-separated record. Floats are
+/// rendered as exact bit patterns; a flipped bit anywhere in the
+/// statistics, percentile ladder or energy accounting changes the line.
+fn render_cell(name: &str, rate: f64, report: &Report) -> String {
+    let stats = report.stats();
+    let pct = |p: f64| {
+        stats
+            .latency_percentile(p)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let mut line = format!(
+        "{name};{:016x};{};{};{};{};{};{};{};{};{};{:016x};{}",
+        rate.to_bits(),
+        report.outcome().label(),
+        stats.packets_delivered,
+        stats.flits_delivered,
+        stats.sample_count(),
+        pct(0.0),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        pct(100.0),
+        report.avg_latency().to_bits(),
+        report.measured_cycles(),
+    );
+    for component in Component::ALL {
+        line.push_str(&format!(
+            ";{:016x}",
+            report.component_power(component).0.to_bits()
+        ));
+    }
+    line
+}
+
+fn render_grid(observed: bool) -> String {
+    let mut out = String::new();
+    for (name, cfg) in grid() {
+        for rate in RATES {
+            let report = run_cell(&cfg, rate, observed);
+            out.push_str(&render_cell(name, rate, &report));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// v0.3.0 golden grid. Fields per line:
+/// `name;rate_bits;outcome;packets;flits;samples;p0;p50;p95;p99;p100;avg_bits;cycles;buffer;central;crossbar;arbiter;link`
+/// (the last five are network-wide per-component power, `f64::to_bits`
+/// in `Component::ALL` order).
+const GOLDEN: &str = include_str!("golden_fig5_grid.txt");
+
+#[test]
+fn optimized_core_matches_v030_golden_grid() {
+    let got = render_grid(false);
+    assert_eq!(
+        got, GOLDEN,
+        "unobserved run diverged from the v0.3.0 golden grid"
+    );
+}
+
+#[test]
+fn observed_runs_match_v030_golden_grid() {
+    let got = render_grid(true);
+    assert_eq!(got, GOLDEN, "attaching an ObsSink perturbed the simulation");
+}
+
+/// Prints the current grid for golden regeneration (see module docs).
+#[test]
+#[ignore = "golden regeneration helper, run with --ignored --nocapture"]
+fn print_golden_grid() {
+    print!("{}", render_grid(false));
+}

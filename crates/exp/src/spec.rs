@@ -568,7 +568,26 @@ impl ExperimentSpec {
     /// `[0, 1]`, empty axes).
     pub fn parse(text: &str) -> Result<ExperimentSpec, SpecError> {
         let doc = toml::parse(text)?;
+        Self::from_document(doc)
+    }
 
+    /// Parses and validates a spec from raw bytes, as read from disk.
+    ///
+    /// Unlike `parse(std::str::from_utf8(..)?)`, invalid UTF-8 is
+    /// reported as a line-numbered [`SpecError::Syntax`] pointing at
+    /// the first bad byte, so spec diagnostics stay uniform even for
+    /// files that are not text at all.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExperimentSpec::parse`] returns, plus a syntax
+    /// error for non-UTF-8 input.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<ExperimentSpec, SpecError> {
+        let doc = toml::parse_bytes(bytes)?;
+        Self::from_document(doc)
+    }
+
+    fn from_document(doc: Document) -> Result<ExperimentSpec, SpecError> {
         // Schema guard: every section and key must be known.
         for (section, entries) in &doc.sections {
             if !SECTIONS.contains(&section.as_str()) {

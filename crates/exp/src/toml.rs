@@ -97,6 +97,50 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Longest line (in bytes) the parser accepts. Specs are hand-written
+/// configuration; a line past this limit is a corrupt or non-spec file
+/// (a binary, a minified blob), and rejecting it early keeps error
+/// messages — which echo the offending line — bounded.
+pub const MAX_LINE_LEN: usize = 4096;
+
+/// Validates `bytes` as UTF-8, reporting the 1-based line of the first
+/// invalid byte instead of panicking or losing position information.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the line that contains the
+/// first invalid byte sequence.
+pub fn validate_utf8(bytes: &[u8]) -> Result<&str, ParseError> {
+    std::str::from_utf8(bytes).map_err(|e| {
+        let offset = e.valid_up_to();
+        let line = bytes[..offset].iter().filter(|&&b| b == b'\n').count() + 1;
+        err(line, format!("invalid UTF-8 at byte offset {offset}"))
+    })
+}
+
+/// Parses a complete document from raw bytes: UTF-8 validation with a
+/// line-numbered error, then [`parse`].
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] — invalid UTF-8 or a syntax error.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Document, ParseError> {
+    parse(validate_utf8(bytes)?)
+}
+
+fn check_line_len(raw: &str, lineno: usize) -> Result<(), ParseError> {
+    if raw.len() > MAX_LINE_LEN {
+        return Err(err(
+            lineno,
+            format!(
+                "line is {} bytes, which exceeds the {MAX_LINE_LEN}-byte limit",
+                raw.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
@@ -228,6 +272,7 @@ pub fn parse(text: &str) -> Result<Document, ParseError> {
     let mut lines = text.lines().enumerate().peekable();
     while let Some((idx, raw)) = lines.next() {
         let lineno = idx + 1;
+        check_line_len(raw, lineno)?;
         let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
@@ -269,9 +314,10 @@ pub fn parse(text: &str) -> Result<Document, ParseError> {
         // Multi-line array: keep consuming lines until brackets balance.
         if rhs.starts_with('[') {
             while !balanced(&rhs) {
-                let Some((_, next)) = lines.next() else {
+                let Some((next_idx, next)) = lines.next() else {
                     return Err(err(lineno, format!("unterminated array for key `{key}`")));
                 };
+                check_line_len(next, next_idx + 1)?;
                 rhs.push(' ');
                 rhs.push_str(strip_comment(next).trim());
             }

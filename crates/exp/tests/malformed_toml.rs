@@ -1,0 +1,183 @@
+//! Malformed-input tests for the experiment-spec TOML reader: truncated
+//! tables, duplicate keys, non-UTF-8 bytes, and oversized lines must all
+//! come back as typed, line-numbered [`SpecError`]s — never a panic.
+//!
+//! The final property test feeds arbitrary byte soup through the full
+//! `ExperimentSpec::parse_bytes` path to pin the never-panic guarantee.
+
+use orion_exp::spec::ExperimentSpec;
+use orion_exp::toml::{self, MAX_LINE_LEN};
+use orion_exp::SpecError;
+use proptest::prelude::*;
+
+/// A spec that parses cleanly, used as the base for mutations.
+const VALID: &str = "\
+[experiment]
+name = \"fig5\"
+
+[grid]
+presets = [\"vc64\"]
+rates = [0.05]
+";
+
+fn syntax_line(result: Result<ExperimentSpec, SpecError>) -> usize {
+    match result {
+        Err(SpecError::Syntax(e)) => e.line,
+        other => panic!("expected SpecError::Syntax, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_base_spec_parses() {
+    ExperimentSpec::parse(VALID).expect("base spec must be valid");
+}
+
+#[test]
+fn truncated_section_header_is_line_numbered() {
+    // File cut off mid-header: `[grid` without the closing bracket.
+    let truncated = "[experiment]\nname = \"x\"\n[grid\n";
+    assert_eq!(syntax_line(ExperimentSpec::parse(truncated)), 3);
+}
+
+#[test]
+fn truncated_array_at_eof_is_line_numbered() {
+    // File cut off inside a multi-line array.
+    let truncated = "[experiment]\nname = \"x\"\n[grid]\nrates = [0.05,
+  0.06,
+";
+    let e = ExperimentSpec::parse(truncated).unwrap_err();
+    match e {
+        SpecError::Syntax(e) => {
+            assert_eq!(e.line, 4, "error points at the array's opening line");
+            assert!(e.message.contains("unterminated array"), "{e}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_string_at_eof_is_line_numbered() {
+    let truncated = "[experiment]\nname = \"fig5\n";
+    assert_eq!(syntax_line(ExperimentSpec::parse(truncated)), 2);
+}
+
+#[test]
+fn duplicate_key_is_rejected_with_second_line() {
+    let dup = "[experiment]\nname = \"a\"\nname = \"b\"\n";
+    let e = ExperimentSpec::parse(dup).unwrap_err();
+    match e {
+        SpecError::Syntax(e) => {
+            assert_eq!(e.line, 3);
+            assert!(e.message.contains("duplicate key"), "{e}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_section_is_rejected_with_second_line() {
+    let dup = "[experiment]\nname = \"a\"\n[experiment]\n";
+    let e = ExperimentSpec::parse(dup).unwrap_err();
+    match e {
+        SpecError::Syntax(e) => {
+            assert_eq!(e.line, 3);
+            assert!(e.message.contains("duplicate section"), "{e}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_utf8_input_reports_the_offending_line() {
+    // Two clean lines, then an invalid byte on line 3.
+    let mut bytes = b"[experiment]\nname = \"x\"\n".to_vec();
+    bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+    let e = ExperimentSpec::parse_bytes(&bytes).unwrap_err();
+    match e {
+        SpecError::Syntax(e) => {
+            assert_eq!(e.line, 3);
+            assert!(e.message.contains("invalid UTF-8"), "{e}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_utf8_truncated_multibyte_sequence_is_rejected() {
+    // A UTF-8 sequence cut in half at EOF (file truncated mid-char).
+    let mut bytes = VALID.as_bytes().to_vec();
+    bytes.push(0xE2); // first byte of a 3-byte sequence, rest missing
+    assert!(matches!(
+        ExperimentSpec::parse_bytes(&bytes),
+        Err(SpecError::Syntax(_))
+    ));
+}
+
+#[test]
+fn valid_utf8_bytes_round_trip_through_parse_bytes() {
+    let spec = ExperimentSpec::parse_bytes(VALID.as_bytes()).expect("valid");
+    assert_eq!(spec.name, "fig5");
+}
+
+#[test]
+fn oversized_line_is_rejected_with_its_line_number() {
+    let long = "x".repeat(MAX_LINE_LEN + 1);
+    let doc = format!("[experiment]\nname = \"a\"\n# {long}\n");
+    let e = ExperimentSpec::parse(&doc).unwrap_err();
+    match e {
+        SpecError::Syntax(e) => {
+            assert_eq!(e.line, 3);
+            assert!(e.message.contains("exceeds"), "{e}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_array_continuation_line_is_rejected() {
+    let long = "0.1, ".repeat(MAX_LINE_LEN / 4);
+    let doc = format!("[grid]\nrate = [\n{long}\n]\n");
+    let e = toml::parse(&doc).unwrap_err();
+    assert_eq!(e.line, 3);
+    assert!(e.message.contains("exceeds"), "{e}");
+}
+
+#[test]
+fn line_at_exactly_the_limit_is_accepted() {
+    // `# ` + padding to exactly MAX_LINE_LEN bytes.
+    let comment = format!("# {}", "y".repeat(MAX_LINE_LEN - 2));
+    assert_eq!(comment.len(), MAX_LINE_LEN);
+    let doc = format!("{comment}\n{VALID}");
+    ExperimentSpec::parse(&doc).expect("limit is inclusive");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup never panics the full parse path: every
+    /// outcome is `Ok` or a typed `SpecError`.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = ExperimentSpec::parse_bytes(&bytes);
+    }
+
+    /// Mutating a valid spec (truncation + one byte stomped) never
+    /// panics either — this explores the "almost valid" space where
+    /// parsers tend to index out of bounds.
+    #[test]
+    fn mutated_valid_spec_never_panics(
+        cut in 0usize..64,
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        if !bytes.is_empty() {
+            let at = pos % bytes.len();
+            bytes[at] = byte;
+        }
+        let _ = ExperimentSpec::parse_bytes(&bytes);
+    }
+}

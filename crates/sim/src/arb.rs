@@ -71,8 +71,9 @@ impl FunctionalArbiter {
 #[derive(Debug, Clone)]
 pub struct MatrixArbiter {
     requesters: usize,
-    /// Row-major upper-triangle-free full matrix (diagonal unused).
-    beats: Vec<bool>,
+    /// Row `i` is a bitmask: bit `j` set means `i` beats `j` (diagonal
+    /// bit unused, always clear).
+    beats: Vec<u128>,
     prev_requests: u128,
 }
 
@@ -87,12 +88,15 @@ impl MatrixArbiter {
             (2..=128).contains(&requesters),
             "requesters must be in 2..=128"
         );
-        let mut beats = vec![false; requesters * requesters];
-        for i in 0..requesters {
-            for j in (i + 1)..requesters {
-                beats[i * requesters + j] = true; // lower index starts ahead
-            }
-        }
+        let full = if requesters == 128 {
+            u128::MAX
+        } else {
+            (1u128 << requesters) - 1
+        };
+        // Lower index starts ahead: row i beats everyone above it.
+        let beats = (0..requesters)
+            .map(|i| full & !((1u128 << (i + 1)) - 1))
+            .collect();
         MatrixArbiter {
             requesters,
             beats,
@@ -100,33 +104,37 @@ impl MatrixArbiter {
         }
     }
 
-    fn beats(&self, i: usize, j: usize) -> bool {
-        self.beats[i * self.requesters + j]
-    }
-
     /// One arbitration round.
     pub fn arbitrate(&mut self, requests: u128) -> Grant {
         let toggles = (requests ^ self.prev_requests).count_ones();
         let new = (requests & !self.prev_requests).count_ones();
         self.prev_requests = requests;
-        let winner = (0..self.requesters).find(|&i| {
-            requests & (1 << i) != 0
-                && (0..self.requesters)
-                    .all(|j| j == i || requests & (1 << j) == 0 || self.beats(i, j))
-        });
+        // The winner beats every other requester: its row covers the
+        // request mask (minus itself). Checked per set bit in ascending
+        // order — the same visit order as a full scan.
+        let winner = {
+            let mut bits = requests;
+            let mut found = None;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if requests & !(self.beats[i] | (1u128 << i)) == 0 {
+                    found = Some(i);
+                    break;
+                }
+            }
+            found
+        };
         let mut flips = 0;
         if let Some(g) = winner {
-            // Granted requester drops below everyone else.
+            // Granted requester drops below everyone else: row g loses
+            // every beat it held, and every other row gains its bit.
+            flips += self.beats[g].count_ones();
+            self.beats[g] = 0;
+            let gbit = 1u128 << g;
             for j in 0..self.requesters {
-                if j == g {
-                    continue;
-                }
-                if self.beats(g, j) {
-                    self.beats[g * self.requesters + j] = false;
-                    flips += 1;
-                }
-                if !self.beats(j, g) {
-                    self.beats[j * self.requesters + g] = true;
+                if j != g && self.beats[j] & gbit == 0 {
+                    self.beats[j] |= gbit;
                     flips += 1;
                 }
             }
@@ -174,9 +182,19 @@ impl RoundRobinArbiter {
         let toggles = (requests ^ self.prev_requests).count_ones();
         let new = (requests & !self.prev_requests).count_ones();
         self.prev_requests = requests;
-        let winner = (0..self.requesters)
-            .map(|k| (self.next + k) % self.requesters)
-            .find(|&i| requests & (1 << i) != 0);
+        // First requester at or after the token, wrapping — found with
+        // two trailing-zero counts instead of a rotating scan (request
+        // masks never set bits at or above `requesters`).
+        let winner = if requests == 0 {
+            None
+        } else {
+            let at_or_after = requests >> self.next;
+            if at_or_after != 0 {
+                Some(self.next + at_or_after.trailing_zeros() as usize)
+            } else {
+                Some(requests.trailing_zeros() as usize)
+            }
+        };
         let mut flips = 0;
         if let Some(g) = winner {
             let new_next = (g + 1) % self.requesters;

@@ -19,6 +19,10 @@
 //! * **Energy-ledger sanity** — accumulated energy is finite and,
 //!   between checks of the same [`InvariantAuditor`], never decreases
 //!   (energy is charged per event and only ever added).
+//! * **Arena accounting** — the generational flit arena's live count
+//!   matches the flits the engine accounts for in source queues and on
+//!   the wire (a leaked or double-freed slot that slipped past the
+//!   per-handle generation checks).
 //!
 //! Auditing is read-only: a healthy run audited every cycle produces
 //! bit-identical results to the same run unaudited.
@@ -84,6 +88,17 @@ pub enum AuditViolation {
         /// Total now, in joules.
         current: f64,
     },
+    /// The flit arena's live count disagrees with the number of flits
+    /// the engine believes are in source queues or on the wire — an
+    /// arena slot was leaked or double-freed without tripping a
+    /// generation check.
+    ArenaAccounting {
+        /// Flits the arena holds.
+        live: u64,
+        /// Flits the engine accounts for in source queues and the
+        /// flit wheel.
+        expected: u64,
+    },
 }
 
 impl AuditViolation {
@@ -95,6 +110,7 @@ impl AuditViolation {
             AuditViolation::OccupancyOverflow { .. } => "occupancy-overflow",
             AuditViolation::EnergyNotFinite { .. } => "energy-not-finite",
             AuditViolation::EnergyNonMonotonic { .. } => "energy-non-monotonic",
+            AuditViolation::ArenaAccounting { .. } => "arena-accounting",
         }
     }
 }
@@ -140,6 +156,11 @@ impl fmt::Display for AuditViolation {
             AuditViolation::EnergyNonMonotonic { previous, current } => write!(
                 f,
                 "energy ledger decreased: {previous} J at last audit, {current} J now"
+            ),
+            AuditViolation::ArenaAccounting { live, expected } => write!(
+                f,
+                "flit arena out of sync: {live} live slots but the engine \
+                 accounts for {expected} flits in sources and on the wire"
             ),
         }
     }

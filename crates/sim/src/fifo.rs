@@ -6,29 +6,48 @@
 //! the new value against the *old contents of the slot being
 //! overwritten*). [`FlitFifo`] mirrors the SRAM ring so both are
 //! computed exactly from the 64-bit payload samples.
-
-use std::collections::VecDeque;
+//!
+//! Storage is a fixed-capacity ring buffer allocated once at
+//! construction — the steady-state push/pop path never touches the
+//! allocator (the hot-loop contract of the allocation-free core; see
+//! docs/PERFORMANCE.md). The original `VecDeque`-backed implementation
+//! is preserved as [`reference::VecFlitFifo`], and a property test pins
+//! the ring observationally equivalent to it under arbitrary
+//! push/pop/peek sequences.
+//!
+//! **Bit-identity invariant**: the SRAM mirror (`slots`, `wr_ptr`,
+//! `last_bus`) is deliberately decoupled from the logical queue — a
+//! push that bypasses an empty queue must *not* advance the mirror,
+//! because no SRAM write happened. Both implementations share this
+//! behaviour exactly.
 
 use orion_power::WriteActivity;
 
 use crate::energy::scaled_hamming;
-use crate::flit::Flit;
 
 /// A bounded FIFO of flits that reports exact per-write switching
 /// activity.
 ///
+/// Generic over the stored item so the routers can queue lightweight
+/// [`FlitRef`](crate::arena::FlitRef) arena handles while tests and
+/// benches queue owned [`Flit`](crate::flit::Flit)s; the 64-bit payload
+/// sample that drives the SRAM activity model is passed explicitly on
+/// push.
+///
 /// ```
 /// use orion_sim::fifo::FlitFifo;
-/// let fifo = FlitFifo::new(4, 64);
+/// let fifo: FlitFifo<u64> = FlitFifo::new(4, 64);
 /// assert_eq!(fifo.free(), 4);
 /// assert!(fifo.is_empty());
 /// ```
 #[derive(Debug, Clone)]
-pub struct FlitFifo {
-    queue: VecDeque<Flit>,
-    /// Whether each queued flit was physically written to the SRAM
-    /// (false = bypassed an empty queue).
-    stored: VecDeque<bool>,
+pub struct FlitFifo<T> {
+    /// Ring storage: `capacity` slots, logical head at `head`. Each
+    /// occupied slot holds the item and whether it was physically
+    /// written to the SRAM (false = bypassed an empty queue).
+    ring: Box<[Option<(T, bool)>]>,
+    head: usize,
+    len: usize,
     capacity: usize,
     /// Flit width in bits (for activity scaling).
     width: u32,
@@ -40,18 +59,19 @@ pub struct FlitFifo {
     last_bus: u64,
 }
 
-impl FlitFifo {
+impl<T> FlitFifo<T> {
     /// Creates an empty FIFO of `capacity` flits of `width` bits.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` or `width` is zero.
-    pub fn new(capacity: usize, width: u32) -> FlitFifo {
+    pub fn new(capacity: usize, width: u32) -> FlitFifo<T> {
         assert!(capacity > 0, "fifo capacity must be positive");
         assert!(width > 0, "flit width must be positive");
         FlitFifo {
-            queue: VecDeque::with_capacity(capacity),
-            stored: VecDeque::with_capacity(capacity),
+            ring: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
             capacity,
             width,
             slots: vec![0; capacity],
@@ -62,17 +82,17 @@ impl FlitFifo {
 
     /// Number of flits currently buffered.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// `true` when no flits are buffered.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
     }
 
     /// Free slots.
     pub fn free(&self) -> usize {
-        self.capacity - self.queue.len()
+        self.capacity - self.len
     }
 
     /// Total capacity in flits.
@@ -80,9 +100,42 @@ impl FlitFifo {
         self.capacity
     }
 
-    /// The flit at the head of the queue, if any.
-    pub fn head(&self) -> Option<&Flit> {
-        self.queue.front()
+    /// The item at the head of the queue, if any.
+    pub fn head(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ring[self.head].as_ref().map(|(item, _)| item)
+    }
+
+    /// Ring index of the `offset`-th queued flit.
+    fn slot_index(&self, offset: usize) -> usize {
+        let i = self.head + offset;
+        if i >= self.capacity {
+            i - self.capacity
+        } else {
+            i
+        }
+    }
+
+    fn enqueue(&mut self, item: T, stored: bool) {
+        let tail = self.slot_index(self.len);
+        debug_assert!(self.ring[tail].is_none(), "tail slot must be free");
+        self.ring[tail] = Some((item, stored));
+        self.len += 1;
+    }
+
+    /// Computes the SRAM write activity for `payload` and advances the
+    /// mirror (write bus + slot contents + write pointer).
+    fn mirror_write(&mut self, payload: u64) -> WriteActivity {
+        let activity = WriteActivity {
+            switching_bitlines: scaled_hamming(payload, self.last_bus, self.width),
+            switching_cells: scaled_hamming(payload, self.slots[self.wr_ptr], self.width),
+        };
+        self.slots[self.wr_ptr] = payload;
+        self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
+        self.last_bus = payload;
+        activity
     }
 
     /// Pushes a flit. Returns `Some(activity)` when the flit was
@@ -94,27 +147,17 @@ impl FlitFifo {
     ///
     /// Panics if the FIFO is full — flow control must prevent this; a
     /// violation indicates a credit-accounting bug.
-    pub fn push(&mut self, flit: Flit) -> Option<WriteActivity> {
+    pub fn push(&mut self, item: T, payload: u64) -> Option<WriteActivity> {
         assert!(
-            self.queue.len() < self.capacity,
+            self.len < self.capacity,
             "fifo overflow: credit flow control violated"
         );
-        if self.queue.is_empty() {
-            self.queue.push_back(flit);
-            self.stored.push_back(false);
+        if self.len == 0 {
+            self.enqueue(item, false);
             return None;
         }
-        let new = flit.payload;
-        let old_in_slot = self.slots[self.wr_ptr];
-        let activity = WriteActivity {
-            switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
-            switching_cells: scaled_hamming(new, old_in_slot, self.width),
-        };
-        self.slots[self.wr_ptr] = new;
-        self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
-        self.last_bus = new;
-        self.queue.push_back(flit);
-        self.stored.push_back(true);
+        let activity = self.mirror_write(payload);
+        self.enqueue(item, true);
         activity.into()
     }
 
@@ -125,46 +168,192 @@ impl FlitFifo {
     /// # Panics
     ///
     /// Panics if the FIFO is full.
-    pub fn push_stored(&mut self, flit: Flit) -> WriteActivity {
+    pub fn push_stored(&mut self, item: T, payload: u64) -> WriteActivity {
         assert!(
-            self.queue.len() < self.capacity,
+            self.len < self.capacity,
             "fifo overflow: credit flow control violated"
         );
-        let new = flit.payload;
-        let old_in_slot = self.slots[self.wr_ptr];
-        let activity = WriteActivity {
-            switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
-            switching_cells: scaled_hamming(new, old_in_slot, self.width),
-        };
-        self.slots[self.wr_ptr] = new;
-        self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
-        self.last_bus = new;
-        self.queue.push_back(flit);
-        self.stored.push_back(true);
+        let activity = self.mirror_write(payload);
+        self.enqueue(item, true);
         activity
     }
 
     /// Pops the head flit, reporting whether an SRAM read is due
     /// (`false` for flits that bypassed the array). Reads have no
     /// data-dependent activity factor (Table 2).
-    pub fn pop(&mut self) -> Option<(Flit, bool)> {
-        let flit = self.queue.pop_front()?;
-        let stored = self.stored.pop_front().expect("stored flags in sync");
-        Some((flit, stored))
+    pub fn pop(&mut self) -> Option<(T, bool)> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.ring[self.head].take().expect("head slot is occupied");
+        self.head = (self.head + 1) % self.capacity;
+        self.len -= 1;
+        Some(entry)
     }
 
-    /// Iterates over the buffered flits from head to tail.
-    pub fn iter(&self) -> impl Iterator<Item = &Flit> {
-        self.queue.iter()
+    /// Iterates over the buffered items from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |offset| {
+            let (item, _) = self.ring[self.slot_index(offset)]
+                .as_ref()
+                .expect("queued slot is occupied");
+            item
+        })
+    }
+}
+
+/// The pre-ring reference implementation, kept for differential
+/// property testing.
+pub mod reference {
+    use std::collections::VecDeque;
+
+    use orion_power::WriteActivity;
+
+    use crate::energy::scaled_hamming;
+
+    /// The original `VecDeque`-backed flit FIFO (v0.3.0 and earlier).
+    ///
+    /// Behaviourally identical to [`FlitFifo`](super::FlitFifo) — the
+    /// property suite in `tests/properties.rs` drives both with
+    /// arbitrary push/pop/peek sequences and asserts every observable
+    /// (contents, order, activities, bypass flags) matches. Not used by
+    /// the simulator.
+    #[derive(Debug, Clone)]
+    pub struct VecFlitFifo<T> {
+        queue: VecDeque<T>,
+        stored: VecDeque<bool>,
+        capacity: usize,
+        width: u32,
+        slots: Vec<u64>,
+        wr_ptr: usize,
+        last_bus: u64,
+    }
+
+    impl<T> VecFlitFifo<T> {
+        /// Creates an empty FIFO of `capacity` flits of `width` bits.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` or `width` is zero.
+        pub fn new(capacity: usize, width: u32) -> VecFlitFifo<T> {
+            assert!(capacity > 0, "fifo capacity must be positive");
+            assert!(width > 0, "flit width must be positive");
+            VecFlitFifo {
+                queue: VecDeque::with_capacity(capacity),
+                stored: VecDeque::with_capacity(capacity),
+                capacity,
+                width,
+                slots: vec![0; capacity],
+                wr_ptr: 0,
+                last_bus: 0,
+            }
+        }
+
+        /// Number of flits currently buffered.
+        pub fn len(&self) -> usize {
+            self.queue.len()
+        }
+
+        /// `true` when no flits are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.queue.is_empty()
+        }
+
+        /// Free slots.
+        pub fn free(&self) -> usize {
+            self.capacity - self.queue.len()
+        }
+
+        /// The item at the head of the queue, if any.
+        pub fn head(&self) -> Option<&T> {
+            self.queue.front()
+        }
+
+        /// See [`FlitFifo::push`](super::FlitFifo::push).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the FIFO is full.
+        pub fn push(&mut self, item: T, payload: u64) -> Option<WriteActivity> {
+            assert!(
+                self.queue.len() < self.capacity,
+                "fifo overflow: credit flow control violated"
+            );
+            if self.queue.is_empty() {
+                self.queue.push_back(item);
+                self.stored.push_back(false);
+                return None;
+            }
+            let new = payload;
+            let old_in_slot = self.slots[self.wr_ptr];
+            let activity = WriteActivity {
+                switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
+                switching_cells: scaled_hamming(new, old_in_slot, self.width),
+            };
+            self.slots[self.wr_ptr] = new;
+            self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
+            self.last_bus = new;
+            self.queue.push_back(item);
+            self.stored.push_back(true);
+            activity.into()
+        }
+
+        /// See [`FlitFifo::push_stored`](super::FlitFifo::push_stored).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the FIFO is full.
+        pub fn push_stored(&mut self, item: T, payload: u64) -> WriteActivity {
+            assert!(
+                self.queue.len() < self.capacity,
+                "fifo overflow: credit flow control violated"
+            );
+            let new = payload;
+            let old_in_slot = self.slots[self.wr_ptr];
+            let activity = WriteActivity {
+                switching_bitlines: scaled_hamming(new, self.last_bus, self.width),
+                switching_cells: scaled_hamming(new, old_in_slot, self.width),
+            };
+            self.slots[self.wr_ptr] = new;
+            self.wr_ptr = (self.wr_ptr + 1) % self.capacity;
+            self.last_bus = new;
+            self.queue.push_back(item);
+            self.stored.push_back(true);
+            activity
+        }
+
+        /// See [`FlitFifo::pop`](super::FlitFifo::pop).
+        pub fn pop(&mut self) -> Option<(T, bool)> {
+            let item = self.queue.pop_front()?;
+            let stored = self.stored.pop_front().expect("stored flags in sync");
+            Some((item, stored))
+        }
+
+        /// Iterates over the buffered items from head to tail.
+        pub fn iter(&self) -> impl Iterator<Item = &T> {
+            self.queue.iter()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{make_packet, PacketId};
+    use crate::flit::{make_packet, Flit, PacketId};
     use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
     use std::sync::Arc;
+
+    /// Push an owned flit, deriving the activity payload from it (the
+    /// pre-generic API shape, used throughout these tests).
+    fn push(fifo: &mut FlitFifo<Flit>, f: Flit) -> Option<WriteActivity> {
+        let p = f.payload;
+        fifo.push(f, p)
+    }
+
+    fn push_stored(fifo: &mut FlitFifo<Flit>, f: Flit) -> WriteActivity {
+        let p = f.payload;
+        fifo.push_stored(f, p)
+    }
 
     fn flits(n: u32) -> Vec<Flit> {
         let t = Topology::torus(&[4, 4]).unwrap();
@@ -176,7 +365,7 @@ mod tests {
     fn fifo_order_preserved() {
         let mut fifo = FlitFifo::new(8, 64);
         for f in flits(5) {
-            fifo.push(f);
+            push(&mut fifo, f);
         }
         for seq in 0..5 {
             assert_eq!(fifo.pop().unwrap().0.seq, seq);
@@ -190,7 +379,7 @@ mod tests {
         assert_eq!(fifo.free(), 4);
         let fs = flits(3);
         for f in fs {
-            fifo.push(f);
+            push(&mut fifo, f);
         }
         assert_eq!(fifo.len(), 3);
         assert_eq!(fifo.free(), 1);
@@ -203,7 +392,7 @@ mod tests {
     fn overflow_panics() {
         let mut fifo = FlitFifo::new(2, 64);
         for f in flits(3) {
-            fifo.push(f);
+            push(&mut fifo, f);
         }
     }
 
@@ -211,7 +400,7 @@ mod tests {
     fn first_push_to_empty_queue_bypasses() {
         let mut fifo = FlitFifo::new(4, 64);
         let f = &flits(1)[0];
-        assert!(fifo.push(f.clone()).is_none(), "empty queue: bypass");
+        assert!(push(&mut fifo, f.clone()).is_none(), "empty queue: bypass");
         let (_, stored) = fifo.pop().unwrap();
         assert!(!stored, "bypassed flit owes no read");
     }
@@ -220,9 +409,9 @@ mod tests {
     fn second_push_is_stored_with_activity() {
         let mut fifo = FlitFifo::new(4, 64);
         let fs = flits(2);
-        assert!(fifo.push(fs[0].clone()).is_none());
+        assert!(push(&mut fifo, fs[0].clone()).is_none());
         let expect = fs[1].payload.count_ones() as f64;
-        let act = fifo.push(fs[1].clone()).expect("nonempty queue stores");
+        let act = push(&mut fifo, fs[1].clone()).expect("nonempty queue stores");
         assert_eq!(act.switching_bitlines, expect);
         assert_eq!(act.switching_cells, expect);
         assert!(!fifo.pop().unwrap().1);
@@ -233,7 +422,7 @@ mod tests {
     fn push_stored_always_charges() {
         let mut fifo = FlitFifo::new(4, 64);
         let f = &flits(1)[0];
-        let act = fifo.push_stored(f.clone());
+        let act = push_stored(&mut fifo, f.clone());
         assert!(act.switching_bitlines > 0.0);
         assert!(fifo.pop().unwrap().1);
     }
@@ -246,10 +435,10 @@ mod tests {
         // Fill all four physical slots with the payload, then one more
         // write into a slot that already holds it.
         for _ in 0..5 {
-            fifo.push_stored(f.clone());
+            push_stored(&mut fifo, f.clone());
             fifo.pop();
         }
-        let act = fifo.push_stored(f.clone());
+        let act = push_stored(&mut fifo, f.clone());
         assert_eq!(act.switching_bitlines, 0.0);
         assert_eq!(act.switching_cells, 0.0);
     }
@@ -260,8 +449,8 @@ mod tests {
         let mut narrow = FlitFifo::new(4, 64);
         let mut wide = FlitFifo::new(4, 128);
         let f = &flits(1)[0];
-        let a64 = narrow.push_stored(f.clone());
-        let a128 = wide.push_stored(f.clone());
+        let a64 = push_stored(&mut narrow, f.clone());
+        let a128 = push_stored(&mut wide, f.clone());
         assert!((a128.switching_bitlines - 2.0 * a64.switching_bitlines).abs() < 1e-12);
     }
 
@@ -269,10 +458,51 @@ mod tests {
     fn head_peeks_without_removing() {
         let mut fifo = FlitFifo::new(4, 64);
         for f in flits(2) {
-            fifo.push(f);
+            push(&mut fifo, f);
         }
         assert_eq!(fifo.head().unwrap().seq, 0);
         assert_eq!(fifo.len(), 2);
         assert_eq!(fifo.iter().count(), 2);
+    }
+
+    #[test]
+    fn ring_wraps_many_times_without_reordering() {
+        // Push/pop far past the capacity so head and write pointer wrap
+        // repeatedly; order and mirror state must track throughout.
+        let mut ring = FlitFifo::new(3, 64);
+        let mut reference = reference::VecFlitFifo::new(3, 64);
+        let fs = flits(8);
+        let mut next = 0usize;
+        for round in 0..50 {
+            if round % 3 != 2 && ring.free() > 0 {
+                let f = fs[next % fs.len()].clone();
+                next += 1;
+                let p = f.payload;
+                let a = ring.push(f.clone(), p);
+                let b = reference.push(f, p);
+                assert_eq!(a.is_some(), b.is_some());
+                if let (Some(a), Some(b)) = (a, b) {
+                    assert_eq!(a.switching_bitlines, b.switching_bitlines);
+                    assert_eq!(a.switching_cells, b.switching_cells);
+                }
+            } else {
+                let a = ring.pop();
+                let b = reference.pop();
+                match (a, b) {
+                    (Some((fa, sa)), Some((fb, sb))) => {
+                        assert_eq!(fa.payload, fb.payload);
+                        assert_eq!(fa.seq, fb.seq);
+                        assert_eq!(sa, sb);
+                    }
+                    (None, None) => {}
+                    other => panic!("ring/reference diverged: {other:?}"),
+                }
+            }
+            assert_eq!(ring.len(), reference.len());
+            assert_eq!(
+                ring.head().map(|f| f.payload),
+                reference.head().map(|f| f.payload)
+            );
+        }
     }
 }

@@ -93,6 +93,45 @@ pub fn payload_for(packet: PacketId, seq: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Builds the flits of one packet, handing each to `sink` in sequence
+/// order. The closure form lets the engine store flits straight into
+/// the flit arena without materialising a per-packet `Vec` (the hot
+/// injection path); [`make_packet`] wraps it for callers that want one.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn make_packet_each(
+    id: PacketId,
+    src: NodeId,
+    dst: NodeId,
+    route: &Arc<Route>,
+    len: u32,
+    created: u64,
+    tagged: bool,
+    mut sink: impl FnMut(Flit),
+) {
+    assert!(len > 0, "packets have at least one flit");
+    for seq in 0..len {
+        sink(Flit {
+            packet: id,
+            seq,
+            packet_len: len,
+            src,
+            dst,
+            route: Arc::clone(route),
+            hop: 0,
+            payload: payload_for(id, seq),
+            created,
+            ready: created,
+            vc_class: 0,
+            target_vc: 0,
+            tagged,
+        });
+    }
+}
+
 /// Builds the flits of one packet.
 ///
 /// # Panics
@@ -108,24 +147,11 @@ pub fn make_packet(
     created: u64,
     tagged: bool,
 ) -> Vec<Flit> {
-    assert!(len > 0, "packets have at least one flit");
-    (0..len)
-        .map(|seq| Flit {
-            packet: id,
-            seq,
-            packet_len: len,
-            src,
-            dst,
-            route: Arc::clone(&route),
-            hop: 0,
-            payload: payload_for(id, seq),
-            created,
-            ready: created,
-            vc_class: 0,
-            target_vc: 0,
-            tagged,
-        })
-        .collect()
+    let mut flits = Vec::with_capacity(len as usize);
+    make_packet_each(id, src, dst, &route, len, created, tagged, |f| {
+        flits.push(f)
+    });
+    flits
 }
 
 #[cfg(test)]

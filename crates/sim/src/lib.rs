@@ -8,6 +8,8 @@
 //! behavior". This crate mirrors that decomposition:
 //!
 //! * [`flit`] — flits, packets and deterministic payloads,
+//! * [`arena`] — the generational flit arena backing the
+//!   allocation-free scheduler hot path,
 //! * [`fifo`] — flit FIFOs that report exact SRAM switching activity,
 //! * [`arb`] — functional matrix / round-robin arbiters that report
 //!   the switching statistics their power models charge,
@@ -83,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod arb;
+pub mod arena;
 pub mod audit;
 pub mod energy;
 pub mod fifo;
@@ -93,6 +96,7 @@ pub mod stats;
 pub mod watchdog;
 
 pub use arb::{FunctionalArbiter, Grant, MatrixArbiter, RoundRobinArbiter};
+pub use arena::{FlitArena, FlitRef};
 pub use audit::{AuditViolation, InvariantAuditor};
 pub use energy::{scaled_hamming, Component, EnergyLedger, PowerModels};
 pub use fifo::FlitFifo;

@@ -22,9 +22,10 @@ use orion_net::{
 };
 use orion_obs::{NodeState, ObsSink};
 
+use crate::arena::{FlitArena, FlitRef};
 use crate::audit::AuditViolation;
 use crate::energy::{EnergyLedger, PowerModels};
-use crate::flit::{make_packet, Flit, PacketId};
+use crate::flit::{make_packet_each, PacketId};
 use crate::router::central::{CentralRouter, CentralRouterSpec};
 use crate::router::vc::{VcRouter, VcRouterSpec};
 use crate::router::StepOutput;
@@ -73,17 +74,19 @@ enum AnyRouter {
 }
 
 impl AnyRouter {
+    #[allow(clippy::too_many_arguments)]
     fn accept(
         &mut self,
-        flit: Flit,
+        flit: FlitRef,
         port: usize,
         vc: usize,
         cycle: u64,
         ledger: &mut EnergyLedger,
+        arena: &mut FlitArena,
     ) {
         match self {
-            AnyRouter::Vc(r) => r.accept(flit, port, vc, cycle, ledger),
-            AnyRouter::Central(r) => r.accept(flit, port, vc, cycle, ledger),
+            AnyRouter::Vc(r) => r.accept(flit, port, vc, cycle, ledger, arena),
+            AnyRouter::Central(r) => r.accept(flit, port, vc, cycle, ledger, arena),
         }
     }
 
@@ -94,15 +97,17 @@ impl AnyRouter {
         }
     }
 
-    fn step(
+    fn step_into(
         &mut self,
         cycle: u64,
         ledger: &mut EnergyLedger,
         obs: Option<&mut ObsSink>,
-    ) -> StepOutput {
+        out: &mut StepOutput,
+        arena: &mut FlitArena,
+    ) {
         match self {
-            AnyRouter::Vc(r) => r.step_observed(cycle, ledger, obs),
-            AnyRouter::Central(r) => r.step_observed(cycle, ledger, obs),
+            AnyRouter::Vc(r) => r.step_into(cycle, ledger, obs, out, arena),
+            AnyRouter::Central(r) => r.step_into(cycle, ledger, obs, out, arena),
         }
     }
 
@@ -145,8 +150,10 @@ impl AnyRouter {
     }
 }
 
-/// A flit in flight on a link (or to the local sink).
-#[derive(Debug, Clone)]
+/// A flit in flight on a link (or to the local sink). Carries an arena
+/// handle, not the flit itself — only 8 bytes of payload move through
+/// the scheduler.
+#[derive(Debug, Clone, Copy)]
 struct FlitArrival {
     dest: usize,
     in_port: usize,
@@ -154,7 +161,7 @@ struct FlitArrival {
     crossed_dim: Option<u8>,
     wraparound: bool,
     to_sink: bool,
-    flit: Flit,
+    flit: FlitRef,
 }
 
 /// A credit in flight back to an upstream router.
@@ -187,12 +194,17 @@ impl<T> Wheel<T> {
         self.slots[(cycle as usize) % len].push(item);
     }
 
-    /// Takes all events due at `cycle` and advances the wheel base.
-    fn take(&mut self, cycle: u64) -> Vec<T> {
+    /// Moves all events due at `cycle` into `out` (cleared first) and
+    /// advances the wheel base. The slot and `out` swap backing
+    /// buffers, so draining every cycle with the same scratch vector
+    /// ping-pongs two allocations forever instead of allocating fresh
+    /// ones (the old `mem::take` scheduler's per-cycle cost).
+    fn drain_into(&mut self, cycle: u64, out: &mut Vec<T>) {
         debug_assert_eq!(cycle, self.base, "wheel must be drained in order");
         self.base = cycle + 1;
         let len = self.slots.len();
-        std::mem::take(&mut self.slots[(cycle as usize) % len])
+        out.clear();
+        std::mem::swap(&mut self.slots[(cycle as usize) % len], out);
     }
 
     fn len(&self) -> usize {
@@ -200,11 +212,11 @@ impl<T> Wheel<T> {
     }
 }
 
-/// Per-node source state: an unbounded packet queue feeding the
-/// injection port.
+/// Per-node source state: an unbounded packet queue (of arena handles)
+/// feeding the injection port.
 #[derive(Debug, Default)]
 struct Source {
-    queue: std::collections::VecDeque<Flit>,
+    queue: std::collections::VecDeque<FlitRef>,
     /// The input VC the current packet streams into.
     current_vc: usize,
     /// Flits of the current packet still to transfer.
@@ -235,8 +247,18 @@ pub struct Network {
     spec: NetworkSpec,
     routers: Vec<AnyRouter>,
     ledger: EnergyLedger,
+    /// Backing store for every flit in a source queue or on the wire
+    /// (routers hold their buffered flits in fixed-capacity ring
+    /// FIFOs). Slots recycle through a free list, so after warm-up the
+    /// steady-state loop allocates nothing.
+    arena: FlitArena,
     flit_wheel: Wheel<FlitArrival>,
     credit_wheel: Wheel<CreditArrival>,
+    /// Persistent drain buffers for the wheels and a reusable router
+    /// output — the scratch half of the allocation-free hot loop.
+    flit_scratch: Vec<FlitArrival>,
+    credit_scratch: Vec<CreditArrival>,
+    step_out: StepOutput,
     /// Last payload per (node, out_port) for link switching activity.
     link_last: Vec<u64>,
     /// Flits carried per (node, out_port) since the last measurement
@@ -339,8 +361,12 @@ impl Network {
         Network {
             ledger: EnergyLedger::new(models, n),
             routers,
+            arena: FlitArena::new(),
             flit_wheel: Wheel::new(4),
             credit_wheel: Wheel::new(4),
+            flit_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
+            step_out: StepOutput::new(),
             link_last: vec![0; n * ports],
             link_flits: vec![0; n * ports],
             sources: (0..n).map(|_| Source::default()).collect(),
@@ -576,9 +602,12 @@ impl Network {
                 })
                 .clone()
         };
-        let flits = make_packet(id, src, dst, route, len, self.cycle, tagged);
-        self.audit_enqueued += flits.len() as u64;
-        self.sources[src.0].queue.extend(flits);
+        let arena = &mut self.arena;
+        let queue = &mut self.sources[src.0].queue;
+        make_packet_each(id, src, dst, &route, len, self.cycle, tagged, |flit| {
+            queue.push_back(arena.alloc(flit));
+        });
+        self.audit_enqueued += len as u64;
         id
     }
 
@@ -655,7 +684,7 @@ impl Network {
         for (node, router) in self.routers.iter().enumerate() {
             match router {
                 AnyRouter::Vc(r) => {
-                    for (port, vc, occupancy, head, waiting) in r.occupied_vcs() {
+                    for (port, vc, occupancy, head, waiting) in r.occupied_vcs(&self.arena) {
                         stalled_vcs.push(StalledVc {
                             node,
                             port,
@@ -670,7 +699,7 @@ impl Network {
                     }
                 }
                 AnyRouter::Central(r) => {
-                    for (port, occupancy, head) in r.occupied_inputs() {
+                    for (port, occupancy, head) in r.occupied_inputs(&self.arena) {
                         stalled_vcs.push(StalledVc {
                             node,
                             port,
@@ -725,6 +754,18 @@ impl Network {
             });
         }
 
+        // Arena accounting: the arena backs every flit in the system —
+        // source queues, router buffers (which store arena handles, not
+        // flits), and the flit wheel. A mismatch means a slot leaked or
+        // was recycled twice without tripping a generation check.
+        let expected = in_flight;
+        if self.arena.live() as u64 != expected {
+            violations.push(AuditViolation::ArenaAccounting {
+                live: self.arena.live() as u64,
+                expected,
+            });
+        }
+
         for (node, router) in self.routers.iter().enumerate() {
             match router {
                 AnyRouter::Vc(r) => {
@@ -743,7 +784,7 @@ impl Network {
                             }
                         }
                     }
-                    for (port, vc, occupancy, _, _) in r.occupied_vcs() {
+                    for (port, vc, occupancy, _, _) in r.occupied_vcs(&self.arena) {
                         if occupancy > spec.depth {
                             violations.push(AuditViolation::OccupancyOverflow {
                                 node,
@@ -757,7 +798,7 @@ impl Network {
                 }
                 AnyRouter::Central(r) => {
                     let depth = r.spec().input_depth;
-                    for (port, occupancy, _) in r.occupied_inputs() {
+                    for (port, occupancy, _) in r.occupied_inputs(&self.arena) {
                         if occupancy > depth {
                             violations.push(AuditViolation::OccupancyOverflow {
                                 node,
@@ -809,12 +850,14 @@ impl Network {
     }
 
     fn deliver_flits(&mut self, cycle: u64) {
-        for arrival in self.flit_wheel.take(cycle) {
+        let mut arrivals = std::mem::take(&mut self.flit_scratch);
+        self.flit_wheel.drain_into(cycle, &mut arrivals);
+        for arrival in arrivals.drain(..) {
             if arrival.to_sink {
                 self.eject(arrival.flit, cycle);
                 continue;
             }
-            let mut flit = arrival.flit;
+            let flit = self.arena.get_mut(arrival.flit);
             flit.hop += 1;
             // Dateline class update for torus deadlock avoidance.
             if let Some(crossed) = arrival.crossed_dim {
@@ -830,18 +873,30 @@ impl Network {
                 }
             }
             let vc = flit.target_vc as usize;
-            self.routers[arrival.dest].accept(flit, arrival.in_port, vc, cycle, &mut self.ledger);
+            self.routers[arrival.dest].accept(
+                arrival.flit,
+                arrival.in_port,
+                vc,
+                cycle,
+                &mut self.ledger,
+                &mut self.arena,
+            );
         }
+        self.flit_scratch = arrivals;
     }
 
     fn deliver_credits(&mut self, cycle: u64) {
-        for c in self.credit_wheel.take(cycle) {
+        let mut credits = std::mem::take(&mut self.credit_scratch);
+        self.credit_wheel.drain_into(cycle, &mut credits);
+        for c in credits.drain(..) {
             self.last_credit = cycle;
             self.routers[c.dest].credit(c.out_port, c.vc);
         }
+        self.credit_scratch = credits;
     }
 
-    fn eject(&mut self, flit: Flit, cycle: u64) {
+    fn eject(&mut self, flit: FlitRef, cycle: u64) {
+        let flit = self.arena.take(flit);
         self.stats.flits_delivered += 1;
         self.audit_ejected += 1;
         if let Some(obs) = self.obs.as_deref_mut() {
@@ -876,45 +931,56 @@ impl Network {
         for node in 0..self.routers.len() {
             let vcs = self.routers[node].vcs();
             loop {
-                let Some(front) = self.sources[node].queue.front() else {
+                let Some(&front) = self.sources[node].queue.front() else {
                     break;
                 };
                 if self.sources[node].remaining == 0 {
                     // Start of a new packet: pick the injection VC with
                     // the most free space.
-                    debug_assert!(front.is_head(), "source queue starts at a head flit");
+                    let head = self.arena.get(front);
+                    debug_assert!(head.is_head(), "source queue starts at a head flit");
+                    let len = head.packet_len;
                     let best = (0..vcs)
                         .max_by_key(|&v| self.routers[node].input_free(0, v))
                         .unwrap_or(0);
                     if self.routers[node].input_free(0, best) == 0 {
                         break;
                     }
-                    let len = front.packet_len;
                     self.sources[node].current_vc = best;
                     self.sources[node].remaining = len;
                 } else if self.routers[node].input_free(0, self.sources[node].current_vc) == 0 {
                     break;
                 }
-                let flit = self.sources[node].queue.pop_front().expect("checked front");
+                let handle = self.sources[node].queue.pop_front().expect("checked front");
                 let vc = self.sources[node].current_vc;
                 self.sources[node].remaining -= 1;
                 self.last_progress = cycle;
-                self.routers[node].accept(flit, 0, vc, cycle, &mut self.ledger);
+                self.routers[node].accept(handle, 0, vc, cycle, &mut self.ledger, &mut self.arena);
             }
         }
     }
 
     fn run_routers(&mut self, cycle: u64) {
         let ports = self.spec.topology.ports_per_router();
+        // One StepOutput is reused across every router and cycle (the
+        // take/put-back dance frees `self` for the loop body).
+        let mut out = std::mem::take(&mut self.step_out);
         for node in 0..self.routers.len() {
-            let out = self.routers[node].step(cycle, &mut self.ledger, self.obs.as_deref_mut());
+            self.routers[node].step_into(
+                cycle,
+                &mut self.ledger,
+                self.obs.as_deref_mut(),
+                &mut out,
+                &mut self.arena,
+            );
             if !out.departures.is_empty() {
                 self.last_progress = cycle;
             }
-            for dep in out.departures {
+            for dep in out.departures.drain(..) {
                 if dep.out_port == 0 {
                     // Ejection: one crossbar-traversal cycle, then the
-                    // sink ("immediate ejection").
+                    // sink ("immediate ejection"). The departing flit
+                    // keeps its arena slot until the sink consumes it.
                     self.flit_wheel.schedule(
                         cycle + 1,
                         FlitArrival {
@@ -931,12 +997,15 @@ impl Network {
                 let wire = self.wires[node * ports + dep.out_port]
                     .expect("departures only on wired ports");
                 let key = node * ports + dep.out_port;
+                let f = self.arena.get(dep.flit);
+                let payload = f.payload;
+                let packet = f.packet;
                 self.ledger
-                    .link_traversal(node, self.link_last[key], dep.flit.payload);
-                self.link_last[key] = dep.flit.payload;
+                    .link_traversal(node, self.link_last[key], payload);
+                self.link_last[key] = payload;
                 self.link_flits[key] += 1;
                 if let Some(obs) = self.obs.as_deref_mut() {
-                    obs.link_traversal(node, dep.flit.packet.0, cycle);
+                    obs.link_traversal(node, packet.0, cycle);
                 }
                 self.flit_wheel.schedule(
                     cycle + 2,
@@ -950,7 +1019,7 @@ impl Network {
                     },
                 );
             }
-            for credit in out.credits {
+            for credit in out.credits.drain(..) {
                 if credit.in_port == 0 {
                     // The local source observes buffer occupancy
                     // directly; no credit channel exists.
@@ -985,6 +1054,7 @@ impl Network {
                 );
             }
         }
+        self.step_out = out;
     }
 }
 

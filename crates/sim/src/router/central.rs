@@ -24,6 +24,7 @@
 //! reaching the neighbour at `v+2` (or the sink at `v+1`).
 
 use crate::arb::RoundRobinArbiter;
+use crate::arena::{FlitArena, FlitRef};
 use crate::energy::{scaled_hamming, EnergyLedger};
 use crate::fifo::FlitFifo;
 use crate::flit::Flit;
@@ -77,10 +78,13 @@ impl CentralRouterSpec {
 }
 
 /// A flit staged in the central buffer, readable from `ready`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Staged {
     ready: u64,
-    flit: Flit,
+    flit: FlitRef,
+    /// Payload sample, cached at write time so read-side activity does
+    /// not need an arena lookup.
+    payload: u64,
 }
 
 /// The central-buffered router.
@@ -88,7 +92,7 @@ struct Staged {
 pub struct CentralRouter {
     node: usize,
     spec: CentralRouterSpec,
-    inputs: Vec<FlitFifo>,
+    inputs: Vec<FlitFifo<FlitRef>>,
     /// Logical per-output queues inside the shared memory.
     out_queues: Vec<VecDeque<Staged>>,
     occupancy: usize,
@@ -160,11 +164,16 @@ impl CentralRouter {
 
     /// Snapshot of every occupied input FIFO, for stall diagnostics:
     /// `(port, occupancy, head flit)`.
-    pub fn occupied_inputs(&self) -> impl Iterator<Item = (usize, usize, &Flit)> {
+    pub fn occupied_inputs<'a>(
+        &'a self,
+        arena: &'a FlitArena,
+    ) -> impl Iterator<Item = (usize, usize, &'a Flit)> + 'a {
         self.inputs
             .iter()
             .enumerate()
-            .filter_map(|(port, fifo)| fifo.head().map(|head| (port, fifo.len(), head)))
+            .filter_map(move |(port, fifo)| {
+                fifo.head().map(|&head| (port, fifo.len(), arena.get(head)))
+            })
     }
 
     /// Accepts a flit into input `port` at `cycle`, charging the
@@ -175,14 +184,17 @@ impl CentralRouter {
     /// Panics if the input FIFO is full (flow-control violation).
     pub fn accept(
         &mut self,
-        mut flit: Flit,
+        flit: FlitRef,
         port: usize,
         _vc: usize,
         cycle: u64,
         ledger: &mut EnergyLedger,
+        arena: &mut FlitArena,
     ) {
-        flit.ready = cycle + 1;
-        if let Some(activity) = self.inputs[port].push(flit) {
+        let f = arena.get_mut(flit);
+        f.ready = cycle + 1;
+        let payload = f.payload;
+        if let Some(activity) = self.inputs[port].push(flit, payload) {
             ledger.buffer_write(self.node, &activity);
         }
     }
@@ -203,15 +215,21 @@ impl CentralRouter {
     /// every write port in one cycle (pipelined shared memory; this is
     /// what lets CB routers outrun crossbar routers under broadcast
     /// traffic, Fig. 7d).
-    fn write_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, out: &mut StepOutput) {
+    fn write_stage(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        out: &mut StepOutput,
+        arena: &FlitArena,
+    ) {
         for _ in 0..self.spec.write_ports {
             if self.occupancy >= self.spec.capacity {
                 return;
             }
             let mut mask = 0u128;
             for (port, fifo) in self.inputs.iter().enumerate() {
-                if let Some(head) = fifo.head() {
-                    if cycle >= head.ready {
+                if let Some(&head) = fifo.head() {
+                    if cycle >= arena.get(head).ready {
                         mask |= 1 << port;
                     }
                 }
@@ -226,10 +244,13 @@ impl CentralRouter {
             if stored {
                 ledger.buffer_read(self.node);
             }
+            let f = arena.get(flit);
+            let payload = f.payload;
+            let out_port = f.out_port().index();
             // Central-buffer write: bitline activity against the write
             // bus; cell activity approximated by the same distance (the
             // overwritten slot in so large a memory is uncorrelated).
-            let h = scaled_hamming(flit.payload, self.write_bus_last, self.spec.flit_bits);
+            let h = scaled_hamming(payload, self.write_bus_last, self.spec.flit_bits);
             ledger.central_write(
                 self.node,
                 &WriteActivity {
@@ -237,11 +258,11 @@ impl CentralRouter {
                     switching_cells: h,
                 },
             );
-            self.write_bus_last = flit.payload;
-            let out_port = flit.out_port().index();
+            self.write_bus_last = payload;
             self.out_queues[out_port].push_back(Staged {
                 ready: cycle + 1,
                 flit,
+                payload,
             });
             self.occupancy += 1;
             out.credits.push(CreditReturn { in_port, vc: 0 });
@@ -256,6 +277,7 @@ impl CentralRouter {
         ledger: &mut EnergyLedger,
         out: &mut StepOutput,
         mut obs: Option<&mut ObsSink>,
+        arena: &mut FlitArena,
     ) {
         let mut mask = 0u128;
         for (port, q) in self.out_queues.iter().enumerate() {
@@ -274,25 +296,34 @@ impl CentralRouter {
             let staged = self.out_queues[out_port]
                 .pop_front()
                 .expect("granted queue has a flit");
-            let mut flit = staged.flit;
-            ledger.central_read(self.node, self.read_bus_last, flit.payload);
-            self.read_bus_last = flit.payload;
+            ledger.central_read(self.node, self.read_bus_last, staged.payload);
+            self.read_bus_last = staged.payload;
             self.occupancy -= 1;
             if out_port != 0 {
                 debug_assert!(self.out_credits[out_port] > 0);
                 self.out_credits[out_port] -= 1;
             }
-            flit.target_vc = 0;
+            let f = arena.get_mut(staged.flit);
+            f.target_vc = 0;
+            let packet = f.packet;
             if let Some(o) = obs.as_deref_mut() {
-                o.sa_grant(self.node, flit.packet.0, cycle);
+                o.sa_grant(self.node, packet.0, cycle);
             }
-            out.departures.push(Departure { out_port, flit });
+            out.departures.push(Departure {
+                out_port,
+                flit: staged.flit,
+            });
         }
     }
 
     /// Advances the router one cycle.
-    pub fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
-        self.step_observed(cycle, ledger, None)
+    pub fn step(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        arena: &mut FlitArena,
+    ) -> StepOutput {
+        self.step_observed(cycle, ledger, None, arena)
     }
 
     /// [`CentralRouter::step`] with an optional observer receiving a
@@ -303,11 +334,31 @@ impl CentralRouter {
         cycle: u64,
         ledger: &mut EnergyLedger,
         obs: Option<&mut ObsSink>,
+        arena: &mut FlitArena,
     ) -> StepOutput {
         let mut out = StepOutput::new();
-        self.write_stage(cycle, ledger, &mut out);
-        self.read_stage(cycle, ledger, &mut out, obs);
+        self.step_into(cycle, ledger, obs, &mut out, arena);
         out
+    }
+
+    /// Allocation-free variant of [`CentralRouter::step_observed`]:
+    /// clears and fills a caller-owned [`StepOutput`]. The logical
+    /// per-output queues stay `VecDeque`s — they are ring buffers
+    /// internally, so once grown to their steady-state occupancy they
+    /// never reallocate. Flits are addressed through the shared
+    /// [`FlitArena`] — the router moves 8-byte handles, never whole
+    /// `Flit` values.
+    pub fn step_into(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        obs: Option<&mut ObsSink>,
+        out: &mut StepOutput,
+        arena: &mut FlitArena,
+    ) {
+        out.clear();
+        self.write_stage(cycle, ledger, out, arena);
+        self.read_stage(cycle, ledger, out, obs, arena);
     }
 }
 
@@ -316,6 +367,20 @@ mod tests {
     use super::*;
     use crate::energy::{Component, PowerModels};
     use crate::flit::{make_packet, PacketId};
+
+    /// Accept an owned flit by allocating it into the test arena first
+    /// (the pre-arena API shape, used throughout these tests).
+    fn accept(
+        r: &mut CentralRouter,
+        arena: &mut FlitArena,
+        flit: Flit,
+        port: usize,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+    ) {
+        let handle = arena.alloc(flit);
+        r.accept(handle, port, 0, cycle, ledger, arena);
+    }
     use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
     use orion_power::{
         ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CentralBufferParams,
@@ -366,14 +431,15 @@ mod tests {
     fn flit_takes_write_then_read_path() {
         let mut r = CentralRouter::new(0, spec(), 4);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         let f = packet(1, 1);
-        r.accept(f[0].clone(), 1, 0, 10, &mut led);
-        assert!(r.step(10, &mut led).departures.is_empty()); // pipeline
-        let out = r.step(11, &mut led); // CB write
+        accept(&mut r, &mut arena, f[0].clone(), 1, 10, &mut led);
+        assert!(r.step(10, &mut led, &mut arena).departures.is_empty()); // pipeline
+        let out = r.step(11, &mut led, &mut arena); // CB write
         assert!(out.departures.is_empty());
         assert_eq!(out.credits, vec![CreditReturn { in_port: 1, vc: 0 }]);
         assert_eq!(r.occupancy(), 1);
-        let out = r.step(12, &mut led); // CB read -> departure
+        let out = r.step(12, &mut led, &mut arena); // CB read -> departure
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].out_port, 3); // d1+
         assert_eq!(r.occupancy(), 0);
@@ -388,16 +454,17 @@ mod tests {
     fn write_ports_limit_throughput() {
         let mut r = CentralRouter::new(0, spec(), 64);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Five inputs each offer a flit in the same cycle.
         for port in 0..5 {
             let f = packet(port as u64, 1);
-            r.accept(f[0].clone(), port, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f[0].clone(), port, 0, &mut led);
         }
-        let out = r.step(1, &mut led);
+        let out = r.step(1, &mut led, &mut arena);
         assert_eq!(out.credits.len(), 2, "only 2 write ports");
-        let out = r.step(2, &mut led);
+        let out = r.step(2, &mut led, &mut arena);
         assert_eq!(out.credits.len(), 2);
-        let out = r.step(3, &mut led);
+        let out = r.step(3, &mut led, &mut arena);
         assert_eq!(out.credits.len(), 1);
     }
 
@@ -405,6 +472,7 @@ mod tests {
     fn read_ports_limit_departures() {
         let mut r = CentralRouter::new(0, spec(), 64);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Build routes to three different output ports by using
         // different destinations.
         let t = Topology::torus(&[4, 4]).unwrap();
@@ -424,11 +492,11 @@ mod tests {
                 0,
                 false,
             );
-            r.accept(f[0].clone(), i, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f[0].clone(), i, 0, &mut led);
         }
         // Cycle 1-2: writes (2 ports). Cycle 2+: reads capped at 2.
-        r.step(1, &mut led);
-        let out = r.step(2, &mut led);
+        r.step(1, &mut led, &mut arena);
+        let out = r.step(2, &mut led, &mut arena);
         assert!(out.departures.len() <= 2, "read ports cap departures");
     }
 
@@ -439,19 +507,24 @@ mod tests {
         let t = Topology::torus(&[4, 4]).unwrap();
         let mut r = CentralRouter::new(0, spec(), 0); // zero downstream credits
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // First packet: to a network port (credits 0 -> stuck in CB).
         let stuck_route = Arc::new(dor_route(&t, NodeId(0), NodeId(5), DimensionOrder::YFirst));
         let stuck = make_packet(PacketId(1), NodeId(0), NodeId(5), stuck_route, 1, 0, false);
-        r.accept(stuck[0].clone(), 1, 0, 0, &mut led);
+        accept(&mut r, &mut arena, stuck[0].clone(), 1, 0, &mut led);
         // Second packet (same input FIFO): ejects locally (port 0, no
         // credit needed).
         let eject_route = Arc::new(dor_route(&t, NodeId(0), NodeId(0), DimensionOrder::YFirst));
         let eject = make_packet(PacketId(2), NodeId(0), NodeId(0), eject_route, 1, 1, false);
-        r.accept(eject[0].clone(), 1, 0, 1, &mut led);
+        accept(&mut r, &mut arena, eject[0].clone(), 1, 1, &mut led);
         let mut ejected = false;
         for cycle in 1..8 {
-            for d in r.step(cycle, &mut led).departures {
-                assert_eq!(d.flit.packet, PacketId(2), "stuck packet must not depart");
+            for d in r.step(cycle, &mut led, &mut arena).departures {
+                assert_eq!(
+                    arena.get(d.flit).packet,
+                    PacketId(2),
+                    "stuck packet must not depart"
+                );
                 assert_eq!(d.out_port, 0);
                 ejected = true;
             }
@@ -469,13 +542,14 @@ mod tests {
         small.input_depth = 8;
         let mut r = CentralRouter::new(0, small, 0);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for f in packet(1, 3) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, &mut led);
         }
-        r.step(1, &mut led);
+        r.step(1, &mut led, &mut arena);
         assert_eq!(r.occupancy(), 1);
         // Full: no more writes.
-        let out = r.step(2, &mut led);
+        let out = r.step(2, &mut led, &mut arena);
         assert!(out.credits.is_empty());
         assert_eq!(r.occupancy(), 1);
     }
@@ -486,6 +560,7 @@ mod tests {
         // ports must grant every input 4 times (20 grants / 5 inputs).
         let mut r = CentralRouter::new(0, spec(), 64);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         let mut granted = [0u32; 5];
         let mut next_id = 0u64;
         for cycle in 0..11u64 {
@@ -493,13 +568,13 @@ mod tests {
                 while r.input_free(port) > 0 && r.inputs_len(port) < 2 {
                     let f = packet(next_id, 1);
                     next_id += 1;
-                    r.accept(f[0].clone(), port, 0, cycle, &mut led);
+                    accept(&mut r, &mut arena, f[0].clone(), port, cycle, &mut led);
                 }
             }
             if cycle == 0 {
                 continue; // flits become ready at cycle 1
             }
-            for c in r.step(cycle, &mut led).credits {
+            for c in r.step(cycle, &mut led, &mut arena).credits {
                 granted[c.in_port] += 1;
             }
         }
@@ -514,13 +589,14 @@ mod tests {
     fn occupancy_consistent_after_mixed_operations() {
         let mut r = CentralRouter::new(0, spec(), 64);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for f in packet(1, 3) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, &mut led);
         }
         let mut entered = 0usize;
         let mut left = 0usize;
         for cycle in 1..10 {
-            let out = r.step(cycle, &mut led);
+            let out = r.step(cycle, &mut led, &mut arena);
             entered += out.credits.len();
             left += out.departures.len();
             assert_eq!(r.occupancy(), entered - left, "cycle {cycle}");
@@ -532,16 +608,17 @@ mod tests {
     fn credits_gate_reads() {
         let mut r = CentralRouter::new(0, spec(), 1); // one credit per output
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for f in packet(1, 2) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, &mut led);
         }
         let mut departed = 0;
         for cycle in 1..8 {
-            departed += r.step(cycle, &mut led).departures.len();
+            departed += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(departed, 1, "single downstream credit");
         r.credit(3, 0);
-        departed += r.step(9, &mut led).departures.len();
+        departed += r.step(9, &mut led, &mut arena).departures.len();
         assert_eq!(departed, 2);
     }
 }

@@ -12,16 +12,16 @@
 pub mod central;
 pub mod vc;
 
-use crate::flit::Flit;
+use crate::arena::FlitRef;
 
 /// A flit leaving a router this cycle through `out_port`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Departure {
     /// Output port index (0 = local ejection).
     pub out_port: usize,
-    /// The departing flit, with `target_vc` set to its downstream input
-    /// VC.
-    pub flit: Flit,
+    /// Arena handle of the departing flit, with `target_vc` set to its
+    /// downstream input VC.
+    pub flit: FlitRef,
 }
 
 /// A credit returned upstream: one slot freed in input `(port, vc)`.
@@ -46,5 +46,13 @@ impl StepOutput {
     /// An empty output.
     pub fn new() -> StepOutput {
         StepOutput::default()
+    }
+
+    /// Empties both lists, keeping their allocations for reuse — the
+    /// network engine holds one `StepOutput` and clears it per router
+    /// per cycle instead of allocating fresh vectors.
+    pub fn clear(&mut self) {
+        self.departures.clear();
+        self.credits.clear();
     }
 }

@@ -82,6 +82,7 @@ pub enum VcDiscipline {
 use orion_obs::ObsSink;
 
 use crate::arb::{FunctionalArbiter, RoundRobinArbiter};
+use crate::arena::{FlitArena, FlitRef};
 use crate::energy::EnergyLedger;
 use crate::fifo::FlitFifo;
 use crate::flit::Flit;
@@ -209,10 +210,36 @@ enum VcState {
 
 #[derive(Debug, Clone)]
 struct InputVc {
-    fifo: FlitFifo,
+    fifo: FlitFifo<FlitRef>,
     state: VcState,
     /// Earliest cycle the head flit may compete for SA (set by VA).
     sa_ready: u64,
+    /// Cached fields of the head flit, refreshed whenever the head
+    /// changes (accept into an empty FIFO, or pop exposing a successor).
+    /// Valid only while the FIFO is non-empty. A flit's routing fields
+    /// are immutable while it sits buffered, so the cache lets the
+    /// per-cycle VA/SA scans skip the arena lookup and the route
+    /// indirection entirely.
+    head_ready: u64,
+    head_out_port: u8,
+    head_vc_class: u8,
+    head_is_head: bool,
+    head_len: u32,
+}
+
+impl InputVc {
+    /// Re-caches the head flit's fields from the arena. No-op when the
+    /// FIFO is empty.
+    fn refresh_head(&mut self, arena: &FlitArena) {
+        if let Some(&h) = self.fifo.head() {
+            let f = arena.get(h);
+            self.head_ready = f.ready;
+            self.head_out_port = f.out_port().index() as u8;
+            self.head_vc_class = f.vc_class;
+            self.head_is_head = f.is_head();
+            self.head_len = f.packet_len;
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -223,6 +250,38 @@ struct OutputVc {
     credits: u32,
 }
 
+/// Pre-sized scratch buffers for the VA/SA stages, owned by the router
+/// so the per-cycle hot path never allocates (stages borrow them via a
+/// `mem::take` dance around `&mut self`).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// VA: requesting input VCs binned by output port.
+    requests_per_out: Vec<u128>,
+    /// VA: dateline class per requesting input VC (only entries whose
+    /// request bit is set this cycle are ever read).
+    classes: Vec<u8>,
+    /// SA: matched input / output ports this cycle.
+    in_matched: Vec<bool>,
+    out_matched: Vec<bool>,
+    /// SA stage 1 nominations: `(in_vc, out_port, out_vc, claims)`.
+    nominees: Vec<Option<(usize, usize, usize, bool)>>,
+    /// SA stage 1 per-VC request metadata: `(out_port, out_vc, claims)`.
+    meta: Vec<Option<(usize, usize, bool)>>,
+}
+
+impl Scratch {
+    fn new(ports: usize, vcs: usize) -> Scratch {
+        Scratch {
+            requests_per_out: vec![0; ports],
+            classes: vec![0; ports * vcs],
+            in_matched: vec![false; ports],
+            out_matched: vec![false; ports],
+            nominees: vec![None; ports],
+            meta: vec![None; vcs],
+        }
+    }
+}
+
 /// The input-buffered crossbar router.
 #[derive(Debug, Clone)]
 pub struct VcRouter {
@@ -230,6 +289,13 @@ pub struct VcRouter {
     spec: VcRouterSpec,
     inputs: Vec<Vec<InputVc>>,
     outputs: Vec<Vec<OutputVc>>,
+    /// Flits across all input VCs (kept in sync with the FIFOs so the
+    /// per-cycle empty check is O(1) instead of an O(P·V) scan).
+    buffered: usize,
+    /// Bit `port * vcs + vc` set while that input VC holds any flit
+    /// (the spec validates `ports * vcs <= 128`). Lets the per-cycle
+    /// stages walk only occupied VCs instead of scanning all P·V.
+    occupied: u128,
     /// VA: one multi-grant arbiter per output port over input VCs.
     va_arbiters: Vec<RoundRobinArbiter>,
     /// SA stage 1: per input port, over its VCs (only used when vcs > 1).
@@ -239,6 +305,7 @@ pub struct VcRouter {
     /// Last payload observed on each crossbar input / output line.
     xb_in_last: Vec<u64>,
     xb_out_last: Vec<u64>,
+    scratch: Scratch,
 }
 
 impl VcRouter {
@@ -257,6 +324,11 @@ impl VcRouter {
                         fifo: FlitFifo::new(spec.depth, spec.flit_bits),
                         state: VcState::Idle,
                         sa_ready: 0,
+                        head_ready: 0,
+                        head_out_port: 0,
+                        head_vc_class: 0,
+                        head_is_head: false,
+                        head_len: 0,
                     })
                     .collect()
             })
@@ -281,16 +353,20 @@ impl VcRouter {
             .map(|_| FunctionalArbiter::new(spec.arbiter_kind, spec.ports))
             .collect();
         let ports = spec.ports;
+        let vcs = spec.vcs;
         VcRouter {
             node,
             spec,
             inputs,
             outputs,
+            buffered: 0,
+            occupied: 0,
             va_arbiters,
             sa_input_arbiters,
             sa_output_arbiters,
             xb_in_last: vec![0; ports],
             xb_out_last: vec![0; ports],
+            scratch: Scratch::new(ports, vcs),
         }
     }
 
@@ -312,7 +388,28 @@ impl VcRouter {
 
     /// Total flits buffered in the router (for drain detection).
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().flatten().map(|vc| vc.fifo.len()).sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs
+                .iter()
+                .flatten()
+                .map(|vc| vc.fifo.len())
+                .sum::<usize>(),
+            "buffered counter out of sync with FIFO occupancy"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut expect = 0u128;
+            for (p, port) in self.inputs.iter().enumerate() {
+                for (v, ivc) in port.iter().enumerate() {
+                    if !ivc.fifo.is_empty() {
+                        expect |= 1 << (p * self.spec.vcs + v);
+                    }
+                }
+            }
+            debug_assert_eq!(self.occupied, expect, "occupied bitmask out of sync");
+        }
+        self.buffered
     }
 
     /// Snapshot of every occupied input VC, for stall diagnostics:
@@ -320,12 +417,15 @@ impl VcRouter {
     /// `true` while the VC's packet has not yet been allocated an
     /// output — a blocked head still negotiating VA/SA rather than a
     /// body flit trailing an established path.
-    pub fn occupied_vcs(&self) -> impl Iterator<Item = (usize, usize, usize, &Flit, bool)> {
-        self.inputs.iter().enumerate().flat_map(|(port, vcs)| {
+    pub fn occupied_vcs<'a>(
+        &'a self,
+        arena: &'a FlitArena,
+    ) -> impl Iterator<Item = (usize, usize, usize, &'a Flit, bool)> + 'a {
+        self.inputs.iter().enumerate().flat_map(move |(port, vcs)| {
             vcs.iter().enumerate().filter_map(move |(vc, ivc)| {
-                ivc.fifo.head().map(|head| {
+                ivc.fifo.head().map(|&head| {
                     let waiting = !matches!(ivc.state, VcState::Active { .. });
-                    (port, vc, ivc.fifo.len(), head, waiting)
+                    (port, vc, ivc.fifo.len(), arena.get(head), waiting)
                 })
             })
         })
@@ -341,15 +441,37 @@ impl VcRouter {
     /// Panics if the target FIFO is full (a flow-control violation).
     pub fn accept(
         &mut self,
-        mut flit: Flit,
+        flit: FlitRef,
         port: usize,
         vc: usize,
         cycle: u64,
         ledger: &mut EnergyLedger,
+        arena: &mut FlitArena,
     ) {
-        flit.ready = cycle + 1;
-        if let Some(activity) = self.inputs[port][vc].fifo.push(flit) {
+        let f = arena.get_mut(flit);
+        f.ready = cycle + 1;
+        let payload = f.payload;
+        let meta = (
+            f.out_port().index() as u8,
+            f.vc_class,
+            f.is_head(),
+            f.packet_len,
+        );
+        self.buffered += 1;
+        self.occupied |= 1 << (port * self.spec.vcs + vc);
+        let ivc = &mut self.inputs[port][vc];
+        let becomes_head = ivc.fifo.is_empty();
+        if let Some(activity) = ivc.fifo.push(flit, payload) {
             ledger.buffer_write(self.node, &activity);
+        }
+        if becomes_head {
+            ivc.head_ready = cycle + 1;
+            (
+                ivc.head_out_port,
+                ivc.head_vc_class,
+                ivc.head_is_head,
+                ivc.head_len,
+            ) = meta;
         }
     }
 
@@ -363,19 +485,22 @@ impl VcRouter {
         self.outputs[port][vc].credits
     }
 
-    /// Refreshes per-VC packet state from queue heads.
-    fn update_states(&mut self) {
-        for port in self.inputs.iter_mut() {
-            for vc in port.iter_mut() {
-                if vc.state == VcState::Idle {
-                    if let Some(head) = vc.fifo.head() {
-                        debug_assert!(
-                            head.is_head(),
-                            "queue head in Idle state must be a head flit"
-                        );
-                        vc.state = VcState::Routing;
-                    }
-                }
+    /// Refreshes per-VC packet state from queue heads (occupied VCs
+    /// only — an empty VC is by definition `Idle` with nothing to do).
+    fn update_states(&mut self, arena: &FlitArena) {
+        let _ = arena;
+        let vcs = self.spec.vcs;
+        let mut bits = self.occupied;
+        while bits != 0 {
+            let r = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let vc = &mut self.inputs[r / vcs][r % vcs];
+            if vc.state == VcState::Idle {
+                debug_assert!(
+                    vc.fifo.head().is_some_and(|&h| arena.get(h).is_head()),
+                    "queue head in Idle state must be a head flit"
+                );
+                vc.state = VcState::Routing;
             }
         }
     }
@@ -401,51 +526,76 @@ impl VcRouter {
     /// free VCs and grant each to one eligible requesting head (classes
     /// may overlap under the escape discipline, so allocation is
     /// per-VC rather than per-class).
-    #[allow(clippy::needless_range_loop)] // indices double as requester ids
-    fn va_stage(&mut self, cycle: u64, ledger: &mut EnergyLedger, mut obs: Option<&mut ObsSink>) {
+    fn va_stage(
+        &mut self,
+        scratch: &mut Scratch,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        mut obs: Option<&mut ObsSink>,
+        arena: &FlitArena,
+    ) {
         let ports = self.spec.ports;
         let vcs = self.spec.vcs;
         // Single pass over the input VCs, binning requesters by output
         // port (keeps the stage O(P·V) instead of O(P²·V)).
-        let mut requests_per_out = vec![0u128; ports];
-        let mut classes = vec![0u8; ports * vcs];
+        let requests_per_out = &mut scratch.requests_per_out;
+        let classes = &mut scratch.classes;
+        requests_per_out.fill(0);
+        // `classes` needs no reset: only entries whose request bit was
+        // set this cycle are read.
+        // Set-bit iteration visits VCs in the same ascending
+        // `port * vcs + vc` order as the nested loop it replaced.
         let mut any = false;
-        for in_port in 0..ports {
-            for in_vc in 0..vcs {
-                let ivc = &self.inputs[in_port][in_vc];
-                if ivc.state != VcState::Routing {
-                    continue;
-                }
-                let Some(head) = ivc.fifo.head() else {
-                    continue;
-                };
-                if cycle < head.ready {
-                    continue;
-                }
-                let r = in_port * vcs + in_vc;
-                requests_per_out[head.out_port().index()] |= 1 << r;
-                classes[r] = head.vc_class.min(1);
-                any = true;
+        let mut bits = self.occupied;
+        while bits != 0 {
+            let r = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let ivc = &self.inputs[r / vcs][r % vcs];
+            if ivc.state != VcState::Routing {
+                continue;
             }
+            if cycle < ivc.head_ready {
+                continue;
+            }
+            requests_per_out[ivc.head_out_port as usize] |= 1 << r;
+            classes[r] = ivc.head_vc_class.min(1);
+            any = true;
         }
         if !any {
             return;
         }
-        for out_port in 0..ports {
-            let mut requesters = requests_per_out[out_port];
+        for (out_port, &requested) in requests_per_out.iter().enumerate().take(ports) {
+            let mut requesters = requested;
             if requesters == 0 {
                 continue;
             }
             for out_vc in 0..vcs {
+                // Every requester granted: the remaining free VCs would
+                // all see an empty eligibility mask.
+                if requesters == 0 {
+                    break;
+                }
                 if self.outputs[out_port][out_vc].owner.is_some() {
                     continue;
                 }
-                let mut eligible = 0u128;
-                for r in 0..(ports * vcs) {
-                    if requesters & (1 << r) != 0 && self.vc_allowed(classes[r], out_vc) {
-                        eligible |= 1 << r;
+                // Unrestricted allocation admits every requester, so the
+                // eligibility mask IS the request mask — skip the per-VC
+                // class filter entirely (the dominant hot-path case; the
+                // filtered path walks set bits only).
+                let eligible = if self.spec.discipline == VcDiscipline::Unrestricted {
+                    requesters
+                } else {
+                    let mut eligible = 0u128;
+                    let mut bits = requesters;
+                    while bits != 0 {
+                        let r = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if self.vc_allowed(classes[r], out_vc) {
+                            eligible |= 1 << r;
+                        }
                     }
-                }
+                    eligible
+                };
                 if eligible == 0 {
                     continue;
                 }
@@ -455,8 +605,8 @@ impl VcRouter {
                 requesters &= !(1 << w);
                 let (in_port, in_vc) = (w / vcs, w % vcs);
                 if let Some(o) = obs.as_deref_mut() {
-                    if let Some(head) = self.inputs[in_port][in_vc].fifo.head() {
-                        o.va_grant(self.node, head.packet.0, cycle);
+                    if let Some(&head) = self.inputs[in_port][in_vc].fifo.head() {
+                        o.va_grant(self.node, arena.get(head).packet.0, cycle);
                     }
                 }
                 self.outputs[out_port][out_vc].owner = Some((in_port, in_vc));
@@ -477,29 +627,17 @@ impl VcRouter {
     /// to wormhole routers (Fig. 5a).
     fn sa_stage(
         &mut self,
+        scratch: &mut Scratch,
         cycle: u64,
         ledger: &mut EnergyLedger,
         out: &mut StepOutput,
         mut obs: Option<&mut ObsSink>,
+        arena: &mut FlitArena,
     ) {
-        let ports = self.spec.ports;
-        let vcs = self.spec.vcs;
-        let mut in_matched = vec![false; ports];
-        let mut out_matched = vec![false; ports];
-        // Scratch buffers reused across iterations (hot path).
-        let mut nominees: Vec<Option<(usize, usize, usize, bool)>> = vec![None; ports];
-        let mut meta: Vec<Option<(usize, usize, bool)>> = vec![None; vcs];
+        scratch.in_matched.fill(false);
+        scratch.out_matched.fill(false);
         for _ in 0..self.spec.sa_iterations.max(1) {
-            if !self.sa_iteration(
-                cycle,
-                ledger,
-                out,
-                &mut in_matched,
-                &mut out_matched,
-                &mut nominees,
-                &mut meta,
-                obs.as_deref_mut(),
-            ) {
+            if !self.sa_iteration(cycle, ledger, out, scratch, obs.as_deref_mut(), arena) {
                 break;
             }
         }
@@ -507,32 +645,41 @@ impl VcRouter {
 
     /// One SA matching iteration; returns whether any grant was made.
     #[allow(clippy::needless_range_loop)] // indices double as port numbers
-    #[allow(clippy::too_many_arguments)] // scratch buffers threaded from sa_stage
     fn sa_iteration(
         &mut self,
         cycle: u64,
         ledger: &mut EnergyLedger,
         out: &mut StepOutput,
-        in_matched: &mut [bool],
-        out_matched: &mut [bool],
-        nominees: &mut [Option<(usize, usize, usize, bool)>],
-        meta: &mut [Option<(usize, usize, bool)>],
+        scratch: &mut Scratch,
         mut obs: Option<&mut ObsSink>,
+        arena: &mut FlitArena,
     ) -> bool {
         let ports = self.spec.ports;
         let vcs = self.spec.vcs;
+        let Scratch {
+            in_matched,
+            out_matched,
+            nominees,
+            meta,
+            ..
+        } = scratch;
 
         // Stage 1: each unmatched input port nominates one of its VCs
         // whose target output port is still unmatched.
         // nominee[in_port] = (in_vc, out_port, out_vc, claims_output)
         nominees.fill(None);
+        let vc_mask = (1u128 << vcs) - 1;
         for in_port in 0..ports {
             if in_matched[in_port] {
                 continue;
             }
             let mut mask = 0u128;
-            meta.fill(None);
-            for in_vc in 0..vcs {
+            // `meta` needs no reset: the winner's bit is set in `mask`,
+            // so its entry was written this round before being read.
+            let mut vc_bits = (self.occupied >> (in_port * vcs)) & vc_mask;
+            while vc_bits != 0 {
+                let in_vc = vc_bits.trailing_zeros() as usize;
+                vc_bits &= vc_bits - 1;
                 if let Some(req) = self.sa_candidate(in_port, in_vc, cycle) {
                     if out_matched[req.0] {
                         continue;
@@ -589,12 +736,23 @@ impl VcRouter {
             }
 
             let ivc = &mut self.inputs[in_port][in_vc];
-            let (mut flit, stored) = ivc.fifo.pop().expect("granted VC has a flit");
+            let (flit, stored) = ivc.fifo.pop().expect("granted VC has a flit");
+            self.buffered -= 1;
+            if ivc.fifo.is_empty() {
+                self.occupied &= !(1u128 << (in_port * vcs + in_vc));
+            } else {
+                ivc.refresh_head(arena);
+            }
             if stored {
                 ledger.buffer_read(self.node);
             }
+            let f = arena.get_mut(flit);
+            f.target_vc = out_vc as u8;
+            let payload = f.payload;
+            let packet = f.packet;
+            let is_tail = f.is_tail();
             if let Some(o) = obs.as_deref_mut() {
-                o.sa_grant(self.node, flit.packet.0, cycle);
+                o.sa_grant(self.node, packet.0, cycle);
             }
 
             // Crossbar traversal with exact line-switching activity.
@@ -602,10 +760,10 @@ impl VcRouter {
                 self.node,
                 self.xb_in_last[in_port],
                 self.xb_out_last[out_port],
-                flit.payload,
+                payload,
             );
-            self.xb_in_last[in_port] = flit.payload;
-            self.xb_out_last[out_port] = flit.payload;
+            self.xb_in_last[in_port] = payload;
+            self.xb_out_last[out_port] = payload;
 
             // Credit back upstream for the freed slot (the network skips
             // this for the local injection port).
@@ -618,12 +776,11 @@ impl VcRouter {
                 ovc.credits -= 1;
             }
 
-            if flit.is_tail() {
+            if is_tail {
                 self.outputs[out_port][out_vc].owner = None;
                 ivc.state = VcState::Idle;
             }
 
-            flit.target_vc = out_vc as u8;
             out.departures.push(Departure { out_port, flit });
         }
         granted
@@ -634,22 +791,28 @@ impl VcRouter {
     /// cut-through (the whole packet) and bubble flow control (the whole
     /// packet, plus a packet-sized bubble when entering a new dimension
     /// or injecting — the condition that breaks torus deadlock cycles).
-    fn required_credits(&self, flit: &crate::flit::Flit, in_port: usize, out_port: usize) -> u32 {
-        if !flit.is_head() {
+    fn required_credits(
+        &self,
+        is_head: bool,
+        packet_len: u32,
+        in_port: usize,
+        out_port: usize,
+    ) -> u32 {
+        if !is_head {
             return 1;
         }
         match self.spec.flow_control {
             FlowControl::FlitLevel => 1,
-            FlowControl::CutThrough => flit.packet_len,
+            FlowControl::CutThrough => packet_len,
             FlowControl::Bubble => {
                 // Same-dimension continuation keeps the ring's bubble
                 // intact; any dimension entry must leave one behind.
                 let same_dim =
                     in_port != 0 && out_port != 0 && (in_port - 1) / 2 == (out_port - 1) / 2;
                 if same_dim {
-                    flit.packet_len
+                    packet_len
                 } else {
-                    2 * flit.packet_len
+                    2 * packet_len
                 }
             }
         }
@@ -664,8 +827,7 @@ impl VcRouter {
         cycle: u64,
     ) -> Option<(usize, usize, bool)> {
         let ivc = &self.inputs[in_port][in_vc];
-        let head = ivc.fifo.head()?;
-        if cycle < head.ready {
+        if ivc.fifo.is_empty() || cycle < ivc.head_ready {
             return None;
         }
         match ivc.state {
@@ -676,25 +838,28 @@ impl VcRouter {
                 if self.spec.has_va_stage {
                     return None;
                 }
-                debug_assert!(head.is_head());
-                let out_port = head.out_port().index();
+                debug_assert!(ivc.head_is_head);
+                let out_port = ivc.head_out_port as usize;
                 let out_vc = 0;
                 let slot = &self.outputs[out_port][out_vc];
                 if slot.owner.is_some() {
                     return None;
                 }
-                if out_port != 0 && slot.credits < self.required_credits(head, in_port, out_port) {
+                if out_port != 0
+                    && slot.credits
+                        < self.required_credits(ivc.head_is_head, ivc.head_len, in_port, out_port)
+                {
                     return None;
                 }
                 Some((out_port, out_vc, true))
             }
             VcState::Active { out_port, out_vc } => {
-                if head.is_head() && self.spec.has_va_stage && cycle < ivc.sa_ready {
+                if ivc.head_is_head && self.spec.has_va_stage && cycle < ivc.sa_ready {
                     return None;
                 }
                 if out_port != 0
                     && self.outputs[out_port][out_vc].credits
-                        < self.required_credits(head, in_port, out_port)
+                        < self.required_credits(ivc.head_is_head, ivc.head_len, in_port, out_port)
                 {
                     return None;
                 }
@@ -704,8 +869,13 @@ impl VcRouter {
     }
 
     /// Advances the router one cycle: VA (if configured) then SA/ST.
-    pub fn step(&mut self, cycle: u64, ledger: &mut EnergyLedger) -> StepOutput {
-        self.step_observed(cycle, ledger, None)
+    pub fn step(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        arena: &mut FlitArena,
+    ) -> StepOutput {
+        self.step_observed(cycle, ledger, None, arena)
     }
 
     /// [`VcRouter::step`] with an optional observer receiving VA/SA
@@ -715,18 +885,42 @@ impl VcRouter {
         &mut self,
         cycle: u64,
         ledger: &mut EnergyLedger,
-        mut obs: Option<&mut ObsSink>,
+        obs: Option<&mut ObsSink>,
+        arena: &mut FlitArena,
     ) -> StepOutput {
         let mut out = StepOutput::new();
-        if self.buffered_flits() == 0 {
-            return out;
-        }
-        self.update_states();
-        if self.spec.has_va_stage {
-            self.va_stage(cycle, ledger, obs.as_deref_mut());
-        }
-        self.sa_stage(cycle, ledger, &mut out, obs);
+        self.step_into(cycle, ledger, obs, &mut out, arena);
         out
+    }
+
+    /// Allocation-free variant of [`VcRouter::step_observed`]: clears
+    /// and fills a caller-owned [`StepOutput`] instead of returning a
+    /// fresh one, so the network engine can reuse one output buffer
+    /// across all routers and cycles. Flits are addressed through the
+    /// shared [`FlitArena`] — the router moves 8-byte handles, never
+    /// whole `Flit` values.
+    pub fn step_into(
+        &mut self,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+        mut obs: Option<&mut ObsSink>,
+        out: &mut StepOutput,
+        arena: &mut FlitArena,
+    ) {
+        out.clear();
+        if self.buffered_flits() == 0 {
+            return;
+        }
+        self.update_states(arena);
+        // The scratch buffers can't be borrowed while `&mut self`
+        // methods run, so take them out and put them back (both moves
+        // are pointer swaps, no allocation).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if self.spec.has_va_stage {
+            self.va_stage(&mut scratch, cycle, ledger, obs.as_deref_mut(), arena);
+        }
+        self.sa_stage(&mut scratch, cycle, ledger, out, obs, arena);
+        self.scratch = scratch;
     }
 }
 
@@ -735,6 +929,21 @@ mod tests {
     use super::*;
     use crate::energy::{Component, EnergyLedger, PowerModels};
     use crate::flit::{make_packet, PacketId};
+
+    /// Accept an owned flit by allocating it into the test arena first
+    /// (the pre-arena API shape, used throughout these tests).
+    fn accept(
+        r: &mut VcRouter,
+        arena: &mut FlitArena,
+        flit: Flit,
+        port: usize,
+        vc: usize,
+        cycle: u64,
+        ledger: &mut EnergyLedger,
+    ) {
+        let handle = arena.alloc(flit);
+        r.accept(handle, port, vc, cycle, ledger, arena);
+    }
     use orion_net::{dor_route, DimensionOrder, NodeId, Topology};
     use orion_power::{
         ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind, CrossbarParams,
@@ -774,12 +983,13 @@ mod tests {
     fn wormhole_head_departs_after_two_stages() {
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         let flits = packet(1);
-        r.accept(flits[0].clone(), 0, 0, 10, &mut led);
+        accept(&mut r, &mut arena, flits[0].clone(), 0, 0, 10, &mut led);
         // Cycle 10: just written, not ready.
-        assert!(r.step(10, &mut led).departures.is_empty());
+        assert!(r.step(10, &mut led, &mut arena).departures.is_empty());
         // Cycle 11: SA grant; flit departs (ST+link handled by network).
-        let out = r.step(11, &mut led);
+        let out = r.step(11, &mut led, &mut arena);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].out_port, 3); // d1+ port index = 3
                                                    // The lone flit streamed through an empty queue: buffer bypass,
@@ -793,11 +1003,12 @@ mod tests {
     fn vc_router_head_takes_va_then_sa() {
         let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 2, 8, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         let flits = packet(1);
-        r.accept(flits[0].clone(), 0, 0, 10, &mut led);
-        assert!(r.step(10, &mut led).departures.is_empty()); // pipeline reg
-        assert!(r.step(11, &mut led).departures.is_empty()); // VA
-        let out = r.step(12, &mut led); // SA
+        accept(&mut r, &mut arena, flits[0].clone(), 0, 0, 10, &mut led);
+        assert!(r.step(10, &mut led, &mut arena).departures.is_empty()); // pipeline reg
+        assert!(r.step(11, &mut led, &mut arena).departures.is_empty()); // VA
+        let out = r.step(12, &mut led, &mut arena); // SA
         assert_eq!(out.departures.len(), 1);
     }
 
@@ -805,12 +1016,13 @@ mod tests {
     fn body_flits_stream_one_per_cycle() {
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 8, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for (i, f) in packet(5).into_iter().enumerate() {
-            r.accept(f, 0, 0, 10 + i as u64, &mut led);
+            accept(&mut r, &mut arena, f, 0, 0, 10 + i as u64, &mut led);
         }
         let mut departed = 0;
         for cycle in 10..20 {
-            departed += r.step(cycle, &mut led).departures.len();
+            departed += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(departed, 5);
     }
@@ -819,25 +1031,29 @@ mod tests {
     fn credits_gate_departures() {
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Drain all credits of output port 3 (depth 4).
         for f in packet(4) {
-            r.accept(f, 0, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 0, 0, 0, &mut led);
         }
         // Extra packet that must stall once credits are gone.
         let mut total = 0;
         for cycle in 1..10 {
-            total += r.step(cycle, &mut led).departures.len();
+            total += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(total, 4, "only as many flits as credits may leave");
         assert_eq!(r.output_credits(3, 0), 0);
         // A credit arrives: one more flit may go... but the packet of 4
         // already left entirely. Push another packet.
         for f in packet(2) {
-            r.accept(f, 0, 0, 10, &mut led);
+            accept(&mut r, &mut arena, f, 0, 0, 10, &mut led);
         }
-        assert!(r.step(11, &mut led).departures.is_empty(), "no credits");
+        assert!(
+            r.step(11, &mut led, &mut arena).departures.is_empty(),
+            "no credits"
+        );
         r.credit(3, 0);
-        let out = r.step(12, &mut led);
+        let out = r.step(12, &mut led, &mut arena);
         assert_eq!(out.departures.len(), 1);
     }
 
@@ -845,20 +1061,22 @@ mod tests {
     fn wormhole_output_port_held_until_tail() {
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 8, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Two 2-flit packets from different input ports to the same
         // output port. Ports 1 and 2 both route d1+ ... build routes by
         // hand through accept: reuse the same packet (route d1+) on both
         // input ports.
         for f in packet(2) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, 0, &mut led);
         }
         for f in packet(2) {
-            r.accept(f, 2, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 2, 0, 0, &mut led);
         }
         let mut order = Vec::new();
         for cycle in 1..10 {
-            for d in r.step(cycle, &mut led).departures {
-                order.push((d.flit.packet, d.flit.seq));
+            for d in r.step(cycle, &mut led, &mut arena).departures {
+                let f = arena.get(d.flit);
+                order.push((f.packet, f.seq));
             }
         }
         assert_eq!(order.len(), 4);
@@ -874,22 +1092,25 @@ mod tests {
     fn vc_router_interleaves_packets_from_different_vcs() {
         let mut r = VcRouter::new(0, VcRouterSpec::virtual_channel(5, 4, 8, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Two packets on different input ports, same output port: both
         // get class-0 output VCs quickly and share the switch.
         for f in packet(3) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, 0, &mut led);
         }
         for f in packet(3) {
-            r.accept(f, 2, 1, 0, &mut led);
+            accept(&mut r, &mut arena, f, 2, 1, 0, &mut led);
         }
         let mut departures = Vec::new();
         for cycle in 1..12 {
-            departures.extend(r.step(cycle, &mut led).departures);
+            departures.extend(r.step(cycle, &mut led, &mut arena).departures);
         }
         assert_eq!(departures.len(), 6);
         // Both packets must have received distinct output VCs.
-        let vcs: std::collections::HashSet<u8> =
-            departures.iter().map(|d| d.flit.target_vc).collect();
+        let vcs: std::collections::HashSet<u8> = departures
+            .iter()
+            .map(|d| arena.get(d.flit).target_vc)
+            .collect();
         assert_eq!(vcs.len(), 2);
     }
 
@@ -901,8 +1122,9 @@ mod tests {
         let flits = make_packet(PacketId(2), NodeId(0), NodeId(0), route, 1, 0, false);
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
         let mut led = ledger(1);
-        r.accept(flits[0].clone(), 1, 0, 0, &mut led);
-        let out = r.step(1, &mut led);
+        let mut arena = FlitArena::new();
+        accept(&mut r, &mut arena, flits[0].clone(), 1, 0, 0, &mut led);
+        let out = r.step(1, &mut led, &mut arena);
         assert_eq!(out.departures.len(), 1);
         assert_eq!(out.departures[0].out_port, 0);
     }
@@ -911,12 +1133,13 @@ mod tests {
     fn credit_returns_reported_per_departure() {
         let mut r = VcRouter::new(0, VcRouterSpec::wormhole(5, 4, 64));
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for f in packet(2) {
-            r.accept(f, 2, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 2, 0, 0, &mut led);
         }
         let mut credits = Vec::new();
         for cycle in 1..6 {
-            credits.extend(r.step(cycle, &mut led).credits);
+            credits.extend(r.step(cycle, &mut led, &mut arena).credits);
         }
         assert_eq!(
             credits,
@@ -934,14 +1157,15 @@ mod tests {
             VcRouterSpec::virtual_channel(5, 2, 8, 64).with_discipline(VcDiscipline::Dateline),
         );
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // A class-1 packet may only get VC 1.
         let mut flits = packet(1);
         flits[0].vc_class = 1;
-        r.accept(flits[0].clone(), 1, 1, 0, &mut led);
+        accept(&mut r, &mut arena, flits[0].clone(), 1, 1, 0, &mut led);
         let mut seen = None;
         for cycle in 1..6 {
-            for d in r.step(cycle, &mut led).departures {
-                seen = Some(d.flit.target_vc);
+            for d in r.step(cycle, &mut led, &mut arena).departures {
+                seen = Some(arena.get(d.flit).target_vc);
             }
         }
         assert_eq!(seen, Some(1), "class-1 packets use the upper VC half");
@@ -952,6 +1176,7 @@ mod tests {
         let spec = VcRouterSpec::wormhole(5, 8, 64).with_flow_control(FlowControl::CutThrough);
         let mut r = VcRouter::new(0, spec);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Drain output credits down to 3 (packet needs 5).
         for _ in 0..5 {
             let g = r.output_credits(3, 0);
@@ -963,23 +1188,26 @@ mod tests {
         // Simpler: deliver a 5-flit packet while only 3 credits remain.
         // First consume 5 credits with one packet...
         for f in packet(5) {
-            r.accept(f, 1, 0, 0, &mut led);
+            accept(&mut r, &mut arena, f, 1, 0, 0, &mut led);
         }
         let mut sent = 0;
         for cycle in 1..10 {
-            sent += r.step(cycle, &mut led).departures.len();
+            sent += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(sent, 5, "first packet fits exactly");
         assert_eq!(r.output_credits(3, 0), 3);
         // Next packet: head must stall with only 3 < 5 credits.
         for f in packet(5) {
-            r.accept(f, 2, 0, 20, &mut led);
+            accept(&mut r, &mut arena, f, 2, 0, 20, &mut led);
         }
-        assert!(r.step(21, &mut led).departures.is_empty());
+        assert!(r.step(21, &mut led, &mut arena).departures.is_empty());
         r.credit(3, 0);
-        assert!(r.step(22, &mut led).departures.is_empty(), "4 < 5 credits");
+        assert!(
+            r.step(22, &mut led, &mut arena).departures.is_empty(),
+            "4 < 5 credits"
+        );
         r.credit(3, 0);
-        let out = r.step(23, &mut led);
+        let out = r.step(23, &mut led, &mut arena);
         assert_eq!(out.departures.len(), 1, "whole-packet space available");
     }
 
@@ -992,23 +1220,27 @@ mod tests {
         let spec = VcRouterSpec::wormhole(5, 12, 64).with_flow_control(FlowControl::Bubble);
         let mut r = VcRouter::new(0, spec);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         for f in packet(5) {
-            r.accept(f, 0, 0, 0, &mut led); // injected at the local port
+            accept(&mut r, &mut arena, f, 0, 0, 0, &mut led); // injected at the local port
         }
         let mut sent = 0;
         for cycle in 1..12 {
-            sent += r.step(cycle, &mut led).departures.len();
+            sent += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(sent, 5, "12 >= 10 credits: first packet goes");
         assert_eq!(r.output_credits(3, 0), 7);
         for f in packet(5) {
-            r.accept(f, 0, 0, 20, &mut led);
+            accept(&mut r, &mut arena, f, 0, 0, 20, &mut led);
         }
-        assert!(r.step(21, &mut led).departures.is_empty(), "7 < 10");
+        assert!(
+            r.step(21, &mut led, &mut arena).departures.is_empty(),
+            "7 < 10"
+        );
         for _ in 0..3 {
             r.credit(3, 0);
         }
-        let out = r.step(22, &mut led);
+        let out = r.step(22, &mut led, &mut arena);
         assert_eq!(out.departures.len(), 1, "bubble restored");
     }
 
@@ -1019,25 +1251,26 @@ mod tests {
         let spec = VcRouterSpec::wormhole(5, 12, 64).with_flow_control(FlowControl::Bubble);
         let mut r = VcRouter::new(0, spec);
         let mut led = ledger(1);
+        let mut arena = FlitArena::new();
         // Drain credits to 6 via an injected packet... instead set up
         // directly: consume 6 credits by sending one packet and getting
         // one credit back.
         for f in packet(5) {
-            r.accept(f, 4, 0, 0, &mut led); // from the south: same dim
+            accept(&mut r, &mut arena, f, 4, 0, 0, &mut led); // from the south: same dim
         }
         let mut sent = 0;
         for cycle in 1..12 {
-            sent += r.step(cycle, &mut led).departures.len();
+            sent += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(sent, 5, "same-dim continuation needs 5 <= 12 credits");
         // With only 7 credits left, another same-dim packet still goes
         // (7 >= 5) where an injection would stall (7 < 10).
         for f in packet(5) {
-            r.accept(f, 4, 0, 20, &mut led);
+            accept(&mut r, &mut arena, f, 4, 0, 20, &mut led);
         }
         let mut sent = 0;
         for cycle in 21..32 {
-            sent += r.step(cycle, &mut led).departures.len();
+            sent += r.step(cycle, &mut led, &mut arena).departures.len();
         }
         assert_eq!(sent, 5);
     }

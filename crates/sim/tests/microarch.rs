@@ -93,6 +93,7 @@ fn central_router_drains_one_hot_input_with_both_write_ports() {
     };
     let mut router = CentralRouter::new(7, spec, 16);
     let mut ledger = EnergyLedger::new(models(32, true), 8);
+    let mut arena = orion_sim::FlitArena::new();
     let topo = Topology::torus(&[4, 4]).expect("valid");
     let route = std::sync::Arc::new(orion_net::dor_route(
         &topo,
@@ -111,16 +112,17 @@ fn central_router_drains_one_hot_input_with_both_write_ports() {
             false,
         );
         for f in flits {
-            router.accept(f, 1, 0, 0, &mut ledger);
+            let h = arena.alloc(f);
+            router.accept(h, 1, 0, 0, &mut ledger, &mut arena);
         }
     }
     // Cycle 1: both write ports serve input 1 -> 2 credits back.
-    let out = router.step(1, &mut ledger);
+    let out = router.step(1, &mut ledger, &mut arena);
     assert_eq!(out.credits.len(), 2, "one hot input uses both write ports");
     assert_eq!(router.occupancy(), 2);
     // Cycle 2: two more writes, plus one read (both packets share the
     // same output queue, so only one read port can fire).
-    let out = router.step(2, &mut ledger);
+    let out = router.step(2, &mut ledger, &mut arena);
     assert_eq!(out.credits.len(), 2);
     assert_eq!(out.departures.len(), 1);
     assert_eq!(ledger.op_count(7, Component::CentralBuffer), 4 + 1);
@@ -139,6 +141,7 @@ fn iterative_sa_recovers_lost_matches() {
         spec.sa_iterations = iterations;
         let mut router = VcRouter::new(0, spec);
         let mut ledger = EnergyLedger::new(models(64, false), 1);
+        let mut arena = orion_sim::FlitArena::new();
         let topo = Topology::torus(&[4, 4]).expect("valid");
         let route_to = |dst: usize| {
             std::sync::Arc::new(orion_net::dor_route(
@@ -161,11 +164,14 @@ fn iterative_sa_recovers_lost_matches() {
             )
             .remove(0)
         };
-        router.accept(mk(1, 4), 1, 0, 0, &mut ledger); // port1 VC0 -> d1+
-        router.accept(mk(2, 4), 2, 0, 0, &mut ledger); // port2 VC0 -> d1+
-        router.accept(mk(3, 12), 2, 1, 0, &mut ledger); // port2 VC1 -> d1-
-        router.step(1, &mut ledger); // VA assigns all three output VCs
-        router.step(2, &mut ledger).departures.len()
+        let h1 = arena.alloc(mk(1, 4));
+        router.accept(h1, 1, 0, 0, &mut ledger, &mut arena); // port1 VC0 -> d1+
+        let h2 = arena.alloc(mk(2, 4));
+        router.accept(h2, 2, 0, 0, &mut ledger, &mut arena); // port2 VC0 -> d1+
+        let h3 = arena.alloc(mk(3, 12));
+        router.accept(h3, 2, 1, 0, &mut ledger, &mut arena); // port2 VC1 -> d1-
+        router.step(1, &mut ledger, &mut arena); // VA assigns all three output VCs
+        router.step(2, &mut ledger, &mut arena).departures.len()
     };
     assert_eq!(run(1), 1, "single iteration: the losing port idles");
     assert_eq!(run(3), 2, "re-bidding fills the second output");

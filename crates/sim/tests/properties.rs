@@ -1,0 +1,241 @@
+//! Property tests for the allocation-free core's two load-bearing data
+//! structures (see docs/PERFORMANCE.md):
+//!
+//! * the ring-buffer [`FlitFifo`] is observationally equivalent to the
+//!   `VecDeque`-backed [`reference::VecFlitFifo`] it replaced, under
+//!   arbitrary push / push_stored / pop / peek sequences — contents,
+//!   order, bypass flags, and exact SRAM write activities all match;
+//! * the generational [`FlitArena`] conserves allocations under random
+//!   alloc/take schedules — no leak, and every double-free or
+//!   use-after-free trips the generation check — cross-checked against
+//!   the network-level invariant auditor on live traffic.
+
+use orion_net::{DimensionOrder, NodeId, Topology};
+use orion_power::{
+    ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind,
+    CrossbarParams, CrossbarPower, LinkPower,
+};
+use orion_sim::fifo::{reference::VecFlitFifo, FlitFifo};
+use orion_sim::{
+    FlitArena, InvariantAuditor, Network, NetworkSpec, PowerModels, RouterKind, VcRouterSpec,
+};
+use orion_tech::{Microns, ProcessNode, Technology};
+use proptest::prelude::*;
+
+/// One FIFO operation drawn by the strategies below: the discriminant
+/// picks the operation, the payload feeds pushes.
+fn apply_op(
+    op: u8,
+    payload: u64,
+    ring: &mut FlitFifo<u64>,
+    reference: &mut VecFlitFifo<u64>,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    match op % 4 {
+        // push (with empty-bypass)
+        0 => {
+            if ring.free() > 0 {
+                let a = ring.push(payload, payload);
+                let b = reference.push(payload, payload);
+                prop_assert_eq!(a, b);
+            }
+        }
+        // push_stored (always charges)
+        1 => {
+            if ring.free() > 0 {
+                let a = ring.push_stored(payload, payload);
+                let b = reference.push_stored(payload, payload);
+                prop_assert_eq!(a, b);
+            }
+        }
+        // pop
+        2 => {
+            prop_assert_eq!(ring.pop(), reference.pop());
+        }
+        // peek
+        _ => {
+            prop_assert_eq!(ring.head(), reference.head());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Ring and reference FIFO agree on every observable after every
+    /// operation of an arbitrary sequence.
+    #[test]
+    fn ring_fifo_matches_vec_reference(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..64),
+    ) {
+        let mut ring: FlitFifo<u64> = FlitFifo::new(capacity, 64);
+        let mut reference: VecFlitFifo<u64> = VecFlitFifo::new(capacity, 64);
+        for (op, payload) in ops {
+            apply_op(op, payload, &mut ring, &mut reference)?;
+            prop_assert_eq!(ring.len(), reference.len());
+            prop_assert_eq!(ring.free(), reference.free());
+            prop_assert_eq!(ring.is_empty(), reference.is_empty());
+            let a: Vec<u64> = ring.iter().copied().collect();
+            let b: Vec<u64> = reference.iter().copied().collect();
+            prop_assert_eq!(a, b);
+        }
+        // Drain both: the tails must agree too.
+        while !ring.is_empty() {
+            prop_assert_eq!(ring.pop(), reference.pop());
+        }
+        prop_assert!(reference.is_empty());
+    }
+
+    /// The arena conserves flits under random alloc/take schedules:
+    /// `live()` always equals outstanding handles, every take returns
+    /// the exact flit stored, and full drains leave the arena empty
+    /// while the slab stops growing at its high-water mark.
+    #[test]
+    fn arena_conserves_allocations(
+        schedule in proptest::collection::vec((any::<bool>(), any::<u8>()), 0..128),
+    ) {
+        let topo = Topology::torus(&[4, 4]).expect("valid");
+        let route = std::sync::Arc::new(orion_net::dor_route(
+            &topo,
+            NodeId(0),
+            NodeId(5),
+            DimensionOrder::YFirst,
+        ));
+        let mut arena = FlitArena::new();
+        let mut outstanding = Vec::new();
+        let mut next_id = 0u64;
+        let mut high_water = 0usize;
+        for (is_alloc, pick) in schedule {
+            if is_alloc {
+                let f = orion_sim::flit::make_packet(
+                    orion_sim::PacketId(next_id),
+                    NodeId(0),
+                    NodeId(5),
+                    route.clone(),
+                    1,
+                    0,
+                    false,
+                )
+                .remove(0);
+                let h = arena.alloc(f);
+                outstanding.push((h, next_id));
+                next_id += 1;
+            } else if !outstanding.is_empty() {
+                let (h, id) = outstanding.remove(pick as usize % outstanding.len());
+                let f = arena.take(h);
+                prop_assert_eq!(f.packet.0, id);
+            }
+            prop_assert_eq!(arena.live(), outstanding.len());
+            high_water = high_water.max(outstanding.len());
+            prop_assert!(arena.capacity() >= outstanding.len());
+        }
+        for (h, id) in outstanding.drain(..) {
+            prop_assert_eq!(arena.take(h).packet.0, id);
+        }
+        prop_assert!(arena.is_empty());
+        prop_assert!(
+            arena.capacity() <= high_water.max(1),
+            "slab grew past the high-water mark"
+        );
+    }
+
+    /// Network-level cross-check: a live network under random traffic
+    /// passes every invariant audit (including arena accounting: live
+    /// slots == flits in flight) at every step.
+    #[test]
+    fn network_arena_accounting_holds_under_traffic(
+        seed in any::<u64>(),
+        rate_millis in 10u64..180,
+        cycles in 50u64..250,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let topo = Topology::torus(&[4, 4]).expect("valid");
+        let mut net = Network::new(
+            NetworkSpec {
+                topology: topo.clone(),
+                router: RouterKind::Vc(VcRouterSpec::virtual_channel(5, 2, 4, 64)),
+                packet_len: 5,
+                dim_order: DimensionOrder::YFirst,
+            },
+            models(),
+        );
+        let mut auditor = InvariantAuditor::new();
+        let mut pattern =
+            TrafficPattern::uniform(&topo, rate_millis as f64 / 1000.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..cycles {
+            for node in topo.nodes() {
+                if pattern.should_inject(node, &mut rng) {
+                    let dst = pattern.destination(node, &mut rng).expect("uniform");
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+            net.step();
+            let violations = auditor.check(&net);
+            prop_assert!(
+                violations.is_empty(),
+                "audit violations at cycle {}: {:?}",
+                net.cycle(),
+                violations
+            );
+        }
+    }
+}
+
+use orion_net::TrafficPattern;
+
+fn models() -> PowerModels {
+    let tech = Technology::new(ProcessNode::Nm100);
+    let crossbar = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech)
+        .expect("valid");
+    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
+        .expect("valid")
+        .with_control_energy(crossbar.control_energy());
+    PowerModels {
+        flit_bits: 64,
+        buffer: BufferPower::new(&BufferParams::new(8, 64), tech).expect("valid"),
+        crossbar,
+        arbiter,
+        link: LinkPower::on_chip(Microns::from_mm(3.0), 64, tech),
+        central: None,
+    }
+}
+
+/// Outside the proptest block: double-free and use-after-free are not
+/// merely *detected* statistically — any stale handle use panics, which
+/// the generation check guarantees deterministically.
+#[test]
+fn arena_cannot_double_free_without_panic() {
+    let topo = Topology::torus(&[4, 4]).expect("valid");
+    let route = std::sync::Arc::new(orion_net::dor_route(
+        &topo,
+        NodeId(0),
+        NodeId(5),
+        DimensionOrder::YFirst,
+    ));
+    let f = orion_sim::flit::make_packet(
+        orion_sim::PacketId(1),
+        NodeId(0),
+        NodeId(5),
+        route,
+        1,
+        0,
+        false,
+    )
+    .remove(0);
+    let mut arena = FlitArena::new();
+    let h = arena.alloc(f.clone());
+    arena.take(h);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = arena.take(h);
+    }));
+    assert!(result.is_err(), "double free must panic");
+    // The slot is reusable after the failed take.
+    let mut arena = FlitArena::new();
+    let h1 = arena.alloc(f.clone());
+    arena.take(h1);
+    let h2 = arena.alloc(f);
+    assert_eq!(arena.capacity(), 1);
+    let _ = arena.take(h2);
+}
