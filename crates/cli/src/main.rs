@@ -43,6 +43,7 @@ mod experiment;
 mod powermap;
 mod report;
 mod run;
+mod serve;
 mod simulate;
 
 use std::process::ExitCode;
@@ -57,6 +58,13 @@ fn main() -> ExitCode {
     // Args grammar would reject — dispatch it on raw tokens.
     if tokens[0] == "experiment" {
         let out = experiment::execute(&tokens[1..]);
+        print!("{}", out.text);
+        return ExitCode::from(out.code);
+    }
+    // `serve` blocks until drained and installs signal handlers —
+    // dispatch it on raw tokens too.
+    if tokens[0] == "serve" {
+        let out = serve::execute(&tokens[1..]);
         print!("{}", out.text);
         return ExitCode::from(out.code);
     }

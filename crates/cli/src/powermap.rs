@@ -125,10 +125,9 @@ fn render(text: &str) -> Result<String, String> {
         ));
     }
 
-    let hottest = cells
-        .iter()
-        .max_by(|a, b| a.power_w.total_cmp(&b.power_w))
-        .expect("non-empty");
+    let Some(hottest) = cells.iter().max_by(|a, b| a.power_w.total_cmp(&b.power_w)) else {
+        return Err("no power map records".to_string());
+    };
     let mean_power = cells.iter().map(|c| c.power_w).sum::<f64>() / cells.len() as f64;
     let mean_energy = cells.iter().map(|c| c.energy_j).sum::<f64>() / cells.len() as f64;
 
@@ -137,7 +136,11 @@ fn render(text: &str) -> Result<String, String> {
     // (0, 0) in the top-left corner.
     for y in 0..height {
         for x in 0..width {
-            let cell = grid[y * width + x].expect("grid is complete");
+            // Completeness was verified above; an impossible hole
+            // degrades to a typed error rather than a panic.
+            let Some(cell) = grid[y * width + x] else {
+                return Err(format!("internal: missing node at ({x}, {y})"));
+            };
             let mark = if cell.node == hottest.node { '*' } else { ' ' };
             out.push_str(&format!("  {:>10.6}{mark}", cell.power_w));
         }

@@ -37,19 +37,26 @@ COMPONENTS:
   experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
                   [--retries N] [--cell-timeout-ms N] [--audit-every N]
                   [--json] [--quiet]    (see docs/ORCHESTRATION.md)
+  serve           [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+                  [--queue N] [--queue-patience-ms N] [--client-budget N]
+                  [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N]
+                  [--max-body-bytes N]    (see docs/SERVING.md)
 
 COMMON OPTIONS:
   --node <0.8um|0.35um|0.25um|0.18um|0.13um|0.1um|70nm>   (default 0.1um)
   --vdd <volts>                                           (node default)
 
 EXIT CODES:
-  0  success (simulate: run completed; experiment: no failed cells)
-  1  runtime I/O failure (cache or artifact files)
+  0  success (simulate: run completed; experiment: no failed cells;
+     serve: drained cleanly)
+  1  runtime I/O failure (cache or artifact files; serve: bind or
+     cache conflict)
   2  bad input (unknown options, malformed spec, invalid configuration,
      cache directory locked by another live run)
   3  degraded result (simulate: deadlock/saturation/budget/faults/
      corrupted audit; experiment: failed, crashed, timed-out or
-     corrupted cells)
+     corrupted cells; serve: drain deadline expired with requests
+     still in flight)
 
 EXAMPLES:
   orion-power-cli buffer --flits 64 --bits 256
@@ -75,6 +82,13 @@ EXAMPLES:
 /// (`latency_p50_cycles`, `latency_p99_cycles`, `flits_delivered` to
 /// `simulate`).
 pub const JSON_SCHEMA_VERSION: u32 = 3;
+
+/// Version of the `serve` daemon's wire protocol (the `protocol`
+/// field of its framing and error lines), re-exported here so the
+/// three version constants the CLI ships — CLI JSON layouts, per-cell
+/// records ([`orion_exp::SCHEMA_VERSION`]), serve framing — live side
+/// by side. See `docs/SERVING.md` for the wire format.
+pub const SERVE_PROTOCOL_VERSION: u32 = orion_serve::SERVE_PROTOCOL_VERSION;
 
 /// Exit code for runtime I/O failures (cache/artifact files).
 pub const EXIT_RUNTIME: u8 = 1;

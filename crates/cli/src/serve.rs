@@ -1,0 +1,212 @@
+//! The `serve` subcommand: run the long-lived experiment-serving
+//! daemon (`orion-serve`) from the CLI.
+//!
+//! ```text
+//! orion-power-cli serve --addr 127.0.0.1:7774 --cache-dir .exp-cache \
+//!     --workers 4 --queue 8 --client-budget 100000
+//! ```
+//!
+//! Like `experiment`, this subcommand is dispatched on raw tokens
+//! before the option-only [`Args`](crate::args::Args) grammar. Exit
+//! codes follow the scheme in [`crate::run`]: 2 for bad arguments,
+//! 1 for bind/cache I/O failures (including a cache directory locked
+//! by another live run — for a daemon that is an operational conflict,
+//! not bad input), 3 when shutdown could not drain every in-flight
+//! request within `--drain-timeout-ms`, 0 for a clean drain.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use orion_serve::{signal, ServeConfig, Server};
+
+use crate::args::ArgError;
+use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME};
+
+/// Usage fragment shown on `serve` argument errors.
+const SERVE_USAGE: &str = "usage: orion-power-cli serve [--addr HOST:PORT] [--cache-dir DIR] \
+     [--workers N] [--queue N] [--queue-patience-ms N] [--client-budget N] \
+     [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N] [--max-body-bytes N]";
+
+fn parse_args(tokens: &[String]) -> Result<ServeConfig, ArgError> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7774".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = tokens.iter();
+    let value = |it: &mut std::slice::Iter<String>, name: &str| -> Result<String, ArgError> {
+        it.next()
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| ArgError(format!("--{name} requires a value")))
+    };
+    let int = |v: String, name: &str| -> Result<u64, ArgError> {
+        v.parse()
+            .map_err(|_| ArgError(format!("--{name} expects an integer, got `{v}`")))
+    };
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--addr" => config.addr = value(&mut it, "addr")?,
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(value(&mut it, "cache-dir")?));
+            }
+            "--workers" => {
+                let n = int(value(&mut it, "workers")?, "workers")?;
+                if n == 0 {
+                    return Err(ArgError("--workers must be positive".into()));
+                }
+                config.workers = n as usize;
+            }
+            "--queue" => config.queue_depth = int(value(&mut it, "queue")?, "queue")? as usize,
+            "--queue-patience-ms" => {
+                config.queue_patience = Duration::from_millis(int(
+                    value(&mut it, "queue-patience-ms")?,
+                    "queue-patience-ms",
+                )?);
+            }
+            "--client-budget" => {
+                config.client_budget = int(value(&mut it, "client-budget")?, "client-budget")?;
+            }
+            "--retries" => {
+                let n = int(value(&mut it, "retries")?, "retries")?;
+                config.default_retries =
+                    u32::try_from(n).map_err(|_| ArgError("--retries out of range".to_string()))?;
+            }
+            "--cell-timeout-ms" => {
+                let ms = int(value(&mut it, "cell-timeout-ms")?, "cell-timeout-ms")?;
+                if ms == 0 {
+                    return Err(ArgError("--cell-timeout-ms must be positive".into()));
+                }
+                config.default_cell_timeout = Some(Duration::from_millis(ms));
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = Duration::from_millis(int(
+                    value(&mut it, "drain-timeout-ms")?,
+                    "drain-timeout-ms",
+                )?);
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes =
+                    int(value(&mut it, "max-body-bytes")?, "max-body-bytes")? as usize;
+            }
+            opt => {
+                return Err(ArgError(format!(
+                    "unknown option `{opt}` for `serve`\n{SERVE_USAGE}"
+                )))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Executes `serve <tokens...>`: binds, installs signal handlers,
+/// serves until SIGTERM/SIGINT, drains, and maps the outcome onto the
+/// structured exit codes (never panics).
+pub fn execute(tokens: &[String]) -> CmdOutput {
+    let config = match parse_args(tokens) {
+        Ok(c) => c,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: {e}\n"),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: cannot start daemon on `{}`: {e}\n", config.addr),
+                code: EXIT_RUNTIME,
+            }
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(_) => config.addr.clone(),
+    };
+    signal::install();
+    eprintln!(
+        "orion serve: listening on {addr}, protocol {} (SIGTERM/SIGINT to drain)",
+        crate::run::SERVE_PROTOCOL_VERSION
+    );
+    match server.run() {
+        Ok(outcome) if outcome.drained => CmdOutput::ok(format!(
+            "orion serve: drained cleanly after {} requests\n",
+            outcome.requests
+        )),
+        Ok(outcome) => CmdOutput {
+            text: format!(
+                "orion serve: drain deadline expired with {} request(s) still in flight \
+                 after {} total\n",
+                outcome.abandoned, outcome.requests
+            ),
+            code: EXIT_DEGRADED,
+        },
+        Err(e) => CmdOutput {
+            text: format!("error: daemon failed: {e}\n"),
+            code: EXIT_RUNTIME,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let config = parse_args(&tokens(
+            "--addr 0.0.0.0:9000 --cache-dir cache --workers 8 --queue 16 \
+             --queue-patience-ms 500 --client-budget 1000 --retries 2 \
+             --cell-timeout-ms 30000 --drain-timeout-ms 5000 --max-body-bytes 4096",
+        ))
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9000");
+        assert_eq!(config.cache_dir, Some(PathBuf::from("cache")));
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.queue_depth, 16);
+        assert_eq!(config.queue_patience, Duration::from_millis(500));
+        assert_eq!(config.client_budget, 1000);
+        assert_eq!(config.default_retries, 2);
+        assert_eq!(config.default_cell_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(config.drain_timeout, Duration::from_millis(5000));
+        assert_eq!(config.max_body_bytes, 4096);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = parse_args(&[]).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:7774");
+        assert_eq!(config.cache_dir, None);
+        assert_eq!(config.client_budget, u64::MAX);
+    }
+
+    #[test]
+    fn bad_flags_are_typed_errors() {
+        assert!(parse_args(&tokens("--workers 0")).is_err());
+        assert!(parse_args(&tokens("--workers many")).is_err());
+        assert!(parse_args(&tokens("--cell-timeout-ms 0")).is_err());
+        assert!(parse_args(&tokens("--nope")).is_err());
+        assert!(parse_args(&tokens("--addr")).is_err());
+    }
+
+    #[test]
+    fn execute_maps_bad_args_to_exit_2() {
+        let out = execute(&tokens("--bogus"));
+        assert_eq!(out.code, EXIT_BAD_INPUT);
+        assert!(out.text.contains("unknown option"));
+    }
+
+    #[test]
+    fn execute_maps_bind_failure_to_exit_1() {
+        // An address with no port can never bind (and can never start
+        // the blocking serve loop by accident).
+        let out = execute(&tokens("--addr no-port-here"));
+        assert_eq!(out.code, EXIT_RUNTIME);
+        assert!(out.text.contains("cannot start daemon"));
+    }
+}

@@ -102,7 +102,7 @@ pub fn run_cell(cell: &Cell) -> CellRecord {
 
 /// Runs one cell with an explicit RNG seed (retry attempts use
 /// reseeded RNGs; the record carries the seed actually used).
-fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
+pub(crate) fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
     let config = cell.config();
     let pattern = match cell.traffic.pattern(&config.topology, cell.rate) {
         Ok(p) => p,
@@ -128,7 +128,7 @@ fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
 /// The RNG seed for retry attempt `k` (attempt 0 is the cell's
 /// derived seed). Deterministic, so a retried cell's record is
 /// reproducible from its recorded seed alone.
-fn retry_seed(derived_seed: u64, attempt: u32) -> u64 {
+pub(crate) fn retry_seed(derived_seed: u64, attempt: u32) -> u64 {
     if attempt == 0 {
         derived_seed
     } else {
@@ -137,7 +137,7 @@ fn retry_seed(derived_seed: u64, attempt: u32) -> u64 {
 }
 
 /// Whether the poison hook fires for this cell and attempt.
-fn poison_matches(poison: Option<&str>, cell: &Cell, attempt: u32) -> bool {
+pub(crate) fn poison_matches(poison: Option<&str>, cell: &Cell, attempt: u32) -> bool {
     let Some(p) = poison else { return false };
     let (once, pat) = match p.strip_prefix("once:") {
         Some(rest) => (true, rest),
@@ -167,33 +167,50 @@ pub fn run_spec(
     let cells = spec.expand();
     let total = cells.len();
 
-    // Exclusive lock first: two concurrent runs interleaving appends
-    // would tear each other's cache lines. Held until return.
-    let _lock = match &opts.cache_dir {
-        Some(dir) => Some(CacheLock::acquire(dir)?),
-        None => None,
+    // Partition the grid against the cache: cached cells are done, the
+    // rest simulate. Closure so the shared→exclusive upgrade below can
+    // re-partition against a re-opened cache.
+    let partition = |cache: Option<&ResultCache>, cells: &[Cell]| {
+        let mut records: Vec<CellRecord> = Vec::with_capacity(cells.len());
+        let mut misses: Vec<Cell> = Vec::new();
+        for cell in cells {
+            match cache.and_then(|c| c.get(cell.fingerprint())) {
+                Some(hit) => records.push(hit.clone()),
+                None => misses.push(cell.clone()),
+            }
+        }
+        (records, misses)
     };
-    let cache = match &opts.cache_dir {
-        Some(dir) => {
-            let cache = ResultCache::open(dir)?;
+
+    // Lock the cache directory for the duration of the run. A fully
+    // cached, already-healed run only *reads*, so it takes a shared
+    // lock and can proceed beside other readers (concurrent clients
+    // replaying a finished grid). Anything that must write — fresh
+    // cells, torn-line compaction — upgrades to the exclusive writer
+    // lock, re-opening the cache because entries may have changed
+    // between the two acquisitions.
+    let mut _lock: Option<CacheLock> = None;
+    let mut cache: Option<ResultCache> = None;
+    let (mut records, mut misses) = partition(None, &cells);
+    if let Some(dir) = &opts.cache_dir {
+        let shared = CacheLock::acquire_shared(dir)?;
+        let read_cache = ResultCache::open(dir)?;
+        let (recs, miss) = partition(Some(&read_cache), &cells);
+        if miss.is_empty() && !read_cache.needs_compaction() {
+            (records, misses) = (recs, miss);
+            (_lock, cache) = (Some(shared), Some(read_cache));
+        } else {
+            drop(shared);
+            let exclusive = CacheLock::acquire(dir)?;
+            let write_cache = ResultCache::open(dir)?;
             // Heal debris a killed run left behind (torn final line,
             // superseded duplicates) before appending more.
-            cache.compact()?;
-            Some(cache)
-        }
-        None => None,
-    };
-    let corrupt_cache_lines = cache.as_ref().map_or(0, ResultCache::corrupt_lines);
-
-    // Partition the grid: cached cells are done, the rest simulate.
-    let mut records: Vec<CellRecord> = Vec::with_capacity(total);
-    let mut misses: Vec<Cell> = Vec::new();
-    for cell in cells {
-        match cache.as_ref().and_then(|c| c.get(cell.fingerprint())) {
-            Some(hit) => records.push(hit.clone()),
-            None => misses.push(cell),
+            write_cache.compact()?;
+            (records, misses) = partition(Some(&write_cache), &cells);
+            (_lock, cache) = (Some(exclusive), Some(write_cache));
         }
     }
+    let corrupt_cache_lines = cache.as_ref().map_or(0, ResultCache::corrupt_lines);
     let cache_hits = records.len();
     let simulated = misses.len();
 

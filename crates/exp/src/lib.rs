@@ -61,14 +61,18 @@ pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod fingerprint;
+pub mod inflight;
 pub mod record;
+pub mod runner;
 pub mod spec;
 pub mod toml;
 
 pub use artifact::{write_artifacts, write_atomic, Artifacts};
 pub use cache::{
-    CacheAppender, CacheLock, Manifest, ResultCache, CACHE_FILE, LOCK_FILE, MANIFEST_FILE,
+    CacheAppender, CacheLock, LockMode, Manifest, ResultCache, CACHE_FILE, LOCK_FILE, MANIFEST_FILE,
 };
 pub use engine::{run_cell, run_spec, EngineOptions, RunSummary};
+pub use inflight::{Claim, InflightMap, LeaderGuard};
 pub use record::{CellRecord, SCHEMA_VERSION};
+pub use runner::{CellRunner, RunnerStats, Supervision};
 pub use spec::{Cell, ExperimentSpec, MeasureSpec, SpecError, TrafficKind};

@@ -1,0 +1,195 @@
+//! In-flight dedup determinism: concurrent clients submitting
+//! overlapping grids through one [`CellRunner`] must produce records
+//! byte-identical to sequential `run_spec` execution, with each shared
+//! cell simulated exactly once (verified via hit/dedup accounting).
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use orion_exp::runner::{CellRunner, Supervision};
+use orion_exp::{run_spec, CellRecord, EngineOptions, ExperimentSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orion-exp-dedup-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fast grid: `rates` controls the cells; everything else is pinned
+/// so cells from different specs with equal rates share fingerprints.
+fn spec(name: &str, rates: &str) -> ExperimentSpec {
+    ExperimentSpec::parse(&format!(
+        r#"
+[experiment]
+name = "{name}"
+
+[grid]
+presets = ["vc16"]
+rates = {rates}
+
+[measure]
+warmup = 100
+sample_packets = 100
+max_cycles = 20000
+"#
+    ))
+    .unwrap()
+}
+
+fn json_lines(records: &[CellRecord]) -> Vec<String> {
+    let mut lines: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.cell.clone(), r.to_json_line()))
+        .collect();
+    lines.sort();
+    lines.into_iter().map(|(_, line)| line).collect()
+}
+
+#[test]
+fn concurrent_overlapping_clients_match_sequential_and_share_cells() {
+    let spec_a = spec("client-a", "[0.02, 0.04]");
+    let spec_b = spec("client-b", "[0.04, 0.06]");
+
+    // Sequential ground truth: two plain single-threaded uncached runs.
+    let opts = EngineOptions {
+        threads: 1,
+        ..EngineOptions::default()
+    };
+    let (seq_a, _) = run_spec(&spec_a, &opts).unwrap();
+    let (seq_b, _) = run_spec(&spec_b, &opts).unwrap();
+
+    // Concurrent: both clients race through one shared runner.
+    let dir = temp_dir("overlap");
+    let runner = Arc::new(CellRunner::open(Some(&dir)).unwrap());
+    let barrier = Arc::new(Barrier::new(2));
+    let client = |spec: ExperimentSpec| {
+        let (runner, barrier) = (Arc::clone(&runner), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            barrier.wait();
+            spec.expand()
+                .iter()
+                .map(|cell| runner.run(cell, &Supervision::default()))
+                .collect::<Vec<_>>()
+        })
+    };
+    let (ha, hb) = (client(spec_a), client(spec_b));
+    let (conc_a, conc_b) = (ha.join().unwrap(), hb.join().unwrap());
+
+    // Byte-identical to sequential execution, client by client. The
+    // `cached` flag is deliberately not serialized, so records that
+    // arrived via dedup or cache hit still compare equal.
+    assert_eq!(json_lines(&conc_a), json_lines(&seq_a));
+    assert_eq!(json_lines(&conc_b), json_lines(&seq_b));
+
+    // Three distinct cells exist; four were requested. The overlap
+    // (rate 0.04) must have been simulated exactly once, its second
+    // requester answered by dedup or the cache — never re-executed.
+    let stats = runner.stats();
+    assert_eq!(stats.executed, 3, "shared cell must run exactly once");
+    assert_eq!(
+        stats.cache_hits + stats.deduped,
+        1,
+        "the overlapping request must be answered without re-execution"
+    );
+    assert_eq!(stats.crashed + stats.timed_out + stats.failed, 0);
+
+    // Drain: the cache left behind serves a fresh runner entirely from
+    // memory, byte-identically.
+    Arc::try_unwrap(runner).unwrap().finalize().unwrap();
+    let reopened = CellRunner::open(Some(&dir)).unwrap();
+    assert_eq!(reopened.known_records(), 3);
+    let replay: Vec<_> = spec("client-a", "[0.02, 0.04]")
+        .expand()
+        .iter()
+        .map(|cell| reopened.run(cell, &Supervision::default()))
+        .collect();
+    assert_eq!(json_lines(&replay), json_lines(&seq_a));
+    assert_eq!(reopened.stats().executed, 0, "replay must be pure hits");
+    assert!(replay.iter().all(|r| r.cached));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn many_clients_identical_grid_execute_once() {
+    let dir = temp_dir("stampede");
+    let runner = Arc::new(CellRunner::open(Some(&dir)).unwrap());
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let (runner, barrier) = (Arc::clone(&runner), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                spec("stampede", "[0.02, 0.04]")
+                    .expand()
+                    .iter()
+                    .map(|cell| runner.run(cell, &Supervision::default()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let all: Vec<Vec<_>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let first = json_lines(&all[0]);
+    for other in &all[1..] {
+        assert_eq!(json_lines(other), first, "every client sees equal records");
+    }
+    let stats = runner.stats();
+    assert_eq!(stats.executed, 2, "two distinct cells, two executions");
+    assert_eq!(
+        stats.cache_hits + stats.deduped,
+        (clients as u64 - 1) * 2,
+        "every other request answered by dedup or cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crashing_leader_does_not_wedge_followers() {
+    let runner = Arc::new(CellRunner::open(None).unwrap());
+    let sup = Supervision {
+        max_retries: 0,
+        cell_timeout: None,
+        poison: Some("vc16".to_string()),
+    };
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (runner, barrier, sup) = (Arc::clone(&runner), Arc::clone(&barrier), sup.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                let cell = spec("poisoned", "[0.02]").expand().remove(0);
+                runner.run(&cell, &sup)
+            })
+        })
+        .collect();
+    for h in handles {
+        let rec = h.join().unwrap();
+        assert!(rec.is_crashed(), "poisoned cell must quarantine, not hang");
+    }
+    // Quarantine verdicts are never remembered: each requester that
+    // led a flight re-executed, none was served a cached crash.
+    assert_eq!(runner.stats().cache_hits, 0);
+    assert!(runner.known_records() == 0, "crashes are never cached");
+}
+
+#[test]
+fn per_request_timeout_quarantines_without_caching() {
+    let runner = CellRunner::open(None).unwrap();
+    let cell = spec("deadline", "[0.02]").expand().remove(0);
+    let sup = Supervision {
+        max_retries: 0,
+        cell_timeout: Some(Duration::ZERO),
+        poison: None,
+    };
+    let rec = runner.run(&cell, &sup);
+    assert!(rec.is_timed_out());
+    assert_eq!(runner.known_records(), 0, "timeouts are never cached");
+    // The same cell under a sane budget simulates fresh and succeeds.
+    let ok = runner.run(&cell, &Supervision::default());
+    assert!(!ok.is_timed_out() && !ok.is_error());
+    assert_eq!(runner.stats().executed, 2);
+}
