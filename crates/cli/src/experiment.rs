@@ -1,16 +1,19 @@
 //! The `experiment` subcommand: run a declarative TOML experiment spec
-//! through the orchestration engine (`orion-exp`).
+//! through the orchestration engine (`orion-exp`), or explore a design
+//! space through the search engine (`orion-explore`).
 //!
 //! ```text
 //! orion-power-cli experiment run examples/specs/fig5.toml \
 //!     --threads 8 --cache-dir .exp-cache --out-dir experiments
+//! orion-power-cli experiment explore examples/specs/explore_smoke.toml \
+//!     --threads 8 --cache-dir .exp-cache --out-dir experiments
 //! ```
 //!
-//! Unlike the component subcommands, `experiment run` takes a
-//! positional spec path, so it is dispatched before the option-only
+//! Unlike the component subcommands, `experiment run`/`explore` take a
+//! positional spec path, so they are dispatched before the option-only
 //! [`Args`](crate::args::Args) grammar. Exit codes follow the scheme
 //! in [`crate::run`]: 2 for bad input (spec errors, a cache directory
-//! locked by another live run), 1 for I/O failures, 3 when the grid
+//! locked by another live run), 1 for I/O failures, 3 when the run
 //! degraded (failed, crashed, timed-out or corrupted cells),
 //! 0 otherwise.
 //!
@@ -19,11 +22,16 @@
 //! budget, and `--audit-every` overrides the spec's invariant-audit
 //! cadence. The `ORION_EXP_PANIC_CELL` environment variable feeds the
 //! engine's poison hook (testing/CI only).
+//!
+//! `experiment explore` adds `--seed` / `--budget` overrides (the
+//! determinism contract keys on both — see `docs/EXPLORATION.md`) and
+//! `--observe-dir` to dump the `explore_*` metrics snapshot.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use orion_exp::{run_spec, write_artifacts, EngineOptions, ExperimentSpec};
+use orion_explore::{run_explore, write_explore_artifacts, ExploreOptions, ExploreSpec};
 
 use crate::args::ArgError;
 use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
@@ -31,7 +39,10 @@ use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SC
 /// Usage fragment shown on `experiment` argument errors.
 const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
      [--cache-dir DIR] [--out-dir DIR] [--retries N] [--cell-timeout-ms N] \
-     [--audit-every N] [--json] [--quiet]";
+     [--audit-every N] [--json] [--quiet]\n       \
+     orion-power-cli experiment explore <spec.toml> [--threads N] \
+     [--cache-dir DIR] [--out-dir DIR] [--seed N] [--budget N] [--retries N] \
+     [--cell-timeout-ms N] [--observe-dir DIR] [--json] [--quiet]";
 
 struct ExperimentArgs {
     spec_path: PathBuf,
@@ -136,9 +147,301 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
     })
 }
 
+struct ExploreArgs {
+    spec_path: PathBuf,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    out_dir: PathBuf,
+    seed: Option<u64>,
+    budget: Option<usize>,
+    retries: u32,
+    cell_timeout: Option<Duration>,
+    observe_dir: Option<PathBuf>,
+    json: bool,
+    quiet: bool,
+}
+
+fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
+    let mut it = tokens.iter();
+    let mut spec_path: Option<PathBuf> = None;
+    let mut threads = 1usize;
+    let mut cache_dir = None;
+    let mut out_dir = PathBuf::from("experiments");
+    let mut seed = None;
+    let mut budget = None;
+    let mut retries = 0u32;
+    let mut cell_timeout = None;
+    let mut observe_dir = None;
+    let mut json = false;
+    let mut quiet = false;
+
+    let value = |it: &mut std::slice::Iter<String>, name: &str| -> Result<String, ArgError> {
+        it.next()
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| ArgError(format!("--{name} requires a value")))
+    };
+
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--threads" => {
+                let v = value(&mut it, "threads")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--threads expects an integer, got `{v}`")))?;
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(&mut it, "cache-dir")?)),
+            "--out-dir" => out_dir = PathBuf::from(value(&mut it, "out-dir")?),
+            "--observe-dir" => observe_dir = Some(PathBuf::from(value(&mut it, "observe-dir")?)),
+            "--seed" => {
+                let v = value(&mut it, "seed")?;
+                seed = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("--seed expects an integer, got `{v}`")))?,
+                );
+            }
+            "--budget" => {
+                let v = value(&mut it, "budget")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--budget expects an integer, got `{v}`")))?;
+                if n == 0 {
+                    return Err(ArgError("--budget must be positive".into()));
+                }
+                budget = Some(n);
+            }
+            "--retries" => {
+                let v = value(&mut it, "retries")?;
+                retries = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--retries expects an integer, got `{v}`")))?;
+            }
+            "--cell-timeout-ms" => {
+                let v = value(&mut it, "cell-timeout-ms")?;
+                let ms: u64 = v.parse().map_err(|_| {
+                    ArgError(format!("--cell-timeout-ms expects an integer, got `{v}`"))
+                })?;
+                if ms == 0 {
+                    return Err(ArgError("--cell-timeout-ms must be positive".into()));
+                }
+                cell_timeout = Some(Duration::from_millis(ms));
+            }
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            opt if opt.starts_with("--") => {
+                return Err(ArgError(format!(
+                    "unknown option `{opt}` for `experiment explore`\n{EXPERIMENT_USAGE}"
+                )))
+            }
+            path if spec_path.is_none() => spec_path = Some(PathBuf::from(path)),
+            extra => {
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{extra}`\n{EXPERIMENT_USAGE}"
+                )))
+            }
+        }
+    }
+
+    Ok(ExploreArgs {
+        spec_path: spec_path
+            .ok_or_else(|| ArgError(format!("missing spec path\n{EXPERIMENT_USAGE}")))?,
+        threads,
+        cache_dir,
+        out_dir,
+        seed,
+        budget,
+        retries,
+        cell_timeout,
+        observe_dir,
+        json,
+        quiet,
+    })
+}
+
+fn execute_explore(tokens: &[String]) -> CmdOutput {
+    let args = match parse_explore_args(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: {e}\n"),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: cannot read `{}`: {e}\n", args.spec_path.display()),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+    let spec = match ExploreSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: {}: {e}\n", args.spec_path.display()),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+    };
+
+    let opts = ExploreOptions {
+        threads: args.threads,
+        cache_dir: args.cache_dir.clone(),
+        progress: !args.quiet && !args.json,
+        max_retries: args.retries,
+        cell_timeout: args.cell_timeout,
+        seed: args.seed,
+        budget: args.budget,
+    };
+    let report = match run_explore(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            return CmdOutput {
+                text: format!("error: {e}\n"),
+                code: EXIT_BAD_INPUT,
+            }
+        }
+        Err(e) => {
+            return CmdOutput {
+                text: format!("error: explore I/O failure: {e}\n"),
+                code: EXIT_RUNTIME,
+            }
+        }
+    };
+    let artifacts = match write_explore_artifacts(&args.out_dir, &spec.name, &report.points) {
+        Ok(a) => a,
+        Err(e) => {
+            return CmdOutput {
+                text: format!(
+                    "error: cannot write artifacts under `{}`: {e}\n",
+                    args.out_dir.display()
+                ),
+                code: EXIT_RUNTIME,
+            }
+        }
+    };
+    if let Some(dir) = &args.observe_dir {
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(dir.join("metrics.json"), report.metrics.to_json())?;
+            std::fs::write(dir.join("metrics.csv"), report.metrics.to_csv())
+        }) {
+            return CmdOutput {
+                text: format!(
+                    "error: cannot write metrics under `{}`: {e}\n",
+                    dir.display()
+                ),
+                code: EXIT_RUNTIME,
+            };
+        }
+    }
+
+    let summary = &report.summary;
+    let elapsed = summary.elapsed.as_secs_f64();
+    let text = if args.json {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema_version\": {},\n",
+                "  \"experiment\": \"{}\",\n",
+                "  \"strategy\": \"{}\",\n",
+                "  \"budget\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"evaluations\": {},\n",
+                "  \"cells\": {},\n",
+                "  \"rounds\": {},\n",
+                "  \"frontier\": {},\n",
+                "  \"dominated\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"executed\": {},\n",
+                "  \"crashed\": {},\n",
+                "  \"timed_out\": {},\n",
+                "  \"retried\": {},\n",
+                "  \"failed\": {},\n",
+                "  \"append_failures\": {},\n",
+                "  \"elapsed_s\": {:.3},\n",
+                "  \"artifacts\": {{\"frontier_jsonl\": \"{}\", \"frontier_csv\": \"{}\", ",
+                "\"dominated_jsonl\": \"{}\", \"dominated_csv\": \"{}\"}}\n",
+                "}}\n"
+            ),
+            JSON_SCHEMA_VERSION,
+            spec.name,
+            summary.strategy,
+            summary.budget,
+            summary.seed,
+            summary.evaluations,
+            summary.cells,
+            summary.rounds,
+            summary.frontier_total(),
+            summary.dominated,
+            summary.stats.cache_hits,
+            summary.stats.executed,
+            summary.stats.crashed,
+            summary.stats.timed_out,
+            summary.stats.retried,
+            summary.stats.failed,
+            summary.stats.append_failures,
+            elapsed,
+            artifacts.frontier_jsonl.display(),
+            artifacts.frontier_csv.display(),
+            artifacts.dominated_jsonl.display(),
+            artifacts.dominated_csv.display(),
+        )
+    } else {
+        let mut out = format!(
+            "explore {}: {} {} evaluations ({} budget, seed {}), {} rounds in {:.1}s\n",
+            spec.name,
+            summary.strategy,
+            summary.evaluations,
+            summary.budget,
+            summary.seed,
+            summary.rounds,
+            elapsed,
+        );
+        for (traffic, n) in &summary.frontier_sizes {
+            out.push_str(&format!("frontier[{traffic}]: {n} points\n"));
+        }
+        out.push_str(&format!(
+            "cells: {} cached, {} simulated, {} dominated points\n",
+            summary.stats.cache_hits, summary.stats.executed, summary.dominated,
+        ));
+        if summary.stats.crashed > 0 || summary.stats.timed_out > 0 || summary.stats.retried > 0 {
+            out.push_str(&format!(
+                "supervision: {} crashed, {} timed out, {} recovered by retry\n",
+                summary.stats.crashed, summary.stats.timed_out, summary.stats.retried
+            ));
+        }
+        if let Some(e) = &summary.append_error {
+            out.push_str(&format!(
+                "warning: cache append broke mid-run ({} record(s) not cached): {e}\n",
+                summary.stats.append_failures
+            ));
+        }
+        out.push_str(&format!(
+            "artifacts: {}, {}\n",
+            artifacts.frontier_jsonl.display(),
+            artifacts.dominated_jsonl.display(),
+        ));
+        out
+    };
+
+    let code = if summary.is_degraded() {
+        EXIT_DEGRADED
+    } else {
+        0
+    };
+    CmdOutput { text, code }
+}
+
 /// Executes `experiment <tokens...>`, returning rendered output and
 /// the exit code (never panics; every failure maps to a coded result).
 pub fn execute(tokens: &[String]) -> CmdOutput {
+    if tokens.first().map(String::as_str) == Some("explore") {
+        return execute_explore(&tokens[1..]);
+    }
     let args = match parse_args(tokens) {
         Ok(a) => a,
         Err(e) => {
@@ -383,7 +686,9 @@ rates = [0.02, 0.04]
         let first = execute(&toks(&line));
         assert_eq!(first.code, 0, "{}", first.text);
         assert!(
-            first.text.contains("\"schema_version\": 3"),
+            first
+                .text
+                .contains(&format!("\"schema_version\": {JSON_SCHEMA_VERSION}")),
             "{}",
             first.text
         );
@@ -461,6 +766,131 @@ rates = [0.02, 0.055]
                 .filter(|l| l.contains("\"cell_outcome\":\"crashed\""))
                 .count(),
             1
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn write_explore_spec(dir: &Path) -> PathBuf {
+        let path = dir.join("explore.toml");
+        fs::write(
+            &path,
+            r#"
+[experiment]
+name = "cli-explore"
+
+[measure]
+warmup = 100
+sample_packets = 100
+max_cycles = 20000
+
+[explore]
+strategy = "grid-refine"
+budget = 4
+rate = 0.02
+
+[space]
+families = ["vc"]
+vcs = [2, 4]
+depths = [4, 8]
+"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn explore_bad_input_exits_2() {
+        for line in [
+            "explore",                            // missing spec path
+            "explore a.toml b.toml",              // extra positional
+            "explore a.toml --budget 0",          // zero budget
+            "explore a.toml --budget x",          // non-integer budget
+            "explore a.toml --seed",              // value-less option
+            "explore a.toml --bogus 1",           // unknown option
+            "explore /nonexistent.toml",          // unreadable file
+            "explore a.toml --cell-timeout-ms 0", // zero budget
+        ] {
+            let out = execute(&toks(line));
+            assert_eq!(out.code, EXIT_BAD_INPUT, "{line:?} -> {}", out.text);
+            assert!(out.text.starts_with("error:"), "{line:?} -> {}", out.text);
+        }
+    }
+
+    #[test]
+    fn explore_malformed_spec_exits_2_with_diagnostic() {
+        let dir = temp_dir("badexplore");
+        let path = dir.join("bad.toml");
+        fs::write(
+            &path,
+            "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\nstrategy = \"warp\"\n[space]\nfamilies = [\"vc\"]\n",
+        )
+        .unwrap();
+        let out = execute(&toks(&format!("explore {}", path.display())));
+        assert_eq!(out.code, EXIT_BAD_INPUT, "{}", out.text);
+        assert!(out.text.contains("warp"), "{}", out.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explore_writes_frontier_artifacts_then_hits_cache() {
+        let dir = temp_dir("explore");
+        let spec = write_explore_spec(&dir);
+        let line = format!(
+            "explore {} --threads 2 --cache-dir {} --out-dir {} --observe-dir {} --json --quiet",
+            spec.display(),
+            dir.join("cache").display(),
+            dir.join("out").display(),
+            dir.join("obs").display(),
+        );
+
+        let first = execute(&toks(&line));
+        assert_eq!(first.code, 0, "{}", first.text);
+        assert!(
+            first
+                .text
+                .contains(&format!("\"schema_version\": {JSON_SCHEMA_VERSION}")),
+            "{}",
+            first.text
+        );
+        assert!(first.text.contains("\"evaluations\": 4"), "{}", first.text);
+        assert!(first.text.contains("\"executed\": 4"), "{}", first.text);
+        assert!(first.text.contains("\"cache_hits\": 0"), "{}", first.text);
+        for artifact in [
+            "out/cli-explore.frontier.jsonl",
+            "out/cli-explore.frontier.csv",
+            "out/cli-explore.dominated.jsonl",
+            "out/cli-explore.dominated.csv",
+        ] {
+            assert!(dir.join(artifact).exists(), "missing {artifact}");
+        }
+        let metrics = fs::read_to_string(dir.join("obs/metrics.json")).unwrap();
+        assert!(metrics.contains("explore_evaluations"), "{metrics}");
+        assert!(dir.join("obs/metrics.csv").exists());
+
+        // Second run: every cell is a cache hit, frontier unchanged.
+        let second = execute(&toks(&line));
+        assert_eq!(second.code, 0, "{}", second.text);
+        assert!(second.text.contains("\"executed\": 0"), "{}", second.text);
+        assert!(second.text.contains("\"cache_hits\": 4"), "{}", second.text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explore_human_summary_mentions_frontier() {
+        let dir = temp_dir("explore-human");
+        let spec = write_explore_spec(&dir);
+        let out = execute(&toks(&format!(
+            "explore {} --out-dir {} --quiet",
+            spec.display(),
+            dir.join("out").display(),
+        )));
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("explore cli-explore"), "{}", out.text);
+        assert!(out.text.contains("frontier[uniform]"), "{}", out.text);
+        assert!(
+            out.text.contains("cli-explore.frontier.jsonl"),
+            "{}",
+            out.text
         );
         let _ = fs::remove_dir_all(&dir);
     }

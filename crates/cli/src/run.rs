@@ -37,6 +37,10 @@ COMPONENTS:
   experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
                   [--retries N] [--cell-timeout-ms N] [--audit-every N]
                   [--json] [--quiet]    (see docs/ORCHESTRATION.md)
+  experiment explore  <spec.toml> [--threads N] [--cache-dir DIR]
+                  [--out-dir DIR] [--seed N] [--budget N] [--retries N]
+                  [--cell-timeout-ms N] [--observe-dir DIR] [--json]
+                  [--quiet]    (see docs/EXPLORATION.md)
   serve           [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
                   [--queue N] [--queue-patience-ms N] [--client-budget N]
                   [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N]
@@ -69,6 +73,8 @@ EXAMPLES:
   orion-power-cli powermap --observe-dir obs
   orion-power-cli experiment run examples/specs/fig5.toml --threads 8 \\
       --cache-dir .exp-cache --out-dir experiments
+  orion-power-cli experiment explore examples/specs/explore_smoke.toml \\
+      --threads 8 --seed 1 --budget 12 --cache-dir .exp-cache
 ";
 
 /// Version of the CLI's JSON output layouts (`simulate --json` and
@@ -80,8 +86,10 @@ EXAMPLES:
 /// `retried`, `corrupted`, `append_failures` to `experiment run`;
 /// `audit` to `simulate`); 3 added the latency/flit summary fields
 /// (`latency_p50_cycles`, `latency_p99_cycles`, `flits_delivered` to
-/// `simulate`).
-pub const JSON_SCHEMA_VERSION: u32 = 3;
+/// `simulate`); 4 added the `experiment explore` summary layout
+/// (`strategy`, `budget`, `seed`, `evaluations`, `rounds`, `frontier`,
+/// `dominated` and the four-file `artifacts` object).
+pub const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// Version of the `serve` daemon's wire protocol (the `protocol`
 /// field of its framing and error lines), re-exported here so the

@@ -472,7 +472,13 @@ mod tests {
             "simulate --preset vc16 --rate 0.03 {QUICK} --json"
         ))
         .unwrap();
-        assert!(out.contains("\"schema_version\": 3"), "{out}");
+        assert!(
+            out.contains(&format!(
+                "\"schema_version\": {}",
+                crate::run::JSON_SCHEMA_VERSION
+            )),
+            "{out}"
+        );
         assert!(out.contains("\"outcome\": \"completed\""), "{out}");
         assert!(out.contains("\"latency_p50_cycles\": "), "{out}");
         assert!(out.contains("\"latency_p99_cycles\": "), "{out}");

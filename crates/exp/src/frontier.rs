@@ -1,0 +1,234 @@
+//! Deterministic Pareto frontiers on the paper's power-performance
+//! plane.
+//!
+//! The explorer (and any analysis over cell records) ranks candidates
+//! by two objectives, both minimised: average packet latency in cycles
+//! and total network power in watts — the two axes of the paper's
+//! Figures 5 and 7. A [`ParetoFront`] keeps the non-dominated set,
+//! stores members in a total order `(latency, power, label)` so that
+//! identical inputs always serialise identically, and rejects
+//! non-finite objectives (a saturated-but-measured cell is admissible;
+//! a crashed cell with NaN latency is not).
+
+use std::fmt;
+
+/// A candidate's objective vector: both minimised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Average packet latency in cycles.
+    pub latency: f64,
+    /// Total network power in watts.
+    pub power: f64,
+}
+
+impl Objectives {
+    /// Whether both objectives are finite (comparable at all).
+    pub fn is_finite(&self) -> bool {
+        self.latency.is_finite() && self.power.is_finite()
+    }
+
+    /// Strict Pareto dominance: no worse on either objective, strictly
+    /// better on at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        self.latency <= other.latency
+            && self.power <= other.power
+            && (self.latency < other.latency || self.power < other.power)
+    }
+}
+
+impl fmt::Display for Objectives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3} cycles, {:.6} W)", self.latency, self.power)
+    }
+}
+
+/// A labelled frontier member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontMember {
+    /// Candidate label (a design-point name, a cell key, …).
+    pub label: String,
+    /// Its objectives.
+    pub objectives: Objectives,
+}
+
+/// What [`ParetoFront::insert`] did with a candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// Joined the frontier, evicting the listed now-dominated labels.
+    Added {
+        /// Labels removed because the new member dominates them.
+        evicted: Vec<String>,
+    },
+    /// Dominated by an existing member; frontier unchanged.
+    Dominated,
+    /// A member with this label is already on the frontier.
+    AlreadyPresent,
+    /// Rejected: an objective was NaN or infinite.
+    NotFinite,
+}
+
+/// The non-dominated set over [`Objectives`], in a deterministic order.
+///
+/// Members with *equal* objectives do not dominate each other, so ties
+/// are all kept — the frontier reports every architecture that attains
+/// a given operating point. Iteration order and serialisation order are
+/// `(latency, power, label)` via total float ordering, independent of
+/// insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParetoFront {
+    members: Vec<FrontMember>,
+}
+
+impl ParetoFront {
+    /// An empty frontier.
+    pub fn new() -> ParetoFront {
+        ParetoFront::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members sorted by `(latency, power, label)`.
+    pub fn members(&self) -> &[FrontMember] {
+        &self.members
+    }
+
+    /// Whether `label` is currently on the frontier.
+    pub fn contains(&self, label: &str) -> bool {
+        self.members.iter().any(|m| m.label == label)
+    }
+
+    /// Offers a candidate to the frontier.
+    pub fn insert(&mut self, label: &str, objectives: Objectives) -> InsertOutcome {
+        if !objectives.is_finite() {
+            return InsertOutcome::NotFinite;
+        }
+        if self.contains(label) {
+            return InsertOutcome::AlreadyPresent;
+        }
+        if self
+            .members
+            .iter()
+            .any(|m| m.objectives.dominates(&objectives))
+        {
+            return InsertOutcome::Dominated;
+        }
+        let mut evicted = Vec::new();
+        self.members.retain(|m| {
+            if objectives.dominates(&m.objectives) {
+                evicted.push(m.label.clone());
+                false
+            } else {
+                true
+            }
+        });
+        self.members.push(FrontMember {
+            label: label.to_string(),
+            objectives,
+        });
+        self.members.sort_by(|a, b| {
+            a.objectives
+                .latency
+                .total_cmp(&b.objectives.latency)
+                .then(a.objectives.power.total_cmp(&b.objectives.power))
+                .then(a.label.cmp(&b.label))
+        });
+        InsertOutcome::Added { evicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(latency: f64, power: f64) -> Objectives {
+        Objectives { latency, power }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        assert!(obj(1.0, 1.0).dominates(&obj(2.0, 2.0)));
+        assert!(obj(1.0, 1.0).dominates(&obj(1.0, 2.0)));
+        assert!(
+            !obj(1.0, 1.0).dominates(&obj(1.0, 1.0)),
+            "equal: no dominance"
+        );
+        assert!(!obj(1.0, 3.0).dominates(&obj(2.0, 2.0)), "trade-off");
+    }
+
+    #[test]
+    fn frontier_keeps_nondominated_set() {
+        let mut f = ParetoFront::new();
+        assert_eq!(
+            f.insert("a", obj(10.0, 1.0)),
+            InsertOutcome::Added { evicted: vec![] }
+        );
+        assert_eq!(
+            f.insert("b", obj(1.0, 10.0)),
+            InsertOutcome::Added { evicted: vec![] }
+        );
+        // Dominates neither: a knee point joins.
+        assert_eq!(
+            f.insert("c", obj(5.0, 5.0)),
+            InsertOutcome::Added { evicted: vec![] }
+        );
+        // Dominated by c.
+        assert_eq!(f.insert("d", obj(6.0, 6.0)), InsertOutcome::Dominated);
+        // Dominates c (and d would be gone anyway).
+        assert_eq!(
+            f.insert("e", obj(4.0, 4.0)),
+            InsertOutcome::Added {
+                evicted: vec!["c".into()]
+            }
+        );
+        let labels: Vec<&str> = f.members().iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, ["b", "e", "a"], "sorted by latency");
+    }
+
+    #[test]
+    fn order_is_insertion_independent() {
+        let points = [
+            ("a", obj(10.0, 1.0)),
+            ("b", obj(1.0, 10.0)),
+            ("c", obj(5.0, 5.0)),
+            ("d", obj(5.0, 5.0)),
+            ("e", obj(7.0, 7.0)),
+        ];
+        let mut forward = ParetoFront::new();
+        for (l, o) in points {
+            forward.insert(l, o);
+        }
+        let mut backward = ParetoFront::new();
+        for (l, o) in points.iter().rev() {
+            backward.insert(l, *o);
+        }
+        assert_eq!(forward, backward);
+        // Equal objectives: both kept, label-ordered.
+        assert!(forward.contains("c") && forward.contains("d"));
+        assert!(!forward.contains("e"));
+    }
+
+    #[test]
+    fn non_finite_rejected_duplicates_ignored() {
+        let mut f = ParetoFront::new();
+        assert_eq!(
+            f.insert("nan", obj(f64::NAN, 1.0)),
+            InsertOutcome::NotFinite
+        );
+        assert_eq!(
+            f.insert("inf", obj(1.0, f64::INFINITY)),
+            InsertOutcome::NotFinite
+        );
+        assert!(f.is_empty());
+        f.insert("a", obj(1.0, 1.0));
+        assert_eq!(f.insert("a", obj(0.5, 0.5)), InsertOutcome::AlreadyPresent);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -59,8 +59,10 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod design;
 pub mod engine;
 pub mod fingerprint;
+pub mod frontier;
 pub mod inflight;
 pub mod record;
 pub mod runner;
@@ -71,7 +73,9 @@ pub use artifact::{write_artifacts, write_atomic, Artifacts};
 pub use cache::{
     CacheAppender, CacheLock, LockMode, Manifest, ResultCache, CACHE_FILE, LOCK_FILE, MANIFEST_FILE,
 };
+pub use design::{canonical_design_name, DesignPoint, RouterFamily};
 pub use engine::{run_cell, run_spec, EngineOptions, RunSummary};
+pub use frontier::{FrontMember, InsertOutcome, Objectives, ParetoFront};
 pub use inflight::{Claim, InflightMap, LeaderGuard};
 pub use record::{CellRecord, SCHEMA_VERSION};
 pub use runner::{CellRunner, RunnerStats, Supervision};

@@ -25,7 +25,7 @@
 
 use std::fmt;
 
-use orion_core::{presets, NetworkConfig};
+use orion_core::NetworkConfig;
 use orion_net::{Topology, TrafficPattern};
 use orion_sim::{FlowControl, VcDiscipline};
 
@@ -119,6 +119,32 @@ pub enum SpecError {
         /// The rejected name.
         name: String,
     },
+    /// A search-strategy name the explorer does not implement.
+    UnknownStrategy {
+        /// The rejected name.
+        name: String,
+        /// 1-based line of the key.
+        line: usize,
+    },
+    /// An evaluation budget that is zero, negative or not an integer.
+    InvalidBudget {
+        /// The rejected value.
+        value: i64,
+        /// 1-based line of the key.
+        line: usize,
+    },
+    /// A design-space dimension holds a value outside its domain
+    /// (unknown family/topology/node name, out-of-range size).
+    BadDimension {
+        /// The `[space]` key.
+        key: String,
+        /// The rejected value, rendered.
+        value: String,
+        /// What the dimension accepts.
+        expected: &'static str,
+        /// 1-based line of the axis.
+        line: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -146,7 +172,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::UnknownPreset { name, line } => write!(
                 f,
-                "spec line {line}: unknown preset `{name}` (expected wh64|vc16|vc64|vc128|xb|cb)"
+                "spec line {line}: unknown preset `{name}` (expected \
+                 wh64|vc16|vc64|vc128|xb|cb or a parametric design point \
+                 like vc4x16-t8 — see docs/EXPLORATION.md)"
             ),
             SpecError::UnknownTraffic { name, line } => write!(
                 f,
@@ -174,6 +202,25 @@ impl fmt::Display for SpecError {
                 f,
                 "spec: experiment name `{name}` must be a non-empty \
                  [A-Za-z0-9_-] token (it names the artifact files)"
+            ),
+            SpecError::UnknownStrategy { name, line } => write!(
+                f,
+                "spec line {line}: unknown strategy `{name}` \
+                 (expected grid-refine|evolutionary)"
+            ),
+            SpecError::InvalidBudget { value, line } => write!(
+                f,
+                "spec line {line}: budget {value} must be a positive \
+                 integer (max candidate evaluations)"
+            ),
+            SpecError::BadDimension {
+                key,
+                value,
+                expected,
+                line,
+            } => write!(
+                f,
+                "spec line {line}: `{key}` value `{value}` invalid (expected {expected})"
             ),
         }
     }
@@ -254,19 +301,24 @@ impl TrafficKind {
         }
     }
 
-    fn from_str(name: &str, line: usize) -> Result<TrafficKind, SpecError> {
+    /// Parses a traffic-pattern name; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<TrafficKind> {
         match name {
-            "uniform" => Ok(TrafficKind::Uniform),
-            "transpose" => Ok(TrafficKind::Transpose),
-            "bit-complement" => Ok(TrafficKind::BitComplement),
-            "tornado" => Ok(TrafficKind::Tornado),
-            "shuffle" => Ok(TrafficKind::Shuffle),
-            "bit-reversal" => Ok(TrafficKind::BitReversal),
-            other => Err(SpecError::UnknownTraffic {
-                name: other.to_string(),
-                line,
-            }),
+            "uniform" => Some(TrafficKind::Uniform),
+            "transpose" => Some(TrafficKind::Transpose),
+            "bit-complement" => Some(TrafficKind::BitComplement),
+            "tornado" => Some(TrafficKind::Tornado),
+            "shuffle" => Some(TrafficKind::Shuffle),
+            "bit-reversal" => Some(TrafficKind::BitReversal),
+            _ => None,
         }
+    }
+
+    fn from_str(name: &str, line: usize) -> Result<TrafficKind, SpecError> {
+        TrafficKind::parse(name).ok_or_else(|| SpecError::UnknownTraffic {
+            name: name.to_string(),
+            line,
+        })
     }
 
     /// Builds the pattern over `topology` at `rate`.
@@ -307,17 +359,12 @@ pub fn vc_discipline_name(vd: VcDiscipline) -> &'static str {
 /// The paper's named preset configurations the grid can reference.
 pub const PRESET_NAMES: [&str; 6] = ["wh64", "vc16", "vc64", "vc128", "xb", "cb"];
 
-/// Looks up a preset by its spec name.
+/// Looks up a configuration by its spec name: one of the paper's six
+/// presets, or any parametric design-point name from the
+/// [`crate::design`] grammar (`wh32`, `vc4x16-t8`, `cb128-n70`, …).
 pub fn preset_config(name: &str) -> Option<NetworkConfig> {
-    match name {
-        "wh64" => Some(presets::wh64_onchip()),
-        "vc16" => Some(presets::vc16_onchip()),
-        "vc64" => Some(presets::vc64_onchip()),
-        "vc128" => Some(presets::vc128_onchip()),
-        "xb" => Some(presets::xb_chip_to_chip()),
-        "cb" => Some(presets::cb_chip_to_chip()),
-        _ => None,
-    }
+    crate::design::paper_preset(name)
+        .or_else(|| crate::design::DesignPoint::parse(name).map(|p| p.config()))
 }
 
 /// A validated experiment specification.
@@ -645,14 +692,18 @@ impl ExperimentSpec {
         if presets.is_empty() {
             return Err(SpecError::EmptyAxis { key: "presets" });
         }
-        for p in &presets {
-            if preset_config(p).is_none() {
-                return Err(SpecError::UnknownPreset {
+        // Canonicalise every name through the design codec so aliases
+        // (`vc8x8`) address the same cells — and cache entries — as the
+        // canonical form (`vc64`).
+        let presets = presets
+            .iter()
+            .map(|p| {
+                crate::design::canonical_design_name(p).ok_or(SpecError::UnknownPreset {
                     name: p.clone(),
                     line: presets_line,
-                });
-            }
-        }
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
 
         let (rates, rates_line) =
             get_num_array(&doc, "grid", "rates")?.ok_or(SpecError::MissingKey {

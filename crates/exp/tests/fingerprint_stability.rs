@@ -1,0 +1,148 @@
+//! Fingerprint stability across spec key ordering, for all four router
+//! families.
+//!
+//! The explorer (`orion-explore`) dedups its candidates against
+//! grid-run cells purely through the content-addressed cache key
+//! `fingerprint(MODEL_VERSION | cell.key() | measure)`. That only
+//! works if the fingerprint is a function of the cell's *values*, not
+//! of the TOML text that produced it: reordering keys inside a
+//! section, reordering sections, or naming the same design point
+//! through a parametric alias must all land on the same fingerprint.
+//! These tests pin that contract; breaking it silently doubles
+//! simulation work and forks the cache.
+
+use orion_exp::spec::ExperimentSpec;
+
+/// One spec per router family, with a second rendering whose sections
+/// and keys are permuted. Both must expand to identical cells.
+const FAMILY_PRESETS: [&str; 4] = ["wh64", "vc16", "xb", "cb"];
+
+fn spec_ordered(preset: &str) -> String {
+    format!(
+        "[experiment]\n\
+         name = \"fp\"\n\
+         description = \"ordering probe\"\n\
+         \n\
+         [measure]\n\
+         warmup = 200\n\
+         sample_packets = 300\n\
+         max_cycles = 40000\n\
+         watchdog_cycles = 0\n\
+         audit_every = 0\n\
+         \n\
+         [grid]\n\
+         presets = [\"{preset}\"]\n\
+         traffic = [\"uniform\", \"transpose\"]\n\
+         rates = [0.02, 0.05]\n\
+         seeds = [1, 2]\n"
+    )
+}
+
+fn spec_permuted(preset: &str) -> String {
+    // Same values: sections reordered, keys reordered within sections.
+    format!(
+        "[measure]\n\
+         audit_every = 0\n\
+         max_cycles = 40000\n\
+         watchdog_cycles = 0\n\
+         sample_packets = 300\n\
+         warmup = 200\n\
+         \n\
+         [grid]\n\
+         seeds = [1, 2]\n\
+         rates = [0.02, 0.05]\n\
+         traffic = [\"uniform\", \"transpose\"]\n\
+         presets = [\"{preset}\"]\n\
+         \n\
+         [experiment]\n\
+         description = \"ordering probe\"\n\
+         name = \"fp\"\n"
+    )
+}
+
+#[test]
+fn fingerprints_are_key_order_insensitive_for_all_families() {
+    for preset in FAMILY_PRESETS {
+        let a = ExperimentSpec::parse(&spec_ordered(preset)).expect("ordered spec parses");
+        let b = ExperimentSpec::parse(&spec_permuted(preset)).expect("permuted spec parses");
+        let ca = a.expand();
+        let cb = b.expand();
+        assert_eq!(ca.len(), cb.len(), "{preset}: grid sizes differ");
+        assert_eq!(
+            ca.len(),
+            8,
+            "{preset}: 1 preset x 2 traffic x 2 rates x 2 seeds"
+        );
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.key(), y.key(), "{preset}: cell keys diverge");
+            assert_eq!(
+                x.fingerprint(),
+                y.fingerprint(),
+                "{preset}: fingerprints diverge for {}",
+                x.key()
+            );
+            assert_eq!(
+                x.derived_seed(),
+                y.derived_seed(),
+                "{preset}: derived seeds diverge for {}",
+                x.key()
+            );
+        }
+    }
+}
+
+#[test]
+fn fingerprints_are_distinct_across_families() {
+    // Sanity inverse: same measure/rate/seed, different family presets
+    // must NOT collide (a collision here would alias unrelated cells).
+    let fps: Vec<u64> = FAMILY_PRESETS
+        .iter()
+        .map(|preset| {
+            let spec = ExperimentSpec::parse(&spec_ordered(preset)).unwrap();
+            spec.expand()[0].fingerprint()
+        })
+        .collect();
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            assert_ne!(
+                fps[i], fps[j],
+                "{} and {} collide",
+                FAMILY_PRESETS[i], FAMILY_PRESETS[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn parametric_aliases_share_the_paper_preset_fingerprint() {
+    // The design codec canonicalises paper-equivalent parametric names
+    // (vc2x8 -> vc16, 8x8 -> vc64, ...) at spec-parse time, so a grid
+    // naming the alias produces bit-identical cells — and therefore
+    // cache hits — against a grid naming the paper preset.
+    for (alias, paper) in [
+        ("vc2x8", "vc16"),
+        ("vc8x8", "vc64"),
+        ("vc8x16", "vc128"),
+        ("xb16x268", "xb"),
+        ("cb64", "cb"),
+        ("wh64-t4", "wh64"),
+    ] {
+        let a = ExperimentSpec::parse(&spec_ordered(alias)).expect("alias spec parses");
+        let b = ExperimentSpec::parse(&spec_ordered(paper)).expect("paper spec parses");
+        let ca = a.expand();
+        let cb = b.expand();
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(
+                x.preset, y.preset,
+                "{alias} did not canonicalise to {paper}"
+            );
+            assert_eq!(
+                x.fingerprint(),
+                y.fingerprint(),
+                "{alias} vs {paper}: fingerprints diverge for {}",
+                x.key()
+            );
+        }
+    }
+}

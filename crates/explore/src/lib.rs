@@ -1,0 +1,77 @@
+//! Automated design-space exploration for the Orion reproduction:
+//! budgeted, seedable search over router microarchitectures with
+//! deterministic Pareto frontiers on the latency/power plane.
+//!
+//! The paper's whole purpose is architectural exploration — §4.2 and
+//! §4.4 compare router families and buffer sizings on the
+//! power-performance plane by hand. This crate closes the loop the way
+//! PAPERS.md's Pareto-optimisation framework (Kao & Fink) does: a
+//! search engine proposes candidate design points — router family
+//! (WH/VC/CB/XB), VC count, buffer depth, topology radix, process node
+//! — evaluates them through the cached, supervised `orion-exp`
+//! [`CellRunner`](orion_exp::CellRunner), and maintains one Pareto
+//! frontier per traffic pattern on *(average latency, total power)*.
+//!
+//! Three properties, all pinned by tests and CI:
+//!
+//! 1. **Determinism under parallelism** — strategies are pure
+//!    functions of `(spec, results so far)`, batches evaluate through
+//!    the order-preserving `par_map`, and frontier updates are
+//!    sequential, so `--threads N` produces byte-identical frontier
+//!    artifacts to `--threads 1` for a fixed `--seed`/`--budget`.
+//! 2. **Resumability** — candidates lower to ordinary experiment
+//!    cells with content-addressed fingerprints; a killed search
+//!    re-runs its trajectory from the cache and converges to the same
+//!    frontier, and cells already evaluated by a grid run are cache
+//!    hits, never re-simulated.
+//! 3. **Versioned artifacts** — frontier and dominated points land as
+//!    JSONL + CSV with an explicit `explore` schema version, atomic
+//!    writes and a total row order.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use orion_explore::{run_explore, ExploreOptions, ExploreSpec};
+//!
+//! let spec = ExploreSpec::parse(r#"
+//! [experiment]
+//! name = "pareto"
+//!
+//! [explore]
+//! strategy = "grid-refine"
+//! budget = 32
+//! rate = 0.05
+//!
+//! [space]
+//! families = ["wh", "vc"]
+//! vcs = [2, 4, 8]
+//! depths = [4, 8, 16]
+//! "#)?;
+//! let report = run_explore(&spec, &ExploreOptions {
+//!     threads: 4,
+//!     cache_dir: Some("cache".into()),
+//!     ..ExploreOptions::default()
+//! })?;
+//! for (traffic, front) in &report.frontiers {
+//!     println!("{traffic}: {} frontier points", front.len());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Strategy semantics, the determinism contract and resume behaviour
+//! are documented in `docs/EXPLORATION.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+pub mod spec;
+pub mod strategy;
+
+pub use artifact::{
+    write_explore_artifacts, ExploreArtifacts, PointRecord, EXPLORE_SCHEMA_VERSION,
+};
+pub use engine::{run_explore, ExploreOptions, ExploreReport, ExploreSummary};
+pub use spec::{Candidate, ExploreSpec, Space, Strategy};
+pub use strategy::{Evaluated, Evolutionary, GridRefine, SearchStrategy, SearchView};

@@ -1,0 +1,205 @@
+//! Malformed-input tests for the `[explore]`/`[space]` spec reader:
+//! bad budgets, unknown strategies, empty or nonsensical dimension
+//! ranges must all come back as typed [`SpecError`]s — never a panic.
+//!
+//! Mirrors `crates/exp/tests/malformed_toml.rs`: the final property
+//! tests feed arbitrary byte soup and mutated valid specs through the
+//! full `ExploreSpec::parse_bytes` path to pin the never-panic
+//! guarantee.
+
+use orion_exp::SpecError;
+use orion_explore::ExploreSpec;
+use proptest::prelude::*;
+
+/// A spec that parses cleanly, used as the base for mutations.
+const VALID: &str = "\
+[experiment]
+name = \"probe\"
+
+[explore]
+strategy = \"evolutionary\"
+budget = 32
+seed = 7
+rate = 0.05
+
+[space]
+families = [\"wh\", \"vc\", \"xb\", \"cb\"]
+vcs = [2, 4, 8]
+depths = [4, 8]
+radix = [4, 8]
+topology = [\"torus\", \"mesh\"]
+nodes = [\"0.1um\", \"70nm\"]
+";
+
+#[test]
+fn valid_base_spec_parses() {
+    let spec = ExploreSpec::parse(VALID).expect("base spec must be valid");
+    assert_eq!(spec.budget, 32);
+    assert_eq!(spec.space.size(), 4 * 3 * 2 * 2 * 2 * 2);
+}
+
+fn parse(doc: &str) -> Result<ExploreSpec, SpecError> {
+    ExploreSpec::parse(doc)
+}
+
+#[test]
+fn budget_must_be_a_positive_integer() {
+    for (value, rendered) in [("0", "0"), ("-12", "-12")] {
+        let doc = format!(
+            "[experiment]\nname = \"x\"\n[explore]\nbudget = {value}\n[space]\nfamilies = [\"vc\"]\n"
+        );
+        match parse(&doc) {
+            Err(SpecError::InvalidBudget { value, line }) => {
+                assert_eq!(value.to_string(), rendered);
+                assert_eq!(line, 4, "error points at the budget line");
+            }
+            other => panic!("budget {value}: expected InvalidBudget, got {other:?}"),
+        }
+    }
+    // Wrong type entirely (float, string, array).
+    for value in ["2.5", "\"many\"", "[1, 2]"] {
+        let doc = format!(
+            "[experiment]\nname = \"x\"\n[explore]\nbudget = {value}\n[space]\nfamilies = [\"vc\"]\n"
+        );
+        assert!(
+            matches!(parse(&doc), Err(SpecError::WrongType { .. })),
+            "budget {value} must be a type error"
+        );
+    }
+    // Missing budget is a typed MissingKey, not a default.
+    let doc = "[experiment]\nname = \"x\"\n[explore]\n[space]\nfamilies = [\"vc\"]\n";
+    assert!(matches!(
+        parse(doc),
+        Err(SpecError::MissingKey { key, .. }) if key == "budget"
+    ));
+}
+
+#[test]
+fn unknown_strategy_is_a_typed_error_with_line() {
+    let doc = "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\nstrategy = \"hillclimb\"\n\
+               [space]\nfamilies = [\"vc\"]\n";
+    match parse(doc) {
+        Err(SpecError::UnknownStrategy { name, line }) => {
+            assert_eq!(name, "hillclimb");
+            assert_eq!(line, 5);
+        }
+        other => panic!("expected UnknownStrategy, got {other:?}"),
+    }
+    let rendered = parse(doc).unwrap_err().to_string();
+    assert!(rendered.contains("grid-refine"), "{rendered}");
+    assert!(rendered.contains("evolutionary"), "{rendered}");
+}
+
+#[test]
+fn empty_dimension_ranges_are_rejected() {
+    for (key, axis) in [
+        ("families", "families = []"),
+        ("vcs", "vcs = []"),
+        ("depths", "depths = []"),
+        ("radix", "radix = []"),
+        ("topology", "topology = []"),
+        ("nodes", "nodes = []"),
+    ] {
+        let families = if key == "families" {
+            String::new()
+        } else {
+            "families = [\"vc\"]\n".to_string()
+        };
+        let doc = format!(
+            "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\n[space]\n{families}{axis}\n"
+        );
+        match parse(&doc) {
+            Err(SpecError::EmptyAxis { key: got }) => assert_eq!(got, key),
+            other => panic!("{key}: expected EmptyAxis, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn nonsense_dimension_values_are_typed_bad_dimensions() {
+    for axis in [
+        "families = [\"vc\", \"warp\"]",
+        "vcs = [0]",
+        "vcs = [-2]",
+        "depths = [0]",
+        "radix = [1]",  // torus/mesh need radix >= 2
+        "radix = [99]", // above the codec's MAX_RADIX
+        "topology = [\"ring\"]",
+        "nodes = [\"45nm\"]",
+    ] {
+        let families = if axis.starts_with("families") {
+            String::new()
+        } else {
+            "families = [\"vc\"]\n".to_string()
+        };
+        let doc = format!(
+            "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\n[space]\n{families}{axis}\n"
+        );
+        assert!(
+            matches!(parse(&doc), Err(SpecError::BadDimension { .. })),
+            "{axis}: expected BadDimension, got {:?}",
+            parse(&doc)
+        );
+    }
+}
+
+#[test]
+fn unknown_sections_and_keys_are_rejected() {
+    let doc = "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\n[space]\n\
+               families = [\"vc\"]\n[grid]\npresets = [\"vc16\"]\n";
+    assert!(
+        matches!(parse(doc), Err(SpecError::UnknownSection { ref section, .. }) if section == "grid"),
+        "an explore spec must not silently accept grid sections"
+    );
+    let doc = "[experiment]\nname = \"x\"\n[explore]\nbudget = 4\nbuget = 5\n[space]\nfamilies = [\"vc\"]\n";
+    assert!(matches!(
+        parse(doc),
+        Err(SpecError::UnknownKey { ref key, .. }) if key == "buget"
+    ));
+}
+
+#[test]
+fn syntax_errors_surface_with_line_numbers() {
+    let truncated = "[experiment]\nname = \"x\"\n[explore\n";
+    match parse(truncated) {
+        Err(SpecError::Syntax(e)) => assert_eq!(e.line, 3),
+        other => panic!("expected Syntax, got {other:?}"),
+    }
+    let mut bytes = b"[experiment]\nname = \"x\"\n".to_vec();
+    bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+    assert!(matches!(
+        ExploreSpec::parse_bytes(&bytes),
+        Err(SpecError::Syntax(_))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup never panics the full explore-spec parse
+    /// path: every outcome is `Ok` or a typed `SpecError`.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = ExploreSpec::parse_bytes(&bytes);
+    }
+
+    /// Mutating a valid spec (truncation + one byte stomped) never
+    /// panics either — the "almost valid" space where parsers tend to
+    /// index out of bounds.
+    #[test]
+    fn mutated_valid_spec_never_panics(
+        cut in 0usize..96,
+        pos in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes.truncate(bytes.len().saturating_sub(cut));
+        if !bytes.is_empty() {
+            let at = pos % bytes.len();
+            bytes[at] = byte;
+        }
+        let _ = ExploreSpec::parse_bytes(&bytes);
+    }
+}
