@@ -32,9 +32,17 @@ use std::time::Duration;
 
 use orion_exp::{run_spec, write_artifacts, EngineOptions, ExperimentSpec};
 use orion_explore::{run_explore, write_explore_artifacts, ExploreOptions, ExploreSpec};
+use orion_serve::http::json_escape;
 
 use crate::args::ArgError;
 use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
+
+/// An artifact path rendered for embedding in a JSON string literal:
+/// quotes and backslashes (e.g. Windows separators) escaped, so an
+/// `--out-dir` containing either still yields valid JSON.
+fn json_path(p: &std::path::Path) -> String {
+    json_escape(&p.display().to_string())
+}
 
 /// Usage fragment shown on `experiment` argument errors.
 const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
@@ -385,10 +393,10 @@ fn execute_explore(tokens: &[String]) -> CmdOutput {
             summary.stats.failed,
             summary.stats.append_failures,
             elapsed,
-            artifacts.frontier_jsonl.display(),
-            artifacts.frontier_csv.display(),
-            artifacts.dominated_jsonl.display(),
-            artifacts.dominated_csv.display(),
+            json_path(&artifacts.frontier_jsonl),
+            json_path(&artifacts.frontier_csv),
+            json_path(&artifacts.dominated_jsonl),
+            json_path(&artifacts.dominated_csv),
         )
     } else {
         let mut out = format!(
@@ -544,8 +552,8 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
             summary.corrupt_cache_lines,
             summary.append_failures,
             elapsed,
-            artifacts.jsonl.display(),
-            artifacts.csv.display(),
+            json_path(&artifacts.jsonl),
+            json_path(&artifacts.csv),
         )
     } else {
         let mut out = format!(
@@ -890,6 +898,27 @@ depths = [4, 8]
         assert!(
             out.text.contains("cli-explore.frontier.jsonl"),
             "{}",
+            out.text
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_summary_escapes_artifact_paths() {
+        let dir = temp_dir("json-escape");
+        let spec = write_spec(&dir);
+        // An out-dir whose name contains a quote and a backslash must
+        // still produce valid JSON (escaped, not interpolated raw).
+        let out_dir = dir.join("ou\"t\\dir");
+        let out = execute(&toks(&format!(
+            "run {} --out-dir {} --json --quiet",
+            spec.display(),
+            out_dir.display(),
+        )));
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(
+            out.text.contains(r#"ou\"t\\dir"#),
+            "artifact paths must be JSON-escaped: {}",
             out.text
         );
         let _ = fs::remove_dir_all(&dir);

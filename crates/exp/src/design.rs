@@ -101,6 +101,12 @@ impl fmt::Display for RouterFamily {
 const MAX_RADIX: u32 = 64;
 const MAX_VCS: u32 = 1024;
 const MAX_DEPTH: u32 = 65_536;
+/// Bound for the total-form (`wh`/`cb`) names: they encode the
+/// *product* `vcs * depth`, so any factorisation of in-bounds `vcs`
+/// and `depth` values must round-trip through the codec. (The `vc`
+/// form already reaches the same per-port storage at `vc1024x65536`,
+/// so this admits no simulation the V×D form could not name.)
+const MAX_TOTAL: u32 = MAX_VCS * MAX_DEPTH;
 
 /// One candidate microarchitecture: family, sizing, topology, node.
 ///
@@ -212,7 +218,7 @@ impl DesignPoint {
 
         let (family, vcs, depth) = if let Some(rest) = base.strip_prefix("wh") {
             let total = parse_u32(rest)?;
-            if total == 0 || total > MAX_DEPTH {
+            if total == 0 || total > MAX_TOTAL {
                 return None;
             }
             (RouterFamily::Wormhole, 1, total)
@@ -238,7 +244,7 @@ impl DesignPoint {
                 (RouterFamily::CentralBuffer, 1, 64)
             } else {
                 let total = parse_u32(rest)?;
-                if total == 0 || total > MAX_DEPTH {
+                if total == 0 || total > MAX_TOTAL {
                     return None;
                 }
                 (RouterFamily::CentralBuffer, 1, total)
@@ -462,6 +468,46 @@ mod tests {
                 "{name:?} must parse to None"
             );
         }
+    }
+
+    #[test]
+    fn total_forms_round_trip_any_in_bounds_factorisation() {
+        // wh/cb names encode vcs*depth, which can exceed MAX_DEPTH even
+        // when both factors are in bounds (the explorer builds such
+        // points from validated axes). The codec invariant
+        // `parse(name).name() == name` must hold for every one.
+        for family in [RouterFamily::Wormhole, RouterFamily::CentralBuffer] {
+            for (vcs, depth) in [
+                (8, 16_384),    // names "wh131072": product above MAX_DEPTH
+                (2, 65_536),    // depth at its own bound
+                (1024, 1),      // vcs at its own bound
+                (1024, 65_536), // maximal product
+                (1024, 65_535), // odd product, no small factorisation
+            ] {
+                let p = DesignPoint {
+                    family,
+                    vcs,
+                    depth,
+                    radix: 4,
+                    mesh: false,
+                    node: ProcessNode::Nm100,
+                };
+                let name = p.name();
+                let q =
+                    DesignPoint::parse(&name).unwrap_or_else(|| panic!("{name} must parse back"));
+                assert_eq!(q.name(), name, "canonical form is a fixed point");
+                assert_eq!(
+                    q.buffering_per_port(),
+                    p.buffering_per_port(),
+                    "{name} preserves total storage"
+                );
+            }
+        }
+        // The product bound itself still holds.
+        assert!(DesignPoint::parse("wh67108864").is_some());
+        assert!(DesignPoint::parse("cb67108864").is_some());
+        assert!(DesignPoint::parse("wh67108865").is_none());
+        assert!(DesignPoint::parse("cb67108865").is_none());
     }
 
     #[test]

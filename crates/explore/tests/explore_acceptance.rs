@@ -214,3 +214,53 @@ fn explore_cells_dedup_against_grid_run_cells() {
     assert_eq!(report.summary.stats.executed, 12);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn every_candidate_in_a_maximal_space_lowers_to_a_config() {
+    // Regression for the engine panic at `candidate_cell`: wh/cb
+    // canonical names encode vcs*depth totals that exceed the
+    // individual depth bound (vcs=8, depth=16384 -> "wh131072"), and
+    // the name codec must accept every product reachable from
+    // validated axes. Exercise the extreme corners of every axis and
+    // assert the exact lookup the engine relies on never comes back
+    // empty.
+    let spec = ExploreSpec::parse(
+        "[experiment]\n\
+         name = \"maximal\"\n\
+         [explore]\n\
+         budget = 1\n\
+         [space]\n\
+         families = [\"wh\", \"vc\", \"xb\", \"cb\"]\n\
+         vcs = [1, 8, 1024]\n\
+         depths = [1, 16384, 65536]\n\
+         radix = [2, 64]\n\
+         topology = [\"torus\", \"mesh\"]\n\
+         nodes = [\"0.8um\", \"70nm\"]\n",
+    )
+    .unwrap();
+    let space = &spec.space;
+
+    let mut checked = 0usize;
+    for f in 0..space.families.len() {
+        for v in 0..space.vcs.len() {
+            for d in 0..space.depths.len() {
+                for r in 0..space.radices.len() {
+                    for t in 0..space.topologies.len() {
+                        for n in 0..space.nodes.len() {
+                            let c = orion_explore::Candidate {
+                                ix: [f, v, d, r, t, n],
+                            };
+                            let name = c.name(space);
+                            assert!(
+                                orion_exp::spec::preset_config(&name).is_some(),
+                                "candidate {name} must lower to a config"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, space.size());
+}
