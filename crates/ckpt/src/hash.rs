@@ -1,0 +1,72 @@
+//! Stable hashing shared by the checkpoint file format, the result
+//! cache and derived RNG seeds.
+//!
+//! Two requirements rule out `std::hash`: the hash must be identical
+//! across runs, platforms and Rust versions (the default hasher is
+//! randomly keyed per process), and it must be cheap to reimplement
+//! when checking cache or checkpoint files by hand. FNV-1a over a
+//! canonical byte string satisfies both; SplitMix64 then whitens
+//! fingerprints into RNG seeds so that keys sharing long prefixes
+//! still get well-spread seeds.
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: bijective avalanche over a 64-bit word.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Renders a fingerprint the way cache and checkpoint files store it:
+/// 16 lowercase hex digits.
+pub fn to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parses a 16-hex-digit fingerprint back to its integer form.
+pub fn from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First output of the canonical SplitMix64 stream seeded 0.
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for fp in [0u64, 1, u64::MAX, 0xdead_beef_0123_4567] {
+            assert_eq!(from_hex(&to_hex(fp)), Some(fp));
+        }
+        assert_eq!(from_hex("xyz"), None);
+        assert_eq!(from_hex("0123"), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! Crash-safe file writes shared by checkpoint files, the result
+//! cache and the artifact writers.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` crash-safely: a `.tmp` sibling is written
+/// in full, fsynced, then renamed over the destination. Readers never
+/// observe a partially written file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; a failed write leaves the
+/// destination untouched (the orphan `.tmp` is removed best-effort).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("orion-ckpt-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.ckpt");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(
+            !dir.join("out.ckpt.tmp").exists(),
+            "temp file must not survive a successful write"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the checkpoint file codec: *arbitrary* run
+//! states round-trip exactly through `save_checkpoint` /
+//! `load_checkpoint`, and *arbitrary* corruption — any bit flip, any
+//! truncation, any foreign owner stamp — is a typed load error, never
+//! a panic and never silently-wrong state. These generalize the
+//! exhaustive unit sweeps in `file.rs` (which use one fixed payload)
+//! to the whole state space.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use orion_ckpt::{load_checkpoint, save_checkpoint, CkptError};
+use orion_core::{RunCheckpoint, RunPhase};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh path per case: cases must never share a file.
+fn temp_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "orion-ckpt-prop-{}-{}.ckpt",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Full-state-space checkpoint generator, including extreme integers,
+/// empty and large vectors, and every f64 bit pattern (NaNs included —
+/// the codec must preserve bits, not values).
+struct ArbCheckpoint;
+
+impl Strategy for ArbCheckpoint {
+    type Value = RunCheckpoint;
+
+    fn generate(&self, rng: &mut StdRng) -> RunCheckpoint {
+        fn vec_usize(rng: &mut StdRng, max_len: u64) -> Vec<usize> {
+            let n = rng.next_u64() % max_len;
+            (0..n).map(|_| rng.next_u64() as usize).collect()
+        }
+        let phase = if rng.next_u64() & 1 == 0 {
+            RunPhase::Warmup {
+                done: rng.next_u64(),
+            }
+        } else {
+            RunPhase::Measure
+        };
+        let net_len = rng.next_u64() % 256;
+        RunCheckpoint {
+            phase,
+            cycle: rng.next_u64(),
+            measure_start: rng.next_u64(),
+            tagged_budget: rng.next_u64(),
+            backlog_samples: vec_usize(rng, 16),
+            rng: [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+            ],
+            traffic_cursors: vec_usize(rng, 32),
+            trace_cursor: rng.next_u64() as usize,
+            auditor_energy: f64::from_bits(rng.next_u64()),
+            net: (0..net_len).map(|_| rng.next_u64() as u8).collect(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// save → load is the identity on the serialized form. Comparing
+    /// re-encoded bytes (not structs) keeps the property NaN-safe.
+    #[test]
+    fn file_round_trip_is_exact(ck in ArbCheckpoint, fp in any::<u64>()) {
+        let path = temp_path();
+        save_checkpoint(&path, fp, &ck).unwrap();
+        let loaded = load_checkpoint(&path, fp).unwrap();
+        prop_assert_eq!(loaded.to_bytes(), ck.to_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Flipping any single bit anywhere in the file — magic, version,
+    /// owner stamp, payload or footer — must fail the load with a
+    /// typed error.
+    #[test]
+    fn any_bit_flip_is_rejected(
+        ck in ArbCheckpoint,
+        fp in any::<u64>(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let path = temp_path();
+        save_checkpoint(&path, fp, &ck).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(
+            load_checkpoint(&path, fp).is_err(),
+            "flipped bit {} of byte {}/{} loaded successfully",
+            bit, i, bytes.len()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Any strict prefix of the file — a torn write caught mid-flush —
+    /// must fail the load with a typed error.
+    #[test]
+    fn any_truncation_is_rejected(
+        ck in ArbCheckpoint,
+        fp in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let path = temp_path();
+        save_checkpoint(&path, fp, &ck).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = cut % bytes.len();
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        prop_assert!(
+            load_checkpoint(&path, fp).is_err(),
+            "prefix of {}/{} bytes loaded successfully",
+            keep, bytes.len()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A structurally perfect file owned by a different fingerprint is
+    /// rejected at the framing layer, before any payload parsing.
+    #[test]
+    fn foreign_owner_is_rejected(ck in ArbCheckpoint, fp in any::<u64>(), other in any::<u64>()) {
+        prop_assume!(fp != other);
+        let path = temp_path();
+        save_checkpoint(&path, fp, &ck).unwrap();
+        let verdict = load_checkpoint(&path, other);
+        prop_assert!(
+            matches!(verdict, Err(CkptError::WrongFingerprint { .. })),
+            "expected WrongFingerprint, got {:?}",
+            verdict.map(|ck| ck.cycle)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -47,10 +47,11 @@ fn json_path(p: &std::path::Path) -> String {
 /// Usage fragment shown on `experiment` argument errors.
 const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
      [--cache-dir DIR] [--out-dir DIR] [--retries N] [--cell-timeout-ms N] \
-     [--audit-every N] [--json] [--quiet]\n       \
+     [--audit-every N] [--checkpoint-every CYCLES] [--json] [--quiet]\n       \
      orion-power-cli experiment explore <spec.toml> [--threads N] \
      [--cache-dir DIR] [--out-dir DIR] [--seed N] [--budget N] [--retries N] \
-     [--cell-timeout-ms N] [--observe-dir DIR] [--json] [--quiet]";
+     [--cell-timeout-ms N] [--checkpoint-every CYCLES] [--observe-dir DIR] \
+     [--json] [--quiet]";
 
 struct ExperimentArgs {
     spec_path: PathBuf,
@@ -60,6 +61,7 @@ struct ExperimentArgs {
     retries: u32,
     cell_timeout: Option<Duration>,
     audit_every: Option<u64>,
+    checkpoint_every: u64,
     json: bool,
     quiet: bool,
 }
@@ -83,6 +85,7 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
     let mut retries = 0u32;
     let mut cell_timeout = None;
     let mut audit_every = None;
+    let mut checkpoint_every = 0u64;
     let mut json = false;
     let mut quiet = false;
 
@@ -125,6 +128,12 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
                     ArgError(format!("--audit-every expects an integer, got `{v}`"))
                 })?);
             }
+            "--checkpoint-every" => {
+                let v = value(&mut it, "checkpoint-every")?;
+                checkpoint_every = v.parse().map_err(|_| {
+                    ArgError(format!("--checkpoint-every expects an integer, got `{v}`"))
+                })?;
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             opt if opt.starts_with("--") => {
@@ -150,6 +159,7 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
         retries,
         cell_timeout,
         audit_every,
+        checkpoint_every,
         json,
         quiet,
     })
@@ -164,6 +174,7 @@ struct ExploreArgs {
     budget: Option<usize>,
     retries: u32,
     cell_timeout: Option<Duration>,
+    checkpoint_every: u64,
     observe_dir: Option<PathBuf>,
     json: bool,
     quiet: bool,
@@ -179,6 +190,7 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
     let mut budget = None;
     let mut retries = 0u32;
     let mut cell_timeout = None;
+    let mut checkpoint_every = 0u64;
     let mut observe_dir = None;
     let mut json = false;
     let mut quiet = false;
@@ -234,6 +246,12 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
                 }
                 cell_timeout = Some(Duration::from_millis(ms));
             }
+            "--checkpoint-every" => {
+                let v = value(&mut it, "checkpoint-every")?;
+                checkpoint_every = v.parse().map_err(|_| {
+                    ArgError(format!("--checkpoint-every expects an integer, got `{v}`"))
+                })?;
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             opt if opt.starts_with("--") => {
@@ -260,6 +278,7 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
         budget,
         retries,
         cell_timeout,
+        checkpoint_every,
         observe_dir,
         json,
         quiet,
@@ -304,6 +323,7 @@ fn execute_explore(tokens: &[String]) -> CmdOutput {
         cell_timeout: args.cell_timeout,
         seed: args.seed,
         budget: args.budget,
+        checkpoint_every: args.checkpoint_every,
     };
     let report = match run_explore(&spec, &opts) {
         Ok(r) => r,
@@ -489,6 +509,7 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
         max_retries: args.retries,
         cell_timeout: args.cell_timeout,
         poison: std::env::var("ORION_EXP_PANIC_CELL").ok(),
+        checkpoint_every: args.checkpoint_every,
     };
     let (records, summary) = match run_spec(&spec, &opts) {
         Ok(r) => r,
@@ -647,16 +668,17 @@ rates = [0.02, 0.04]
     #[test]
     fn bad_input_exits_2() {
         for line in [
-            "",                               // missing subcommand
-            "walk spec.toml",                 // unknown subcommand
-            "run",                            // missing spec path
-            "run a.toml b.toml",              // extra positional
-            "run a.toml --threads",           // value-less option
-            "run a.toml --bogus 1",           // unknown option
-            "run /nonexistent.toml",          // unreadable file
-            "run a.toml --retries x",         // non-integer retries
-            "run a.toml --cell-timeout-ms 0", // zero budget
-            "run a.toml --audit-every",       // value-less option
+            "",                                // missing subcommand
+            "walk spec.toml",                  // unknown subcommand
+            "run",                             // missing spec path
+            "run a.toml b.toml",               // extra positional
+            "run a.toml --threads",            // value-less option
+            "run a.toml --bogus 1",            // unknown option
+            "run /nonexistent.toml",           // unreadable file
+            "run a.toml --retries x",          // non-integer retries
+            "run a.toml --cell-timeout-ms 0",  // zero budget
+            "run a.toml --audit-every",        // value-less option
+            "run a.toml --checkpoint-every x", // non-integer cadence
         ] {
             let out = execute(&toks(line));
             assert_eq!(out.code, EXIT_BAD_INPUT, "{line:?} -> {}", out.text);
@@ -809,14 +831,15 @@ depths = [4, 8]
     #[test]
     fn explore_bad_input_exits_2() {
         for line in [
-            "explore",                            // missing spec path
-            "explore a.toml b.toml",              // extra positional
-            "explore a.toml --budget 0",          // zero budget
-            "explore a.toml --budget x",          // non-integer budget
-            "explore a.toml --seed",              // value-less option
-            "explore a.toml --bogus 1",           // unknown option
-            "explore /nonexistent.toml",          // unreadable file
-            "explore a.toml --cell-timeout-ms 0", // zero budget
+            "explore",                             // missing spec path
+            "explore a.toml b.toml",               // extra positional
+            "explore a.toml --budget 0",           // zero budget
+            "explore a.toml --budget x",           // non-integer budget
+            "explore a.toml --seed",               // value-less option
+            "explore a.toml --bogus 1",            // unknown option
+            "explore /nonexistent.toml",           // unreadable file
+            "explore a.toml --cell-timeout-ms 0",  // zero budget
+            "explore a.toml --checkpoint-every x", // non-integer cadence
         ] {
             let out = execute(&toks(line));
             assert_eq!(out.code, EXIT_BAD_INPUT, "{line:?} -> {}", out.text);

@@ -31,20 +31,25 @@ COMPONENTS:
                   [--fault-rate X] [--fault-ports N] [--fault-seed N]
                   [--traffic uniform|broadcast|transpose|tornado|bit-complement]
                   [--traffic-src x,y] [--observe-dir DIR] [--sample-every N]
-                  [--trace-packets N] [--json]    (see docs/OBSERVABILITY.md)
+                  [--trace-packets N] [--checkpoint-every N --checkpoint-file F]
+                  [--resume-from F] [--json]    (see docs/OBSERVABILITY.md,
+                  docs/ROBUSTNESS.md)
   powermap        --observe-dir DIR | --file powermap.jsonl
                   (renders the per-node power map of an observed run)
   experiment run  <spec.toml> [--threads N] [--cache-dir DIR] [--out-dir DIR]
                   [--retries N] [--cell-timeout-ms N] [--audit-every N]
-                  [--json] [--quiet]    (see docs/ORCHESTRATION.md)
+                  [--checkpoint-every N] [--json] [--quiet]
+                  (see docs/ORCHESTRATION.md)
   experiment explore  <spec.toml> [--threads N] [--cache-dir DIR]
                   [--out-dir DIR] [--seed N] [--budget N] [--retries N]
-                  [--cell-timeout-ms N] [--observe-dir DIR] [--json]
-                  [--quiet]    (see docs/EXPLORATION.md)
+                  [--cell-timeout-ms N] [--checkpoint-every N]
+                  [--observe-dir DIR] [--json] [--quiet]
+                  (see docs/EXPLORATION.md)
   serve           [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
                   [--queue N] [--queue-patience-ms N] [--client-budget N]
                   [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N]
-                  [--max-body-bytes N]    (see docs/SERVING.md)
+                  [--max-body-bytes N] [--checkpoint-every N]
+                  (see docs/SERVING.md)
 
 COMMON OPTIONS:
   --node <0.8um|0.35um|0.25um|0.18um|0.13um|0.1um|70nm>   (default 0.1um)

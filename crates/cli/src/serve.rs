@@ -25,7 +25,8 @@ use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME};
 /// Usage fragment shown on `serve` argument errors.
 const SERVE_USAGE: &str = "usage: orion-power-cli serve [--addr HOST:PORT] [--cache-dir DIR] \
      [--workers N] [--queue N] [--queue-patience-ms N] [--client-budget N] \
-     [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N] [--max-body-bytes N]";
+     [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N] [--max-body-bytes N] \
+     [--checkpoint-every CYCLES]";
 
 fn parse_args(tokens: &[String]) -> Result<ServeConfig, ArgError> {
     let mut config = ServeConfig {
@@ -87,6 +88,10 @@ fn parse_args(tokens: &[String]) -> Result<ServeConfig, ArgError> {
             "--max-body-bytes" => {
                 config.max_body_bytes =
                     int(value(&mut it, "max-body-bytes")?, "max-body-bytes")? as usize;
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every =
+                    int(value(&mut it, "checkpoint-every")?, "checkpoint-every")?;
             }
             opt => {
                 return Err(ArgError(format!(
@@ -162,7 +167,8 @@ mod tests {
         let config = parse_args(&tokens(
             "--addr 0.0.0.0:9000 --cache-dir cache --workers 8 --queue 16 \
              --queue-patience-ms 500 --client-budget 1000 --retries 2 \
-             --cell-timeout-ms 30000 --drain-timeout-ms 5000 --max-body-bytes 4096",
+             --cell-timeout-ms 30000 --drain-timeout-ms 5000 --max-body-bytes 4096 \
+             --checkpoint-every 4096",
         ))
         .unwrap();
         assert_eq!(config.addr, "0.0.0.0:9000");
@@ -175,6 +181,7 @@ mod tests {
         assert_eq!(config.default_cell_timeout, Some(Duration::from_secs(30)));
         assert_eq!(config.drain_timeout, Duration::from_millis(5000));
         assert_eq!(config.max_body_bytes, 4096);
+        assert_eq!(config.checkpoint_every, 4096);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! `metrics.json`, `probes.jsonl`, `powermap.jsonl` and `trace.jsonl`
 //! (see `docs/OBSERVABILITY.md`). The `powermap` subcommand renders
 //! the emitted `powermap.jsonl` as the paper's Fig. 6 grid.
+//!
+//! Error discipline (audited): no production path in this module
+//! panics on user input or I/O — every failure maps to a typed
+//! [`ArgError`] or a coded [`CmdOutput`]. The `unwrap`s that remain
+//! live in `#[cfg(test)]` code or are infallible `unwrap_or` defaults;
+//! the single `expect` in [`run_with_checkpoints`] asserts a caller
+//! invariant (at least one checkpoint path), not a runtime condition.
 
 use std::path::{Path, PathBuf};
 
@@ -20,7 +27,7 @@ use crate::args::{ArgError, Args};
 use crate::powermap::POWERMAP_SCHEMA_VERSION;
 use crate::run::{CmdOutput, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
 
-const OPTIONS: [&str; 18] = [
+const OPTIONS: [&str; 21] = [
     "preset",
     "rate",
     "seed",
@@ -38,6 +45,9 @@ const OPTIONS: [&str; 18] = [
     "observe-dir",
     "sample-every",
     "trace-packets",
+    "checkpoint-every",
+    "checkpoint-file",
+    "resume-from",
     "json",
 ];
 
@@ -165,6 +175,27 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
             }
         }
     }
+    let ckpt_every = args.u64_or("checkpoint-every", 0)?;
+    let ckpt_file = args.get("checkpoint-file").map(PathBuf::from);
+    let resume_from = args.get("resume-from").map(PathBuf::from);
+    if ckpt_every > 0 && ckpt_file.is_none() && resume_from.is_none() {
+        return Err(ArgError(
+            "--checkpoint-every requires --checkpoint-file (or --resume-from)".into(),
+        ));
+    }
+    if ckpt_file.is_some() && ckpt_every == 0 {
+        return Err(ArgError(
+            "--checkpoint-file requires --checkpoint-every".into(),
+        ));
+    }
+    if (ckpt_file.is_some() || resume_from.is_some()) && observe_dir.is_some() {
+        return Err(ArgError(
+            "checkpointing does not snapshot observer state; \
+             --checkpoint-file/--resume-from cannot be combined with --observe-dir"
+                .into(),
+        ));
+    }
+
     let workload = traffic_pattern(
         &config,
         args.get("traffic").unwrap_or("uniform"),
@@ -228,7 +259,26 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         experiment = experiment.fault_schedule(schedule);
     }
 
-    let report = experiment.run().map_err(|e| ArgError(e.to_string()))?;
+    let report = if ckpt_file.is_some() || resume_from.is_some() {
+        // The checkpoint's owner stamp is a hash of every flag that
+        // shapes the deterministic run, so a snapshot taken under one
+        // command line is never resumed into a different one.
+        let canon = format!(
+            "simulate|{preset_name}|{rate}|{seed}|{warmup}|{sample}|{max_cycles}|{watchdog}\
+             |{audit_every}|{traffic}|{src}|{fault_links}|{fault_rate}|{fault_ports}|{fault_seed}",
+            traffic = args.get("traffic").unwrap_or("uniform"),
+            src = args.get("traffic-src").unwrap_or(""),
+        );
+        run_with_checkpoints(
+            experiment,
+            ckpt_every,
+            ckpt_file.as_deref(),
+            resume_from.as_deref(),
+            orion_ckpt::hash::fnv1a64(canon.as_bytes()),
+        )?
+    } else {
+        experiment.run().map_err(|e| ArgError(e.to_string()))?
+    };
     if let Some(dir) = &observe_dir {
         if let Err(e) = write_observations(dir, &config, &report) {
             return Ok(CmdOutput {
@@ -250,6 +300,72 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         _ => EXIT_DEGRADED,
     };
     Ok(CmdOutput { text, code })
+}
+
+/// Runs `experiment` under the checkpoint policy: resume from
+/// `resume_from` when it holds a valid snapshot owned by `fingerprint`
+/// (any defect — torn write, bit flip, version skew, foreign owner —
+/// degrades to a cycle-0 replay with a stderr note, never a failure),
+/// persist to `ckpt_file` every `every` cycles, and delete the files
+/// once the run finishes. All checkpoint chatter goes to stderr so
+/// stdout stays a pure function of the result: a resumed run's output
+/// is byte-identical to an uninterrupted one.
+fn run_with_checkpoints(
+    experiment: Experiment,
+    every: u64,
+    ckpt_file: Option<&Path>,
+    resume_from: Option<&Path>,
+    fingerprint: u64,
+) -> Result<Report, ArgError> {
+    use orion_ckpt::{load_checkpoint, CheckpointHook};
+    use orion_core::{RunError, RunResult};
+
+    let resume = resume_from.and_then(|p| match load_checkpoint(p, fingerprint) {
+        Ok(ck) => {
+            eprintln!("resuming from `{}` at cycle {}", p.display(), ck.cycle);
+            Some(ck)
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: cannot resume from `{}`: {e}; replaying from cycle 0",
+                p.display()
+            );
+            None
+        }
+    });
+    let resumed = resume.is_some();
+    let write_path = ckpt_file
+        .or(resume_from)
+        .expect("caller passes at least one checkpoint path");
+    let mut hook = CheckpointHook::new(write_path, fingerprint, every, None);
+    let result = match experiment.clone().run_with_hook(&mut hook, resume) {
+        Err(RunError::Resume(e)) if resumed => {
+            // The file framed and checksummed correctly but the run
+            // rejected its contents (a stale snapshot under a
+            // colliding stamp): discard and replay from cycle 0.
+            eprintln!("warning: checkpoint rejected ({e}); replaying from cycle 0");
+            if let Some(p) = resume_from {
+                let _ = std::fs::remove_file(p);
+            }
+            experiment.run_with_hook(&mut hook, None)
+        }
+        other => other,
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
+    if let Some(e) = hook.last_error() {
+        eprintln!("warning: checkpoint write failed: {e} (results are unaffected; only restart time is lost)");
+    }
+    match result {
+        RunResult::Finished(report) => {
+            // GC: a finished run leaves no snapshot debris behind.
+            let _ = std::fs::remove_file(write_path);
+            if let Some(p) = resume_from {
+                let _ = std::fs::remove_file(p);
+            }
+            Ok(*report)
+        }
+        RunResult::Aborted(_) => unreachable!("no cancel flag to abort the run"),
+    }
 }
 
 /// Writes the run's observability artifacts under `dir`:
@@ -598,6 +714,56 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("orion-cli-obs-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn checkpoint_flag_combinations_are_validated() {
+        // Cadence without a destination, destination without a cadence.
+        assert!(run_line("simulate --checkpoint-every 64").is_err());
+        assert!(run_line("simulate --checkpoint-file ck.ckpt").is_err());
+        // Observer state is not snapshotted: the combination is a typed
+        // argument error, not a late runtime failure.
+        assert!(run_line(
+            "simulate --checkpoint-every 64 --checkpoint-file ck.ckpt --observe-dir obs"
+        )
+        .is_err());
+        assert!(run_line("simulate --resume-from ck.ckpt --observe-dir obs").is_err());
+        assert!(run_line("simulate --checkpoint-every").is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_gcs_its_file() {
+        let dir = temp_dir("ckpt-clean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("run.ckpt");
+        let base = format!("simulate --preset vc16 --rate 0.03 {QUICK} --json");
+        let plain = run_full(&base).unwrap();
+        let ckpted = run_full(&format!(
+            "{base} --checkpoint-every 64 --checkpoint-file {}",
+            ck.display()
+        ))
+        .unwrap();
+        assert_eq!(plain.text, ckpted.text, "checkpointing perturbed the run");
+        assert_eq!(ckpted.code, 0);
+        assert!(!ck.exists(), "finished run garbage-collects its snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_resume_file_degrades_to_cycle_zero_replay() {
+        let dir = temp_dir("ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("torn.ckpt");
+        std::fs::write(&ck, b"definitely not a checkpoint").unwrap();
+        let base = format!("simulate --preset vc16 --rate 0.03 {QUICK} --json");
+        let plain = run_full(&base).unwrap();
+        let resumed = run_full(&format!("{base} --resume-from {}", ck.display())).unwrap();
+        assert_eq!(resumed.code, 0, "a bad snapshot must never fail the run");
+        assert_eq!(
+            plain.text, resumed.text,
+            "cycle-0 fallback reproduces the uninterrupted output"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

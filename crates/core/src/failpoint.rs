@@ -1,0 +1,229 @@
+//! Seeded failpoints for crash testing.
+//!
+//! A checkpoint/restore layer is only trustworthy if it survives the
+//! crashes it exists for — and those crashes must be *injectable* at
+//! the exact boundaries where torn state is possible (mid-write,
+//! mid-append, mid-restore). This module provides named failpoints
+//! that test harnesses arm from the environment:
+//!
+//! ```text
+//! ORION_FAILPOINTS="ckpt.write=kill@3,cache.append=error@1"
+//! ```
+//!
+//! Each entry is `name=action[@n]`: on the `n`-th hit (1-based,
+//! default 1) of failpoint `name`, perform `action`:
+//!
+//! * `error` — make [`hit`] return an error the caller must surface,
+//! * `panic` — panic (exercises unwind/abort paths),
+//! * `kill`  — `process::abort()`: the closest safe stand-in for
+//!   SIGKILL, leaving whatever state is on disk exactly as it was.
+//!
+//! When `ORION_FAILPOINTS` is unset (production), every [`hit`] is
+//! two atomic loads — the registry's `OnceLock` fast path and a
+//! global armed flag — no map lookup, no lock, no branch
+//! misprediction worth measuring.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// What an armed failpoint does when its trigger count is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// [`hit`] returns `Err(FailpointError)`.
+    Error,
+    /// [`hit`] panics.
+    Panic,
+    /// The process aborts immediately (simulated SIGKILL).
+    Kill,
+}
+
+/// The typed error surfaced by an `error`-action failpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointError {
+    /// The failpoint that fired.
+    pub name: String,
+}
+
+impl std::fmt::Display for FailpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected failure at failpoint `{}`", self.name)
+    }
+}
+
+impl std::error::Error for FailpointError {}
+
+#[derive(Debug)]
+struct Armed {
+    action: FailAction,
+    /// Fire on this hit (1-based); decremented per hit.
+    remaining: u64,
+}
+
+struct Registry {
+    points: Mutex<HashMap<String, Armed>>,
+}
+
+/// Fast path: false until something arms a failpoint, then checked
+/// registrations take the slow path.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let reg = Registry {
+            points: Mutex::new(HashMap::new()),
+        };
+        if let Ok(spec) = std::env::var("ORION_FAILPOINTS") {
+            let mut points = reg.points.lock().expect("fresh mutex");
+            for entry in parse(&spec) {
+                points.insert(entry.0, entry.1);
+            }
+            if !points.is_empty() {
+                ANY_ARMED.store(true, Ordering::Release);
+            }
+        }
+        reg
+    })
+}
+
+fn parse(spec: &str) -> Vec<(String, Armed)> {
+    spec.split(',')
+        .filter_map(|entry| {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return None;
+            }
+            let (name, rest) = entry.split_once('=')?;
+            let name = name.trim();
+            if name.is_empty() {
+                return None;
+            }
+            let (action, n) = match rest.split_once('@') {
+                Some((a, n)) => (a, n.parse().ok()?),
+                None => (rest, 1u64),
+            };
+            let action = match action {
+                "error" => FailAction::Error,
+                "panic" => FailAction::Panic,
+                "kill" => FailAction::Kill,
+                _ => return None,
+            };
+            Some((
+                name.to_string(),
+                Armed {
+                    action,
+                    remaining: n.max(1),
+                },
+            ))
+        })
+        .collect()
+}
+
+/// Reads `ORION_FAILPOINTS` (if not already read) and reports whether
+/// any failpoint is armed. Call once at process start to make the
+/// first [`hit`] cheap too; calling is optional.
+pub fn init_from_env() -> bool {
+    registry();
+    ANY_ARMED.load(Ordering::Acquire)
+}
+
+/// Arms `name` programmatically (tests): fire `action` on the `n`-th
+/// hit (1-based, clamped to at least 1).
+pub fn configure(name: &str, action: FailAction, n: u64) {
+    let reg = registry();
+    reg.points.lock().expect("failpoint registry").insert(
+        name.to_string(),
+        Armed {
+            action,
+            remaining: n.max(1),
+        },
+    );
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every failpoint (tests).
+pub fn reset() {
+    if let Some(reg) = REGISTRY.get() {
+        reg.points.lock().expect("failpoint registry").clear();
+    }
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Marks a failpoint site. Returns `Ok(())` unless `name` is armed
+/// with an `error` action and this hit reaches its trigger count.
+///
+/// # Panics
+///
+/// Panics if `name` is armed with [`FailAction::Panic`] and triggered;
+/// aborts the process for [`FailAction::Kill`].
+pub fn hit(name: &str) -> Result<(), FailpointError> {
+    // First hit anywhere reads ORION_FAILPOINTS; after that this is
+    // the OnceLock fast path (one atomic load) plus the armed flag.
+    let reg = registry();
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let mut points = reg.points.lock().expect("failpoint registry");
+    let Some(armed) = points.get_mut(name) else {
+        return Ok(());
+    };
+    armed.remaining -= 1;
+    if armed.remaining > 0 {
+        return Ok(());
+    }
+    let action = armed.action;
+    points.remove(name);
+    drop(points);
+    match action {
+        FailAction::Error => Err(FailpointError {
+            name: name.to_string(),
+        }),
+        FailAction::Panic => panic!("injected panic at failpoint `{name}`"),
+        FailAction::Kill => std::process::abort(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global, so these tests share one
+    // registry; each uses a distinct name and calls reset() last.
+
+    #[test]
+    fn unarmed_hits_are_free_and_ok() {
+        assert_eq!(hit("never.armed"), Ok(()));
+    }
+
+    #[test]
+    fn error_action_fires_on_nth_hit_then_disarms() {
+        configure("t.error", FailAction::Error, 3);
+        assert_eq!(hit("t.error"), Ok(()));
+        assert_eq!(hit("t.error"), Ok(()));
+        let err = hit("t.error").unwrap_err();
+        assert_eq!(err.name, "t.error");
+        assert!(err.to_string().contains("t.error"));
+        // One-shot: after firing the point disarms.
+        assert_eq!(hit("t.error"), Ok(()));
+        reset();
+    }
+
+    #[test]
+    fn parse_accepts_lists_and_rejects_garbage() {
+        let parsed = parse("a=error,b=kill@5, c=panic@2 ,junk,d=frob@1,=error");
+        let names: Vec<&str> = parsed.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(parsed[1].1.action, FailAction::Kill);
+        assert_eq!(parsed[1].1.remaining, 5);
+        assert_eq!(parsed[2].1.remaining, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at failpoint")]
+    fn panic_action_panics() {
+        configure("t.panic", FailAction::Panic, 1);
+        let _ = hit("t.panic");
+    }
+}

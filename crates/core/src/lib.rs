@@ -24,7 +24,13 @@
 //!   probe time series (the Fig. 6 power map over time) and flit
 //!   lifecycle spans, collected into
 //!   [`Report::observations`](report::Report::observations) without
-//!   perturbing the run ([`run`]).
+//!   perturbing the run ([`run`]),
+//! * [`RunCheckpoint`] / [`RunHook`] — deterministic mid-run
+//!   checkpoint/restore: capture the complete run state on a cycle
+//!   stride and resume bit-identically after a crash ([`checkpoint`]),
+//! * [`failpoint`] — seeded, env-armed crash injection at
+//!   checkpoint-write / cache-append / restore boundaries, zero-cost
+//!   when disabled.
 //!
 //! # Example
 //!
@@ -45,13 +51,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod exec;
+pub mod failpoint;
 pub mod presets;
 pub mod report;
 pub mod run;
 pub mod sweep;
 
+pub use checkpoint::{
+    RunCheckpoint, RunControl, RunError, RunHook, RunPhase, RunResult, RUN_CHECKPOINT_VERSION,
+};
 pub use config::{ConfigError, LinkConfig, NetworkConfig, RouterConfig};
 pub use report::{Report, RunOutcome};
 pub use run::{Experiment, ObserveOptions};

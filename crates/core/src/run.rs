@@ -21,9 +21,12 @@ use rand::SeedableRng;
 
 use orion_net::{FaultSchedule, NodeId, TraceTraffic, TrafficPattern};
 use orion_obs::{ObsSink, Prober};
-use orion_sim::{AuditViolation, Component, InvariantAuditor, Network, StallDiagnostics};
+use orion_sim::{
+    AuditViolation, Component, InvariantAuditor, Network, SnapshotError, StallDiagnostics,
+};
 use orion_tech::Joules;
 
+use crate::checkpoint::{RunCheckpoint, RunControl, RunError, RunHook, RunPhase, RunResult};
 use crate::config::{ConfigError, NetworkConfig};
 use crate::report::{Report, RunOutcome};
 
@@ -220,8 +223,52 @@ impl Experiment {
     /// parameter errors are wrapped as [`ConfigError::Model`]. No
     /// configuration input panics.
     pub fn run(self) -> Result<Report, ConfigError> {
+        match self.run_inner(None, None) {
+            Ok(RunResult::Finished(report)) => Ok(*report),
+            Ok(RunResult::Aborted(_)) => unreachable!("no hook to abort the run"),
+            Err(RunError::Config(e)) => Err(e),
+            Err(e) => unreachable!("no checkpoint to resume: {e}"),
+        }
+    }
+
+    /// Runs the experiment with a checkpoint hook, optionally resuming
+    /// from a prior [`RunCheckpoint`].
+    ///
+    /// Every `hook.every()` cycles the runner captures the complete
+    /// resumable state and offers it to the hook; returning
+    /// [`RunControl::Stop`] ends the run gracefully as
+    /// [`RunResult::Aborted`] carrying that checkpoint. A run resumed
+    /// from a checkpoint produces **bit-identical** results to the
+    /// uninterrupted run — the property the round-trip tests in this
+    /// module pin.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] for invalid configurations,
+    /// [`RunError::Resume`] when the checkpoint is corrupt or belongs
+    /// to a different experiment, and [`RunError::Unsupported`] when
+    /// combined with [`observe`](Experiment::observe) (observer state
+    /// is not snapshotted).
+    pub fn run_with_hook(
+        self,
+        hook: &mut dyn RunHook,
+        resume: Option<RunCheckpoint>,
+    ) -> Result<RunResult, RunError> {
+        self.run_inner(Some(hook), resume)
+    }
+
+    fn run_inner(
+        self,
+        mut hook: Option<&mut dyn RunHook>,
+        resume: Option<RunCheckpoint>,
+    ) -> Result<RunResult, RunError> {
         self.config.validate()?;
-        let (spec, models) = self.config.build()?;
+        if (hook.is_some() || resume.is_some()) && self.observe.is_some() {
+            return Err(RunError::Unsupported(
+                "checkpointing an observed run (observer state is not snapshotted)",
+            ));
+        }
+        let (spec, models) = self.config.build().map_err(ConfigError::from)?;
         let ports = self.config.ports();
         let router_leakage = orion_tech::Watts(
             ports as f64 * models.buffer.leakage_power().0
@@ -281,6 +328,24 @@ impl Experiment {
         let offered_rate;
         let measure_start;
 
+        // Checkpoint cadence (0 = no hook or hook disabled).
+        let stride = hook.as_ref().map(|h| h.every()).unwrap_or(0);
+        // Resume: re-hydrate every piece of run state the checkpoint
+        // carries. Workload-specific state (RNG, pattern cursors, trace
+        // position) is restored inside the branches below.
+        let resume_phase = resume.as_ref().map(|ck| ck.phase);
+        if let Some(ck) = &resume {
+            net.restore(&ck.net).map_err(RunError::Resume)?;
+            auditor = InvariantAuditor::with_baseline(ck.auditor_energy);
+            tagged_budget = ck.tagged_budget;
+            backlog_samples = ck.backlog_samples.clone();
+            if let RunPhase::Warmup { done } = ck.phase {
+                if done > self.warmup {
+                    return Err(RunError::Resume(SnapshotError::Mismatch("warm-up length")));
+                }
+            }
+        }
+
         // True when the last BACKLOG_SAMPLES window samples grow
         // strictly and by at least two packets per node overall: the
         // offered load is above capacity and the backlog diverges.
@@ -297,7 +362,19 @@ impl Experiment {
             // everything, run the trace to exhaustion and drain.
             let span = trace.events().last().map(|e| e.cycle + 1).unwrap_or(1);
             offered_rate = trace.events().len() as f64 / (span as f64 * nodes.len() as f64);
-            measure_start = net.cycle();
+            if let Some(ck) = &resume {
+                if !matches!(ck.phase, RunPhase::Measure) {
+                    return Err(RunError::Resume(SnapshotError::Mismatch(
+                        "trace checkpoint phase",
+                    )));
+                }
+                if !trace.seek(ck.trace_cursor) {
+                    return Err(RunError::Resume(SnapshotError::Mismatch("trace cursor")));
+                }
+                measure_start = ck.measure_start;
+            } else {
+                measure_start = net.cycle();
+            }
             if let Some(sink) = pending_sink.take() {
                 net.set_obs(sink);
             }
@@ -325,6 +402,24 @@ impl Experiment {
                         break;
                     }
                 }
+                if stride > 0 && net.cycle().is_multiple_of(stride) {
+                    let ck = capture(
+                        RunPhase::Measure,
+                        measure_start,
+                        tagged_budget,
+                        &backlog_samples,
+                        None,
+                        None,
+                        trace.position(),
+                        &auditor,
+                        &net,
+                    );
+                    if let Some(h) = hook.as_mut() {
+                        if h.on_checkpoint(&ck) == RunControl::Stop {
+                            return Ok(RunResult::Aborted(Box::new(ck)));
+                        }
+                    }
+                }
             }
             finished = trace.is_exhausted() && net.is_drained() && stall.is_none();
         } else {
@@ -332,13 +427,21 @@ impl Experiment {
                 Some(p) => p,
                 None => {
                     if !(0.0..=1.0).contains(&self.rate) {
-                        return Err(ConfigError::InvalidRate(self.rate));
+                        return Err(ConfigError::InvalidRate(self.rate).into());
                     }
                     TrafficPattern::uniform(&self.config.topology, self.rate)
                         .expect("rate validated above")
                 }
             };
-            let mut rng = StdRng::seed_from_u64(self.seed);
+            let mut rng = match &resume {
+                Some(ck) => {
+                    if !pattern.restore_cursors(&ck.traffic_cursors) {
+                        return Err(RunError::Resume(SnapshotError::Mismatch("traffic cursors")));
+                    }
+                    StdRng::from_state(ck.rng)
+                }
+                None => StdRng::seed_from_u64(self.seed),
+            };
             offered_rate = pattern.total_injection_rate() / nodes.len() as f64;
 
             let inject = |net: &mut Network,
@@ -359,14 +462,45 @@ impl Experiment {
             };
 
             // Warm-up phase: untagged traffic, energy discarded
-            // afterwards.
-            let mut no_tags = 0u64;
-            for _ in 0..self.warmup {
-                inject(&mut net, &mut pattern, &mut rng, &mut no_tags);
-                net.step();
+            // afterwards. A resume into the measured phase skips both
+            // the loop and the measurement reset (they already
+            // happened before the checkpoint).
+            if matches!(resume_phase, Some(RunPhase::Measure)) {
+                measure_start = resume
+                    .as_ref()
+                    .expect("measure phase implies a checkpoint")
+                    .measure_start;
+            } else {
+                let warmup_start = match resume_phase {
+                    Some(RunPhase::Warmup { done }) => done,
+                    _ => 0,
+                };
+                let mut no_tags = 0u64;
+                for done in warmup_start..self.warmup {
+                    inject(&mut net, &mut pattern, &mut rng, &mut no_tags);
+                    net.step();
+                    if stride > 0 && net.cycle().is_multiple_of(stride) {
+                        let ck = capture(
+                            RunPhase::Warmup { done: done + 1 },
+                            0,
+                            tagged_budget,
+                            &backlog_samples,
+                            Some(&rng),
+                            Some(&pattern),
+                            0,
+                            &auditor,
+                            &net,
+                        );
+                        if let Some(h) = hook.as_mut() {
+                            if h.on_checkpoint(&ck) == RunControl::Stop {
+                                return Ok(RunResult::Aborted(Box::new(ck)));
+                            }
+                        }
+                    }
+                }
+                net.reset_measurement();
+                measure_start = net.cycle();
             }
-            net.reset_measurement();
-            measure_start = net.cycle();
             if let Some(sink) = pending_sink.take() {
                 net.set_obs(sink);
             }
@@ -399,6 +533,24 @@ impl Experiment {
                         if !violations.is_empty() {
                             corrupted = Some((violations, net.cycle()));
                             break;
+                        }
+                    }
+                    if stride > 0 && net.cycle().is_multiple_of(stride) {
+                        let ck = capture(
+                            RunPhase::Measure,
+                            measure_start,
+                            tagged_budget,
+                            &backlog_samples,
+                            Some(&rng),
+                            Some(&pattern),
+                            0,
+                            &auditor,
+                            &net,
+                        );
+                        if let Some(h) = hook.as_mut() {
+                            if h.on_checkpoint(&ck) == RunControl::Stop {
+                                return Ok(RunResult::Aborted(Box::new(ck)));
+                            }
                         }
                     }
                 }
@@ -489,7 +641,36 @@ impl Experiment {
         if let Some(observations) = observations {
             report = report.with_observations(observations);
         }
-        Ok(report)
+        Ok(RunResult::Finished(Box::new(report)))
+    }
+}
+
+/// Builds a [`RunCheckpoint`] from the live run state at a cycle
+/// boundary. `rng`/`pattern` are `None` for trace replays (which use
+/// neither), `trace_cursor` is 0 for synthetic workloads.
+#[allow(clippy::too_many_arguments)]
+fn capture(
+    phase: RunPhase,
+    measure_start: u64,
+    tagged_budget: u64,
+    backlog_samples: &[usize],
+    rng: Option<&StdRng>,
+    pattern: Option<&TrafficPattern>,
+    trace_cursor: usize,
+    auditor: &InvariantAuditor,
+    net: &Network,
+) -> RunCheckpoint {
+    RunCheckpoint {
+        phase,
+        cycle: net.cycle(),
+        measure_start,
+        tagged_budget,
+        backlog_samples: backlog_samples.to_vec(),
+        rng: rng.map(|r| r.state()).unwrap_or([0; 4]),
+        traffic_cursors: pattern.map(|p| p.cursors().to_vec()).unwrap_or_default(),
+        trace_cursor,
+        auditor_energy: auditor.baseline(),
+        net: net.snapshot(),
     }
 }
 
@@ -904,6 +1085,173 @@ mod tests {
             "source node energy {} must exceed the mean {mean}",
             energies[src.0]
         );
+    }
+
+    /// Test hook: records every checkpoint, optionally stopping the
+    /// run at the first checkpoint taken at or past `stop_at`.
+    struct CollectHook {
+        every: u64,
+        stop_at: Option<u64>,
+        checkpoints: Vec<RunCheckpoint>,
+    }
+
+    impl CollectHook {
+        fn new(every: u64, stop_at: Option<u64>) -> CollectHook {
+            CollectHook {
+                every,
+                stop_at,
+                checkpoints: Vec::new(),
+            }
+        }
+    }
+
+    impl RunHook for CollectHook {
+        fn every(&self) -> u64 {
+            self.every
+        }
+        fn on_checkpoint(&mut self, ck: &RunCheckpoint) -> RunControl {
+            self.checkpoints.push(ck.clone());
+            match self.stop_at {
+                Some(c) if ck.cycle >= c => RunControl::Stop,
+                _ => RunControl::Continue,
+            }
+        }
+    }
+
+    fn fingerprint(r: &Report) -> (u64, u64, u64, u64, Vec<u64>) {
+        (
+            r.avg_latency().to_bits(),
+            r.total_power().0.to_bits(),
+            r.measured_cycles(),
+            r.stats().packets_delivered,
+            r.stats().latencies().to_vec(),
+        )
+    }
+
+    fn ckpt_experiment() -> Experiment {
+        Experiment::new(presets::vc16_onchip())
+            .injection_rate(0.05)
+            .seed(11)
+            .warmup(200)
+            .sample_packets(300)
+            .max_cycles(100_000)
+    }
+
+    #[test]
+    fn hooked_run_is_bit_identical_to_plain_run() {
+        let baseline = ckpt_experiment().run().unwrap();
+        let mut hook = CollectHook::new(50, None);
+        let RunResult::Finished(hooked) = ckpt_experiment().run_with_hook(&mut hook, None).unwrap()
+        else {
+            panic!("hook never stops, run must finish")
+        };
+        assert_eq!(fingerprint(&hooked), fingerprint(&baseline));
+        assert!(
+            hook.checkpoints.len() > 5,
+            "a ~{}-cycle run on a 50-cycle stride takes checkpoints",
+            hooked.measured_cycles()
+        );
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let baseline = ckpt_experiment().run().unwrap();
+        // Kill the run mid-warm-up (cycle 100) and mid-measure (250,
+        // 500) and resume each; every continuation must reproduce the
+        // uninterrupted run byte for byte.
+        for stop in [100u64, 250, 500] {
+            let mut hook = CollectHook::new(50, Some(stop));
+            match ckpt_experiment().run_with_hook(&mut hook, None).unwrap() {
+                RunResult::Aborted(ck) => {
+                    // Round-trip through bytes, as a persisted
+                    // checkpoint would.
+                    let ck = RunCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+                    let mut quiet = CollectHook::new(50, None);
+                    let RunResult::Finished(resumed) = ckpt_experiment()
+                        .run_with_hook(&mut quiet, Some(ck))
+                        .unwrap()
+                    else {
+                        panic!("resume runs to completion")
+                    };
+                    assert_eq!(
+                        fingerprint(&resumed),
+                        fingerprint(&baseline),
+                        "stopped at cycle {stop}"
+                    );
+                }
+                RunResult::Finished(r) => {
+                    // The run ended before reaching `stop`; still
+                    // bit-identical.
+                    assert_eq!(fingerprint(&r), fingerprint(&baseline));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_resumes_bit_identically() {
+        use orion_net::{TraceEvent, TraceTraffic};
+        let events: Vec<TraceEvent> = (0..200u64)
+            .map(|i| TraceEvent {
+                cycle: i * 2,
+                src: NodeId((i % 16) as usize),
+                dst: NodeId(((i + 5) % 16) as usize),
+            })
+            .collect();
+        let exp = || {
+            Experiment::new(presets::vc16_onchip())
+                .trace(TraceTraffic::new(events.clone()))
+                .max_cycles(50_000)
+        };
+        let baseline = exp().run().unwrap();
+        let mut hook = CollectHook::new(40, Some(120));
+        let RunResult::Aborted(ck) = exp().run_with_hook(&mut hook, None).unwrap() else {
+            panic!("a 400-cycle replay reaches cycle 120")
+        };
+        assert!(ck.trace_cursor > 0, "mid-replay cursor captured");
+        let ck = RunCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        let mut quiet = CollectHook::new(40, None);
+        let RunResult::Finished(resumed) = exp().run_with_hook(&mut quiet, Some(ck)).unwrap()
+        else {
+            panic!("resume runs to completion")
+        };
+        assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_resume_is_a_typed_error() {
+        let mut hook = CollectHook::new(50, Some(250));
+        let RunResult::Aborted(ck) = ckpt_experiment().run_with_hook(&mut hook, None).unwrap()
+        else {
+            panic!("run reaches cycle 250")
+        };
+        // Tear the network image in half, as a crash mid-write would.
+        // (Bit flips in raw data fields are the checkpoint *file*
+        // checksum's job to catch; restore validates structure.)
+        let mut bad = (*ck).clone();
+        let mid = bad.net.len() / 2;
+        bad.net.truncate(mid);
+        let mut quiet = CollectHook::new(0, None);
+        let err = ckpt_experiment()
+            .run_with_hook(&mut quiet, Some(bad))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Resume(_)), "got {err}");
+        // A checkpoint from a different experiment shape too.
+        let mut quiet = CollectHook::new(0, None);
+        let err = Experiment::new(presets::wh64_onchip())
+            .run_with_hook(&mut quiet, Some((*ck).clone()))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Resume(_)), "got {err}");
+    }
+
+    #[test]
+    fn observed_checkpointing_is_rejected() {
+        let mut hook = CollectHook::new(50, None);
+        let err = ckpt_experiment()
+            .observe(ObserveOptions::default())
+            .run_with_hook(&mut hook, None)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Unsupported(_)));
     }
 
     #[test]

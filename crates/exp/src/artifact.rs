@@ -10,10 +10,14 @@
 //! regardless of thread count or cache state.
 
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::record::CellRecord;
+
+// The atomic-write primitive moved down to `orion-ckpt` so checkpoint
+// files and artifacts share one crash-safety implementation; the
+// re-export keeps this crate's API unchanged.
+pub use orion_ckpt::io::write_atomic;
 
 /// Paths of the artifacts one engine run produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,52 +28,45 @@ pub struct Artifacts {
     pub csv: PathBuf,
 }
 
-/// Renders records as JSONL bytes.
+/// Strips execution provenance before a record enters an artifact.
+///
+/// Artifacts are a pure function of the spec: the checkpoint
+/// provenance fields (`resumed_from_cycle`, `checkpoints_written`)
+/// describe how one particular execution happened to run — resumed
+/// from a snapshot or from cycle 0 — not what the result is, and the
+/// results themselves are bit-identical either way. Normalizing them
+/// here is what makes a resumed run's artifacts byte-identical to an
+/// uninterrupted run's (the guarantee the CI `chaos-resume` job checks
+/// with `cmp`). Cache lines and serve responses keep the real
+/// provenance.
+fn normalized(r: &CellRecord) -> CellRecord {
+    let mut r = r.clone();
+    r.resumed_from_cycle = None;
+    r.checkpoints_written = 0;
+    r
+}
+
+/// Renders records as JSONL bytes (execution provenance normalized —
+/// see [`write_artifacts`]).
 pub fn to_jsonl(records: &[CellRecord]) -> String {
     let mut out = String::new();
     for r in records {
-        out.push_str(&r.to_json_line());
+        out.push_str(&normalized(r).to_json_line());
         out.push('\n');
     }
     out
 }
 
-/// Renders records as CSV bytes (header included).
+/// Renders records as CSV bytes (header included; execution
+/// provenance normalized — see [`write_artifacts`]).
 pub fn to_csv(records: &[CellRecord]) -> String {
     let mut out = String::from(CellRecord::csv_header());
     out.push('\n');
     for r in records {
-        out.push_str(&r.to_csv_row());
+        out.push_str(&normalized(r).to_csv_row());
         out.push('\n');
     }
     out
-}
-
-/// Writes `bytes` to `path` crash-safely: a `.tmp` sibling is written
-/// in full, fsynced, then renamed over the destination. Readers never
-/// observe a partially written file.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error; a failed write leaves the
-/// destination untouched (the orphan `.tmp` is removed best-effort).
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let mut tmp_name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_default();
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
-    }
-    result
 }
 
 /// Writes `<name>.jsonl` and `<name>.csv` under `dir` (created if

@@ -536,13 +536,16 @@ impl ResultCache {
     /// Rewrites the cache file to exactly the loaded entries, sorted
     /// by cell key, via an atomic temp-file rename — healing torn and
     /// duplicate lines a killed run left behind. A no-op (returning
-    /// `false`) when the file already matches.
+    /// `false`) when the file already matches. Also garbage-collects
+    /// checkpoint files of completed cells (see
+    /// [`gc_checkpoints`](Self::gc_checkpoints)).
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error; the original file survives a
     /// failed rewrite.
     pub fn compact(&self) -> std::io::Result<bool> {
+        self.gc_checkpoints();
         if !self.needs_compaction() {
             return Ok(false);
         }
@@ -555,6 +558,35 @@ impl ResultCache {
         }
         write_atomic(&self.path, text.as_bytes())?;
         Ok(true)
+    }
+
+    /// Removes leftover mid-run checkpoints of cells whose results are
+    /// already cached. A finished cell normally deletes its own
+    /// checkpoint, but a process killed between the final append and
+    /// that deletion leaves debris — compaction heals it here, exactly
+    /// like torn cache lines. Best-effort: an undeletable file only
+    /// costs disk space, never correctness (a leftover checkpoint is
+    /// masked by the cache hit anyway).
+    fn gc_checkpoints(&self) {
+        let Some(dir) = self.path.parent() else {
+            return;
+        };
+        let Ok(entries) = fs::read_dir(dir.join("ckpt")) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Some(fp) = crate::fingerprint::from_hex(stem) else {
+                continue;
+            };
+            if self.entries.contains_key(&fp) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// Opens an append handle for writing fresh results as they
@@ -587,12 +619,16 @@ pub struct CacheAppender {
 }
 
 impl CacheAppender {
-    /// Appends one record and flushes.
+    /// Appends one record and flushes. Failpoint: `cache.append`.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error.
+    /// Returns the underlying I/O error; an armed `cache.append`
+    /// failpoint with the `error` action surfaces the same way, so
+    /// chaos tests exercise the exact degraded path a full disk would.
     pub fn append(&mut self, record: &CellRecord) -> std::io::Result<()> {
+        orion_core::failpoint::hit("cache.append")
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         self.writer.write_all(record.to_json_line().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()

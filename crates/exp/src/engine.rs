@@ -17,13 +17,14 @@
 //! Quarantine records are **not** cached — only genuine simulation
 //! results are — so a fixed build retries them automatically.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use orion_ckpt::{checkpoint_path, run_checkpointed, CheckpointOptions};
 use orion_core::exec::try_par_map;
-use orion_core::Experiment;
+use orion_core::{Experiment, RunResult};
 
 use crate::cache::{CacheLock, Manifest, ResultCache};
 use crate::fingerprint::splitmix64;
@@ -53,6 +54,12 @@ pub struct EngineOptions {
     /// `once:` prefix, only the first attempt panics (exercising the
     /// retry path). `None` — the production default — injects nothing.
     pub poison: Option<String>,
+    /// Persist a mid-run checkpoint of each in-flight cell every this
+    /// many cycles (0 = off). Requires a cache directory — checkpoints
+    /// live at `<cache_dir>/ckpt/<fingerprint>.ckpt` — and makes a
+    /// killed run replay the in-flight cell from its last interval
+    /// instead of cycle 0. Results are bit-identical either way.
+    pub checkpoint_every: u64,
 }
 
 /// Accounting for one engine invocation.
@@ -100,26 +107,78 @@ pub fn run_cell(cell: &Cell) -> CellRecord {
     run_cell_seeded(cell, cell.derived_seed())
 }
 
-/// Runs one cell with an explicit RNG seed (retry attempts use
-/// reseeded RNGs; the record carries the seed actually used).
-pub(crate) fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
+/// Builds the configured [`Experiment`] for one cell and seed, or the
+/// workload-rejection message.
+fn cell_experiment(cell: &Cell, seed: u64) -> Result<Experiment, String> {
     let config = cell.config();
-    let pattern = match cell.traffic.pattern(&config.topology, cell.rate) {
-        Ok(p) => p,
-        Err(e) => return CellRecord::from_error(cell, &e.to_string()),
-    };
-    let result = Experiment::new(config)
+    let pattern = cell
+        .traffic
+        .pattern(&config.topology, cell.rate)
+        .map_err(|e| e.to_string())?;
+    Ok(Experiment::new(config)
         .workload(pattern)
         .seed(seed)
         .warmup(cell.measure.warmup)
         .sample_packets(cell.measure.sample_packets)
         .max_cycles(cell.measure.max_cycles)
         .watchdog_cycles(cell.measure.watchdog_cycles)
-        .audit_every(cell.measure.audit_every)
-        .run();
-    let mut record = match result {
-        Ok(report) => CellRecord::from_report(cell, &report),
-        Err(e) => CellRecord::from_error(cell, &e.to_string()),
+        .audit_every(cell.measure.audit_every))
+}
+
+/// Runs one cell with an explicit RNG seed (retry attempts use
+/// reseeded RNGs; the record carries the seed actually used).
+pub(crate) fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
+    let mut record = match cell_experiment(cell, seed) {
+        Ok(exp) => match exp.run() {
+            Ok(report) => CellRecord::from_report(cell, &report),
+            Err(e) => CellRecord::from_error(cell, &e.to_string()),
+        },
+        Err(e) => CellRecord::from_error(cell, &e),
+    };
+    record.derived_seed = seed;
+    record
+}
+
+/// Checkpointed variant of [`run_cell_seeded`]: resumes from a valid
+/// leftover checkpoint at `<cache_dir>/ckpt/<fingerprint>.ckpt` (any
+/// corruption degrades to a cycle-0 replay), persists the in-flight
+/// state every `every` cycles, and stops at the next boundary when
+/// `cancel` is raised (graceful drain — the cell comes back as a
+/// `drained` record, never cached, resumable by the next run).
+pub(crate) fn run_cell_checkpointed(
+    cell: &Cell,
+    seed: u64,
+    cache_dir: &Path,
+    every: u64,
+    cancel: Option<Arc<AtomicBool>>,
+) -> CellRecord {
+    let mut record = match cell_experiment(cell, seed) {
+        Ok(exp) => {
+            let opts = CheckpointOptions {
+                path: checkpoint_path(cache_dir, cell.fingerprint()),
+                fingerprint: cell.fingerprint(),
+                every,
+                cancel,
+            };
+            match run_checkpointed(exp, &opts) {
+                Ok(out) => match out.result {
+                    RunResult::Finished(report) => {
+                        let mut r = CellRecord::from_report(cell, &report);
+                        r.resumed_from_cycle = out.resumed_from_cycle;
+                        r.checkpoints_written = out.checkpoints_written;
+                        r
+                    }
+                    RunResult::Aborted(ck) => {
+                        let mut r = CellRecord::from_drain(cell, ck.cycle);
+                        r.resumed_from_cycle = out.resumed_from_cycle;
+                        r.checkpoints_written = out.checkpoints_written;
+                        r
+                    }
+                },
+                Err(e) => CellRecord::from_error(cell, &e.to_string()),
+            }
+        }
+        Err(e) => CellRecord::from_error(cell, &e),
     };
     record.derived_seed = seed;
     record
@@ -250,7 +309,16 @@ pub fn run_spec(
                 panic!("poison hook: injected panic for cell {}", cell.key());
             }
             let attempt_start = Instant::now();
-            let mut record = run_cell_seeded(&cell, retry_seed(cell.derived_seed(), attempt));
+            let seed = retry_seed(cell.derived_seed(), attempt);
+            // Checkpointing covers attempt 0 only: retries reseed the
+            // RNG, and a snapshot persisted under the original seed
+            // must never be resumed into a differently-seeded replay.
+            let mut record = match &opts.cache_dir {
+                Some(dir) if opts.checkpoint_every > 0 && attempt == 0 => {
+                    run_cell_checkpointed(&cell, seed, dir, opts.checkpoint_every, None)
+                }
+                _ => run_cell_seeded(&cell, seed),
+            };
             let elapsed = attempt_start.elapsed();
             record.attempts = attempt + 1;
             if attempt > 0 {
@@ -266,9 +334,10 @@ pub fn run_spec(
                     );
                 }
             }
-            // Quarantine verdicts are wall-clock-dependent, never
-            // cached; genuine results are made durable immediately.
-            if !record.is_timed_out() {
+            // Quarantine verdicts are wall-clock-dependent and
+            // drained cells are incomplete — neither is cached;
+            // genuine results are made durable immediately.
+            if !record.is_timed_out() && !record.is_drained() {
                 if let Some(app) = &appender {
                     if sink_broken.load(Ordering::Relaxed) {
                         append_failures.fetch_add(1, Ordering::Relaxed);

@@ -1,12 +1,13 @@
 //! Stable hashing for content-addressed caching and derived RNG seeds.
 //!
-//! Two requirements rule out `std::hash`: the hash must be identical
-//! across runs, platforms and Rust versions (the default hasher is
-//! randomly keyed per process), and it must be cheap to reimplement
-//! when checking cache files by hand. FNV-1a over a canonical string
-//! satisfies both; SplitMix64 then whitens fingerprints into RNG seeds
-//! so that cells whose keys share long prefixes still get well-spread
-//! seeds.
+//! The hash primitives themselves (FNV-1a, SplitMix64, hex codecs)
+//! have moved down the stack to [`orion_ckpt::hash`] so the checkpoint
+//! file format can share them without depending on this crate; they
+//! are re-exported here unchanged to keep the `orion-exp` API stable.
+//! What remains local is the *policy*: [`MODEL_VERSION`], the knob
+//! that ties fingerprints to the simulation code-model.
+
+pub use orion_ckpt::hash::{fnv1a64, from_hex, splitmix64, to_hex};
 
 /// Version of the simulation code-model baked into every fingerprint.
 ///
@@ -15,40 +16,6 @@
 /// that stale cache entries miss instead of resurfacing as fresh data.
 /// Pure orchestration changes do not require a bump.
 pub const MODEL_VERSION: u32 = 1;
-
-/// 64-bit FNV-1a over a byte string. Stable across platforms.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// SplitMix64 finalizer: bijective avalanche over a 64-bit word.
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Renders a fingerprint the way cache files store it: 16 lowercase
-/// hex digits.
-pub fn to_hex(fp: u64) -> String {
-    format!("{fp:016x}")
-}
-
-/// Parses a 16-hex-digit fingerprint back to its integer form.
-pub fn from_hex(s: &str) -> Option<u64> {
-    if s.len() != 16 {
-        return None;
-    }
-    u64::from_str_radix(s, 16).ok()
-}
 
 #[cfg(test)]
 mod tests {

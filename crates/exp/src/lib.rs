@@ -24,6 +24,12 @@
 //!    quarantined as one `crashed` record instead of killing the grid;
 //!    the cache directory is guarded by an exclusive lock and heals
 //!    its own torn lines ([`engine`], [`cache`]).
+//! 5. **Mid-run checkpoints** — with `checkpoint_every` set, each
+//!    in-flight cell persists a versioned, checksummed snapshot every
+//!    N cycles under `<cache_dir>/ckpt/`; a killed run resumes the
+//!    cell from its last interval instead of cycle 0, bit-identically
+//!    (`orion-ckpt`; compaction garbage-collects completed cells'
+//!    checkpoints).
 //!
 //! # Example
 //!

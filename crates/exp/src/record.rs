@@ -25,10 +25,11 @@ use crate::spec::{flow_control_name, vc_discipline_name, Cell};
 ///
 /// Version history: 1 = initial layout; 2 = added the supervision
 /// fields `cell_outcome` and `attempts`; 3 = added the per-cell
-/// metrics fields `flits_delivered`, `latency_p50` and `latency_p99`
-/// (old caches are invalidated by design — their lines parse as
-/// version skew and re-simulate).
-pub const SCHEMA_VERSION: u32 = 3;
+/// metrics fields `flits_delivered`, `latency_p50` and `latency_p99`;
+/// 4 = added the checkpoint provenance fields `resumed_from_cycle`
+/// and `checkpoints_written` (old caches are invalidated by design —
+/// their lines parse as version skew and re-simulate).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One grid cell's outcome, flattened for artifacts and the cache.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +108,14 @@ pub struct CellRecord {
     /// 99th-percentile tagged-packet latency in cycles (NaN when the
     /// latency sample is empty; serialized as `null`).
     pub latency_p99: f64,
+    /// The cycle a mid-run checkpoint resumed this cell from, or
+    /// `None` (serialized `null`) when the cell ran from cycle 0.
+    /// Provenance only: resumed results are bit-identical to
+    /// uninterrupted ones.
+    pub resumed_from_cycle: Option<u64>,
+    /// Checkpoints persisted while this cell ran (0 when
+    /// checkpointing was off).
+    pub checkpoints_written: u64,
     /// Whether this record came from the cache rather than a fresh
     /// simulation. Runtime bookkeeping only — never serialized, so
     /// cached and fresh runs produce identical artifacts.
@@ -151,6 +160,8 @@ impl CellRecord {
             flits_delivered: report.stats().flits_delivered,
             latency_p50: percentile_or_nan(report, 50.0),
             latency_p99: percentile_or_nan(report, 99.0),
+            resumed_from_cycle: None,
+            checkpoints_written: 0,
             cached: false,
         }
     }
@@ -193,6 +204,8 @@ impl CellRecord {
             flits_delivered: 0,
             latency_p50: f64::NAN,
             latency_p99: f64::NAN,
+            resumed_from_cycle: None,
+            checkpoints_written: 0,
             cached: false,
         }
     }
@@ -224,9 +237,30 @@ impl CellRecord {
         r
     }
 
+    /// Builds the hand-off record for a cell stopped at a checkpoint
+    /// boundary by a graceful drain. The persisted checkpoint, not
+    /// this record, carries the state: the record only marks the cell
+    /// incomplete (it is never cached), so the next run over the same
+    /// cache directory resumes the cell from its checkpoint.
+    pub fn from_drain(cell: &Cell, cycle: u64) -> CellRecord {
+        let mut r = CellRecord::from_error(
+            cell,
+            &format!("cell drained at cycle {cycle}; checkpoint persisted for resume"),
+        );
+        r.outcome = "drained".to_string();
+        r.cell_outcome = "drained".to_string();
+        r
+    }
+
     /// Whether the cell failed (configuration rejected).
     pub fn is_error(&self) -> bool {
         self.outcome == "error"
+    }
+
+    /// Whether this cell was stopped mid-run by a graceful drain
+    /// (incomplete by design; resumable from its checkpoint).
+    pub fn is_drained(&self) -> bool {
+        self.cell_outcome == "drained"
     }
 
     /// Whether every supervised attempt of this cell panicked.
@@ -284,6 +318,11 @@ impl CellRecord {
         push_num(&mut s, "flits_delivered", self.flits_delivered);
         push_f64(&mut s, "latency_p50", self.latency_p50);
         push_f64(&mut s, "latency_p99", self.latency_p99);
+        match self.resumed_from_cycle {
+            Some(c) => push_num(&mut s, "resumed_from_cycle", c),
+            None => push_null(&mut s, "resumed_from_cycle"),
+        }
+        push_num(&mut s, "checkpoints_written", self.checkpoints_written);
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -344,6 +383,11 @@ impl CellRecord {
                 JsonVal::Null => f64::NAN,
                 v => v.as_f64()?,
             },
+            resumed_from_cycle: match obj.get("resumed_from_cycle")? {
+                JsonVal::Null => None,
+                v => Some(v.as_u64()?),
+            },
+            checkpoints_written: obj.get("checkpoints_written")?.as_u64()?,
             cached: true,
         })
     }
@@ -355,7 +399,8 @@ impl CellRecord {
          saturated,avg_latency,zero_load_latency,measured_cycles,throughput,\
          total_power_w,buffer_w,crossbar_w,arbiter_w,link_w,central_w,\
          packets_injected,packets_delivered,packets_dropped,packets_detoured,\
-         flits_delivered,latency_p50,latency_p99"
+         flits_delivered,latency_p50,latency_p99,resumed_from_cycle,\
+         checkpoints_written"
     }
 
     /// One CSV data row (no trailing newline). The free-text `error`
@@ -369,7 +414,7 @@ impl CellRecord {
             }
         };
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.schema_version,
             self.cell,
             fingerprint::to_hex(self.fingerprint),
@@ -402,6 +447,10 @@ impl CellRecord {
             self.flits_delivered,
             f(self.latency_p50),
             f(self.latency_p99),
+            self.resumed_from_cycle
+                .map(|c| c.to_string())
+                .unwrap_or_default(),
+            self.checkpoints_written,
         )
     }
 }
@@ -710,14 +759,13 @@ mod tests {
             "{}",                      // missing fields
             &good[..good.len() - 10],  // truncated
             &format!("{good}trailer"), // trailing garbage
-            &good.replace("\"schema_version\":3", "\"schema_version\":999"),
-            // Version skew: a v2 line (no per-cell metrics fields) must
-            // not load.
+            &good.replace("\"schema_version\":4", "\"schema_version\":999"),
+            // Version skew: a v3 line (no checkpoint provenance
+            // fields) must not load.
             &good
-                .replace("\"schema_version\":3", "\"schema_version\":2")
-                .replace(",\"flits_delivered\":0", "")
-                .replace(",\"latency_p50\":31", "")
-                .replace(",\"latency_p99\":88.5", ""),
+                .replace("\"schema_version\":4", "\"schema_version\":3")
+                .replace(",\"resumed_from_cycle\":null", "")
+                .replace(",\"checkpoints_written\":0", ""),
         ] {
             assert_eq!(CellRecord::from_json_line(bad), None, "accepted: {bad:?}");
         }
@@ -737,7 +785,30 @@ mod tests {
         let header_cols = CellRecord::csv_header().split(',').count();
         let row_cols = sample_record().to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert_eq!(header_cols, 32);
+        assert_eq!(header_cols, 34);
+    }
+
+    #[test]
+    fn checkpoint_provenance_roundtrips() {
+        let mut rec = sample_record();
+        rec.resumed_from_cycle = Some(8192);
+        rec.checkpoints_written = 7;
+        let line = rec.to_json_line();
+        assert!(line.contains("\"resumed_from_cycle\":8192"));
+        assert!(line.contains("\"checkpoints_written\":7"));
+        let back = CellRecord::from_json_line(&line).unwrap();
+        assert_eq!(back.resumed_from_cycle, Some(8192));
+        assert_eq!(back.checkpoints_written, 7);
+        assert!(
+            rec.to_csv_row().ends_with(",8192,7"),
+            "{}",
+            rec.to_csv_row()
+        );
+
+        // A fresh cycle-0 cell serializes null / 0 and a blank CSV cell.
+        let fresh = sample_record();
+        assert!(fresh.to_json_line().contains("\"resumed_from_cycle\":null"));
+        assert!(fresh.to_csv_row().ends_with(",,0"));
     }
 
     #[test]
@@ -753,13 +824,13 @@ mod tests {
         assert_eq!(back.latency_p50, 31.0);
         assert_eq!(back.latency_p99, 88.0);
         let row = rec.to_csv_row();
-        assert!(row.ends_with(",605,31,88"), "{row}");
+        assert!(row.ends_with(",605,31,88,,0"), "{row}");
 
         // Empty latency sample: percentiles serialize as null and CSV
         // leaves the cells blank, like `avg_latency`.
         let empty = CellRecord::from_error(&sample_cell(), "bad");
         assert!(empty.to_json_line().contains("\"latency_p99\":null"));
-        assert!(empty.to_csv_row().ends_with(",0,,"));
+        assert!(empty.to_csv_row().ends_with(",0,,,,0"));
         let back = CellRecord::from_json_line(&empty.to_json_line()).unwrap();
         assert!(back.latency_p50.is_nan() && back.latency_p99.is_nan());
     }

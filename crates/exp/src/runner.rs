@@ -27,12 +27,12 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheAppender, CacheLock, ResultCache};
-use crate::engine::{poison_matches, retry_seed, run_cell_seeded};
+use crate::engine::{poison_matches, retry_seed, run_cell_checkpointed, run_cell_seeded};
 use crate::inflight::{Claim, InflightMap};
 use crate::record::CellRecord;
 use crate::spec::Cell;
@@ -50,6 +50,12 @@ pub struct Supervision {
     /// this substring panic; a `once:` prefix restricts the injection
     /// to attempt 0, exercising the retry path.
     pub poison: Option<String>,
+    /// Persist a mid-run checkpoint of each executing cell every this
+    /// many cycles (0 = off). Requires the runner to have a cache
+    /// directory. Besides crash durability, this is what makes a
+    /// graceful drain ([`CellRunner::request_drain`]) able to stop
+    /// in-flight cells at a resumable boundary.
+    pub checkpoint_every: u64,
 }
 
 /// Monotonic accounting over a runner's lifetime. Snapshot via
@@ -73,6 +79,12 @@ pub struct RunnerStats {
     pub failed: u64,
     /// Records that could not be appended to the disk cache.
     pub append_failures: u64,
+    /// Executions stopped at a checkpoint boundary by a drain.
+    pub drained: u64,
+    /// Executions that resumed from a persisted checkpoint.
+    pub resumed: u64,
+    /// Mid-run checkpoints persisted across all executions.
+    pub checkpoints_written: u64,
 }
 
 #[derive(Debug, Default)]
@@ -85,6 +97,9 @@ struct Counters {
     retried: AtomicU64,
     failed: AtomicU64,
     append_failures: AtomicU64,
+    drained: AtomicU64,
+    resumed: AtomicU64,
+    checkpoints_written: AtomicU64,
 }
 
 /// The shared executor. See the module docs for the contract.
@@ -99,6 +114,9 @@ pub struct CellRunner {
     append_error: Mutex<Option<String>>,
     inflight: InflightMap,
     counters: Counters,
+    /// Raised by [`request_drain`](Self::request_drain); checkpointed
+    /// executions observe it at their next checkpoint boundary.
+    draining: Arc<AtomicBool>,
 }
 
 impl CellRunner {
@@ -131,7 +149,22 @@ impl CellRunner {
             append_error: Mutex::new(None),
             inflight: InflightMap::new(),
             counters: Counters::default(),
+            draining: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Asks in-flight checkpointed executions to stop at their next
+    /// checkpoint boundary (they come back as `drained` records, never
+    /// cached, each leaving a persisted checkpoint the next runner
+    /// over the same cache directory resumes). Cells running without
+    /// checkpointing finish normally. Idempotent.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// Produces the record for `cell`: from memory, from a concurrent
@@ -161,11 +194,12 @@ impl CellRunner {
                     return hit;
                 }
                 let record = self.execute(cell, sup);
-                // Quarantine verdicts are wall-clock-dependent,
-                // never remembered — a fixed build or a calmer
-                // machine retries them; genuine results are made
-                // durable and shared.
-                if !record.is_crashed() && !record.is_timed_out() {
+                // Quarantine verdicts are wall-clock-dependent and
+                // drained cells are incomplete — neither is
+                // remembered (a fixed build, a calmer machine or the
+                // next daemon retries/resumes them); genuine results
+                // are made durable and shared.
+                if !record.is_crashed() && !record.is_timed_out() && !record.is_drained() {
                     self.remember(fp, &record);
                 }
                 guard.publish(&record);
@@ -185,6 +219,9 @@ impl CellRunner {
             retried: self.counters.retried.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
             append_failures: self.counters.append_failures.load(Ordering::Relaxed),
+            drained: self.counters.drained.load(Ordering::Relaxed),
+            resumed: self.counters.resumed.load(Ordering::Relaxed),
+            checkpoints_written: self.counters.checkpoints_written.load(Ordering::Relaxed),
         }
     }
 
@@ -280,7 +317,20 @@ impl CellRunner {
                 if poison_matches(sup.poison.as_deref(), cell, attempt) {
                     panic!("poison hook: injected panic for cell {}", cell.key());
                 }
-                run_cell_seeded(cell, retry_seed(cell.derived_seed(), attempt))
+                let seed = retry_seed(cell.derived_seed(), attempt);
+                // Checkpointing covers attempt 0 only: retries reseed
+                // the RNG, and a snapshot persisted under the original
+                // seed must never resume a differently-seeded replay.
+                match &self.cache_dir {
+                    Some(dir) if sup.checkpoint_every > 0 && attempt == 0 => run_cell_checkpointed(
+                        cell,
+                        seed,
+                        dir,
+                        sup.checkpoint_every,
+                        Some(Arc::clone(&self.draining)),
+                    ),
+                    _ => run_cell_seeded(cell, seed),
+                }
             }));
             match outcome {
                 Ok(mut record) => {
@@ -289,6 +339,19 @@ impl CellRunner {
                     if attempt > 0 {
                         record.cell_outcome = "retried".to_string();
                         self.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if record.resumed_from_cycle.is_some() {
+                        self.counters.resumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.counters
+                        .checkpoints_written
+                        .fetch_add(record.checkpoints_written, Ordering::Relaxed);
+                    // A drained cell is an administrative stop, not a
+                    // result — return it before wall-clock
+                    // classification can mislabel the partial run.
+                    if record.is_drained() {
+                        self.counters.drained.fetch_add(1, Ordering::Relaxed);
+                        return record;
                     }
                     if let Some(budget) = sup.cell_timeout {
                         if elapsed > budget {

@@ -154,6 +154,7 @@ fn crashing_leader_does_not_wedge_followers() {
         max_retries: 0,
         cell_timeout: None,
         poison: Some("vc16".to_string()),
+        checkpoint_every: 0,
     };
     let barrier = Arc::new(Barrier::new(4));
     let handles: Vec<_> = (0..4)
@@ -184,6 +185,7 @@ fn per_request_timeout_quarantines_without_caching() {
         max_retries: 0,
         cell_timeout: Some(Duration::ZERO),
         poison: None,
+        checkpoint_every: 0,
     };
     let rec = runner.run(&cell, &sup);
     assert!(rec.is_timed_out());
@@ -192,4 +194,89 @@ fn per_request_timeout_quarantines_without_caching() {
     let ok = runner.run(&cell, &Supervision::default());
     assert!(!ok.is_timed_out() && !ok.is_error());
     assert_eq!(runner.stats().executed, 2);
+}
+
+#[test]
+fn drain_persists_checkpoint_and_next_runner_resumes_bit_identically() {
+    let dir = temp_dir("drain-resume");
+    let cell = spec("drainable", "[0.02]").expand().remove(0);
+    let sup = Supervision {
+        checkpoint_every: 64,
+        ..Supervision::default()
+    };
+
+    // Ground truth: the same cell run uninterrupted, uncached.
+    let baseline = CellRunner::open(None).unwrap().run(&cell, &sup);
+    assert!(!baseline.is_error(), "{:?}", baseline.error);
+
+    // First daemon: drain is already requested, so the cell stops at
+    // its first checkpoint boundary and leaves a snapshot behind.
+    let first = CellRunner::open(Some(&dir)).unwrap();
+    first.request_drain();
+    let drained = first.run(&cell, &sup);
+    assert!(drained.is_drained(), "{:?}", drained.cell_outcome);
+    assert_eq!(first.known_records(), 0, "drained cells are never cached");
+    assert_eq!(first.stats().drained, 1);
+    assert!(first.stats().checkpoints_written >= 1);
+    let ckpt = dir
+        .join("ckpt")
+        .join(format!("{:016x}.ckpt", cell.fingerprint()));
+    assert!(
+        ckpt.exists(),
+        "drain leaves the checkpoint for the next daemon"
+    );
+    first.finalize().unwrap();
+    assert!(
+        ckpt.exists(),
+        "flush must not GC an incomplete cell's checkpoint"
+    );
+
+    // Next daemon over the same cache directory: resumes mid-cell and
+    // must agree with the uninterrupted run on every result field.
+    let second = CellRunner::open(Some(&dir)).unwrap();
+    let resumed = second.run(&cell, &sup);
+    assert_eq!(resumed.resumed_from_cycle, Some(64));
+    assert_eq!(second.stats().resumed, 1);
+    let mut normalized = resumed.clone();
+    normalized.resumed_from_cycle = None;
+    normalized.checkpoints_written = baseline.checkpoints_written;
+    assert_eq!(
+        normalized.to_json_line(),
+        baseline.to_json_line(),
+        "resumed results are bit-identical to the uninterrupted run"
+    );
+    assert!(!ckpt.exists(), "completion garbage-collects the checkpoint");
+    second.finalize().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_degrades_to_cycle_zero_replay() {
+    let dir = temp_dir("corrupt-ckpt");
+    let cell = spec("corruptible", "[0.02]").expand().remove(0);
+    let sup = Supervision {
+        checkpoint_every: 64,
+        ..Supervision::default()
+    };
+    let baseline = CellRunner::open(None).unwrap().run(&cell, &sup);
+
+    // Plant a corrupt checkpoint where a resume would look for one.
+    let ckpt_dir = dir.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let ckpt = ckpt_dir.join(format!("{:016x}.ckpt", cell.fingerprint()));
+    std::fs::write(&ckpt, b"torn garbage, not a checkpoint").unwrap();
+
+    let runner = CellRunner::open(Some(&dir)).unwrap();
+    let rec = runner.run(&cell, &sup);
+    assert_eq!(rec.resumed_from_cycle, None, "corrupt snapshot discarded");
+    assert!(!rec.is_error() && !rec.is_crashed(), "{:?}", rec.error);
+    let mut normalized = rec.clone();
+    normalized.checkpoints_written = baseline.checkpoints_written;
+    assert_eq!(
+        normalized.to_json_line(),
+        baseline.to_json_line(),
+        "cycle-0 fallback reproduces the uninterrupted result"
+    );
+    runner.finalize().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

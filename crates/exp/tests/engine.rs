@@ -154,7 +154,7 @@ fn artifacts_written_sorted_and_versioned() {
     let mut sorted = keys.clone();
     sorted.sort();
     assert_eq!(keys, sorted, "JSONL rows sorted by cell key");
-    assert!(jsonl.lines().all(|l| l.contains("\"schema_version\":3")));
+    assert!(jsonl.lines().all(|l| l.contains("\"schema_version\":4")));
 
     let csv = fs::read_to_string(&arts.csv).unwrap();
     assert_eq!(csv.lines().count(), 17, "header + 16 rows");

@@ -45,6 +45,11 @@ pub struct ExploreOptions {
     pub seed: Option<u64>,
     /// Overrides the spec's evaluation budget when set (`--budget`).
     pub budget: Option<usize>,
+    /// Persist a mid-run checkpoint of each evaluating cell every this
+    /// many cycles (0 = off; requires a cache directory). Long
+    /// candidate evaluations then survive a kill mid-cell: the next
+    /// search over the same cache resumes from the last interval.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ExploreOptions {
@@ -57,6 +62,7 @@ impl Default for ExploreOptions {
             cell_timeout: None,
             seed: None,
             budget: None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -179,6 +185,7 @@ pub fn run_explore(spec: &ExploreSpec, opts: &ExploreOptions) -> io::Result<Expl
         max_retries: opts.max_retries,
         cell_timeout: opts.cell_timeout,
         poison: None,
+        checkpoint_every: opts.checkpoint_every,
     };
 
     let mut metrics = MetricsRegistry::new();

@@ -194,6 +194,7 @@ fn explore_cells_dedup_against_grid_run_cells() {
             max_retries: 0,
             cell_timeout: None,
             poison: None,
+            checkpoint_every: 0,
         },
     )
     .unwrap();

@@ -89,6 +89,23 @@ impl TraceTraffic {
         self.cursor = 0;
     }
 
+    /// The replay position (events already consumed), for
+    /// checkpointing.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restores a replay position captured by
+    /// [`position`](TraceTraffic::position). Returns `false` (leaving
+    /// the cursor untouched) if `position` exceeds the event count.
+    pub fn seek(&mut self, position: usize) -> bool {
+        if position > self.events.len() {
+            return false;
+        }
+        self.cursor = position;
+        true
+    }
+
     /// Serialises the trace as text: one `cycle src dst` triple per
     /// line, with a `# orion-trace v1` header.
     ///

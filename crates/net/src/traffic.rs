@@ -373,6 +373,27 @@ impl TrafficPattern {
         }
     }
 
+    /// The round-robin destination cursors (one per node), for
+    /// checkpointing. Only patterns with stateful destination sequences
+    /// (broadcast) ever advance them, but the full vector is exposed so
+    /// a restore is pattern-agnostic.
+    pub fn cursors(&self) -> &[usize] {
+        &self.cursors
+    }
+
+    /// Restores destination cursors captured by
+    /// [`cursors`](TrafficPattern::cursors). Returns `false` (leaving
+    /// the pattern untouched) if the length does not match this
+    /// pattern's topology — the caller is restoring a checkpoint from
+    /// a different configuration.
+    pub fn restore_cursors(&mut self, cursors: &[usize]) -> bool {
+        if cursors.len() != self.cursors.len() {
+            return false;
+        }
+        self.cursors.copy_from_slice(cursors);
+        true
+    }
+
     /// Bernoulli injection decision for `node` this cycle.
     ///
     /// # Panics

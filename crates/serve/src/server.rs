@@ -11,7 +11,7 @@
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,11 @@ pub struct ServeConfig {
     pub drain_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Checkpoint in-flight cells every N cycles (0 disables). With a
+    /// cache directory set, a drained daemon leaves each unfinished
+    /// cell's snapshot under `<cache_dir>/ckpt/` and the next daemon
+    /// resumes it mid-cell instead of from cycle 0.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +68,7 @@ impl Default for ServeConfig {
             default_cell_timeout: None,
             drain_timeout: Duration::from_secs(10),
             max_body_bytes: 1 << 20,
+            checkpoint_every: 0,
         }
     }
 }
@@ -88,6 +94,10 @@ struct ServerState {
     shutdown: AtomicBool,
     open_connections: AtomicUsize,
     requests: AtomicUsize,
+    /// Total wall-clock nanoseconds spent in completed cells and how
+    /// many completed — feeds the `Retry-After` estimate on 429s.
+    cell_nanos: AtomicU64,
+    cells_timed: AtomicU64,
 }
 
 /// A bound-but-not-yet-running daemon: inspect [`local_addr`]
@@ -136,6 +146,8 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 open_connections: AtomicUsize::new(0),
                 requests: AtomicUsize::new(0),
+                cell_nanos: AtomicU64::new(0),
+                cells_timed: AtomicU64::new(0),
             }),
         })
     }
@@ -185,7 +197,11 @@ impl Server {
 
         // Drain: refuse new work, let running cells finish, give
         // in-flight streams a chance to emit their typed summary.
+        // With checkpointing on, in-flight cells stop at their next
+        // snapshot boundary instead of running to completion; the next
+        // daemon over the same cache directory resumes them mid-cell.
         state.gate.start_draining();
+        state.runner.request_drain();
         drop(listener);
         let deadline = Instant::now() + state.config.drain_timeout;
         while state.open_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
@@ -300,6 +316,9 @@ fn handle_metrics(state: &ServerState, stream: &mut TcpStream) -> std::io::Resul
         metrics.set_gauge("runner_retried", stats.retried as f64);
         metrics.set_gauge("runner_failed", stats.failed as f64);
         metrics.set_gauge("runner_append_failures", stats.append_failures as f64);
+        metrics.set_gauge("runner_drained", stats.drained as f64);
+        metrics.set_gauge("ckpt_written_total", stats.checkpoints_written as f64);
+        metrics.set_gauge("ckpt_resumed_total", stats.resumed as f64);
         metrics.snapshot().to_json()
     };
     write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
@@ -365,7 +384,12 @@ fn handle_experiment(
             status = "draining";
             break;
         }
+        let started = Instant::now();
         let record = state.runner.run(cell, &sup);
+        state
+            .cell_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        state.cells_timed.fetch_add(1, Ordering::Relaxed);
         body.line(&record.to_json_line())?;
         streamed += 1;
     }
@@ -404,6 +428,7 @@ fn supervision_for(state: &ServerState, request: &Request) -> Result<Supervision
         max_retries: retries,
         cell_timeout,
         poison: None,
+        checkpoint_every: state.config.checkpoint_every,
     })
 }
 
@@ -432,9 +457,34 @@ fn reject(
         429 => (429, "Too Many Requests"),
         _ => (503, "Service Unavailable"),
     };
-    let retry_after = [("Retry-After", "1".to_string())];
+    let secs = retry_after_secs(
+        state.gate.active() + state.config.queue_depth,
+        state.config.workers,
+        mean_cell_duration(state),
+    );
+    let retry_after = [("Retry-After", secs.to_string())];
     let body = error_body(rejection.code(), &rejection.message());
     write_with_headers(stream, status, reason, &retry_after, body.as_bytes())
+}
+
+/// Mean wall-clock duration of the cells this daemon has completed so
+/// far; zero before the first cell finishes.
+fn mean_cell_duration(state: &ServerState) -> Duration {
+    let cells = state.cells_timed.load(Ordering::Relaxed);
+    if cells == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(state.cell_nanos.load(Ordering::Relaxed) / cells)
+}
+
+/// How long a 429'd client should wait before retrying: the backlog
+/// ahead of it (active requests plus a full queue) times the observed
+/// mean cell duration, spread across the worker pool, clamped to
+/// `1..=60` seconds. With no history yet the honest answer is the old
+/// constant: retry in a second.
+fn retry_after_secs(backlog: usize, workers: usize, mean_cell: Duration) -> u64 {
+    let wait = mean_cell.as_secs_f64() * backlog as f64 / workers.max(1) as f64;
+    (wait.ceil() as u64).clamp(1, 60)
 }
 
 fn error_response(
@@ -481,5 +531,32 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_with_no_history_is_one_second() {
+        assert_eq!(retry_after_secs(12, 4, Duration::ZERO), 1);
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog_and_mean_cell_time() {
+        // 8 requests ahead, 2 workers, 500 ms per cell: 8 * 0.5 / 2 = 2 s.
+        assert_eq!(retry_after_secs(8, 2, Duration::from_millis(500)), 2);
+        // Fractional waits round up, never down to an optimistic retry.
+        assert_eq!(retry_after_secs(5, 2, Duration::from_millis(500)), 2);
+        assert_eq!(retry_after_secs(1, 4, Duration::from_millis(100)), 1);
+    }
+
+    #[test]
+    fn retry_after_is_clamped_to_a_minute() {
+        assert_eq!(retry_after_secs(1000, 1, Duration::from_secs(30)), 60);
+        // A zero-worker config (impossible via the CLI) must not divide
+        // by zero.
+        assert_eq!(retry_after_secs(4, 0, Duration::from_secs(1)), 4);
     }
 }

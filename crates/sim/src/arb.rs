@@ -8,6 +8,8 @@
 
 use orion_power::arbiter::ArbiterActivity;
 
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
+
 /// Outcome of one arbitration round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grant {
@@ -61,6 +63,32 @@ impl FunctionalArbiter {
         match self {
             FunctionalArbiter::Matrix(a) => a.requesters,
             FunctionalArbiter::RoundRobin(a) => a.requesters,
+        }
+    }
+
+    /// Encodes the arbiter state for a snapshot (variant-tagged).
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            FunctionalArbiter::Matrix(a) => {
+                w.u8(0);
+                a.encode(w);
+            }
+            FunctionalArbiter::RoundRobin(a) => {
+                w.u8(1);
+                a.encode(w);
+            }
+        }
+    }
+
+    /// Restores snapshot state; the snapshot's variant must match this
+    /// arbiter's (the variant is fixed by configuration).
+    pub(crate) fn decode_into(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, FunctionalArbiter::Matrix(a)) => a.decode_into(r),
+            (1, FunctionalArbiter::RoundRobin(a)) => a.decode_into(r),
+            (0 | 1, _) => Err(SnapshotError::Mismatch("arbiter kind")),
+            _ => Err(SnapshotError::Invalid("arbiter tag")),
         }
     }
 }
@@ -147,6 +175,21 @@ impl MatrixArbiter {
                 new_requests: new,
             },
         }
+    }
+
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        for &row in &self.beats {
+            w.u128(row);
+        }
+        w.u128(self.prev_requests);
+    }
+
+    pub(crate) fn decode_into(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapshotError> {
+        for row in self.beats.iter_mut() {
+            *row = r.u128()?;
+        }
+        self.prev_requests = r.u128()?;
+        Ok(())
     }
 }
 
@@ -242,6 +285,21 @@ impl RoundRobinArbiter {
         last.winner = winners.first().copied();
         self.prev_requests = requests;
         (winners, last)
+    }
+
+    pub(crate) fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.next);
+        w.u128(self.prev_requests);
+    }
+
+    pub(crate) fn decode_into(&mut self, r: &mut ByteReader<'_>) -> Result<(), SnapshotError> {
+        let next = r.usize()?;
+        if next >= self.requesters {
+            return Err(SnapshotError::Invalid("round-robin token"));
+        }
+        self.next = next;
+        self.prev_requests = r.u128()?;
+        Ok(())
     }
 }
 

@@ -186,6 +186,18 @@ impl InvariantAuditor {
         InvariantAuditor::default()
     }
 
+    /// The energy baseline (total at the last passing audit), for
+    /// checkpointing.
+    pub fn baseline(&self) -> f64 {
+        self.last_energy
+    }
+
+    /// Rebuilds an auditor from a checkpointed baseline, so a resumed
+    /// run keeps monotonicity coverage across the restore boundary.
+    pub fn with_baseline(last_energy: f64) -> InvariantAuditor {
+        InvariantAuditor { last_energy }
+    }
+
     /// Runs every invariant check against the network's current state,
     /// returning all violations found (empty on a healthy network).
     pub fn check(&mut self, net: &Network) -> Vec<AuditViolation> {

@@ -265,6 +265,46 @@ impl EnergyLedger {
     pub fn total_ops(&self, component: Component) -> u64 {
         self.counts.iter().map(|n| n[component.idx()]).sum()
     }
+
+    /// Encodes the accumulators (not the models — those are rebuilt
+    /// from configuration) for a snapshot.
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::ByteWriter) {
+        w.usize(self.energy.len());
+        for node in &self.energy {
+            for j in node {
+                w.f64(j.0);
+            }
+        }
+        for node in &self.counts {
+            for &c in node {
+                w.u64(c);
+            }
+        }
+    }
+
+    /// Restores accumulators encoded by [`EnergyLedger::encode`] into
+    /// this ledger, which must track the same number of nodes.
+    pub(crate) fn decode_into(
+        &mut self,
+        r: &mut crate::snapshot::ByteReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        if r.usize()? != self.energy.len() {
+            return Err(crate::snapshot::SnapshotError::Mismatch(
+                "ledger node count",
+            ));
+        }
+        for node in self.energy.iter_mut() {
+            for j in node.iter_mut() {
+                *j = Joules(r.f64()?);
+            }
+        }
+        for node in self.counts.iter_mut() {
+            for c in node.iter_mut() {
+                *c = r.u64()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 use orion_power::WriteActivity;
 
 use crate::energy::scaled_hamming;
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
 
 /// A bounded FIFO of flits that reports exact per-write switching
 /// activity.
@@ -199,6 +200,71 @@ impl<T> FlitFifo<T> {
                 .expect("queued slot is occupied");
             item
         })
+    }
+
+    /// Encodes the full FIFO state (queue contents head→tail, SRAM
+    /// mirror, pointers) with `encode_item` serialising each item.
+    pub(crate) fn encode_with(
+        &self,
+        w: &mut ByteWriter,
+        encode_item: &mut dyn FnMut(&T, &mut ByteWriter),
+    ) {
+        w.usize(self.capacity);
+        w.u32(self.width);
+        w.usize(self.head);
+        w.usize(self.len);
+        for offset in 0..self.len {
+            let (item, stored) = self.ring[self.slot_index(offset)]
+                .as_ref()
+                .expect("queued slot is occupied");
+            encode_item(item, w);
+            w.bool(*stored);
+        }
+        for &s in &self.slots {
+            w.u64(s);
+        }
+        w.usize(self.wr_ptr);
+        w.u64(self.last_bus);
+    }
+
+    /// Restores state encoded by [`FlitFifo::encode_with`] into this
+    /// FIFO, which must have the same geometry (capacity and width) —
+    /// a mismatch means the snapshot was taken on a different
+    /// configuration and is rejected.
+    pub(crate) fn decode_into_with(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        decode_item: &mut dyn FnMut(&mut ByteReader<'_>) -> Result<T, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        if r.usize()? != self.capacity {
+            return Err(SnapshotError::Mismatch("fifo capacity"));
+        }
+        if r.u32()? != self.width {
+            return Err(SnapshotError::Mismatch("fifo width"));
+        }
+        let head = r.usize()?;
+        let len = r.usize()?;
+        if head >= self.capacity || len > self.capacity {
+            return Err(SnapshotError::Invalid("fifo pointers"));
+        }
+        self.ring.iter_mut().for_each(|slot| *slot = None);
+        self.head = head;
+        self.len = 0;
+        for _ in 0..len {
+            let item = decode_item(r)?;
+            let stored = r.bool()?;
+            self.enqueue(item, stored);
+        }
+        for s in self.slots.iter_mut() {
+            *s = r.u64()?;
+        }
+        let wr_ptr = r.usize()?;
+        if wr_ptr >= self.capacity {
+            return Err(SnapshotError::Invalid("fifo write pointer"));
+        }
+        self.wr_ptr = wr_ptr;
+        self.last_bus = r.u64()?;
+        Ok(())
     }
 }
 

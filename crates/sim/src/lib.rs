@@ -26,7 +26,11 @@
 //!   stops, instead of waiting out the cycle budget,
 //! * [`audit`] — the opt-in invariant auditor: flit conservation,
 //!   credit/occupancy bounds and energy-ledger sanity, reported as
-//!   typed [`AuditViolation`]s instead of silently wrong numbers.
+//!   typed [`AuditViolation`]s instead of silently wrong numbers,
+//! * [`snapshot`] — the byte codec behind [`Network::snapshot`] /
+//!   [`Network::restore`]: versioned, validated serialisation of the
+//!   complete simulation state for mid-run checkpointing, with a
+//!   resume path bit-identical to an uninterrupted run.
 //!
 //! Observability hangs off [`Network::set_obs`]: with an
 //! [`orion_obs::ObsSink`] attached, the engine publishes injection,
@@ -92,6 +96,7 @@ pub mod fifo;
 pub mod flit;
 pub mod network;
 pub mod router;
+pub mod snapshot;
 pub mod stats;
 pub mod watchdog;
 
@@ -104,6 +109,7 @@ pub use flit::{Flit, PacketId};
 pub use network::{Network, NetworkSpec, RouterKind};
 pub use router::central::{CentralRouter, CentralRouterSpec};
 pub use router::vc::{FlowControl, VcDiscipline, VcRouter, VcRouterSpec};
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
 pub use stats::{zero_load_latency, SimStats};
 pub use watchdog::{StallDiagnostics, StallKind, StalledVc};
 

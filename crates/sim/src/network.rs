@@ -25,10 +25,11 @@ use orion_obs::{NodeState, ObsSink};
 use crate::arena::{FlitArena, FlitRef};
 use crate::audit::AuditViolation;
 use crate::energy::{EnergyLedger, PowerModels};
-use crate::flit::{make_packet_each, PacketId};
+use crate::flit::{make_packet_each, Flit, PacketId};
 use crate::router::central::{CentralRouter, CentralRouterSpec};
 use crate::router::vc::{VcRouter, VcRouterSpec};
 use crate::router::StepOutput;
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError, SNAPSHOT_VERSION};
 use crate::stats::SimStats;
 use crate::watchdog::{StallDiagnostics, StallKind, StalledVc};
 
@@ -209,6 +210,42 @@ impl<T> Wheel<T> {
 
     fn len(&self) -> usize {
         self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Encodes the wheel (base + every slot in physical index order)
+    /// with `encode_item` serialising each scheduled event.
+    fn encode_with(&self, w: &mut ByteWriter, encode_item: &mut dyn FnMut(&T, &mut ByteWriter)) {
+        w.u64(self.base);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.usize(slot.len());
+            for item in slot {
+                encode_item(item, w);
+            }
+        }
+    }
+
+    /// Decodes a wheel encoded by [`Wheel::encode_with`] into `self`,
+    /// which must have the same horizon.
+    fn decode_into_with(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        decode_item: &mut dyn FnMut(&mut ByteReader<'_>) -> Result<T, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        let base = r.u64()?;
+        let horizon = r.usize()?;
+        if horizon != self.slots.len() {
+            return Err(SnapshotError::Mismatch("wheel horizon"));
+        }
+        for slot in self.slots.iter_mut() {
+            slot.clear();
+            let n = r.count(8)?;
+            for _ in 0..n {
+                slot.push(decode_item(r)?);
+            }
+        }
+        self.base = base;
+        Ok(())
     }
 }
 
@@ -1056,6 +1093,397 @@ impl Network {
         }
         self.step_out = out;
     }
+
+    /// Serialises the complete deterministic state of the network —
+    /// flit arena, event wheels, per-router buffers and arbiters,
+    /// sources, sinks, energy ledger, statistics and cycle counter —
+    /// into a versioned byte image.
+    ///
+    /// A network built from the same [`NetworkSpec`] and
+    /// [`PowerModels`] and then [restored](Network::restore) from this
+    /// image continues the simulation **bit-identically** to the
+    /// original: every subsequent [`Network::step`] produces the same
+    /// latencies, energies and statistics. Configuration (topology,
+    /// router specs, power models, fault schedule, observers) is *not*
+    /// stored — it must be rebuilt from the spec before restoring.
+    ///
+    /// Snapshots must be taken at a cycle boundary (between `step`
+    /// calls), which is the only time the engine's state is observable
+    /// anyway.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(SNAPSHOT_VERSION);
+        let n = self.routers.len();
+        let ports = self.spec.topology.ports_per_router();
+        w.usize(n);
+        w.usize(ports);
+        w.u64(self.cycle);
+        w.u64(self.next_packet);
+        w.u64(self.last_progress);
+        w.u64(self.last_delivery);
+        w.u64(self.last_credit);
+        w.u64(self.audit_enqueued);
+        w.u64(self.audit_ejected);
+        w.u64(self.audit_dropped);
+        w.usize(self.link_last.len());
+        for &v in &self.link_last {
+            w.u64(v);
+        }
+        w.usize(self.link_flits.len());
+        for &v in &self.link_flits {
+            w.u64(v);
+        }
+        self.stats.encode(&mut w);
+        self.ledger.encode(&mut w);
+
+        // Route table: every distinct Arc<Route> reachable from a live
+        // flit, in first-seen slot order (deterministic).
+        let mut table: Vec<Arc<orion_net::Route>> = Vec::new();
+        let mut route_index: HashMap<*const orion_net::Route, u32> = HashMap::new();
+        for flit in self.arena.iter_live() {
+            route_index
+                .entry(Arc::as_ptr(&flit.route))
+                .or_insert_with(|| {
+                    table.push(Arc::clone(&flit.route));
+                    (table.len() - 1) as u32
+                });
+        }
+        w.usize(table.len());
+        for route in &table {
+            w.usize(route.hops().len());
+            for hop in route.hops() {
+                w.u8(hop.index() as u8);
+            }
+        }
+
+        self.arena.encode_with(&mut w, &mut |f, w| {
+            w.u64(f.packet.0);
+            w.u32(f.seq);
+            w.u32(f.packet_len);
+            w.usize(f.src.0);
+            w.usize(f.dst.0);
+            w.u32(route_index[&Arc::as_ptr(&f.route)]);
+            w.u16(f.hop);
+            w.u64(f.payload);
+            w.u64(f.created);
+            w.u64(f.ready);
+            w.u8(f.vc_class);
+            w.u8(f.target_vc);
+            w.bool(f.tagged);
+        });
+
+        let mut enc_ref = |h: &FlitRef, w: &mut ByteWriter| {
+            let (index, generation) = h.raw();
+            w.u32(index);
+            w.u32(generation);
+        };
+        self.flit_wheel.encode_with(&mut w, &mut |a, w| {
+            w.usize(a.dest);
+            w.usize(a.in_port);
+            match a.crossed_dim {
+                Some(d) => {
+                    w.bool(true);
+                    w.u8(d);
+                }
+                None => w.bool(false),
+            }
+            w.bool(a.wraparound);
+            w.bool(a.to_sink);
+            enc_ref(&a.flit, w);
+        });
+        self.credit_wheel.encode_with(&mut w, &mut |c, w| {
+            w.usize(c.dest);
+            w.usize(c.out_port);
+            w.usize(c.vc);
+        });
+
+        w.usize(self.sources.len());
+        for s in &self.sources {
+            w.usize(s.queue.len());
+            for h in &s.queue {
+                enc_ref(h, &mut w);
+            }
+            w.usize(s.current_vc);
+            w.u32(s.remaining);
+        }
+
+        // Sinks in PacketId order: HashMap iteration order must not
+        // leak into the byte image.
+        let mut sinks: Vec<(&PacketId, &Progress)> = self.sinks.iter().collect();
+        sinks.sort_by_key(|(id, _)| id.0);
+        w.usize(sinks.len());
+        for (id, p) in sinks {
+            w.u64(id.0);
+            w.u32(p.received);
+            w.u32(p.len);
+            w.u64(p.created);
+            w.bool(p.tagged);
+        }
+
+        w.usize(self.routers.len());
+        for router in &self.routers {
+            match router {
+                AnyRouter::Vc(r) => {
+                    w.u8(0);
+                    r.encode(&mut w, &mut enc_ref);
+                }
+                AnyRouter::Central(r) => {
+                    w.u8(1);
+                    r.encode(&mut w, &mut enc_ref);
+                }
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Restores state captured by [`Network::snapshot`] into this
+    /// network, which must have been freshly built from the same
+    /// [`NetworkSpec`] and [`PowerModels`].
+    ///
+    /// Corrupted, truncated or mismatched images return a typed
+    /// [`SnapshotError`]; this method never panics on bad bytes. On
+    /// error the network is left in an unspecified (but memory-safe)
+    /// state and must be discarded — rebuild from the spec before
+    /// retrying.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::WrongVersion(version));
+        }
+        let n = self.routers.len();
+        let ports = self.spec.topology.ports_per_router();
+        if r.usize()? != n {
+            return Err(SnapshotError::Mismatch("router count"));
+        }
+        if r.usize()? != ports {
+            return Err(SnapshotError::Mismatch("ports per router"));
+        }
+        let cycle = r.u64()?;
+        let next_packet = r.u64()?;
+        let last_progress = r.u64()?;
+        let last_delivery = r.u64()?;
+        let last_credit = r.u64()?;
+        let audit_enqueued = r.u64()?;
+        let audit_ejected = r.u64()?;
+        let audit_dropped = r.u64()?;
+        let mut link_last = vec![0u64; n * ports];
+        if r.count(8)? != link_last.len() {
+            return Err(SnapshotError::Mismatch("link table length"));
+        }
+        for v in link_last.iter_mut() {
+            *v = r.u64()?;
+        }
+        let mut link_flits = vec![0u64; n * ports];
+        if r.count(8)? != link_flits.len() {
+            return Err(SnapshotError::Mismatch("link table length"));
+        }
+        for v in link_flits.iter_mut() {
+            *v = r.u64()?;
+        }
+        let stats = SimStats::decode(&mut r)?;
+        self.ledger.decode_into(&mut r)?;
+
+        let dims = self.spec.topology.dims();
+        let route_count = r.count(9)?;
+        let mut routes: Vec<Arc<orion_net::Route>> = Vec::with_capacity(route_count);
+        for _ in 0..route_count {
+            let hop_count = r.count(1)?;
+            if hop_count == 0 {
+                return Err(SnapshotError::Invalid("empty route"));
+            }
+            let mut hops = Vec::with_capacity(hop_count);
+            for _ in 0..hop_count {
+                let idx = r.u8()? as usize;
+                if idx != 0 && (idx - 1) / 2 >= dims {
+                    return Err(SnapshotError::Invalid("route port index"));
+                }
+                hops.push(Port::from_index(idx, dims as u8));
+            }
+            if *hops.last().expect("nonempty") != Port::Local {
+                return Err(SnapshotError::Invalid("route does not end locally"));
+            }
+            routes.push(Arc::new(orion_net::Route::new(hops)));
+        }
+
+        let arena = FlitArena::decode_with(&mut r, &mut |r| {
+            let packet = PacketId(r.u64()?);
+            let seq = r.u32()?;
+            let packet_len = r.u32()?;
+            if seq >= packet_len {
+                return Err(SnapshotError::Invalid("flit sequence"));
+            }
+            let src = r.usize()?;
+            let dst = r.usize()?;
+            if src >= n || dst >= n {
+                return Err(SnapshotError::Invalid("flit endpoint"));
+            }
+            let route = routes
+                .get(r.u32()? as usize)
+                .ok_or(SnapshotError::Invalid("flit route index"))?;
+            let hop = r.u16()?;
+            if hop as usize >= route.hops().len() {
+                return Err(SnapshotError::Invalid("flit hop index"));
+            }
+            Ok(Flit {
+                packet,
+                seq,
+                packet_len,
+                src: NodeId(src),
+                dst: NodeId(dst),
+                route: Arc::clone(route),
+                hop,
+                payload: r.u64()?,
+                created: r.u64()?,
+                ready: r.u64()?,
+                vc_class: r.u8()?,
+                target_vc: r.u8()?,
+                tagged: r.bool()?,
+            })
+        })?;
+
+        // Every live flit is referenced by exactly one owner (a source
+        // queue, a wheel slot, or a router buffer). Decoded handles
+        // must be live and unique, or a later `take` would panic.
+        let mut claimed = vec![false; arena.capacity()];
+        let mut claims = 0usize;
+        let mut dec_ref = |r: &mut ByteReader<'_>| -> Result<FlitRef, SnapshotError> {
+            let index = r.u32()?;
+            let generation = r.u32()?;
+            let h = FlitRef::from_raw(index, generation);
+            if !arena.is_live(h) || claimed[index as usize] {
+                return Err(SnapshotError::Invalid("flit handle"));
+            }
+            claimed[index as usize] = true;
+            claims += 1;
+            Ok(h)
+        };
+
+        let mut flit_wheel: Wheel<FlitArrival> = Wheel::new(self.flit_wheel.slots.len());
+        flit_wheel.decode_into_with(&mut r, &mut |r| {
+            let dest = r.usize()?;
+            let in_port = r.usize()?;
+            if dest >= n || in_port >= ports {
+                return Err(SnapshotError::Invalid("flit arrival port"));
+            }
+            let crossed_dim = if r.bool()? {
+                let d = r.u8()?;
+                if (d as usize) >= dims {
+                    return Err(SnapshotError::Invalid("flit arrival dimension"));
+                }
+                Some(d)
+            } else {
+                None
+            };
+            Ok(FlitArrival {
+                dest,
+                in_port,
+                crossed_dim,
+                wraparound: r.bool()?,
+                to_sink: r.bool()?,
+                flit: dec_ref(r)?,
+            })
+        })?;
+        if flit_wheel.base != cycle {
+            return Err(SnapshotError::Invalid("flit wheel base"));
+        }
+        let mut credit_wheel: Wheel<CreditArrival> = Wheel::new(self.credit_wheel.slots.len());
+        credit_wheel.decode_into_with(&mut r, &mut |r| {
+            let dest = r.usize()?;
+            let out_port = r.usize()?;
+            let vc = r.usize()?;
+            if dest >= n || out_port >= ports {
+                return Err(SnapshotError::Invalid("credit arrival port"));
+            }
+            Ok(CreditArrival { dest, out_port, vc })
+        })?;
+        if credit_wheel.base != cycle {
+            return Err(SnapshotError::Invalid("credit wheel base"));
+        }
+
+        if r.count(8)? != n {
+            return Err(SnapshotError::Mismatch("source count"));
+        }
+        let mut sources = Vec::with_capacity(n);
+        for node in 0..n {
+            let queued = r.count(8)?;
+            let mut queue = std::collections::VecDeque::with_capacity(queued);
+            for _ in 0..queued {
+                queue.push_back(dec_ref(&mut r)?);
+            }
+            let current_vc = r.usize()?;
+            if current_vc >= self.routers[node].vcs() {
+                return Err(SnapshotError::Invalid("source virtual channel"));
+            }
+            let remaining = r.u32()?;
+            sources.push(Source {
+                queue,
+                current_vc,
+                remaining,
+            });
+        }
+
+        let sink_count = r.count(25)?;
+        let mut sinks = HashMap::with_capacity(sink_count);
+        for _ in 0..sink_count {
+            let id = PacketId(r.u64()?);
+            let received = r.u32()?;
+            let len = r.u32()?;
+            if received >= len {
+                return Err(SnapshotError::Invalid("sink progress"));
+            }
+            let progress = Progress {
+                received,
+                len,
+                created: r.u64()?,
+                tagged: r.bool()?,
+            };
+            if sinks.insert(id, progress).is_some() {
+                return Err(SnapshotError::Invalid("duplicate sink"));
+            }
+        }
+
+        if r.count(1)? != n {
+            return Err(SnapshotError::Mismatch("router count"));
+        }
+        for router in self.routers.iter_mut() {
+            let tag = r.u8()?;
+            match (tag, router) {
+                (0, AnyRouter::Vc(router)) => router.decode_into(&mut r, &mut dec_ref)?,
+                (1, AnyRouter::Central(router)) => router.decode_into(&mut r, &mut dec_ref)?,
+                (0 | 1, _) => return Err(SnapshotError::Mismatch("router kind")),
+                _ => return Err(SnapshotError::Invalid("router tag")),
+            }
+        }
+
+        if claims != arena.live() {
+            return Err(SnapshotError::Invalid("unreferenced flit"));
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Invalid("trailing bytes"));
+        }
+
+        self.arena = arena;
+        self.flit_wheel = flit_wheel;
+        self.credit_wheel = credit_wheel;
+        self.flit_scratch.clear();
+        self.credit_scratch.clear();
+        self.sources = sources;
+        self.sinks = sinks;
+        self.route_cache.clear();
+        self.stats = stats;
+        self.link_last = link_last;
+        self.link_flits = link_flits;
+        self.cycle = cycle;
+        self.next_packet = next_packet;
+        self.last_progress = last_progress;
+        self.last_delivery = last_delivery;
+        self.last_credit = last_credit;
+        self.audit_enqueued = audit_enqueued;
+        self.audit_ejected = audit_ejected;
+        self.audit_dropped = audit_dropped;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for Network {
@@ -1320,6 +1748,142 @@ mod tests {
         assert_eq!(net.stats().packets_delivered, 16);
         // 8 single-flit + 8 eight-flit packets.
         assert_eq!(net.stats().flits_delivered, 8 + 64);
+    }
+
+    /// Drives `net` under deterministic uniform load for `cycles`.
+    fn drive_uniform(net: &mut Network, cycles: u64, seed: u64) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let topo = Topology::torus(&[4, 4]).unwrap();
+        let mut pattern = orion_net::TrafficPattern::uniform(&topo, 0.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..cycles {
+            for node in topo.nodes() {
+                if pattern.should_inject(node, &mut rng) {
+                    let dst = pattern.destination(node, &mut rng).unwrap();
+                    net.enqueue_packet(node, dst, true);
+                }
+            }
+            net.step();
+        }
+    }
+
+    fn finish(net: &mut Network) -> (f64, f64, u64, u64) {
+        run_until_drained(net, 50_000);
+        (
+            net.stats().avg_latency(),
+            net.ledger().total_energy().0,
+            net.stats().packets_delivered,
+            net.cycle(),
+        )
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_mid_flight() {
+        // Run a loaded VC network to a mid-flight cycle (flits in
+        // buffers, on wheels, in source queues, partial packets at
+        // sinks), snapshot, restore into a fresh network, and demand
+        // the continuation is bit-identical to the uninterrupted run.
+        let mut original = vc_net(2, 8);
+        drive_uniform(&mut original, 60, 42);
+        assert!(original.flits_in_flight() > 0, "test needs a busy network");
+        let image = original.snapshot();
+
+        let mut restored = vc_net(2, 8);
+        restored.restore(&image).expect("snapshot restores");
+        // Re-snapshotting the restored network reproduces the image.
+        assert_eq!(restored.snapshot(), image, "snapshot∘restore is identity");
+
+        assert_eq!(finish(&mut original), finish(&mut restored));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_central_router() {
+        let build = || {
+            let topology = Topology::torus(&[4, 4]).unwrap();
+            let tech = Technology::new(ProcessNode::Nm100);
+            let mut m = models(32);
+            m.central = Some(
+                orion_power::CentralBufferPower::new(
+                    &orion_power::CentralBufferParams::new(4, 256, 32),
+                    tech,
+                )
+                .unwrap(),
+            );
+            Network::new(
+                NetworkSpec {
+                    topology,
+                    router: RouterKind::Central(CentralRouterSpec {
+                        ports: 5,
+                        input_depth: 16,
+                        capacity: 256,
+                        write_ports: 2,
+                        read_ports: 2,
+                        flit_bits: 32,
+                    }),
+                    packet_len: 5,
+                    dim_order: DimensionOrder::YFirst,
+                },
+                m,
+            )
+        };
+        let mut original = build();
+        drive_uniform(&mut original, 40, 9);
+        assert!(original.flits_in_flight() > 0);
+        let image = original.snapshot();
+        let mut restored = build();
+        restored.restore(&image).expect("snapshot restores");
+        assert_eq!(restored.snapshot(), image);
+        assert_eq!(finish(&mut original), finish(&mut restored));
+    }
+
+    #[test]
+    fn snapshot_of_fresh_network_restores() {
+        let net = vc_net(2, 8);
+        let image = net.snapshot();
+        let mut restored = vc_net(2, 8);
+        restored.restore(&image).expect("empty state restores");
+        assert_eq!(restored.snapshot(), image);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_version() {
+        let net = vc_net(2, 8);
+        let mut image = net.snapshot();
+        image[0] ^= 0xFF; // version field is first
+        let err = vc_net(2, 8).restore(&image).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::snapshot::SnapshotError::WrongVersion(_)
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_every_truncation_without_panicking() {
+        let mut net = vc_net(2, 8);
+        drive_uniform(&mut net, 30, 7);
+        let image = net.snapshot();
+        // Every proper prefix must fail with a typed error. Stride to
+        // keep the test fast; boundaries near the end are covered.
+        for cut in (0..image.len())
+            .step_by(97)
+            .chain(image.len() - 5..image.len())
+        {
+            let err = vc_net(2, 8).restore(&image[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_spec_mismatch() {
+        let mut net = vc_net(2, 8);
+        drive_uniform(&mut net, 30, 7);
+        let image = net.snapshot();
+        // Different VC count / depth: same topology shape, different
+        // router internals.
+        let err = vc_net(4, 8).restore(&image).unwrap_err();
+        assert!(matches!(err, crate::snapshot::SnapshotError::Mismatch(_)));
+        let err = vc_net(2, 4).restore(&image).unwrap_err();
+        assert!(matches!(err, crate::snapshot::SnapshotError::Mismatch(_)));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::energy::{scaled_hamming, EnergyLedger};
 use crate::fifo::FlitFifo;
 use crate::flit::Flit;
 use crate::router::{CreditReturn, Departure, StepOutput};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
 use orion_obs::ObsSink;
 use orion_power::WriteActivity;
 use std::collections::VecDeque;
@@ -359,6 +360,75 @@ impl CentralRouter {
         out.clear();
         self.write_stage(cycle, ledger, out, arena);
         self.read_stage(cycle, ledger, out, obs, arena);
+    }
+
+    /// Encodes the full router state (input FIFOs, staged central-buffer
+    /// queues, arbiters, credits, bus history) for a snapshot.
+    pub(crate) fn encode(
+        &self,
+        w: &mut ByteWriter,
+        encode_ref: &mut dyn FnMut(&FlitRef, &mut ByteWriter),
+    ) {
+        for fifo in &self.inputs {
+            fifo.encode_with(w, encode_ref);
+        }
+        for q in &self.out_queues {
+            w.usize(q.len());
+            for s in q {
+                w.u64(s.ready);
+                encode_ref(&s.flit, w);
+                w.u64(s.payload);
+            }
+        }
+        w.usize(self.occupancy);
+        self.write_arb.encode(w);
+        self.read_arb.encode(w);
+        for &c in &self.out_credits {
+            w.u32(c);
+        }
+        w.u64(self.write_bus_last);
+        w.u64(self.read_bus_last);
+    }
+
+    /// Restores state encoded by [`CentralRouter::encode`] into this
+    /// router, which must have the same spec.
+    pub(crate) fn decode_into(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        decode_ref: &mut dyn FnMut(&mut ByteReader<'_>) -> Result<FlitRef, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        for fifo in self.inputs.iter_mut() {
+            fifo.decode_into_with(r, decode_ref)?;
+        }
+        let mut staged_total = 0usize;
+        for q in self.out_queues.iter_mut() {
+            let n = r.count(17)?;
+            q.clear();
+            for _ in 0..n {
+                let ready = r.u64()?;
+                let flit = decode_ref(r)?;
+                let payload = r.u64()?;
+                q.push_back(Staged {
+                    ready,
+                    flit,
+                    payload,
+                });
+            }
+            staged_total += n;
+        }
+        let occupancy = r.usize()?;
+        if occupancy != staged_total || occupancy > self.spec.capacity {
+            return Err(SnapshotError::Invalid("central-buffer occupancy"));
+        }
+        self.occupancy = occupancy;
+        self.write_arb.decode_into(r)?;
+        self.read_arb.decode_into(r)?;
+        for c in self.out_credits.iter_mut() {
+            *c = r.u32()?;
+        }
+        self.write_bus_last = r.u64()?;
+        self.read_bus_last = r.u64()?;
+        Ok(())
     }
 }
 

@@ -87,6 +87,7 @@ use crate::energy::EnergyLedger;
 use crate::fifo::FlitFifo;
 use crate::flit::Flit;
 use crate::router::{CreditReturn, Departure, StepOutput};
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
 
 /// Configuration of a [`VcRouter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -921,6 +922,142 @@ impl VcRouter {
         }
         self.sa_stage(&mut scratch, cycle, ledger, out, obs, arena);
         self.scratch = scratch;
+    }
+
+    /// Encodes the full router state (input VCs, output VC owners and
+    /// credits, arbiter state, crossbar line history) for a snapshot.
+    /// The per-cycle [`Scratch`] buffers are excluded — they are dead
+    /// outside a `step` call, which is the only place snapshots are not
+    /// taken.
+    pub(crate) fn encode(
+        &self,
+        w: &mut ByteWriter,
+        encode_ref: &mut dyn FnMut(&FlitRef, &mut ByteWriter),
+    ) {
+        w.usize(self.buffered);
+        w.u128(self.occupied);
+        for port in &self.inputs {
+            for ivc in port {
+                ivc.fifo.encode_with(w, encode_ref);
+                match ivc.state {
+                    VcState::Idle => w.u8(0),
+                    VcState::Routing => w.u8(1),
+                    VcState::Active { out_port, out_vc } => {
+                        w.u8(2);
+                        w.usize(out_port);
+                        w.usize(out_vc);
+                    }
+                }
+                w.u64(ivc.sa_ready);
+                w.u64(ivc.head_ready);
+                w.u8(ivc.head_out_port);
+                w.u8(ivc.head_vc_class);
+                w.bool(ivc.head_is_head);
+                w.u32(ivc.head_len);
+            }
+        }
+        for port in &self.outputs {
+            for ovc in port {
+                match ovc.owner {
+                    Some((p, v)) => {
+                        w.bool(true);
+                        w.usize(p);
+                        w.usize(v);
+                    }
+                    None => w.bool(false),
+                }
+                w.u32(ovc.credits);
+            }
+        }
+        for a in &self.va_arbiters {
+            a.encode(w);
+        }
+        for a in &self.sa_input_arbiters {
+            a.encode(w);
+        }
+        for a in &self.sa_output_arbiters {
+            a.encode(w);
+        }
+        for &x in &self.xb_in_last {
+            w.u64(x);
+        }
+        for &x in &self.xb_out_last {
+            w.u64(x);
+        }
+    }
+
+    /// Restores state encoded by [`VcRouter::encode`] into this router,
+    /// which must have the same spec (shape is validated per field).
+    pub(crate) fn decode_into(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        decode_ref: &mut dyn FnMut(&mut ByteReader<'_>) -> Result<FlitRef, SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        let ports = self.spec.ports;
+        let vcs = self.spec.vcs;
+        let buffered = r.usize()?;
+        let occupied = r.u128()?;
+        for port in self.inputs.iter_mut() {
+            for ivc in port.iter_mut() {
+                ivc.fifo.decode_into_with(r, decode_ref)?;
+                ivc.state = match r.u8()? {
+                    0 => VcState::Idle,
+                    1 => VcState::Routing,
+                    2 => {
+                        let out_port = r.usize()?;
+                        let out_vc = r.usize()?;
+                        if out_port >= ports || out_vc >= vcs {
+                            return Err(SnapshotError::Invalid("vc state output"));
+                        }
+                        VcState::Active { out_port, out_vc }
+                    }
+                    _ => return Err(SnapshotError::Invalid("vc state tag")),
+                };
+                ivc.sa_ready = r.u64()?;
+                ivc.head_ready = r.u64()?;
+                ivc.head_out_port = r.u8()?;
+                ivc.head_vc_class = r.u8()?;
+                ivc.head_is_head = r.bool()?;
+                ivc.head_len = r.u32()?;
+            }
+        }
+        for port in self.outputs.iter_mut() {
+            for ovc in port.iter_mut() {
+                ovc.owner = if r.bool()? {
+                    let p = r.usize()?;
+                    let v = r.usize()?;
+                    if p >= ports || v >= vcs {
+                        return Err(SnapshotError::Invalid("output vc owner"));
+                    }
+                    Some((p, v))
+                } else {
+                    None
+                };
+                let credits = r.u32()?;
+                if credits as usize > self.spec.depth {
+                    return Err(SnapshotError::Invalid("output vc credits"));
+                }
+                ovc.credits = credits;
+            }
+        }
+        for a in self.va_arbiters.iter_mut() {
+            a.decode_into(r)?;
+        }
+        for a in self.sa_input_arbiters.iter_mut() {
+            a.decode_into(r)?;
+        }
+        for a in self.sa_output_arbiters.iter_mut() {
+            a.decode_into(r)?;
+        }
+        for x in self.xb_in_last.iter_mut() {
+            *x = r.u64()?;
+        }
+        for x in self.xb_out_last.iter_mut() {
+            *x = r.u64()?;
+        }
+        self.buffered = buffered;
+        self.occupied = occupied;
+        Ok(())
     }
 }
 

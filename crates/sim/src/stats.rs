@@ -102,6 +102,46 @@ impl SimStats {
     pub fn latencies(&self) -> &[u64] {
         &self.latencies
     }
+
+    /// Encodes the complete statistics state for a snapshot.
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::ByteWriter) {
+        w.usize(self.latencies.len());
+        for &l in &self.latencies {
+            w.u64(l);
+        }
+        w.u64(self.packets_injected);
+        w.u64(self.packets_delivered);
+        w.u64(self.flits_delivered);
+        w.u64(self.tagged_injected);
+        w.u64(self.tagged_delivered);
+        w.u64(self.packets_dropped);
+        w.u64(self.flits_dropped);
+        w.u64(self.tagged_dropped);
+        w.u64(self.packets_detoured);
+    }
+
+    /// Decodes statistics encoded by [`SimStats::encode`].
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::ByteReader<'_>,
+    ) -> Result<SimStats, crate::snapshot::SnapshotError> {
+        let n = r.count(8)?;
+        let mut latencies = Vec::with_capacity(n);
+        for _ in 0..n {
+            latencies.push(r.u64()?);
+        }
+        Ok(SimStats {
+            latencies,
+            packets_injected: r.u64()?,
+            packets_delivered: r.u64()?,
+            flits_delivered: r.u64()?,
+            tagged_injected: r.u64()?,
+            tagged_delivered: r.u64()?,
+            packets_dropped: r.u64()?,
+            flits_dropped: r.u64()?,
+            tagged_dropped: r.u64()?,
+            packets_detoured: r.u64()?,
+        })
+    }
 }
 
 /// Analytic zero-load packet latency for this simulator's timing model.
