@@ -1,6 +1,6 @@
 //! Machine-readable performance smoke benchmark and regression gate.
 //!
-//! Measures the same three figures as the criterion suite in
+//! Measures the criterion suite's figures plus the 32×32 sharding pair in
 //! `benches/{cycle_loop,fig5_sweep,fifo_ops}.rs`, but emits them as a
 //! JSON baseline (`BENCH_cycle_loop.json` at the repo root) and can
 //! compare a fresh measurement against a checked-in baseline with a
@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use orion_core::{presets, NetworkConfig};
 use orion_net::TrafficPattern;
+use orion_shard::ShardedNetwork;
 use orion_sim::fifo::FlitFifo;
 use orion_sim::flit::{make_packet, PacketId};
 use orion_sim::Network;
@@ -57,6 +58,29 @@ fn run_cycles(cfg: &NetworkConfig, rate: f64, cycles: u64) -> u64 {
     net.stats().flits_delivered
 }
 
+/// The sharded twin of [`run_cycles`]: same spec, same traffic, same
+/// cycle count, executed across `shards` partitions (threaded when the
+/// host has the cores for it). Delivered-flit totals are bit-identical
+/// to the single engine's, so the two metrics are directly comparable.
+fn run_cycles_sharded(cfg: &NetworkConfig, rate: f64, cycles: u64, shards: usize) -> u64 {
+    let (spec, models) = cfg.build().expect("preset configs are valid");
+    let mut net = ShardedNetwork::new(spec, models, shards);
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, rate).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    for _ in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    net.enqueue_packet(node, dst, false);
+                }
+            }
+        }
+        net.step();
+    }
+    net.stats_merged().flits_delivered
+}
+
 /// Runs `work` `reps` times and returns the median elements/second.
 fn median_rate(reps: usize, mut work: impl FnMut() -> u64) -> f64 {
     let mut rates: Vec<f64> = (0..reps)
@@ -86,6 +110,20 @@ fn measure(quick: bool) -> Vec<Metric> {
     // rewrite (ISSUE 5 requires >= 2x the pre-rewrite baseline).
     let vc64 = presets::vc64_onchip();
     let fig5 = median_rate(reps, || run_cycles(&vc64, 0.10, cycles));
+
+    // fig5_sweep_32x32: the same sweep point on a 32×32 torus (1024
+    // nodes), single-engine and 8-way sharded. On a multi-core host
+    // the sharded figure tracks core count; on a single core it pays
+    // only the mailbox overhead (see docs/SCALING.md). The cycle count
+    // is fixed across quick/full mode: with each cycle stepping 64×
+    // the routers of the 4×4 loops, construction and injection ramp-up
+    // are a visible fraction of short runs, and a mode-dependent count
+    // would make CI quick checks incomparable with a full baseline.
+    let mut vc64_32 = presets::vc64_onchip();
+    vc64_32.topology = orion_net::Topology::torus(&[32, 32]).expect("32x32 torus is valid");
+    let big_cycles = 400;
+    let fig5_32 = median_rate(reps, || run_cycles(&vc64_32, 0.02, big_cycles));
+    let fig5_32_s8 = median_rate(reps, || run_cycles_sharded(&vc64_32, 0.02, big_cycles, 8));
 
     // fifo_ops: ring-buffer push/pop pairs per second, isolated from
     // the router logic around it.
@@ -129,6 +167,14 @@ fn measure(quick: bool) -> Vec<Metric> {
         Metric {
             name: "fig5_sweep_vc64_flits_per_sec",
             per_sec: fig5,
+        },
+        Metric {
+            name: "fig5_sweep_32x32_flits_per_sec",
+            per_sec: fig5_32,
+        },
+        Metric {
+            name: "fig5_sweep_32x32_s8_flits_per_sec",
+            per_sec: fig5_32_s8,
         },
         Metric {
             name: "fifo_ops_per_sec",

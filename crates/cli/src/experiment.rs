@@ -47,11 +47,11 @@ fn json_path(p: &std::path::Path) -> String {
 /// Usage fragment shown on `experiment` argument errors.
 const EXPERIMENT_USAGE: &str = "usage: orion-power-cli experiment run <spec.toml> [--threads N] \
      [--cache-dir DIR] [--out-dir DIR] [--retries N] [--cell-timeout-ms N] \
-     [--audit-every N] [--checkpoint-every CYCLES] [--json] [--quiet]\n       \
+     [--audit-every N] [--checkpoint-every CYCLES] [--shards N] [--json] [--quiet]\n       \
      orion-power-cli experiment explore <spec.toml> [--threads N] \
      [--cache-dir DIR] [--out-dir DIR] [--seed N] [--budget N] [--retries N] \
-     [--cell-timeout-ms N] [--checkpoint-every CYCLES] [--observe-dir DIR] \
-     [--json] [--quiet]";
+     [--cell-timeout-ms N] [--checkpoint-every CYCLES] [--shards N] \
+     [--observe-dir DIR] [--json] [--quiet]";
 
 struct ExperimentArgs {
     spec_path: PathBuf,
@@ -62,6 +62,7 @@ struct ExperimentArgs {
     cell_timeout: Option<Duration>,
     audit_every: Option<u64>,
     checkpoint_every: u64,
+    shards: usize,
     json: bool,
     quiet: bool,
 }
@@ -86,6 +87,7 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
     let mut cell_timeout = None;
     let mut audit_every = None;
     let mut checkpoint_every = 0u64;
+    let mut shards = 1usize;
     let mut json = false;
     let mut quiet = false;
 
@@ -134,6 +136,15 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
                     ArgError(format!("--checkpoint-every expects an integer, got `{v}`"))
                 })?;
             }
+            "--shards" => {
+                let v = value(&mut it, "shards")?;
+                shards = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--shards expects an integer, got `{v}`")))?;
+                if shards == 0 {
+                    return Err(ArgError("--shards must be positive".into()));
+                }
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             opt if opt.starts_with("--") => {
@@ -160,6 +171,7 @@ fn parse_args(tokens: &[String]) -> Result<ExperimentArgs, ArgError> {
         cell_timeout,
         audit_every,
         checkpoint_every,
+        shards,
         json,
         quiet,
     })
@@ -175,6 +187,7 @@ struct ExploreArgs {
     retries: u32,
     cell_timeout: Option<Duration>,
     checkpoint_every: u64,
+    shards: usize,
     observe_dir: Option<PathBuf>,
     json: bool,
     quiet: bool,
@@ -191,6 +204,7 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
     let mut retries = 0u32;
     let mut cell_timeout = None;
     let mut checkpoint_every = 0u64;
+    let mut shards = 1usize;
     let mut observe_dir = None;
     let mut json = false;
     let mut quiet = false;
@@ -252,6 +266,15 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
                     ArgError(format!("--checkpoint-every expects an integer, got `{v}`"))
                 })?;
             }
+            "--shards" => {
+                let v = value(&mut it, "shards")?;
+                shards = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--shards expects an integer, got `{v}`")))?;
+                if shards == 0 {
+                    return Err(ArgError("--shards must be positive".into()));
+                }
+            }
             "--json" => json = true,
             "--quiet" => quiet = true,
             opt if opt.starts_with("--") => {
@@ -279,6 +302,7 @@ fn parse_explore_args(tokens: &[String]) -> Result<ExploreArgs, ArgError> {
         retries,
         cell_timeout,
         checkpoint_every,
+        shards,
         observe_dir,
         json,
         quiet,
@@ -324,6 +348,7 @@ fn execute_explore(tokens: &[String]) -> CmdOutput {
         seed: args.seed,
         budget: args.budget,
         checkpoint_every: args.checkpoint_every,
+        shards: args.shards,
     };
     let report = match run_explore(&spec, &opts) {
         Ok(r) => r,
@@ -510,6 +535,7 @@ pub fn execute(tokens: &[String]) -> CmdOutput {
         cell_timeout: args.cell_timeout,
         poison: std::env::var("ORION_EXP_PANIC_CELL").ok(),
         checkpoint_every: args.checkpoint_every,
+        shards: args.shards,
     };
     let (records, summary) = match run_spec(&spec, &opts) {
         Ok(r) => r,

@@ -26,7 +26,7 @@ use crate::run::{CmdOutput, EXIT_BAD_INPUT, EXIT_DEGRADED, EXIT_RUNTIME};
 const SERVE_USAGE: &str = "usage: orion-power-cli serve [--addr HOST:PORT] [--cache-dir DIR] \
      [--workers N] [--queue N] [--queue-patience-ms N] [--client-budget N] \
      [--retries N] [--cell-timeout-ms N] [--drain-timeout-ms N] [--max-body-bytes N] \
-     [--checkpoint-every CYCLES]";
+     [--checkpoint-every CYCLES] [--shards N]";
 
 fn parse_args(tokens: &[String]) -> Result<ServeConfig, ArgError> {
     let mut config = ServeConfig {
@@ -92,6 +92,13 @@ fn parse_args(tokens: &[String]) -> Result<ServeConfig, ArgError> {
             "--checkpoint-every" => {
                 config.checkpoint_every =
                     int(value(&mut it, "checkpoint-every")?, "checkpoint-every")?;
+            }
+            "--shards" => {
+                let n = int(value(&mut it, "shards")?, "shards")?;
+                if n == 0 {
+                    return Err(ArgError("--shards must be positive".into()));
+                }
+                config.shards = n as usize;
             }
             opt => {
                 return Err(ArgError(format!(

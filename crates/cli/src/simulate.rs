@@ -20,15 +20,17 @@
 use std::path::{Path, PathBuf};
 
 use orion_core::{presets, Experiment, NetworkConfig, ObserveOptions, Report, RunOutcome};
-use orion_net::{FaultConfig, FaultSchedule, NodeId, TrafficPattern};
+use orion_net::{FaultConfig, FaultSchedule, NodeId, Topology, TopologyKind, TrafficPattern};
 use orion_sim::{Component, StallDiagnostics};
 
 use crate::args::{ArgError, Args};
 use crate::powermap::POWERMAP_SCHEMA_VERSION;
 use crate::run::{CmdOutput, EXIT_DEGRADED, EXIT_RUNTIME, JSON_SCHEMA_VERSION};
 
-const OPTIONS: [&str; 21] = [
+const OPTIONS: [&str; 23] = [
     "preset",
+    "topology",
+    "shards",
     "rate",
     "seed",
     "warmup",
@@ -50,6 +52,53 @@ const OPTIONS: [&str; 21] = [
     "resume-from",
     "json",
 ];
+
+/// Per-dimension radix ceiling for `--topology` (matches the design
+/// grammar's `MAX_RADIX`: keeps node counts, and therefore simulated
+/// state, within what one machine can hold).
+const MAX_TOPOLOGY_RADIX: u32 = 64;
+
+/// Parses a `--topology` spec — `KxK` or `KxKxK`, with an optional
+/// `-torus` (default) or `-mesh` suffix — into a validated topology.
+/// The headline presets: `32x32`, `64x64` and the 3-D `8x8x8`.
+///
+/// # Errors
+///
+/// Typed [`ArgError`]s for malformed radices, dimension counts outside
+/// 2..=3 and radices outside 2..=[`MAX_TOPOLOGY_RADIX`].
+fn parse_topology(spec: &str) -> Result<Topology, ArgError> {
+    let (shape, kind) = if let Some(rest) = spec.strip_suffix("-mesh") {
+        (rest, TopologyKind::Mesh)
+    } else if let Some(rest) = spec.strip_suffix("-torus") {
+        (rest, TopologyKind::Torus)
+    } else {
+        (spec, TopologyKind::Torus)
+    };
+    let radices: Vec<u32> = shape
+        .split('x')
+        .map(|r| {
+            r.parse().map_err(|_| {
+                ArgError(format!(
+                    "--topology expects KxK or KxKxK radices (e.g. 32x32, 8x8x8-mesh), got `{spec}`"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if !(2..=3).contains(&radices.len()) {
+        return Err(ArgError(format!(
+            "--topology `{spec}` has {} dimension(s); 2-D (KxK) and 3-D (KxKxK) networks are supported",
+            radices.len()
+        )));
+    }
+    for (dim, &radix) in radices.iter().enumerate() {
+        if !(2..=MAX_TOPOLOGY_RADIX).contains(&radix) {
+            return Err(ArgError(format!(
+                "--topology radix {radix} out of range for dimension {dim} (expected 2..={MAX_TOPOLOGY_RADIX})"
+            )));
+        }
+    }
+    Topology::new(kind, &radices).map_err(|e| ArgError(format!("--topology {spec}: {e}")))
+}
 
 fn preset(name: &str) -> Result<NetworkConfig, ArgError> {
     match name {
@@ -156,7 +205,11 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         }
     }
     let preset_name = args.get("preset").unwrap_or("vc16").to_string();
-    let config = preset(&preset_name)?;
+    let mut config = preset(&preset_name)?;
+    if let Some(spec) = args.get("topology") {
+        config.topology = parse_topology(spec)?;
+    }
+    let shards = args.u64_or("shards", 1)? as usize;
     let rate = args.f64_or("rate", 0.05)?;
     let seed = args.u64_or("seed", 1)?;
     let warmup = args.u64_or("warmup", 1000)?;
@@ -220,7 +273,8 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         .sample_packets(sample)
         .max_cycles(max_cycles)
         .watchdog_cycles(watchdog)
-        .audit_every(audit_every);
+        .audit_every(audit_every)
+        .shards(shards);
     if let Some(pattern) = workload {
         experiment = experiment.workload(pattern);
     }
@@ -264,8 +318,10 @@ pub fn simulate(args: &Args) -> Result<CmdOutput, ArgError> {
         // shapes the deterministic run, so a snapshot taken under one
         // command line is never resumed into a different one.
         let canon = format!(
-            "simulate|{preset_name}|{rate}|{seed}|{warmup}|{sample}|{max_cycles}|{watchdog}\
-             |{audit_every}|{traffic}|{src}|{fault_links}|{fault_rate}|{fault_ports}|{fault_seed}",
+            "simulate|{preset_name}|{topology}|{shards}|{rate}|{seed}|{warmup}|{sample}\
+             |{max_cycles}|{watchdog}|{audit_every}|{traffic}|{src}|{fault_links}|{fault_rate}\
+             |{fault_ports}|{fault_seed}",
+            topology = args.get("topology").unwrap_or(""),
             traffic = args.get("traffic").unwrap_or("uniform"),
             src = args.get("traffic-src").unwrap_or(""),
         );
@@ -827,6 +883,125 @@ mod tests {
             source_energy > mean,
             "broadcast source {} at {source_energy} J not above mean {mean} J",
             source.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topology_flag_overrides_the_preset_grid() {
+        // An 8×8 torus has 64 nodes; the run completes and is
+        // deterministic under the override.
+        let line = format!("simulate --preset vc16 --topology 8x8 --rate 0.02 {QUICK}");
+        let out = run_full(&line).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert_eq!(run_line(&line).unwrap(), run_line(&line).unwrap());
+        // Mesh and 3-D presets parse and run.
+        assert!(run_line(&format!(
+            "simulate --preset vc16 --topology 4x4-mesh --rate 0.02 {QUICK}"
+        ))
+        .is_ok());
+        assert!(run_line(&format!(
+            "simulate --preset vc16 --topology 4x4x4 --rate 0.01 {QUICK}"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn topology_validation_errors_are_typed() {
+        for bad in [
+            "4",        // 1-D: below the 2-dimension floor
+            "4x4x4x4",  // 4-D: above the 3-dimension ceiling
+            "1x4",      // radix below 2
+            "65x65",    // radix above MAX_TOPOLOGY_RADIX
+            "axb",      // not a number
+            "4x",       // trailing separator
+            "",         // empty
+            "4x4-ring", // unknown kind suffix
+        ] {
+            assert!(
+                run_line(&format!("simulate --topology {bad} --rate 0.02 {QUICK}")).is_err(),
+                "--topology {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_render_identical_output() {
+        // The tentpole contract at the CLI surface: stdout is a pure
+        // function of the simulated physics, so the shard count must
+        // never change a byte of it (human and JSON forms alike).
+        for form in ["", " --json"] {
+            let base = format!("simulate --preset vc16 --rate 0.03 {QUICK}{form}");
+            let mono = run_full(&base).unwrap();
+            for shards in [2, 8] {
+                let sharded = run_full(&format!("{base} --shards {shards}")).unwrap();
+                assert_eq!(
+                    mono.text, sharded.text,
+                    "--shards {shards} changed the output"
+                );
+                assert_eq!(mono.code, sharded.code);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_validated() {
+        assert!(run_line(&format!("simulate --shards 0 --rate 0.03 {QUICK}")).is_err());
+        // 17 shards on a 16-node torus: surfaced as a typed error.
+        assert!(run_line(&format!("simulate --shards 17 --rate 0.03 {QUICK}")).is_err());
+        assert!(run_line("simulate --shards").is_err());
+        assert!(run_line("simulate --shards many").is_err());
+    }
+
+    #[test]
+    fn foreign_shard_snapshot_degrades_to_cycle_zero_replay() {
+        use orion_core::{RunCheckpoint, RunControl, RunHook};
+
+        // Persist a mid-run 4-shard checkpoint under the exact owner
+        // stamp the resuming `--shards 1` (default) command line will
+        // compute: the fingerprint matches, so only the network
+        // image's engine frame can reject it — and that rejection
+        // must degrade to a clean cycle-0 replay, not an error.
+        struct StopAtFirst(Option<RunCheckpoint>);
+        impl RunHook for StopAtFirst {
+            fn every(&self) -> u64 {
+                100
+            }
+            fn on_checkpoint(&mut self, ck: &RunCheckpoint) -> RunControl {
+                self.0 = Some(ck.clone());
+                RunControl::Stop
+            }
+        }
+        let mut stopper = StopAtFirst(None);
+        orion_core::Experiment::new(orion_core::presets::vc16_onchip())
+            .injection_rate(0.03)
+            .seed(1)
+            .warmup(100)
+            .sample_packets(100)
+            .max_cycles(20_000)
+            .watchdog_cycles(1000)
+            .shards(4)
+            .run_with_hook(&mut stopper, None)
+            .expect("valid");
+        let foreign = stopper.0.expect("captured a checkpoint");
+
+        let dir = temp_dir("ckpt-shards");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("four-shards.ckpt");
+        let canon = "simulate|vc16||1|0.03|1|100|100|20000|1000|0|uniform||0|0|0|1";
+        orion_ckpt::save_checkpoint(&ck, orion_ckpt::hash::fnv1a64(canon.as_bytes()), &foreign)
+            .unwrap();
+
+        let base = format!("simulate --preset vc16 --rate 0.03 {QUICK} --json");
+        let plain = run_full(&base).unwrap();
+        let resumed = run_full(&format!("{base} --resume-from {}", ck.display())).unwrap();
+        assert_eq!(
+            resumed.code, 0,
+            "a foreign snapshot must never fail the run"
+        );
+        assert_eq!(
+            plain.text, resumed.text,
+            "cycle-0 fallback reproduces the uninterrupted output"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -34,6 +34,14 @@ pub enum ConfigError {
     /// A power-model parameter out of range (wraps
     /// [`ModelError`]).
     Model(ModelError),
+    /// A shard count the topology cannot host: zero, or more shards
+    /// than nodes (every shard must own at least one router).
+    InvalidShards {
+        /// The rejected shard count.
+        shards: usize,
+        /// Nodes in the configured topology.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -48,6 +56,11 @@ impl std::fmt::Display for ConfigError {
                 "dimension order {order:?} is not a permutation of 0..{dims}"
             ),
             ConfigError::Model(e) => write!(f, "{e}"),
+            ConfigError::InvalidShards { shards, nodes } => write!(
+                f,
+                "shard count {shards} invalid for a {nodes}-node topology \
+                 (expected 1..={nodes})"
+            ),
         }
     }
 }

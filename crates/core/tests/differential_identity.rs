@@ -46,13 +46,14 @@ fn grid() -> Vec<(&'static str, NetworkConfig)> {
     ]
 }
 
-fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool) -> Report {
+fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool, shards: usize) -> Report {
     let mut e = Experiment::new(cfg.clone())
         .injection_rate(rate)
         .seed(SEED)
         .warmup(WARMUP)
         .sample_packets(SAMPLE_PACKETS)
-        .max_cycles(MAX_CYCLES);
+        .max_cycles(MAX_CYCLES)
+        .shards(shards);
     if observed {
         e = e.observe(ObserveOptions {
             sample_every: 50,
@@ -97,16 +98,20 @@ fn render_cell(name: &str, rate: f64, report: &Report) -> String {
     line
 }
 
-fn render_grid(observed: bool) -> String {
+fn render_grid_sharded(observed: bool, shards: usize) -> String {
     let mut out = String::new();
     for (name, cfg) in grid() {
         for rate in RATES {
-            let report = run_cell(&cfg, rate, observed);
+            let report = run_cell(&cfg, rate, observed, shards);
             out.push_str(&render_cell(name, rate, &report));
             out.push('\n');
         }
     }
     out
+}
+
+fn render_grid(observed: bool) -> String {
+    render_grid_sharded(observed, 1)
 }
 
 /// v0.3.0 golden grid. Fields per line:
@@ -128,6 +133,40 @@ fn optimized_core_matches_v030_golden_grid() {
 fn observed_runs_match_v030_golden_grid() {
     let got = render_grid(true);
     assert_eq!(got, GOLDEN, "attaching an ObsSink perturbed the simulation");
+}
+
+/// The tentpole's headline guarantee pinned at the end-to-end level:
+/// partitioning every preset across two shards must reproduce the
+/// single-engine golden grid down to the last energy bit.
+#[test]
+fn two_shard_runs_match_v030_golden_grid() {
+    let got = render_grid_sharded(false, 2);
+    assert_eq!(
+        got, GOLDEN,
+        "two-shard run diverged from the v0.3.0 golden grid"
+    );
+}
+
+/// Same guarantee at a shard count that forces two-node shards on the
+/// 4×4 presets — maximal boundary traffic through the mailboxes.
+#[test]
+fn eight_shard_runs_match_v030_golden_grid() {
+    let got = render_grid_sharded(false, 8);
+    assert_eq!(
+        got, GOLDEN,
+        "eight-shard run diverged from the v0.3.0 golden grid"
+    );
+}
+
+/// Observability must stay zero-effect under sharding too: an
+/// [`ObsSink`] attached to a two-shard run changes nothing.
+#[test]
+fn observed_sharded_runs_match_v030_golden_grid() {
+    let got = render_grid_sharded(true, 2);
+    assert_eq!(
+        got, GOLDEN,
+        "attaching an ObsSink perturbed the sharded simulation"
+    );
 }
 
 /// Prints the current grid for golden regeneration (see module docs).

@@ -60,6 +60,11 @@ pub struct EngineOptions {
     /// killed run replay the in-flight cell from its last interval
     /// instead of cycle 0. Results are bit-identical either way.
     pub checkpoint_every: u64,
+    /// Shards per cell engine (`orion-shard`; 0 or 1 = monolithic).
+    /// Results are bit-identical at every shard count, so this knob is
+    /// deliberately **outside** the cell fingerprint: a cache written
+    /// at one shard count serves every other.
+    pub shards: usize,
 }
 
 /// Accounting for one engine invocation.
@@ -104,12 +109,12 @@ impl RunSummary {
 /// Runs one cell to a record; never panics on configuration or
 /// workload errors — they become `outcome: "error"` records.
 pub fn run_cell(cell: &Cell) -> CellRecord {
-    run_cell_seeded(cell, cell.derived_seed())
+    run_cell_seeded(cell, cell.derived_seed(), 1)
 }
 
 /// Builds the configured [`Experiment`] for one cell and seed, or the
 /// workload-rejection message.
-fn cell_experiment(cell: &Cell, seed: u64) -> Result<Experiment, String> {
+fn cell_experiment(cell: &Cell, seed: u64, shards: usize) -> Result<Experiment, String> {
     let config = cell.config();
     let pattern = cell
         .traffic
@@ -122,13 +127,14 @@ fn cell_experiment(cell: &Cell, seed: u64) -> Result<Experiment, String> {
         .sample_packets(cell.measure.sample_packets)
         .max_cycles(cell.measure.max_cycles)
         .watchdog_cycles(cell.measure.watchdog_cycles)
-        .audit_every(cell.measure.audit_every))
+        .audit_every(cell.measure.audit_every)
+        .shards(shards.max(1)))
 }
 
 /// Runs one cell with an explicit RNG seed (retry attempts use
 /// reseeded RNGs; the record carries the seed actually used).
-pub(crate) fn run_cell_seeded(cell: &Cell, seed: u64) -> CellRecord {
-    let mut record = match cell_experiment(cell, seed) {
+pub(crate) fn run_cell_seeded(cell: &Cell, seed: u64, shards: usize) -> CellRecord {
+    let mut record = match cell_experiment(cell, seed, shards) {
         Ok(exp) => match exp.run() {
             Ok(report) => CellRecord::from_report(cell, &report),
             Err(e) => CellRecord::from_error(cell, &e.to_string()),
@@ -151,8 +157,9 @@ pub(crate) fn run_cell_checkpointed(
     cache_dir: &Path,
     every: u64,
     cancel: Option<Arc<AtomicBool>>,
+    shards: usize,
 ) -> CellRecord {
-    let mut record = match cell_experiment(cell, seed) {
+    let mut record = match cell_experiment(cell, seed, shards) {
         Ok(exp) => {
             let opts = CheckpointOptions {
                 path: checkpoint_path(cache_dir, cell.fingerprint()),
@@ -314,10 +321,15 @@ pub fn run_spec(
             // RNG, and a snapshot persisted under the original seed
             // must never be resumed into a differently-seeded replay.
             let mut record = match &opts.cache_dir {
-                Some(dir) if opts.checkpoint_every > 0 && attempt == 0 => {
-                    run_cell_checkpointed(&cell, seed, dir, opts.checkpoint_every, None)
-                }
-                _ => run_cell_seeded(&cell, seed),
+                Some(dir) if opts.checkpoint_every > 0 && attempt == 0 => run_cell_checkpointed(
+                    &cell,
+                    seed,
+                    dir,
+                    opts.checkpoint_every,
+                    None,
+                    opts.shards,
+                ),
+                _ => run_cell_seeded(&cell, seed, opts.shards),
             };
             let elapsed = attempt_start.elapsed();
             record.attempts = attempt + 1;

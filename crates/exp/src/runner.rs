@@ -56,6 +56,10 @@ pub struct Supervision {
     /// graceful drain ([`CellRunner::request_drain`]) able to stop
     /// in-flight cells at a resumable boundary.
     pub checkpoint_every: u64,
+    /// Shards per cell engine (`orion-shard`; 0 or 1 = monolithic).
+    /// Bit-identical results at every count, so records and
+    /// fingerprints are shard-agnostic.
+    pub shards: usize,
 }
 
 /// Monotonic accounting over a runner's lifetime. Snapshot via
@@ -328,8 +332,9 @@ impl CellRunner {
                         dir,
                         sup.checkpoint_every,
                         Some(Arc::clone(&self.draining)),
+                        sup.shards,
                     ),
-                    _ => run_cell_seeded(cell, seed),
+                    _ => run_cell_seeded(cell, seed, sup.shards),
                 }
             }));
             match outcome {

@@ -155,6 +155,7 @@ fn crashing_leader_does_not_wedge_followers() {
         cell_timeout: None,
         poison: Some("vc16".to_string()),
         checkpoint_every: 0,
+        shards: 1,
     };
     let barrier = Arc::new(Barrier::new(4));
     let handles: Vec<_> = (0..4)
@@ -186,6 +187,7 @@ fn per_request_timeout_quarantines_without_caching() {
         cell_timeout: Some(Duration::ZERO),
         poison: None,
         checkpoint_every: 0,
+        shards: 1,
     };
     let rec = runner.run(&cell, &sup);
     assert!(rec.is_timed_out());

@@ -50,6 +50,10 @@ pub struct ExploreOptions {
     /// candidate evaluations then survive a kill mid-cell: the next
     /// search over the same cache resumes from the last interval.
     pub checkpoint_every: u64,
+    /// Shards per cell engine (`orion-shard`; 0 or 1 = monolithic).
+    /// Bit-identical results at every count — outside every
+    /// fingerprint, so caches are shard-agnostic.
+    pub shards: usize,
 }
 
 impl Default for ExploreOptions {
@@ -63,6 +67,7 @@ impl Default for ExploreOptions {
             seed: None,
             budget: None,
             checkpoint_every: 0,
+            shards: 0,
         }
     }
 }
@@ -186,6 +191,7 @@ pub fn run_explore(spec: &ExploreSpec, opts: &ExploreOptions) -> io::Result<Expl
         cell_timeout: opts.cell_timeout,
         poison: None,
         checkpoint_every: opts.checkpoint_every,
+        shards: opts.shards,
     };
 
     let mut metrics = MetricsRegistry::new();

@@ -195,6 +195,7 @@ fn explore_cells_dedup_against_grid_run_cells() {
             cell_timeout: None,
             poison: None,
             checkpoint_every: 0,
+            shards: 1,
         },
     )
     .unwrap();

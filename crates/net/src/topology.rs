@@ -358,16 +358,36 @@ impl Topology {
 
     /// Average minimal hop distance over all ordered pairs of distinct
     /// nodes — the zero-load hop count under uniform random traffic.
+    ///
+    /// Computed in closed form per dimension (hop counts separate over
+    /// dimensions), so kilo-node fabrics (32×32, 64×64, 8×8×8) cost
+    /// O(dims) instead of O(n²) pairwise walks. The exact integer total
+    /// is divided once, so the result is bit-identical to the pairwise
+    /// sum the differential-identity suite was recorded against.
     pub fn average_distance(&self) -> f64 {
-        let n = self.num_nodes();
+        let n = self.num_nodes() as u64;
         if n < 2 {
             return 0.0;
         }
-        let total: u64 = self
-            .nodes()
-            .flat_map(|a| self.nodes().filter(move |&b| b != a).map(move |b| (a, b)))
-            .map(|(a, b)| self.distance(a, b) as u64)
-            .sum();
+        // Total hops over *all* ordered pairs (self-pairs add 0). Each
+        // dimension contributes independently: every ordered coordinate
+        // pair (a, b) in a dimension of radix k is shared by (n/k)²
+        // ordered node pairs.
+        let mut total: u64 = 0;
+        for &k in &self.radices {
+            let k = k as u64;
+            let ring_total: u64 = match self.kind {
+                // Per source on a k-ring: Σ_j min(j, k-j); summed over
+                // the k sources.
+                TopologyKind::Torus => {
+                    let per_source: u64 = (0..k).map(|j| j.min(k - j)).sum();
+                    k * per_source
+                }
+                // On a k-line: Σ_a Σ_b |a-b| = (k³-k)/3.
+                TopologyKind::Mesh => (k * k * k - k) / 3,
+            };
+            total += (n / k) * (n / k) * ring_total;
+        }
         total as f64 / (n * (n - 1)) as f64
     }
 }
@@ -493,12 +513,127 @@ mod tests {
 
     #[test]
     fn port_index_roundtrip() {
-        for dims in 1..=3u8 {
+        for dims in 1..=8u8 {
             for idx in 0..(1 + 2 * dims as usize) {
                 let p = Port::from_index(idx, dims);
                 assert_eq!(p.index(), idx);
             }
         }
+    }
+
+    #[test]
+    fn port_index_assigns_third_dimension_directions() {
+        // Dimension 2 ("z") owns indices 5 (plus) and 6 (minus); a 2-D
+        // router must reject them.
+        assert_eq!(
+            Port::from_index(5, 3),
+            Port::Dir {
+                dim: 2,
+                dir: Direction::Plus
+            }
+        );
+        assert_eq!(
+            Port::from_index(6, 3),
+            Port::Dir {
+                dim: 2,
+                dir: Direction::Minus
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_index_rejects_z_ports_on_2d_routers() {
+        let _ = Port::from_index(5, 2);
+    }
+
+    #[test]
+    fn three_d_torus_neighbors_wrap_in_every_dimension() {
+        let t = Topology::torus(&[8, 8, 8]).unwrap();
+        assert_eq!(t.num_nodes(), 512);
+        assert_eq!(t.ports_per_router(), 7);
+        let corner = t.node_at(&[7, 7, 7]);
+        assert_eq!(
+            t.neighbor(corner, 2, Direction::Plus),
+            Some(t.node_at(&[7, 7, 0]))
+        );
+        assert_eq!(
+            t.neighbor(t.node_at(&[0, 0, 0]), 2, Direction::Minus),
+            Some(t.node_at(&[0, 0, 7]))
+        );
+        // Symmetry holds per dimension, including z.
+        for n in t.nodes() {
+            for dim in 0..3 {
+                for dir in [Direction::Plus, Direction::Minus] {
+                    let m = t.neighbor(n, dim, dir).unwrap();
+                    assert_eq!(t.neighbor(m, dim, dir.opposite()), Some(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_mesh_boundaries_in_every_dimension() {
+        let m = Topology::mesh(&[4, 4, 4]).unwrap();
+        let origin = m.node_at(&[0, 0, 0]);
+        let corner = m.node_at(&[3, 3, 3]);
+        for dim in 0..3 {
+            assert_eq!(m.neighbor(origin, dim, Direction::Minus), None);
+            assert_eq!(m.neighbor(corner, dim, Direction::Plus), None);
+        }
+        assert_eq!(
+            m.neighbor(origin, 2, Direction::Plus),
+            Some(m.node_at(&[0, 0, 1]))
+        );
+    }
+
+    #[test]
+    fn three_d_distance_sums_over_dimensions() {
+        let t = Topology::torus(&[8, 8, 8]).unwrap();
+        // (0,0,0) -> (4,7,2): 4 + 1 (wrap) + 2 hops.
+        assert_eq!(t.distance(t.node_at(&[0, 0, 0]), t.node_at(&[4, 7, 2])), 7);
+        let m = Topology::mesh(&[8, 8, 8]).unwrap();
+        assert_eq!(m.distance(m.node_at(&[0, 0, 0]), m.node_at(&[4, 7, 2])), 13);
+    }
+
+    #[test]
+    fn analytic_average_distance_matches_pairwise_sum() {
+        // The closed form must reproduce the O(n²) pairwise total
+        // exactly (integer totals, one final division) on every shape
+        // the presets and the CLI topology flag can produce.
+        let shapes: Vec<Topology> = vec![
+            Topology::torus(&[4, 4]).unwrap(),
+            Topology::mesh(&[4, 4]).unwrap(),
+            Topology::torus(&[5, 3]).unwrap(),
+            Topology::mesh(&[5, 3]).unwrap(),
+            Topology::torus(&[8, 8, 8]).unwrap(),
+            Topology::mesh(&[4, 4, 4]).unwrap(),
+            Topology::torus(&[2]).unwrap(),
+            Topology::mesh(&[7]).unwrap(),
+        ];
+        for t in shapes {
+            let n = t.num_nodes();
+            let pairwise: u64 = t
+                .nodes()
+                .flat_map(|a| t.nodes().map(move |b| (a, b)))
+                .map(|(a, b)| t.distance(a, b) as u64)
+                .sum();
+            let expected = pairwise as f64 / (n as f64 * (n as f64 - 1.0));
+            assert_eq!(
+                t.average_distance().to_bits(),
+                expected.to_bits(),
+                "analytic form diverged on {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_distance_kilo_node_is_cheap_and_exact() {
+        // 64×64 torus: per-dimension ring total = 64·(64²/4) = 65536;
+        // total = 2 · (4096/64)² · 65536 = 536 870 912.
+        let t = Topology::torus(&[64, 64]).unwrap();
+        let expected: f64 = 536_870_912.0 / (4096.0 * 4095.0);
+        assert_eq!(t.average_distance().to_bits(), expected.to_bits());
     }
 
     #[test]

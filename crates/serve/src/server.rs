@@ -53,6 +53,10 @@ pub struct ServeConfig {
     /// cell's snapshot under `<cache_dir>/ckpt/` and the next daemon
     /// resumes it mid-cell instead of from cycle 0.
     pub checkpoint_every: u64,
+    /// Shards per cell engine (`orion-shard`; 0 or 1 = monolithic).
+    /// Records are bit-identical at every count, so the cache this
+    /// daemon serves is shard-agnostic.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +73,7 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(10),
             max_body_bytes: 1 << 20,
             checkpoint_every: 0,
+            shards: 0,
         }
     }
 }
@@ -429,6 +434,7 @@ fn supervision_for(state: &ServerState, request: &Request) -> Result<Supervision
         cell_timeout,
         poison: None,
         checkpoint_every: state.config.checkpoint_every,
+        shards: state.config.shards,
     })
 }
 

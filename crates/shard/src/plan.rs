@@ -1,0 +1,182 @@
+//! Node-range partitioning plans.
+//!
+//! A [`ShardPlan`] splits a topology's `n` nodes into contiguous
+//! ascending ranges, one per shard. Contiguity is not an optimisation
+//! detail — it is what makes the sharded engine deterministic: the
+//! single-engine simulator processes same-cycle events in ascending
+//! global node order, and with contiguous ranges "for each shard in
+//! ascending order, its events in ascending local node order" is the
+//! *same* total order (see `docs/SCALING.md`).
+
+use std::fmt;
+
+/// A partition of `0..num_nodes` into contiguous shard ranges.
+///
+/// Stored as `shards + 1` boundary values `b_0 = 0 < b_1 < … <
+/// b_S = num_nodes`; shard `i` owns nodes `b_i..b_{i+1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+/// Error building a [`ShardPlan`] from explicit bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// Fewer than two boundary values (no shard at all).
+    TooFewBounds,
+    /// The first boundary is not 0.
+    DoesNotStartAtZero,
+    /// Boundaries are not strictly increasing (an empty shard).
+    NotStrictlyIncreasing,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::TooFewBounds => write!(f, "a shard plan needs at least two bounds"),
+            PlanError::DoesNotStartAtZero => write!(f, "shard bounds must start at node 0"),
+            PlanError::NotStrictlyIncreasing => {
+                write!(
+                    f,
+                    "shard bounds must be strictly increasing (no empty shards)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl ShardPlan {
+    /// An even contiguous split of `num_nodes` nodes into `shards`
+    /// ranges: shard `i` owns `i·n/S .. (i+1)·n/S`, so range sizes
+    /// differ by at most one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds `num_nodes`.
+    pub fn contiguous(num_nodes: usize, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "a plan needs at least one shard");
+        assert!(
+            shards <= num_nodes,
+            "{shards} shards cannot each own a node of a {num_nodes}-node network"
+        );
+        let bounds = (0..=shards).map(|i| i * num_nodes / shards).collect();
+        ShardPlan { bounds }
+    }
+
+    /// A plan from explicit boundary values (`bounds[i]..bounds[i+1]`
+    /// per shard), validated: starts at 0, strictly increasing. The
+    /// last bound is the network size.
+    pub fn from_bounds(bounds: Vec<usize>) -> Result<ShardPlan, PlanError> {
+        if bounds.len() < 2 {
+            return Err(PlanError::TooFewBounds);
+        }
+        if bounds[0] != 0 {
+            return Err(PlanError::DoesNotStartAtZero);
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PlanError::NotStrictlyIncreasing);
+        }
+        Ok(ShardPlan { bounds })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The boundary array (`shards + 1` values).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Total nodes partitioned.
+    pub fn num_nodes(&self) -> usize {
+        *self.bounds.last().expect("nonempty bounds")
+    }
+
+    /// The node range `lo..hi` shard `s` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn range(&self, s: usize) -> (usize, usize) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the partitioned range.
+    pub fn shard_of(&self, node: usize) -> usize {
+        assert!(node < self.num_nodes(), "node outside the plan");
+        self.bounds.partition_point(|&b| b <= node) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_splits_evenly() {
+        let p = ShardPlan::contiguous(16, 4);
+        assert_eq!(p.bounds(), &[0, 4, 8, 12, 16]);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.num_nodes(), 16);
+        assert_eq!(p.range(2), (8, 12));
+    }
+
+    #[test]
+    fn contiguous_uneven_sizes_differ_by_at_most_one() {
+        let p = ShardPlan::contiguous(10, 3);
+        assert_eq!(p.bounds(), &[0, 3, 6, 10]);
+        for s in 0..p.shards() {
+            let (lo, hi) = p.range(s);
+            assert!((3..=4).contains(&(hi - lo)));
+        }
+    }
+
+    #[test]
+    fn shard_of_matches_ranges() {
+        let p = ShardPlan::contiguous(10, 3);
+        for node in 0..10 {
+            let s = p.shard_of(node);
+            let (lo, hi) = p.range(s);
+            assert!((lo..hi).contains(&node));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = ShardPlan::contiguous(7, 1);
+        assert_eq!(p.bounds(), &[0, 7]);
+        assert_eq!(p.shard_of(6), 0);
+    }
+
+    #[test]
+    fn from_bounds_validates() {
+        assert!(ShardPlan::from_bounds(vec![0, 3, 9]).is_ok());
+        assert_eq!(
+            ShardPlan::from_bounds(vec![0]),
+            Err(PlanError::TooFewBounds)
+        );
+        assert_eq!(
+            ShardPlan::from_bounds(vec![1, 9]),
+            Err(PlanError::DoesNotStartAtZero)
+        );
+        assert_eq!(
+            ShardPlan::from_bounds(vec![0, 4, 4, 9]),
+            Err(PlanError::NotStrictlyIncreasing)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot each own")]
+    fn more_shards_than_nodes_rejected() {
+        ShardPlan::contiguous(4, 5);
+    }
+}

@@ -1,0 +1,559 @@
+//! The sharded network facade.
+//!
+//! [`ShardedNetwork`] presents the same surface as a single
+//! [`Network`] — enqueue, step, stats, energies, audits, snapshots —
+//! while running one engine per contiguous node range. Each cycle,
+//! every shard drains its inbound mailboxes for the cycle, runs the
+//! engine's normal compute/commit phases, and deposits boundary
+//! traffic for future cycles; the end of the cycle is the only
+//! synchronisation barrier. Results are bit-identical to the
+//! single-engine simulator for any shard count (see `docs/SCALING.md`
+//! for the argument, and this crate's tests for the proof by
+//! comparison).
+
+use orion_net::{FaultSchedule, NodeId};
+use orion_obs::{NodeState, ObsEvent, ObsSink};
+use orion_sim::energy::Component;
+use orion_sim::network::{Network, NetworkSpec};
+use orion_sim::snapshot::{ByteReader, ByteWriter, SnapshotError, SNAPSHOT_VERSION};
+use orion_sim::{AuditViolation, PacketId, PowerModels, SimStats, StallDiagnostics, StallKind};
+use orion_tech::Joules;
+
+use crate::mailbox::{MailGrid, MailboxIo};
+use crate::plan::ShardPlan;
+
+/// One shard: its engine plus reusable per-cycle scratch.
+#[derive(Debug)]
+struct ShardCell {
+    net: Network,
+    /// Inbound boundary flits, indexed by source shard (own index
+    /// unused). Refilled from the grid each cycle.
+    inbound_flits: Vec<Vec<orion_sim::FlitMsg>>,
+    inbound_credits: Vec<Vec<orion_sim::CreditMsg>>,
+    /// Recorded observability events drained after each cycle.
+    events: Vec<ObsEvent>,
+}
+
+impl ShardCell {
+    /// Drains this cycle's inbound mail and runs one engine cycle,
+    /// sending boundary traffic through `grid`.
+    fn step(&mut self, me: usize, grid: &MailGrid, cycle: u64) {
+        for src in 0..grid.shards() {
+            if src == me {
+                continue;
+            }
+            grid.drain_flits(src, me, cycle, &mut self.inbound_flits[src]);
+            grid.drain_credits(src, me, cycle, &mut self.inbound_credits[src]);
+        }
+        let mut io = MailboxIo::new(grid, me);
+        self.net
+            .step_with_io(&mut io, &mut self.inbound_flits, &mut self.inbound_credits);
+    }
+}
+
+/// A network partitioned across shard engines, bit-identical to a
+/// single [`Network`] built from the same spec.
+#[derive(Debug)]
+pub struct ShardedNetwork {
+    cells: Vec<ShardCell>,
+    grid: MailGrid,
+    plan: ShardPlan,
+    spec: NetworkSpec,
+    /// The single global packet-id sequence, threaded through
+    /// whichever shard injects next.
+    next_packet: u64,
+    /// The master observer; shard engines carry recorder sinks whose
+    /// events are replayed into it in canonical order.
+    obs: Option<Box<ObsSink>>,
+    parallel: bool,
+}
+
+impl ShardedNetwork {
+    /// Builds a network evenly partitioned into `shards` contiguous
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds the node count.
+    pub fn new(spec: NetworkSpec, models: PowerModels, shards: usize) -> ShardedNetwork {
+        let plan = ShardPlan::contiguous(spec.topology.num_nodes(), shards);
+        ShardedNetwork::with_plan(spec, models, plan)
+    }
+
+    /// Builds a network partitioned by an explicit [`ShardPlan`]
+    /// (property tests exercise uneven plans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's node count differs from the topology's.
+    pub fn with_plan(spec: NetworkSpec, models: PowerModels, plan: ShardPlan) -> ShardedNetwork {
+        assert_eq!(
+            plan.num_nodes(),
+            spec.topology.num_nodes(),
+            "plan does not cover the topology"
+        );
+        let shards = plan.shards();
+        let cells = (0..shards)
+            .map(|i| ShardCell {
+                net: Network::new_shard(spec.clone(), models.clone(), i, plan.bounds()),
+                inbound_flits: (0..shards).map(|_| Vec::new()).collect(),
+                inbound_credits: (0..shards).map(|_| Vec::new()).collect(),
+                events: Vec::new(),
+            })
+            .collect();
+        ShardedNetwork {
+            cells,
+            grid: MailGrid::new(shards),
+            plan,
+            spec,
+            next_packet: 0,
+            obs: None,
+            parallel: std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false),
+        }
+    }
+
+    /// The partitioning plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The network specification.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Whether [`ShardedNetwork::step`] runs shards on scoped threads.
+    /// Either mode is bit-identical; threading only changes wall-clock
+    /// time. Defaults to `true` when the host has more than one CPU.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Forces threaded or sequential stepping (see
+    /// [`ShardedNetwork::parallel`]).
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Current simulation cycle (identical across shards).
+    pub fn cycle(&self) -> u64 {
+        self.cells[0].net.cycle()
+    }
+
+    /// Advances every shard one cycle and replays observability
+    /// events. The return from this method is the inter-shard barrier:
+    /// all boundary traffic produced this cycle sits in the mailboxes,
+    /// due at `cycle + 1` (credits) or `cycle + 2` (flits).
+    pub fn step(&mut self) {
+        let cycle = self.cycle();
+        let grid = &self.grid;
+        if self.parallel && self.cells.len() > 1 {
+            std::thread::scope(|s| {
+                for (me, cell) in self.cells.iter_mut().enumerate() {
+                    s.spawn(move || cell.step(me, grid, cycle));
+                }
+            });
+        } else {
+            for (me, cell) in self.cells.iter_mut().enumerate() {
+                cell.step(me, grid, cycle);
+            }
+        }
+        self.replay_obs();
+    }
+
+    /// Replays each shard's recorded events into the master sink in
+    /// canonical order: phase by phase ([`ObsEvent::phase`]), shards
+    /// ascending within a phase — the order a single engine would have
+    /// emitted them.
+    fn replay_obs(&mut self) {
+        let Some(master) = self.obs.as_deref_mut() else {
+            return;
+        };
+        for cell in &mut self.cells {
+            if let Some(rec) = cell.net.obs_mut() {
+                let mut events = std::mem::take(&mut cell.events);
+                rec.take_events(&mut events);
+                cell.events = events;
+            }
+        }
+        for phase in 0..3u8 {
+            for cell in &self.cells {
+                for e in &cell.events {
+                    if e.phase() == phase {
+                        master.apply(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queues a packet at `src`'s shard, allocating from the global
+    /// packet-id sequence — ids match a single-engine run injecting in
+    /// the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is outside the topology.
+    pub fn enqueue_packet(&mut self, src: NodeId, dst: NodeId, tagged: bool) -> PacketId {
+        self.enqueue_packet_len(src, dst, self.spec.packet_len, tagged)
+    }
+
+    /// Queues a packet of explicit length (see
+    /// [`Network::enqueue_packet_len`]).
+    pub fn enqueue_packet_len(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        len: u32,
+        tagged: bool,
+    ) -> PacketId {
+        let s = self.plan.shard_of(src.0);
+        let cell = &mut self.cells[s];
+        cell.net.set_next_packet(self.next_packet);
+        let id = cell.net.enqueue_packet_len(src, dst, len, tagged);
+        self.next_packet = cell.net.next_packet_id();
+        // Injection-time events reach the master sink immediately, in
+        // call order — the same order a single engine applies them.
+        if let Some(master) = self.obs.as_deref_mut() {
+            if let Some(rec) = cell.net.obs_mut() {
+                let mut events = std::mem::take(&mut cell.events);
+                rec.take_events(&mut events);
+                for e in &events {
+                    master.apply(e);
+                }
+                cell.events = events;
+            }
+        }
+        id
+    }
+
+    /// Attaches the master observer; every shard engine gets a
+    /// recorder sink feeding it.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = Some(Box::new(obs));
+        for cell in &mut self.cells {
+            cell.net.set_obs(ObsSink::recorder());
+        }
+    }
+
+    /// The attached master observer, if any.
+    pub fn obs(&self) -> Option<&ObsSink> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the master observer.
+    pub fn obs_mut(&mut self) -> Option<&mut ObsSink> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Detaches and returns the master observer, dropping the shard
+    /// recorders.
+    pub fn take_obs(&mut self) -> Option<ObsSink> {
+        self.replay_obs();
+        for cell in &mut self.cells {
+            cell.net.take_obs();
+        }
+        self.obs.take().map(|b| *b)
+    }
+
+    /// Installs a fault schedule on every shard (each consults it for
+    /// its own sources).
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        for cell in &mut self.cells {
+            cell.net.set_fault_schedule(schedule.clone());
+        }
+    }
+
+    /// Merged performance statistics: counters summed, the latency
+    /// sample re-interleaved into whole-network delivery order (cycle,
+    /// then ascending shard — which is ascending destination node).
+    pub fn stats_merged(&self) -> SimStats {
+        if self.cells.len() == 1 {
+            return self.cells[0].net.stats().clone();
+        }
+        let mut out = SimStats::new();
+        for cell in &self.cells {
+            let s = cell.net.stats();
+            out.packets_injected += s.packets_injected;
+            out.packets_delivered += s.packets_delivered;
+            out.flits_delivered += s.flits_delivered;
+            out.tagged_injected += s.tagged_injected;
+            out.tagged_delivered += s.tagged_delivered;
+            out.packets_dropped += s.packets_dropped;
+            out.flits_dropped += s.flits_dropped;
+            out.tagged_dropped += s.tagged_dropped;
+            out.packets_detoured += s.packets_detoured;
+        }
+        let mut idx = vec![0usize; self.cells.len()];
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (s, cell) in self.cells.iter().enumerate() {
+                let log = cell.net.delivery_log();
+                debug_assert_eq!(log.len(), cell.net.stats().latencies().len());
+                if idx[s] < log.len() {
+                    let c = log[idx[s]];
+                    // Strict < keeps the lowest shard on ties.
+                    if best.is_none_or(|(bc, _)| c < bc) {
+                        best = Some((c, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            out.push_latency_sample(self.cells[s].net.stats().latencies()[idx[s]]);
+            idx[s] += 1;
+        }
+        out
+    }
+
+    /// Tagged packets still in flight. A boundary packet is injected
+    /// in its source shard but delivered in its destination shard, so
+    /// per-shard `tagged_outstanding` can underflow; the counters must
+    /// be summed network-wide *before* subtracting.
+    pub fn tagged_outstanding(&self) -> u64 {
+        let (injected, delivered, dropped) =
+            self.cells.iter().fold((0u64, 0u64, 0u64), |acc, c| {
+                let s = c.net.stats();
+                (
+                    acc.0 + s.tagged_injected,
+                    acc.1 + s.tagged_delivered,
+                    acc.2 + s.tagged_dropped,
+                )
+            });
+        injected - delivered - dropped
+    }
+
+    /// Packets delivered, summed over shards.
+    pub fn packets_delivered(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.stats().packets_delivered)
+            .sum()
+    }
+
+    /// Packets dropped at injection, summed over shards.
+    pub fn packets_dropped(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.stats().packets_dropped)
+            .sum()
+    }
+
+    /// Flits anywhere in the system: shard engines plus boundary
+    /// mailboxes.
+    pub fn flits_in_flight(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.net.flits_in_flight())
+            .sum::<usize>()
+            + self.grid.in_transit() as usize
+    }
+
+    /// `true` when no flits remain in any shard or mailbox.
+    pub fn is_drained(&self) -> bool {
+        self.flits_in_flight() == 0
+    }
+
+    /// Flits waiting in source queues, summed over shards.
+    pub fn source_backlog(&self) -> usize {
+        self.cells.iter().map(|c| c.net.source_backlog()).sum()
+    }
+
+    /// The cycle at which a flit last moved anywhere.
+    pub fn last_progress_cycle(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.last_progress_cycle())
+            .max()
+            .expect("at least one shard")
+    }
+
+    fn last_delivery_cycle(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.last_delivery_cycle())
+            .max()
+            .expect("at least one shard")
+    }
+
+    fn last_credit_cycle(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.last_credit_cycle())
+            .max()
+            .expect("at least one shard")
+    }
+
+    /// Whole-network watchdog check, mirroring
+    /// [`Network::check_stall`] over the merged progress clocks.
+    pub fn check_stall(&self, window: u64) -> Option<StallKind> {
+        if window == 0 || self.is_drained() {
+            return None;
+        }
+        let cycle = self.cycle();
+        if cycle - self.last_progress_cycle() >= window {
+            return Some(StallKind::Deadlock);
+        }
+        let injected: u64 = self
+            .cells
+            .iter()
+            .map(|c| c.net.stats().packets_injected)
+            .sum();
+        let undelivered = injected > self.packets_delivered() + self.packets_dropped();
+        if undelivered && cycle - self.last_delivery_cycle() >= window {
+            return Some(StallKind::Livelock);
+        }
+        None
+    }
+
+    /// Whole-network stall diagnostics: merged progress clocks plus
+    /// every shard's occupied VCs (ascending shard = ascending node).
+    pub fn stall_diagnostics(&self, kind: StallKind, window: u64) -> StallDiagnostics {
+        let cycle = self.cycle();
+        let mut stalled_vcs = Vec::new();
+        for cell in &self.cells {
+            stalled_vcs.extend(cell.net.stall_diagnostics(kind, window).stalled_vcs);
+        }
+        let source_backlog = self.source_backlog();
+        StallDiagnostics {
+            kind,
+            cycle,
+            window,
+            cycles_since_flit_movement: cycle - self.last_progress_cycle(),
+            cycles_since_delivery: cycle - self.last_delivery_cycle(),
+            cycles_since_credit: cycle - self.last_credit_cycle(),
+            flits_in_network: self.flits_in_flight() - source_backlog,
+            source_backlog,
+            packets_delivered: self.packets_delivered(),
+            packets_dropped: self.packets_dropped(),
+            stalled_vcs,
+        }
+    }
+
+    /// Runs every stateless invariant check: whole-network flit
+    /// conservation (boundary flits in transit count as in flight),
+    /// then each shard's local checks in shard order.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut violations = Vec::new();
+        let (mut enqueued, mut ejected, mut dropped) = (0u64, 0u64, 0u64);
+        for cell in &self.cells {
+            let (e, j, d) = cell.net.audit_counters();
+            enqueued += e;
+            ejected += j;
+            dropped += d;
+        }
+        let in_flight = self.flits_in_flight() as u64;
+        if enqueued != ejected + dropped + in_flight {
+            violations.push(AuditViolation::FlitConservation {
+                enqueued,
+                ejected,
+                dropped,
+                in_flight,
+            });
+        }
+        for cell in &self.cells {
+            violations.extend(cell.net.audit_local());
+        }
+        violations
+    }
+
+    /// Accumulated energy at `node` for `component` — exact, read from
+    /// the owning shard's ledger (only the owner ever charges a node).
+    pub fn node_energy(&self, node: usize, component: Component) -> Joules {
+        let s = self.plan.shard_of(node);
+        self.cells[s].net.ledger().energy(node, component)
+    }
+
+    /// Total accumulated energy, summed shard by shard in shard order
+    /// (deterministic; may differ from a single ledger's node-by-node
+    /// sum by float rounding only).
+    pub fn total_energy_j(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.net.ledger().total_energy().0)
+            .sum()
+    }
+
+    /// Flits carried by the channel leaving `node` through `out_port`
+    /// since the last measurement reset (owner-exact).
+    pub fn link_flits(&self, node: usize, out_port: usize) -> u64 {
+        let s = self.plan.shard_of(node);
+        self.cells[s].net.link_flits(node, out_port)
+    }
+
+    /// Every node's probe-visible state in global node order.
+    pub fn node_states(&self) -> Vec<NodeState> {
+        let mut out = Vec::with_capacity(self.plan.num_nodes());
+        for cell in &self.cells {
+            out.extend(cell.net.node_states());
+        }
+        out
+    }
+
+    /// Clears energy and performance counters on every shard at the
+    /// warm-up boundary (see [`Network::reset_measurement`]).
+    pub fn reset_measurement(&mut self) {
+        for cell in &mut self.cells {
+            cell.net.reset_measurement();
+        }
+    }
+
+    /// Serialises the complete sharded state: plan, packet sequence,
+    /// every shard engine's payload, and the boundary mailboxes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(SNAPSHOT_VERSION);
+        w.usize(self.plan.shards());
+        for &b in self.plan.bounds() {
+            w.usize(b);
+        }
+        w.u64(self.next_packet);
+        for cell in &self.cells {
+            let payload = cell.net.snapshot();
+            w.usize(payload.len());
+            w.bytes(&payload);
+        }
+        self.grid.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Restores state captured by [`ShardedNetwork::snapshot`] into
+    /// this network, which must have been freshly built from the same
+    /// spec, models and plan. A snapshot taken at a different shard
+    /// count is a typed [`SnapshotError::Mismatch`], never a panic or
+    /// a silently wrong resume.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::WrongVersion(version));
+        }
+        if r.usize()? != self.plan.shards() {
+            return Err(SnapshotError::Mismatch("shard count"));
+        }
+        for &b in self.plan.bounds() {
+            if r.usize()? != b {
+                return Err(SnapshotError::Mismatch("shard bounds"));
+            }
+        }
+        let next_packet = r.u64()?;
+        for cell in &mut self.cells {
+            let len = r.count(1)?;
+            let payload = r.take_bytes(len)?;
+            cell.net.restore(payload)?;
+        }
+        self.grid.restore(&mut r, &self.spec.topology)?;
+        let cycle = self.cells[0].net.cycle();
+        if self.cells.iter().any(|c| c.net.cycle() != cycle) {
+            return Err(SnapshotError::Invalid("shard cycles out of step"));
+        }
+        self.next_packet = next_packet;
+        Ok(())
+    }
+}

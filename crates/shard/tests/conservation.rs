@@ -1,0 +1,108 @@
+//! Property tests over random shard partitions: for *any* contiguous
+//! partition of a 4×4 torus (random bound positions, 1..=8 shards) and
+//! any traffic seed, the sharded network conserves flits under the
+//! [`InvariantAuditor`] at every audited cycle, and its merged
+//! statistics equal the single-engine run's.
+
+use orion_net::{DimensionOrder, NodeId, Topology};
+use orion_power::{
+    ArbiterKind, ArbiterParams, ArbiterPower, BufferParams, BufferPower, CrossbarKind,
+    CrossbarParams, CrossbarPower, LinkPower,
+};
+use orion_shard::{ShardPlan, ShardedNetwork};
+use orion_sim::{InvariantAuditor, Network, NetworkSpec, PowerModels, RouterKind, VcRouterSpec};
+use orion_tech::{Microns, ProcessNode, Technology};
+use proptest::prelude::*;
+
+const NODES: usize = 16;
+
+fn models() -> PowerModels {
+    let tech = Technology::new(ProcessNode::Nm100);
+    let crossbar = CrossbarPower::new(&CrossbarParams::new(CrossbarKind::Matrix, 5, 5, 64), tech)
+        .expect("valid");
+    let arbiter = ArbiterPower::new(&ArbiterParams::new(ArbiterKind::Matrix, 5), tech)
+        .expect("valid")
+        .with_control_energy(crossbar.control_energy());
+    PowerModels {
+        flit_bits: 64,
+        buffer: BufferPower::new(&BufferParams::new(16, 64), tech).expect("valid"),
+        crossbar,
+        arbiter,
+        link: LinkPower::on_chip(Microns::from_mm(3.0), 64, tech),
+        central: None,
+    }
+}
+
+fn spec() -> NetworkSpec {
+    NetworkSpec {
+        topology: Topology::torus(&[4, 4]).expect("valid"),
+        router: RouterKind::Vc(VcRouterSpec::virtual_channel(5, 2, 4, 64)),
+        packet_len: 5,
+        dim_order: DimensionOrder::YFirst,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_partitions_conserve_flits_and_match_mono(
+        interior in proptest::collection::vec(1usize..NODES, 0..7),
+        seed in 0u64..1_000_000,
+    ) {
+        // A random contiguous partition: interior bound positions,
+        // sorted and deduplicated, delimit 1..=8 shards.
+        let mut interior = interior;
+        interior.sort_unstable();
+        interior.dedup();
+        let mut bounds = vec![0];
+        bounds.extend(interior);
+        bounds.push(NODES);
+        let plan = ShardPlan::from_bounds(bounds).expect("sorted distinct bounds are valid");
+        let mut mono = Network::new(spec(), models());
+        let mut sharded = ShardedNetwork::with_plan(spec(), models(), plan);
+        sharded.set_parallel(false);
+        let mut auditor = InvariantAuditor::new();
+        let mut mono_rng = seed;
+        let mut shard_rng = seed;
+        let draw = |state: &mut u64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*state >> 33) as usize % NODES
+        };
+        for cycle in 0..200u64 {
+            let (src, dst) = (draw(&mut mono_rng), draw(&mut mono_rng));
+            mono.enqueue_packet(NodeId(src), NodeId(dst), true);
+            let (src, dst) = (draw(&mut shard_rng), draw(&mut shard_rng));
+            sharded.enqueue_packet(NodeId(src), NodeId(dst), true);
+            mono.step();
+            sharded.step();
+            if cycle % 8 == 0 {
+                // Whole-network conservation: boundary flits sitting in
+                // mailboxes must be counted, not leaked.
+                let violations = sharded.audit();
+                prop_assert!(violations.is_empty(), "audit failed: {violations:?}");
+                let mut energy_violations = Vec::new();
+                auditor.check_energy(sharded.total_energy_j(), &mut energy_violations);
+                prop_assert!(energy_violations.is_empty(), "{energy_violations:?}");
+            }
+        }
+        let mut guard = 0;
+        while !mono.is_drained() || !sharded.is_drained() {
+            if !mono.is_drained() {
+                mono.step();
+            }
+            if !sharded.is_drained() {
+                sharded.step();
+            }
+            guard += 1;
+            prop_assert!(guard < 20_000, "drain did not converge");
+        }
+        prop_assert!(sharded.audit().is_empty());
+        let (ms, ss) = (mono.stats(), sharded.stats_merged());
+        prop_assert_eq!(ms.packets_delivered, ss.packets_delivered);
+        prop_assert_eq!(ms.flits_delivered, ss.flits_delivered);
+        prop_assert_eq!(ms.latencies(), ss.latencies());
+    }
+}

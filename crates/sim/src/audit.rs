@@ -202,7 +202,16 @@ impl InvariantAuditor {
     /// returning all violations found (empty on a healthy network).
     pub fn check(&mut self, net: &Network) -> Vec<AuditViolation> {
         let mut violations = net.audit();
-        let total = net.ledger().total_energy().0;
+        self.check_energy(net.ledger().total_energy().0, &mut violations);
+        violations
+    }
+
+    /// The stateful monotonicity check alone, against an
+    /// externally-computed ledger total. A shard coordinator sums its
+    /// shards' ledgers (in shard order) and audits the total here;
+    /// single-network callers use [`InvariantAuditor::check`].
+    pub fn check_energy(&mut self, total: f64, violations: &mut Vec<AuditViolation>) {
+        // A non-finite total is already reported by `Network::audit`.
         if total.is_finite() {
             if total < self.last_energy {
                 violations.push(AuditViolation::EnergyNonMonotonic {
@@ -213,8 +222,6 @@ impl InvariantAuditor {
                 self.last_energy = total;
             }
         }
-        // A non-finite total is already reported by `Network::audit`.
-        violations
     }
 }
 

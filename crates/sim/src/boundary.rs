@@ -1,0 +1,207 @@
+//! The boundary-link interface between network shards.
+//!
+//! A sharded run partitions the topology's nodes into contiguous
+//! ranges, each owned by one [`Network`](crate::network::Network)
+//! instance. Links whose endpoints live in different shards cannot be
+//! scheduled on the owner's local event wheel — the flit (or credit)
+//! must physically move to the destination shard's state. This module
+//! defines the messages that cross that boundary and the [`ShardIo`]
+//! trait the engine emits them through.
+//!
+//! The determinism contract (see `docs/SCALING.md`) rests on two
+//! properties of these messages:
+//!
+//! * **Fixed latency.** A boundary flit is delivered at `cycle + 2`
+//!   and a boundary credit at `cycle + 1` — exactly the latencies of
+//!   the local event wheel — so no shard can observe an effect of the
+//!   current cycle's computation elsewhere. One barrier per cycle is
+//!   enough.
+//! * **Fixed total order.** The destination shard drains inbound
+//!   messages per source shard, in ascending source-shard order,
+//!   interleaving its own local wheel slot at its own position. With
+//!   contiguous ascending node ranges this reproduces the single-shard
+//!   engine's ascending-source-node slot order bit for bit.
+
+use orion_net::Port;
+
+use crate::flit::Flit;
+
+/// A flit crossing a shard boundary: the owned [`Flit`] (removed from
+/// the source shard's arena) plus the link-arrival metadata the
+/// destination needs to finish the traversal.
+#[derive(Debug, Clone)]
+pub struct FlitMsg {
+    /// Destination node (owned by the receiving shard).
+    pub dest: usize,
+    /// Input port at the destination router.
+    pub in_port: usize,
+    /// Dimension of the link being crossed.
+    pub crossed_dim: u8,
+    /// Whether the link wraps around a torus edge (dateline).
+    pub wraparound: bool,
+    /// The flit itself, removed from the sender's arena; the receiver
+    /// re-homes it in its own.
+    pub flit: Flit,
+}
+
+/// A credit crossing a shard boundary back to an upstream router.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditMsg {
+    /// Upstream node (owned by the receiving shard).
+    pub dest: usize,
+    /// Output port whose credit count increments.
+    pub out_port: usize,
+    /// Virtual channel within the port.
+    pub vc: usize,
+}
+
+/// Outbound half of the boundary interface. The engine calls this from
+/// `run_routers` when a departure's wire (or a credit's upstream
+/// router) lies outside the owned node range.
+pub trait ShardIo {
+    /// Ships `msg` to `dst_shard`, to be delivered at `deliver_cycle`.
+    fn send_flit(&mut self, dst_shard: usize, deliver_cycle: u64, msg: FlitMsg);
+    /// Ships `msg` to `dst_shard`, to be delivered at `deliver_cycle`.
+    fn send_credit(&mut self, dst_shard: usize, deliver_cycle: u64, msg: CreditMsg);
+}
+
+/// The single-shard [`ShardIo`]: a whole-network engine owns every
+/// node, so nothing ever crosses a boundary.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullIo;
+
+impl ShardIo for NullIo {
+    fn send_flit(&mut self, _dst_shard: usize, _deliver_cycle: u64, _msg: FlitMsg) {
+        unreachable!("a whole-network engine never crosses a shard boundary");
+    }
+
+    fn send_credit(&mut self, _dst_shard: usize, _deliver_cycle: u64, _msg: CreditMsg) {
+        unreachable!("a whole-network engine never crosses a shard boundary");
+    }
+}
+
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError};
+
+impl FlitMsg {
+    /// Serialises the message (route inline) for mailbox snapshots.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.dest);
+        w.usize(self.in_port);
+        w.u8(self.crossed_dim);
+        w.bool(self.wraparound);
+        let f = &self.flit;
+        w.u64(f.packet.0);
+        w.u32(f.seq);
+        w.u32(f.packet_len);
+        w.usize(f.src.0);
+        w.usize(f.dst.0);
+        w.usize(f.route.hops().len());
+        for hop in f.route.hops() {
+            w.u8(hop.index() as u8);
+        }
+        w.u16(f.hop);
+        w.u64(f.payload);
+        w.u64(f.created);
+        w.u64(f.ready);
+        w.u8(f.vc_class);
+        w.u8(f.target_vc);
+        w.bool(f.tagged);
+    }
+
+    /// Decodes a message encoded by [`FlitMsg::encode`], validating
+    /// every index against `topology`.
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        topology: &orion_net::Topology,
+    ) -> Result<FlitMsg, SnapshotError> {
+        let n = topology.num_nodes();
+        let dims = topology.dims();
+        let ports = topology.ports_per_router();
+        let dest = r.usize()?;
+        let in_port = r.usize()?;
+        if dest >= n || in_port == 0 || in_port >= ports {
+            return Err(SnapshotError::Invalid("boundary flit port"));
+        }
+        let crossed_dim = r.u8()?;
+        if (crossed_dim as usize) >= dims {
+            return Err(SnapshotError::Invalid("boundary flit dimension"));
+        }
+        let wraparound = r.bool()?;
+        let packet = crate::flit::PacketId(r.u64()?);
+        let seq = r.u32()?;
+        let packet_len = r.u32()?;
+        if seq >= packet_len {
+            return Err(SnapshotError::Invalid("boundary flit sequence"));
+        }
+        let src = r.usize()?;
+        let dst = r.usize()?;
+        if src >= n || dst >= n {
+            return Err(SnapshotError::Invalid("boundary flit endpoint"));
+        }
+        let hop_count = r.count(1)?;
+        if hop_count == 0 {
+            return Err(SnapshotError::Invalid("boundary flit route"));
+        }
+        let mut hops = Vec::with_capacity(hop_count);
+        for _ in 0..hop_count {
+            let idx = r.u8()? as usize;
+            if idx != 0 && (idx - 1) / 2 >= dims {
+                return Err(SnapshotError::Invalid("boundary flit route port"));
+            }
+            hops.push(Port::from_index(idx, dims as u8));
+        }
+        if *hops.last().expect("nonempty") != Port::Local {
+            return Err(SnapshotError::Invalid("boundary flit route end"));
+        }
+        let route = std::sync::Arc::new(orion_net::Route::new(hops));
+        let hop = r.u16()?;
+        if hop as usize >= route.hops().len() {
+            return Err(SnapshotError::Invalid("boundary flit hop"));
+        }
+        Ok(FlitMsg {
+            dest,
+            in_port,
+            crossed_dim,
+            wraparound,
+            flit: Flit {
+                packet,
+                seq,
+                packet_len,
+                src: orion_net::NodeId(src),
+                dst: orion_net::NodeId(dst),
+                route,
+                hop,
+                payload: r.u64()?,
+                created: r.u64()?,
+                ready: r.u64()?,
+                vc_class: r.u8()?,
+                target_vc: r.u8()?,
+                tagged: r.bool()?,
+            },
+        })
+    }
+}
+
+impl CreditMsg {
+    /// Serialises the message for mailbox snapshots.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.dest);
+        w.usize(self.out_port);
+        w.usize(self.vc);
+    }
+
+    /// Decodes a message encoded by [`CreditMsg::encode`].
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        topology: &orion_net::Topology,
+    ) -> Result<CreditMsg, SnapshotError> {
+        let dest = r.usize()?;
+        let out_port = r.usize()?;
+        let vc = r.usize()?;
+        if dest >= topology.num_nodes() || out_port == 0 || out_port >= topology.ports_per_router()
+        {
+            return Err(SnapshotError::Invalid("boundary credit port"));
+        }
+        Ok(CreditMsg { dest, out_port, vc })
+    }
+}

@@ -91,6 +91,7 @@
 pub mod arb;
 pub mod arena;
 pub mod audit;
+pub mod boundary;
 pub mod energy;
 pub mod fifo;
 pub mod flit;
@@ -103,6 +104,7 @@ pub mod watchdog;
 pub use arb::{FunctionalArbiter, Grant, MatrixArbiter, RoundRobinArbiter};
 pub use arena::{FlitArena, FlitRef};
 pub use audit::{AuditViolation, InvariantAuditor};
+pub use boundary::{CreditMsg, FlitMsg, NullIo, ShardIo};
 pub use energy::{scaled_hamming, Component, EnergyLedger, PowerModels};
 pub use fifo::FlitFifo;
 pub use flit::{Flit, PacketId};

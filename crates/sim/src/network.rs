@@ -24,6 +24,7 @@ use orion_obs::{NodeState, ObsSink};
 
 use crate::arena::{FlitArena, FlitRef};
 use crate::audit::AuditViolation;
+use crate::boundary::{CreditMsg, FlitMsg, NullIo, ShardIo};
 use crate::energy::{EnergyLedger, PowerModels};
 use crate::flit::{make_packet_each, Flit, PacketId};
 use crate::router::central::{CentralRouter, CentralRouterSpec};
@@ -278,11 +279,34 @@ struct Wire {
     wraparound: bool,
 }
 
-/// A complete simulated network: routers, links, sources, sinks, energy
-/// ledger and statistics.
+/// A complete simulated network — or, in a sharded run, the engine for
+/// one contiguous node range of it: routers, links, sources, sinks,
+/// energy ledger and statistics.
+///
+/// The whole-network form ([`Network::new`]) owns every node. The
+/// shard form ([`Network::new_shard`]) owns `[lo, hi)`: its router and
+/// source arrays cover only that range, flits whose next link leaves
+/// the range are handed to a [`ShardIo`] instead of the local event
+/// wheel, and inbound boundary messages are interleaved into the
+/// delivery order at their source shard's position so the combined
+/// execution is bit-identical to the whole-network engine.
 pub struct Network {
     spec: NetworkSpec,
+    /// Routers for the owned range only, indexed `node - lo`.
     routers: Vec<AnyRouter>,
+    /// First owned node.
+    lo: usize,
+    /// One past the last owned node.
+    hi: usize,
+    /// This engine's shard index within `shard_bounds`.
+    shard_id: usize,
+    /// Partition bounds over all shards: `shard_bounds[s]..shard_bounds
+    /// [s + 1]` is shard `s`'s range. `[0, n]` for a whole network.
+    shard_bounds: Vec<usize>,
+    /// Delivery cycles parallel to the tagged-latency sample, recorded
+    /// only in sharded runs so the coordinator can merge per-shard
+    /// latency vectors back into the whole-network order.
+    delivery_log: Vec<u64>,
     ledger: EnergyLedger,
     /// Backing store for every flit in a source queue or on the wire
     /// (routers hold their buffered flits in fixed-capacity ring
@@ -342,9 +366,40 @@ impl Network {
     /// Panics if the router spec's port count disagrees with the
     /// topology's `ports_per_router`.
     pub fn new(spec: NetworkSpec, models: PowerModels) -> Network {
+        let n = spec.topology.num_nodes();
+        Network::new_shard(spec, models, 0, &[0, n])
+    }
+
+    /// Builds the engine for one shard of a partitioned network: it
+    /// owns nodes `bounds[shard_id]..bounds[shard_id + 1]` and routes
+    /// boundary traffic through the [`ShardIo`] passed to
+    /// [`Network::step_with_io`]. `bounds` must start at 0, end at the
+    /// node count and be strictly increasing. `Network::new` is the
+    /// single-shard special case `bounds == [0, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid partition or a router spec whose port
+    /// count disagrees with the topology.
+    pub fn new_shard(
+        spec: NetworkSpec,
+        models: PowerModels,
+        shard_id: usize,
+        bounds: &[usize],
+    ) -> Network {
         let ports = spec.topology.ports_per_router();
         let n = spec.topology.num_nodes();
-        let routers: Vec<AnyRouter> = (0..n)
+        assert!(
+            bounds.len() >= 2 && bounds[0] == 0 && *bounds.last().expect("nonempty") == n,
+            "shard bounds must cover 0..{n}"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "shard bounds must be strictly increasing"
+        );
+        assert!(shard_id + 1 < bounds.len(), "shard id outside partition");
+        let (lo, hi) = (bounds[shard_id], bounds[shard_id + 1]);
+        let routers: Vec<AnyRouter> = (lo..hi)
             .map(|node| match &spec.router {
                 RouterKind::Vc(s) => {
                     assert_eq!(s.ports, ports, "router ports must match topology");
@@ -396,8 +451,18 @@ impl Network {
             }
         }
         Network {
+            // The ledger and link tables stay whole-network sized and
+            // globally indexed (a shard only ever charges its own
+            // nodes, so remote rows stay zero); the per-node memory is
+            // a few machine words, and keeping global indices means
+            // the energy event sites are identical in both forms.
             ledger: EnergyLedger::new(models, n),
             routers,
+            lo,
+            hi,
+            shard_id,
+            shard_bounds: bounds.to_vec(),
+            delivery_log: Vec::new(),
             arena: FlitArena::new(),
             flit_wheel: Wheel::new(4),
             credit_wheel: Wheel::new(4),
@@ -406,7 +471,7 @@ impl Network {
             step_out: StepOutput::new(),
             link_last: vec![0; n * ports],
             link_flits: vec![0; n * ports],
-            sources: (0..n).map(|_| Source::default()).collect(),
+            sources: (lo..hi).map(|_| Source::default()).collect(),
             sinks: HashMap::new(),
             route_cache: HashMap::new(),
             stats: SimStats::new(),
@@ -456,7 +521,8 @@ impl Network {
         self.routers
             .iter()
             .enumerate()
-            .map(|(node, router)| {
+            .map(|(li, router)| {
+                let node = self.lo + li;
                 let mut energy = [0.0; 5];
                 for (i, c) in crate::energy::Component::ALL.iter().enumerate() {
                     energy[i] = self.ledger.energy(node, *c).0;
@@ -503,7 +569,48 @@ impl Network {
     pub fn reset_measurement(&mut self) {
         self.ledger.reset();
         self.stats = SimStats::new();
+        self.delivery_log.clear();
         self.link_flits.fill(0);
+    }
+
+    /// The contiguous node range this engine owns: the whole topology
+    /// for [`Network::new`], one shard's slice for
+    /// [`Network::new_shard`].
+    pub fn owned_range(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Delivery cycles parallel to [`SimStats::latencies`], recorded
+    /// only by shard engines so a coordinator can merge per-shard
+    /// latency samples back into whole-network order.
+    pub fn delivery_log(&self) -> &[u64] {
+        &self.delivery_log
+    }
+
+    /// The cycle at which a credit last returned upstream.
+    pub fn last_credit_cycle(&self) -> u64 {
+        self.last_credit
+    }
+
+    /// The monotone audit counters `(enqueued, ejected, dropped)` —
+    /// flit conservation across a whole partitioned network is checked
+    /// by summing these over every shard (plus boundary flits still in
+    /// transit between shards).
+    pub fn audit_counters(&self) -> (u64, u64, u64) {
+        (self.audit_enqueued, self.audit_ejected, self.audit_dropped)
+    }
+
+    /// Overrides the next packet id to allocate. A shard coordinator
+    /// threads one global id sequence through per-shard engines by
+    /// setting this before each enqueue and reading
+    /// [`Network::next_packet_id`] back after.
+    pub fn set_next_packet(&mut self, id: u64) {
+        self.next_packet = id;
+    }
+
+    /// The next packet id this engine would allocate.
+    pub fn next_packet_id(&self) -> u64 {
+        self.next_packet
     }
 
     /// Flits carried by the directional channel leaving `node` through
@@ -639,8 +746,15 @@ impl Network {
                 })
                 .clone()
         };
+        assert!(
+            src.0 >= self.lo && src.0 < self.hi,
+            "packet source n{} outside owned range {}..{}",
+            src.0,
+            self.lo,
+            self.hi
+        );
         let arena = &mut self.arena;
-        let queue = &mut self.sources[src.0].queue;
+        let queue = &mut self.sources[src.0 - self.lo].queue;
         make_packet_each(id, src, dst, &route, len, self.cycle, tagged, |flit| {
             queue.push_back(arena.alloc(flit));
         });
@@ -718,7 +832,8 @@ impl Network {
     /// with [`StallKind::Saturation`]).
     pub fn stall_diagnostics(&self, kind: StallKind, window: u64) -> StallDiagnostics {
         let mut stalled_vcs = Vec::new();
-        for (node, router) in self.routers.iter().enumerate() {
+        for (li, router) in self.routers.iter().enumerate() {
+            let node = self.lo + li;
             match router {
                 AnyRouter::Vc(r) => {
                     for (port, vc, occupancy, head, waiting) in r.occupied_vcs(&self.arena) {
@@ -791,11 +906,32 @@ impl Network {
             });
         }
 
+        self.audit_local_into(&mut violations);
+        violations
+    }
+
+    /// The subset of [`Network::audit`] that is valid for one shard in
+    /// isolation: arena accounting, credit/occupancy bounds and
+    /// energy-ledger sanity. Whole-network flit conservation is *not*
+    /// checked — a flit injected in one shard and delivered in another
+    /// splits its enqueued/ejected accounting across engines, so the
+    /// shard coordinator re-checks it globally by summing
+    /// [`Network::audit_counters`] over every shard plus boundary
+    /// flits still in transit.
+    pub fn audit_local(&self) -> Vec<AuditViolation> {
+        let mut violations = Vec::new();
+        self.audit_local_into(&mut violations);
+        violations
+    }
+
+    fn audit_local_into(&self, violations: &mut Vec<AuditViolation>) {
         // Arena accounting: the arena backs every flit in the system —
         // source queues, router buffers (which store arena handles, not
         // flits), and the flit wheel. A mismatch means a slot leaked or
-        // was recycled twice without tripping a generation check.
-        let expected = in_flight;
+        // was recycled twice without tripping a generation check. The
+        // equation holds per shard: a boundary flit leaves the arena
+        // when it is shipped and re-homes on arrival.
+        let expected = self.flits_in_flight() as u64;
         if self.arena.live() as u64 != expected {
             violations.push(AuditViolation::ArenaAccounting {
                 live: self.arena.live() as u64,
@@ -803,7 +939,8 @@ impl Network {
             });
         }
 
-        for (node, router) in self.routers.iter().enumerate() {
+        for (li, router) in self.routers.iter().enumerate() {
+            let node = self.lo + li;
             match router {
                 AnyRouter::Vc(r) => {
                     let spec = r.spec();
@@ -854,8 +991,6 @@ impl Network {
         if !total.is_finite() {
             violations.push(AuditViolation::EnergyNotFinite { energy: total });
         }
-
-        violations
     }
 
     /// Test hook: fabricate a phantom flit in the conservation books
@@ -873,61 +1008,136 @@ impl Network {
     /// auditor must flag. Never called by the engine.
     #[doc(hidden)]
     pub fn debug_spurious_credit(&mut self, node: usize, port: usize, vc: usize) {
-        self.routers[node].credit(port, vc);
+        self.routers[node - self.lo].credit(port, vc);
     }
 
     /// Advances the network by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the [`NullIo`]) if this engine is a shard of a
+    /// partitioned network — shards must step through
+    /// [`Network::step_with_io`] so boundary traffic has somewhere to
+    /// go.
     pub fn step(&mut self) {
+        self.step_with_io(&mut NullIo, &mut [], &mut []);
+    }
+
+    /// Advances the engine by one cycle, exchanging boundary traffic
+    /// through `io`. `inbound_flits[s]` / `inbound_credits[s]` hold the
+    /// messages shard `s` shipped here for delivery this cycle (both
+    /// drained; the slot at this shard's own index is ignored — local
+    /// traffic arrives on the event wheel). A whole-network engine may
+    /// pass empty slices.
+    ///
+    /// All shards of a partition must step in lockstep: every boundary
+    /// message lands at least one cycle after it was sent, so a single
+    /// barrier between cycles is the only synchronisation required.
+    pub fn step_with_io(
+        &mut self,
+        io: &mut dyn ShardIo,
+        inbound_flits: &mut [Vec<FlitMsg>],
+        inbound_credits: &mut [Vec<CreditMsg>],
+    ) {
         let cycle = self.cycle;
-        self.deliver_flits(cycle);
-        self.deliver_credits(cycle);
+        self.deliver_flits(cycle, inbound_flits);
+        self.deliver_credits(cycle, inbound_credits);
         self.inject(cycle);
-        self.run_routers(cycle);
+        self.run_routers(cycle, io);
         self.cycle += 1;
     }
 
-    fn deliver_flits(&mut self, cycle: u64) {
+    fn deliver_flits(&mut self, cycle: u64, inbound: &mut [Vec<FlitMsg>]) {
         let mut arrivals = std::mem::take(&mut self.flit_scratch);
         self.flit_wheel.drain_into(cycle, &mut arrivals);
-        for arrival in arrivals.drain(..) {
-            if arrival.to_sink {
-                self.eject(arrival.flit, cycle);
-                continue;
-            }
-            let flit = self.arena.get_mut(arrival.flit);
-            flit.hop += 1;
-            // Dateline class update for torus deadlock avoidance.
-            if let Some(crossed) = arrival.crossed_dim {
-                match flit.out_port() {
-                    Port::Local => flit.vc_class = 0,
-                    Port::Dir { dim, .. } => {
-                        if dim != crossed {
-                            flit.vc_class = 0;
-                        } else if arrival.wraparound {
-                            flit.vc_class = 1;
-                        }
-                    }
+        // The local slot is [link arrivals pushed at cycle-2, ascending
+        // source node] then [ejections pushed at cycle-1, ascending
+        // node]: ejections always form a suffix. The whole-network
+        // engine pushes in ascending global node order, so the sharded
+        // delivery order — each shard's link arrivals at its position
+        // in ascending shard order (ranges are contiguous and
+        // ascending), local ejections last — reproduces it exactly.
+        let split = arrivals
+            .iter()
+            .position(|a| a.to_sink)
+            .unwrap_or(arrivals.len());
+        let shards = self.shard_bounds.len() - 1;
+        for s in 0..shards {
+            if s == self.shard_id {
+                for &arrival in &arrivals[..split] {
+                    self.handle_arrival(arrival, cycle);
+                }
+            } else if let Some(msgs) = inbound.get_mut(s) {
+                for msg in msgs.drain(..) {
+                    let flit = self.arena.alloc(msg.flit);
+                    self.handle_arrival(
+                        FlitArrival {
+                            dest: msg.dest,
+                            in_port: msg.in_port,
+                            crossed_dim: Some(msg.crossed_dim),
+                            wraparound: msg.wraparound,
+                            to_sink: false,
+                            flit,
+                        },
+                        cycle,
+                    );
                 }
             }
-            let vc = flit.target_vc as usize;
-            self.routers[arrival.dest].accept(
-                arrival.flit,
-                arrival.in_port,
-                vc,
-                cycle,
-                &mut self.ledger,
-                &mut self.arena,
-            );
         }
+        for &arrival in &arrivals[split..] {
+            self.handle_arrival(arrival, cycle);
+        }
+        arrivals.clear();
         self.flit_scratch = arrivals;
     }
 
-    fn deliver_credits(&mut self, cycle: u64) {
+    fn handle_arrival(&mut self, arrival: FlitArrival, cycle: u64) {
+        if arrival.to_sink {
+            self.eject(arrival.flit, cycle);
+            return;
+        }
+        let flit = self.arena.get_mut(arrival.flit);
+        flit.hop += 1;
+        // Dateline class update for torus deadlock avoidance.
+        if let Some(crossed) = arrival.crossed_dim {
+            match flit.out_port() {
+                Port::Local => flit.vc_class = 0,
+                Port::Dir { dim, .. } => {
+                    if dim != crossed {
+                        flit.vc_class = 0;
+                    } else if arrival.wraparound {
+                        flit.vc_class = 1;
+                    }
+                }
+            }
+        }
+        let vc = flit.target_vc as usize;
+        self.routers[arrival.dest - self.lo].accept(
+            arrival.flit,
+            arrival.in_port,
+            vc,
+            cycle,
+            &mut self.ledger,
+            &mut self.arena,
+        );
+    }
+
+    fn deliver_credits(&mut self, cycle: u64, inbound: &mut [Vec<CreditMsg>]) {
         let mut credits = std::mem::take(&mut self.credit_scratch);
         self.credit_wheel.drain_into(cycle, &mut credits);
-        for c in credits.drain(..) {
-            self.last_credit = cycle;
-            self.routers[c.dest].credit(c.out_port, c.vc);
+        let shards = self.shard_bounds.len() - 1;
+        for s in 0..shards {
+            if s == self.shard_id {
+                for c in credits.drain(..) {
+                    self.last_credit = cycle;
+                    self.routers[c.dest - self.lo].credit(c.out_port, c.vc);
+                }
+            } else if let Some(msgs) = inbound.get_mut(s) {
+                for m in msgs.drain(..) {
+                    self.last_credit = cycle;
+                    self.routers[m.dest - self.lo].credit(m.out_port, m.vc);
+                }
+            }
         }
         self.credit_scratch = credits;
     }
@@ -951,6 +1161,12 @@ impl Network {
             let tagged = progress.tagged;
             self.sinks.remove(&flit.packet);
             self.stats.record_delivery(latency, tagged);
+            // Sharded runs keep the delivery cycle alongside each
+            // latency sample so the coordinator can restore the
+            // whole-network sample order by a (cycle, shard) merge.
+            if tagged && self.shard_bounds.len() > 2 {
+                self.delivery_log.push(cycle);
+            }
             self.last_delivery = cycle;
             if let Some(obs) = self.obs.as_deref_mut() {
                 obs.packet_delivered(flit.packet.0, cycle, latency);
@@ -965,45 +1181,46 @@ impl Network {
     /// proper.
     #[allow(clippy::while_let_loop)] // the loop body has several exits
     fn inject(&mut self, cycle: u64) {
-        for node in 0..self.routers.len() {
-            let vcs = self.routers[node].vcs();
+        for li in 0..self.routers.len() {
+            let vcs = self.routers[li].vcs();
             loop {
-                let Some(&front) = self.sources[node].queue.front() else {
+                let Some(&front) = self.sources[li].queue.front() else {
                     break;
                 };
-                if self.sources[node].remaining == 0 {
+                if self.sources[li].remaining == 0 {
                     // Start of a new packet: pick the injection VC with
                     // the most free space.
                     let head = self.arena.get(front);
                     debug_assert!(head.is_head(), "source queue starts at a head flit");
                     let len = head.packet_len;
                     let best = (0..vcs)
-                        .max_by_key(|&v| self.routers[node].input_free(0, v))
+                        .max_by_key(|&v| self.routers[li].input_free(0, v))
                         .unwrap_or(0);
-                    if self.routers[node].input_free(0, best) == 0 {
+                    if self.routers[li].input_free(0, best) == 0 {
                         break;
                     }
-                    self.sources[node].current_vc = best;
-                    self.sources[node].remaining = len;
-                } else if self.routers[node].input_free(0, self.sources[node].current_vc) == 0 {
+                    self.sources[li].current_vc = best;
+                    self.sources[li].remaining = len;
+                } else if self.routers[li].input_free(0, self.sources[li].current_vc) == 0 {
                     break;
                 }
-                let handle = self.sources[node].queue.pop_front().expect("checked front");
-                let vc = self.sources[node].current_vc;
-                self.sources[node].remaining -= 1;
+                let handle = self.sources[li].queue.pop_front().expect("checked front");
+                let vc = self.sources[li].current_vc;
+                self.sources[li].remaining -= 1;
                 self.last_progress = cycle;
-                self.routers[node].accept(handle, 0, vc, cycle, &mut self.ledger, &mut self.arena);
+                self.routers[li].accept(handle, 0, vc, cycle, &mut self.ledger, &mut self.arena);
             }
         }
     }
 
-    fn run_routers(&mut self, cycle: u64) {
+    fn run_routers(&mut self, cycle: u64, io: &mut dyn ShardIo) {
         let ports = self.spec.topology.ports_per_router();
         // One StepOutput is reused across every router and cycle (the
         // take/put-back dance frees `self` for the loop body).
         let mut out = std::mem::take(&mut self.step_out);
-        for node in 0..self.routers.len() {
-            self.routers[node].step_into(
+        for li in 0..self.routers.len() {
+            let node = self.lo + li;
+            self.routers[li].step_into(
                 cycle,
                 &mut self.ledger,
                 self.obs.as_deref_mut(),
@@ -1044,6 +1261,25 @@ impl Network {
                 if let Some(obs) = self.obs.as_deref_mut() {
                     obs.link_traversal(node, packet.0, cycle);
                 }
+                if wire.dest < self.lo || wire.dest >= self.hi {
+                    // Boundary link: link energy and switching state
+                    // were charged at this (owning) node above; the
+                    // flit itself leaves our arena and re-homes in the
+                    // destination shard on delivery.
+                    let flit = self.arena.take(dep.flit);
+                    io.send_flit(
+                        self.shard_of(wire.dest),
+                        cycle + 2,
+                        FlitMsg {
+                            dest: wire.dest,
+                            in_port: wire.dest_in_port,
+                            crossed_dim: wire.dim,
+                            wraparound: wire.wraparound,
+                            flit,
+                        },
+                    );
+                    continue;
+                }
                 self.flit_wheel.schedule(
                     cycle + 2,
                     FlitArrival {
@@ -1081,6 +1317,18 @@ impl Network {
                     dir: dir.opposite(),
                 }
                 .index();
+                if upstream.0 < self.lo || upstream.0 >= self.hi {
+                    io.send_credit(
+                        self.shard_of(upstream.0),
+                        cycle + 1,
+                        CreditMsg {
+                            dest: upstream.0,
+                            out_port,
+                            vc: credit.vc,
+                        },
+                    );
+                    continue;
+                }
                 self.credit_wheel.schedule(
                     cycle + 1,
                     CreditArrival {
@@ -1092,6 +1340,11 @@ impl Network {
             }
         }
         self.step_out = out;
+    }
+
+    /// The shard owning `node` under this engine's partition bounds.
+    fn shard_of(&self, node: usize) -> usize {
+        self.shard_bounds.partition_point(|&b| b <= node) - 1
     }
 
     /// Serialises the complete deterministic state of the network —
@@ -1117,6 +1370,8 @@ impl Network {
         let ports = self.spec.topology.ports_per_router();
         w.usize(n);
         w.usize(ports);
+        w.usize(self.lo);
+        w.usize(self.hi);
         w.u64(self.cycle);
         w.u64(self.next_packet);
         w.u64(self.last_progress);
@@ -1125,6 +1380,10 @@ impl Network {
         w.u64(self.audit_enqueued);
         w.u64(self.audit_ejected);
         w.u64(self.audit_dropped);
+        w.usize(self.delivery_log.len());
+        for &c in &self.delivery_log {
+            w.u64(c);
+        }
         w.usize(self.link_last.len());
         for &v in &self.link_last {
             w.u64(v);
@@ -1252,12 +1511,16 @@ impl Network {
             return Err(SnapshotError::WrongVersion(version));
         }
         let n = self.routers.len();
+        let n_total = self.spec.topology.num_nodes();
         let ports = self.spec.topology.ports_per_router();
         if r.usize()? != n {
             return Err(SnapshotError::Mismatch("router count"));
         }
         if r.usize()? != ports {
             return Err(SnapshotError::Mismatch("ports per router"));
+        }
+        if r.usize()? != self.lo || r.usize()? != self.hi {
+            return Err(SnapshotError::Mismatch("owned node range"));
         }
         let cycle = r.u64()?;
         let next_packet = r.u64()?;
@@ -1267,14 +1530,19 @@ impl Network {
         let audit_enqueued = r.u64()?;
         let audit_ejected = r.u64()?;
         let audit_dropped = r.u64()?;
-        let mut link_last = vec![0u64; n * ports];
+        let log_count = r.count(8)?;
+        let mut delivery_log = Vec::with_capacity(log_count);
+        for _ in 0..log_count {
+            delivery_log.push(r.u64()?);
+        }
+        let mut link_last = vec![0u64; n_total * ports];
         if r.count(8)? != link_last.len() {
             return Err(SnapshotError::Mismatch("link table length"));
         }
         for v in link_last.iter_mut() {
             *v = r.u64()?;
         }
-        let mut link_flits = vec![0u64; n * ports];
+        let mut link_flits = vec![0u64; n_total * ports];
         if r.count(8)? != link_flits.len() {
             return Err(SnapshotError::Mismatch("link table length"));
         }
@@ -1315,7 +1583,7 @@ impl Network {
             }
             let src = r.usize()?;
             let dst = r.usize()?;
-            if src >= n || dst >= n {
+            if src >= n_total || dst >= n_total {
                 return Err(SnapshotError::Invalid("flit endpoint"));
             }
             let route = routes
@@ -1363,7 +1631,7 @@ impl Network {
         flit_wheel.decode_into_with(&mut r, &mut |r| {
             let dest = r.usize()?;
             let in_port = r.usize()?;
-            if dest >= n || in_port >= ports {
+            if dest < self.lo || dest >= self.hi || in_port >= ports {
                 return Err(SnapshotError::Invalid("flit arrival port"));
             }
             let crossed_dim = if r.bool()? {
@@ -1392,7 +1660,7 @@ impl Network {
             let dest = r.usize()?;
             let out_port = r.usize()?;
             let vc = r.usize()?;
-            if dest >= n || out_port >= ports {
+            if dest < self.lo || dest >= self.hi || out_port >= ports {
                 return Err(SnapshotError::Invalid("credit arrival port"));
             }
             Ok(CreditArrival { dest, out_port, vc })
@@ -1472,6 +1740,7 @@ impl Network {
         self.sinks = sinks;
         self.route_cache.clear();
         self.stats = stats;
+        self.delivery_log = delivery_log;
         self.link_last = link_last;
         self.link_flits = link_flits;
         self.cycle = cycle;

@@ -103,6 +103,15 @@ impl SimStats {
         &self.latencies
     }
 
+    /// Appends one latency sample without touching the delivery
+    /// counters. Exists for the shard coordinator, which rebuilds the
+    /// whole-network sample by merging per-shard vectors in delivery
+    /// order after summing the counters separately.
+    #[doc(hidden)]
+    pub fn push_latency_sample(&mut self, latency: u64) {
+        self.latencies.push(latency);
+    }
+
     /// Encodes the complete statistics state for a snapshot.
     pub(crate) fn encode(&self, w: &mut crate::snapshot::ByteWriter) {
         w.usize(self.latencies.len());
