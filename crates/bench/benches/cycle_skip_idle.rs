@@ -1,0 +1,69 @@
+//! Idle-gap traversal: `Network::skip_idle_cycles` against dense
+//! dead-stepping.
+//!
+//! Trace replay between bursts leaves the engine provably idle;
+//! skipping jumps the clock (and both event wheels) to the gap's end in
+//! O(1) instead of stepping every empty cycle. The skip-path figure is
+//! pinned in `BENCH_cycle_loop.json` as
+//! `cycle_skip_idle_cycles_per_sec` and gated by the CI perf-smoke job
+//! (see docs/PERFORMANCE.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orion_core::presets;
+use orion_net::NodeId;
+use orion_sim::Network;
+
+const GAP: u64 = 10_000;
+const GAPS: u64 = 100;
+
+/// A VC64 network that has delivered one packet and fully drained, so
+/// every subsequent cycle is provably idle.
+fn drained_net() -> Network {
+    let (spec, models) = presets::vc64_onchip()
+        .build()
+        .expect("preset configs are valid");
+    let mut net = Network::new(spec, models);
+    net.enqueue_packet(NodeId(0), NodeId(5), false);
+    // Settle until both wheels are empty too (trailing credits land a
+    // cycle or two after the last flit), so every skip reaches target.
+    while !net.is_drained() || !net.is_idle() || net.next_event_cycle().is_some() {
+        net.step();
+    }
+    net
+}
+
+fn bench_cycle_skip_idle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_skip_idle");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(GAP * GAPS));
+
+    // Skip path: GAPS calls, each jumping GAP cycles.
+    group.bench_function("skip_idle_cycles", |b| {
+        b.iter(|| {
+            let mut net = drained_net();
+            for _ in 0..GAPS {
+                let target = net.cycle() + GAP;
+                assert_eq!(net.skip_idle_cycles(target), target);
+            }
+            net.cycle()
+        })
+    });
+
+    // Dead-stepping the same span, one (sparse, fully idle) cycle at a
+    // time — what the run loop did before the skip existed. Scaled down
+    // 100×: stepping GAP*GAPS cycles individually takes seconds.
+    group.bench_function("dead_step_1_percent_span", |b| {
+        b.iter(|| {
+            let mut net = drained_net();
+            for _ in 0..(GAP * GAPS / 100) {
+                net.step();
+            }
+            net.cycle()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_skip_idle);
+criterion_main!(benches);

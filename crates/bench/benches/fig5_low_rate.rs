@@ -1,0 +1,81 @@
+//! Low-injection flit throughput of the VC64 Fig. 5 router on a 16×16
+//! torus — the acceptance metric of the sparse activity-driven cycle
+//! core.
+//!
+//! At rate 0.0005 the 256-node network is idle almost everywhere
+//! almost always: the dense stepper still visits all 256 routers every
+//! cycle, while the sparse engine steps only the routers holding
+//! flits. Both engines are
+//! benchmarked so the sparse win is visible in one report; the sparse
+//! figure is pinned in `BENCH_cycle_loop.json` as
+//! `fig5_sweep_vc64_low_rate_flits_per_sec` and gated by the CI
+//! perf-smoke job (see docs/PERFORMANCE.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orion_core::{presets, NetworkConfig};
+use orion_net::{NodeId, TrafficPattern};
+use orion_sim::{EngineMode, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RATE: f64 = 0.0005;
+const CYCLES: u64 = 6_000;
+
+/// The injection events are drawn once and replayed (trace-replay
+/// style) so the timed loop measures the engine, not the RNG.
+fn record_events(cfg: &NetworkConfig, cycles: u64) -> Vec<(u64, NodeId, NodeId)> {
+    let mut pattern = TrafficPattern::uniform(&cfg.topology, RATE).expect("valid rate");
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes: Vec<_> = cfg.topology.nodes().collect();
+    let mut events = Vec::new();
+    for cycle in 0..cycles {
+        for &node in &nodes {
+            if pattern.should_inject(node, &mut rng) {
+                if let Some(dst) = pattern.destination(node, &mut rng) {
+                    events.push((cycle, node, dst));
+                }
+            }
+        }
+    }
+    events
+}
+
+fn replay(
+    built: &(orion_sim::NetworkSpec, orion_sim::PowerModels),
+    events: &[(u64, NodeId, NodeId)],
+    mode: EngineMode,
+) -> u64 {
+    let mut net = Network::new(built.0.clone(), built.1.clone());
+    net.set_engine_mode(mode);
+    let mut cursor = 0;
+    for cycle in 0..CYCLES {
+        while cursor < events.len() && events[cursor].0 == cycle {
+            let (_, src, dst) = events[cursor];
+            net.enqueue_packet(src, dst, false);
+            cursor += 1;
+        }
+        net.step();
+    }
+    net.stats().flits_delivered
+}
+
+fn bench_fig5_low_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sweep_vc64_low_rate");
+    group.sample_size(10);
+    let mut cfg = presets::vc64_onchip();
+    cfg.topology = orion_net::Topology::torus(&[16, 16]).expect("16x16 torus is valid");
+    let events = record_events(&cfg, CYCLES);
+    let built = cfg.build().expect("preset configs are valid");
+    let flits = replay(&built, &events, EngineMode::Sparse);
+    group.throughput(Throughput::Elements(flits));
+    group.bench_function("sparse_16x16_rate0.0005", |b| {
+        b.iter(|| replay(&built, &events, EngineMode::Sparse))
+    });
+    group.bench_function("dense_reference_16x16_rate0.0005", |b| {
+        b.iter(|| replay(&built, &events, EngineMode::DenseReference))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_low_rate);
+criterion_main!(benches);

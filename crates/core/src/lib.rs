@@ -69,3 +69,4 @@ pub use run::{Experiment, ObserveOptions};
 pub use sweep::{injection_sweep, saturation_rate, try_injection_sweep, SweepOptions, SweepPoint};
 
 pub use orion_obs::Observations;
+pub use orion_sim::EngineMode;

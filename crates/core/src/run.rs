@@ -24,8 +24,8 @@ use orion_obs::{NodeState, ObsSink, Prober};
 use orion_shard::ShardedNetwork;
 use orion_sim::snapshot::{ByteReader, ByteWriter};
 use orion_sim::{
-    AuditViolation, Component, InvariantAuditor, Network, NetworkSpec, SimStats, SnapshotError,
-    StallDiagnostics, StallKind,
+    AuditViolation, Component, EngineMode, InvariantAuditor, Network, NetworkSpec, SimStats,
+    SnapshotError, StallDiagnostics, StallKind,
 };
 use orion_tech::Joules;
 
@@ -84,6 +84,7 @@ pub struct Experiment {
     audit_every: u64,
     observe: Option<ObserveOptions>,
     shards: usize,
+    engine: Option<EngineMode>,
 }
 
 /// Default watchdog window: a full millennium of cycles with no flit
@@ -113,6 +114,7 @@ impl Experiment {
             audit_every: 0,
             observe: None,
             shards: 1,
+            engine: None,
         }
     }
 
@@ -223,6 +225,18 @@ impl Experiment {
         self
     }
 
+    /// Pins the cycle stepper: [`EngineMode::Sparse`] (activity-driven,
+    /// the default) or [`EngineMode::DenseReference`] (every router
+    /// visited every cycle). The two are **bit-identical** — the dense
+    /// engine exists for differential testing and the CI
+    /// `sparse-identity` job. Unset, the engine follows the
+    /// `ORION_ENGINE` environment variable (see
+    /// [`EngineMode::from_env`]).
+    pub fn engine(mut self, mode: EngineMode) -> Experiment {
+        self.engine = Some(mode);
+        self
+    }
+
     /// The configuration under test.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
@@ -309,6 +323,9 @@ impl Experiment {
         } else {
             SimNet::Mono(Network::new(spec, models))
         };
+        if let Some(mode) = self.engine {
+            net.set_engine_mode(mode);
+        }
         if let Some(schedule) = &self.fault_schedule {
             net.set_fault_schedule(schedule.clone());
         }
@@ -406,7 +423,36 @@ impl Experiment {
             if let Some(sink) = pending_sink.take() {
                 net.set_obs(sink);
             }
+            // The farthest an idle skip may jump without eliding a
+            // stride firing the dense path would have produced: the
+            // last cycle before `s`'s next boundary strictly after
+            // `cycle` (post-step cycles in the gap are `cycle+1..=t`).
+            let stride_clamp = |cycle: u64, s: u64| (cycle + 1).div_ceil(s) * s - 1;
             while (!trace.is_exhausted() || !net.is_drained()) && net.cycle() < self.max_cycles {
+                // Dead-air fast-forward: a drained engine stepping
+                // toward the next trace burst does provably nothing
+                // per cycle (replay uses no RNG), so jump the clock.
+                // The engine clamps to its next wheel event; the run
+                // loop clamps to the next probe/audit/checkpoint
+                // stride boundary so every periodic action in the gap
+                // still fires at its exact cycle — the skip is
+                // bit-identical to stepping, which the differential
+                // tests and the CI `sparse-identity` job enforce.
+                if net.is_drained() {
+                    if let Some(next) = trace.next_cycle() {
+                        let mut target = next.min(self.max_cycles);
+                        if let Some(o) = &observe_opts {
+                            target = target.min(stride_clamp(net.cycle(), o.sample_every.max(1)));
+                        }
+                        if audit_every > 0 {
+                            target = target.min(stride_clamp(net.cycle(), audit_every));
+                        }
+                        if stride > 0 {
+                            target = target.min(stride_clamp(net.cycle(), stride));
+                        }
+                        net.skip_idle_cycles(target);
+                    }
+                }
                 let pairs: Vec<(NodeId, NodeId)> = trace.injections_at(net.cycle()).collect();
                 for (src, dst) in pairs {
                     let tag = tagged_budget > 0;
@@ -718,6 +764,20 @@ impl SimNet {
         match self {
             SimNet::Mono(n) => n.step(),
             SimNet::Sharded(n) => n.step(),
+        }
+    }
+
+    fn set_engine_mode(&mut self, mode: EngineMode) {
+        match self {
+            SimNet::Mono(n) => n.set_engine_mode(mode),
+            SimNet::Sharded(n) => n.set_engine_mode(mode),
+        }
+    }
+
+    fn skip_idle_cycles(&mut self, target: u64) -> u64 {
+        match self {
+            SimNet::Mono(n) => n.skip_idle_cycles(target),
+            SimNet::Sharded(n) => n.skip_idle_cycles(target),
         }
     }
 

@@ -23,7 +23,7 @@
 //!
 //! [`ObsSink`]: orion_obs::ObsSink
 
-use orion_core::{presets, Experiment, NetworkConfig, ObserveOptions, Report};
+use orion_core::{presets, EngineMode, Experiment, NetworkConfig, ObserveOptions, Report};
 use orion_sim::Component;
 
 /// The measurement discipline for every cell: small enough for CI, long
@@ -37,6 +37,11 @@ const MAX_CYCLES: u64 = 50_000;
 /// light load to near the shallowest configuration's knee.
 const RATES: [f64; 3] = [0.02, 0.05, 0.08];
 
+/// Low-injection extension cells: deep in the plateau, where the sparse
+/// activity-driven engine spends most of its time skipping idle routers
+/// — exactly the regime the sparse/dense split must not perturb.
+const LOW_RATES: [f64; 2] = [0.005, 0.01];
+
 fn grid() -> Vec<(&'static str, NetworkConfig)> {
     vec![
         ("wh64", presets::wh64_onchip()),
@@ -46,7 +51,13 @@ fn grid() -> Vec<(&'static str, NetworkConfig)> {
     ]
 }
 
-fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool, shards: usize) -> Report {
+fn run_cell_engine(
+    cfg: &NetworkConfig,
+    rate: f64,
+    observed: bool,
+    shards: usize,
+    engine: Option<EngineMode>,
+) -> Report {
     let mut e = Experiment::new(cfg.clone())
         .injection_rate(rate)
         .seed(SEED)
@@ -54,6 +65,9 @@ fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool, shards: usize) -> Re
         .sample_packets(SAMPLE_PACKETS)
         .max_cycles(MAX_CYCLES)
         .shards(shards);
+    if let Some(mode) = engine {
+        e = e.engine(mode);
+    }
     if observed {
         e = e.observe(ObserveOptions {
             sample_every: 50,
@@ -61,6 +75,10 @@ fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool, shards: usize) -> Re
         });
     }
     e.run().expect("preset configurations are valid")
+}
+
+fn run_cell(cfg: &NetworkConfig, rate: f64, observed: bool, shards: usize) -> Report {
+    run_cell_engine(cfg, rate, observed, shards, None)
 }
 
 /// Renders one cell as a semicolon-separated record. Floats are
@@ -169,9 +187,73 @@ fn observed_sharded_runs_match_v030_golden_grid() {
     );
 }
 
+fn render_low_grid(observed: bool, shards: usize, engine: Option<EngineMode>) -> String {
+    let mut out = String::new();
+    for (name, cfg) in grid() {
+        for rate in LOW_RATES {
+            let report = run_cell_engine(&cfg, rate, observed, shards, engine);
+            out.push_str(&render_cell(name, rate, &report));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Golden low-injection grid (same record format as the v0.3.0 grid),
+/// recorded from the sparse activity-driven engine — which the dense
+/// reference, every shard count, and observed runs must all reproduce.
+const GOLDEN_LOW: &str = include_str!("golden_fig5_lowrate_grid.txt");
+
+/// Low-rate plateau cells at 1, 2 and 8 shards: the regime where the
+/// sparse engine skips the most work must still match the golden record
+/// bit for bit at every shard count.
+#[test]
+fn low_rate_cells_match_golden_at_every_shard_count() {
+    for shards in [1usize, 2, 8] {
+        let got = render_low_grid(false, shards, None);
+        assert_eq!(
+            got, GOLDEN_LOW,
+            "{shards}-shard low-rate grid diverged from the golden record"
+        );
+    }
+}
+
+/// The dense reference stepper pinned against the same golden record:
+/// sparse and dense engines are bit-identical end to end, enforced here
+/// without any environment-variable plumbing.
+#[test]
+fn dense_reference_low_rate_cells_match_golden() {
+    for shards in [1usize, 2] {
+        let got = render_low_grid(false, shards, Some(EngineMode::DenseReference));
+        assert_eq!(
+            got, GOLDEN_LOW,
+            "{shards}-shard dense-reference low-rate grid diverged"
+        );
+    }
+}
+
+/// Observability stays zero-effect in the skip-heavy regime too.
+#[test]
+fn observed_low_rate_cells_match_golden() {
+    for shards in [1usize, 2] {
+        let got = render_low_grid(true, shards, None);
+        assert_eq!(
+            got, GOLDEN_LOW,
+            "ObsSink perturbed the {shards}-shard low-rate grid"
+        );
+    }
+}
+
 /// Prints the current grid for golden regeneration (see module docs).
 #[test]
 #[ignore = "golden regeneration helper, run with --ignored --nocapture"]
 fn print_golden_grid() {
     print!("{}", render_grid(false));
+}
+
+/// Prints the low-rate grid for golden regeneration (see module docs).
+#[test]
+#[ignore = "golden regeneration helper, run with --ignored --nocapture"]
+fn print_low_rate_golden_grid() {
+    print!("{}", render_low_grid(false, 1, None));
 }

@@ -170,6 +170,14 @@ impl TraceTraffic {
         Ok(TraceTraffic::new(events))
     }
 
+    /// The cycle of the next unreplayed event, if any — the replayer's
+    /// view of how far away the next injection is, which lets an idle
+    /// engine skip the dead cycles in between (trace replay uses no
+    /// RNG, so nothing else needs advancing across the gap).
+    pub fn next_cycle(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.cycle)
+    }
+
     /// The `(src, dst)` injections scheduled at exactly `cycle`,
     /// advancing the replay cursor past them.
     ///

@@ -107,6 +107,17 @@ impl MailGrid {
         self.in_transit.load(Ordering::Relaxed)
     }
 
+    /// True when no flit *or* credit sits in any slot. Meaningful only
+    /// at a cycle barrier; this is the guard that lets a sharded
+    /// network skip idle cycles without stranding boundary messages.
+    pub fn is_empty(&self) -> bool {
+        self.in_transit() == 0
+            && self
+                .credit_slots
+                .iter()
+                .all(|s| s.lock().expect("poisoned mailbox").is_empty())
+    }
+
     /// Serialises every slot (pairs in `(src, dst)` order, slots in
     /// ring order) for a sharded-network snapshot. Boundary flits in
     /// flight at a cycle boundary live here and nowhere else.

@@ -14,7 +14,7 @@
 use orion_net::{FaultSchedule, NodeId};
 use orion_obs::{NodeState, ObsEvent, ObsSink};
 use orion_sim::energy::Component;
-use orion_sim::network::{Network, NetworkSpec};
+use orion_sim::network::{EngineMode, Network, NetworkSpec};
 use orion_sim::snapshot::{ByteReader, ByteWriter, SnapshotError, SNAPSHOT_VERSION};
 use orion_sim::{AuditViolation, PacketId, PowerModels, SimStats, StallDiagnostics, StallKind};
 use orion_tech::Joules;
@@ -140,6 +140,58 @@ impl ShardedNetwork {
     /// [`ShardedNetwork::parallel`]).
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
+    }
+
+    /// Selects the stepper for every shard engine (see
+    /// [`EngineMode`]). Sparse and dense are bit-identical; the wake
+    /// path for boundary traffic needs no extra plumbing because
+    /// drained mailbox messages flow through each engine's ordinary
+    /// arrival and credit sites.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        for cell in &mut self.cells {
+            cell.net.set_engine_mode(mode);
+        }
+    }
+
+    /// The active stepper (identical across shards).
+    pub fn engine_mode(&self) -> EngineMode {
+        self.cells[0].net.engine_mode()
+    }
+
+    /// True when every shard engine is idle *and* the boundary
+    /// mailboxes hold no flit or credit — the only remaining work, if
+    /// any, sits on per-shard event wheels. Only meaningful at the
+    /// cycle barrier (between [`ShardedNetwork::step`] calls).
+    pub fn is_idle(&self) -> bool {
+        self.cells.iter().all(|c| c.net.is_idle()) && self.grid.is_empty()
+    }
+
+    /// The earliest future cycle with a scheduled event on any
+    /// shard's wheels, if any.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.net.next_event_cycle())
+            .min()
+    }
+
+    /// Jumps every shard's clock in lockstep over provably dead
+    /// cycles (see [`Network::skip_idle_cycles`]); the mailbox-empty
+    /// condition in [`ShardedNetwork::is_idle`] guarantees no
+    /// boundary message is due in the gap. Returns the new cycle.
+    pub fn skip_idle_cycles(&mut self, target: u64) -> u64 {
+        let cycle = self.cycle();
+        if target <= cycle || !self.is_idle() {
+            return cycle;
+        }
+        let stop = self.next_event_cycle().map_or(target, |e| target.min(e));
+        if stop > cycle {
+            for cell in &mut self.cells {
+                let reached = cell.net.skip_idle_cycles(stop);
+                debug_assert_eq!(reached, stop, "shards must skip in lockstep");
+            }
+        }
+        self.cycle()
     }
 
     /// Current simulation cycle (identical across shards).

@@ -23,6 +23,11 @@
 //!   matches the flits the engine accounts for in source queues and on
 //!   the wire (a leaked or double-freed slot that slipped past the
 //!   per-handle generation checks).
+//! * **Activity bookkeeping** — the sparse stepper's active sets agree
+//!   exactly with the routers and sources that hold work: no stale
+//!   actives, and above all no lost wakeups (a router the sparse
+//!   engine would silently never step again). Checked in both engine
+//!   modes, since the dense reference maintains the same sets.
 //!
 //! Auditing is read-only: a healthy run audited every cycle produces
 //! bit-identical results to the same run unaudited.
@@ -99,6 +104,30 @@ pub enum AuditViolation {
         /// flit wheel.
         expected: u64,
     },
+    /// The sparse stepper's router active set disagrees with the
+    /// routers that actually hold buffered flits: either a stale
+    /// active bit (idle router still marked, wasted visits) or — the
+    /// dangerous direction — a lost wakeup (a router with work the
+    /// sparse engine would silently never step).
+    ActiveSetMismatch {
+        /// Router node index.
+        node: usize,
+        /// Whether the activity bit is set.
+        active: bool,
+        /// Flits the router actually buffers.
+        buffered: usize,
+    },
+    /// The sparse stepper's source active set disagrees with the
+    /// sources that actually have queued packets (the injection-side
+    /// twin of [`AuditViolation::ActiveSetMismatch`]).
+    SourceSetMismatch {
+        /// Source node index.
+        node: usize,
+        /// Whether the activity bit is set.
+        active: bool,
+        /// Packets-worth of flits actually queued at the source.
+        queued: usize,
+    },
 }
 
 impl AuditViolation {
@@ -111,6 +140,8 @@ impl AuditViolation {
             AuditViolation::EnergyNotFinite { .. } => "energy-not-finite",
             AuditViolation::EnergyNonMonotonic { .. } => "energy-non-monotonic",
             AuditViolation::ArenaAccounting { .. } => "arena-accounting",
+            AuditViolation::ActiveSetMismatch { .. } => "active-set-mismatch",
+            AuditViolation::SourceSetMismatch { .. } => "source-set-mismatch",
         }
     }
 }
@@ -161,6 +192,36 @@ impl fmt::Display for AuditViolation {
                 f,
                 "flit arena out of sync: {live} live slots but the engine \
                  accounts for {expected} flits in sources and on the wire"
+            ),
+            AuditViolation::ActiveSetMismatch {
+                node,
+                active,
+                buffered,
+            } => write!(
+                f,
+                "active set out of sync at n{node}: bit {} but {buffered} \
+                 flits buffered ({})",
+                if *active { "set" } else { "clear" },
+                if *active {
+                    "stale active"
+                } else {
+                    "lost wakeup"
+                },
+            ),
+            AuditViolation::SourceSetMismatch {
+                node,
+                active,
+                queued,
+            } => write!(
+                f,
+                "source set out of sync at n{node}: bit {} but {queued} \
+                 flits queued ({})",
+                if *active { "set" } else { "clear" },
+                if *active {
+                    "stale active"
+                } else {
+                    "lost wakeup"
+                },
             ),
         }
     }

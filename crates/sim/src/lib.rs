@@ -108,7 +108,7 @@ pub use boundary::{CreditMsg, FlitMsg, NullIo, ShardIo};
 pub use energy::{scaled_hamming, Component, EnergyLedger, PowerModels};
 pub use fifo::FlitFifo;
 pub use flit::{Flit, PacketId};
-pub use network::{Network, NetworkSpec, RouterKind};
+pub use network::{EngineMode, Network, NetworkSpec, RouterKind, WheelHorizonError};
 pub use router::central::{CentralRouter, CentralRouterSpec};
 pub use router::vc::{FlowControl, VcDiscipline, VcRouter, VcRouterSpec};
 pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};

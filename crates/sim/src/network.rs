@@ -174,6 +174,73 @@ struct CreditArrival {
     vc: usize,
 }
 
+/// How the engine visits per-node state each cycle.
+///
+/// Both modes are bit-identical by construction: a router whose
+/// buffers are empty is a provable no-op in every router family (its
+/// `step_into` returns before touching the ledger, the arbiters or the
+/// observer), so visiting or skipping it cannot change any observable.
+/// The differential harness in `tests/sparse_differential.rs` enforces
+/// this across families, topologies, faults and checkpoint-resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Activity-driven stepping: only routers holding buffered flits
+    /// and sources with queued packets are visited, steered by the
+    /// [`Activity`] bitsets; a fully idle engine detects itself in
+    /// O(nodes/64) and can jump the clock over dead cycles (see
+    /// [`Network::skip_idle_cycles`]). The default.
+    #[default]
+    Sparse,
+    /// The pre-sparse stepper: every router and source is visited
+    /// every cycle. Kept as the reference engine the differential
+    /// tests and the CI `sparse-identity` job compare against.
+    DenseReference,
+}
+
+impl EngineMode {
+    /// Engine mode from the `ORION_ENGINE` environment variable:
+    /// `dense` selects [`EngineMode::DenseReference`], anything else
+    /// (including unset) the default sparse engine. This is how the CI
+    /// identity jobs drive whole CLI runs under the reference engine
+    /// without a flag on every subcommand.
+    pub fn from_env() -> EngineMode {
+        match std::env::var("ORION_ENGINE").ok().as_deref() {
+            Some("dense") | Some("dense-reference") => EngineMode::DenseReference,
+            _ => EngineMode::Sparse,
+        }
+    }
+}
+
+/// An event was scheduled outside its wheel's fixed horizon — either
+/// past the last covered slot or before the wheel's base cycle. The
+/// wheels cover 4 cycles because the engine only ever schedules at
+/// `cycle + 1` (credits, ejections) and `cycle + 2` (link
+/// traversals); this error escaping [`Network::try_step`] means the
+/// engine state is corrupt and the step did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelHorizonError {
+    /// The cycle the event was scheduled for.
+    pub cycle: u64,
+    /// The wheel's base (current) cycle.
+    pub base: u64,
+    /// How many cycles from `base` the wheel covers.
+    pub horizon: usize,
+}
+
+impl std::fmt::Display for WheelHorizonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event at cycle {} outside wheel horizon [{}, {})",
+            self.cycle,
+            self.base,
+            self.base + self.horizon as u64
+        )
+    }
+}
+
+impl std::error::Error for WheelHorizonError {}
+
 /// A fixed-horizon event wheel.
 #[derive(Debug)]
 struct Wheel<T> {
@@ -189,11 +256,34 @@ impl<T> Wheel<T> {
         }
     }
 
-    fn schedule(&mut self, cycle: u64, item: T) {
-        let offset = (cycle - self.base) as usize;
-        assert!(offset < self.slots.len(), "event beyond wheel horizon");
+    fn schedule(&mut self, cycle: u64, item: T) -> Result<(), WheelHorizonError> {
         let len = self.slots.len();
+        if cycle < self.base || (cycle - self.base) as usize >= len {
+            return Err(WheelHorizonError {
+                cycle,
+                base: self.base,
+                horizon: len,
+            });
+        }
         self.slots[(cycle as usize) % len].push(item);
+        Ok(())
+    }
+
+    /// The earliest cycle ≥ `base` holding a scheduled event, if any.
+    fn next_occupied(&self) -> Option<u64> {
+        let len = self.slots.len();
+        (self.base..self.base + len as u64).find(|&c| !self.slots[(c as usize) % len].is_empty())
+    }
+
+    /// Jumps the wheel base to `cycle` without draining. Callers must
+    /// have proven the skipped slots empty (`next_occupied` ≥ `cycle`).
+    fn advance_to(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.base, "wheel cannot rewind");
+        debug_assert!(
+            self.next_occupied().is_none_or(|c| c >= cycle),
+            "cannot skip over scheduled events"
+        );
+        self.base = cycle;
     }
 
     /// Moves all events due at `cycle` into `out` (cleared first) and
@@ -247,6 +337,92 @@ impl<T> Wheel<T> {
         }
         self.base = base;
         Ok(())
+    }
+}
+
+/// Structure-of-arrays activity state for the sparse stepper: one bit
+/// per owned router (set iff it holds buffered flits) and one bit per
+/// source (set iff its packet queue is non-empty), packed into `u64`
+/// words. The hot loop reads these dense words instead of chasing
+/// per-router structs, visits only set bits, and detects a fully idle
+/// engine in O(nodes/64).
+///
+/// The sets are maintained in *both* engine modes from the same four
+/// sites — wake on flit acceptance and packet enqueue, sleep when a
+/// router steps itself empty or a source queue drains — so the dense
+/// reference engine audits the exact bookkeeping the sparse engine
+/// steers by, and switching modes never needs a rebuild. They are
+/// deliberately **not** serialised: a checkpoint image fully
+/// determines them, so [`Network::restore`] recomputes both sets and
+/// sparse/dense snapshots stay byte-identical (the CI identity jobs
+/// `cmp` checkpoint files across engines).
+#[derive(Debug, Clone)]
+struct Activity {
+    /// Bit `li` set iff router `lo + li` holds buffered flits.
+    routers: Vec<u64>,
+    /// Bit `li` set iff source `lo + li` has queued packets.
+    sources: Vec<u64>,
+}
+
+impl Activity {
+    fn new(n: usize) -> Activity {
+        let words = n.div_ceil(64);
+        Activity {
+            routers: vec![0; words],
+            sources: vec![0; words],
+        }
+    }
+
+    #[inline]
+    fn wake_router(&mut self, li: usize) {
+        self.routers[li >> 6] |= 1 << (li & 63);
+    }
+
+    #[inline]
+    fn sleep_router(&mut self, li: usize) {
+        self.routers[li >> 6] &= !(1 << (li & 63));
+    }
+
+    #[inline]
+    fn router_active(&self, li: usize) -> bool {
+        self.routers[li >> 6] & (1 << (li & 63)) != 0
+    }
+
+    #[inline]
+    fn wake_source(&mut self, li: usize) {
+        self.sources[li >> 6] |= 1 << (li & 63);
+    }
+
+    #[inline]
+    fn sleep_source(&mut self, li: usize) {
+        self.sources[li >> 6] &= !(1 << (li & 63));
+    }
+
+    #[inline]
+    fn source_active(&self, li: usize) -> bool {
+        self.sources[li >> 6] & (1 << (li & 63)) != 0
+    }
+
+    /// True when no router and no source has work — the per-cycle
+    /// step is a no-op apart from scheduled wheel events.
+    fn all_idle(&self) -> bool {
+        self.routers.iter().chain(&self.sources).all(|&w| w == 0)
+    }
+
+    /// Rebuilds both sets from the ground truth, as after a restore.
+    fn recompute(&mut self, routers: &[AnyRouter], sources: &[Source]) {
+        self.routers.iter_mut().for_each(|w| *w = 0);
+        self.sources.iter_mut().for_each(|w| *w = 0);
+        for (li, r) in routers.iter().enumerate() {
+            if r.buffered_flits() > 0 {
+                self.wake_router(li);
+            }
+        }
+        for (li, s) in sources.iter().enumerate() {
+            if !s.queue.is_empty() {
+                self.wake_source(li);
+            }
+        }
     }
 }
 
@@ -355,6 +531,11 @@ pub struct Network {
     /// single branch; the unobserved path is pinned bit-identical by
     /// `orion-core`'s `sweep_identity` test.
     obs: Option<Box<ObsSink>>,
+    /// Which stepper visits routers and sources (see [`EngineMode`]).
+    engine: EngineMode,
+    /// The activity bitsets steering the sparse stepper; maintained in
+    /// both modes, recomputed (never serialised) on restore.
+    activity: Activity,
 }
 
 impl Network {
@@ -486,8 +667,22 @@ impl Network {
             audit_ejected: 0,
             audit_dropped: 0,
             obs: None,
+            engine: EngineMode::from_env(),
+            activity: Activity::new(hi - lo),
             spec,
         }
+    }
+
+    /// Selects the stepper (sparse by default; the dense reference for
+    /// differential testing). Both are bit-identical — see
+    /// [`EngineMode`] — so this may be switched at any cycle boundary.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.engine = mode;
+    }
+
+    /// The active stepper.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine
     }
 
     /// Attaches an observer. Events (injections, VA/SA grants, link
@@ -758,6 +953,7 @@ impl Network {
         make_packet_each(id, src, dst, &route, len, self.cycle, tagged, |flit| {
             queue.push_back(arena.alloc(flit));
         });
+        self.activity.wake_source(src.0 - self.lo);
         self.audit_enqueued += len as u64;
         id
     }
@@ -987,6 +1183,34 @@ impl Network {
             }
         }
 
+        // Activity bookkeeping: at every cycle boundary the active
+        // sets must agree exactly with the routers and sources that
+        // hold work. A stale active bit only wastes a visit, but a
+        // lost wakeup (work without a bit) makes the sparse engine
+        // silently freeze a router — so both directions are audited,
+        // in both engine modes.
+        for (li, router) in self.routers.iter().enumerate() {
+            let node = self.lo + li;
+            let buffered = router.buffered_flits();
+            let active = self.activity.router_active(li);
+            if active != (buffered > 0) {
+                violations.push(AuditViolation::ActiveSetMismatch {
+                    node,
+                    active,
+                    buffered,
+                });
+            }
+            let queued = self.sources[li].queue.len();
+            let pending = self.activity.source_active(li);
+            if pending != (queued > 0) {
+                violations.push(AuditViolation::SourceSetMismatch {
+                    node,
+                    active: pending,
+                    queued,
+                });
+            }
+        }
+
         let total = self.ledger.total_energy().0;
         if !total.is_finite() {
             violations.push(AuditViolation::EnergyNotFinite { energy: total });
@@ -1011,6 +1235,32 @@ impl Network {
         self.routers[node - self.lo].credit(port, vc);
     }
 
+    /// Test hook: flip `node`'s router activity bit, fabricating a
+    /// stale active (if idle) or a lost wakeup (if busy). Exists so
+    /// auditor tests can prove both directions of the active-set
+    /// invariant are detected. Never called by the engine.
+    #[doc(hidden)]
+    pub fn debug_corrupt_router_activity(&mut self, node: usize) {
+        let li = node - self.lo;
+        if self.activity.router_active(li) {
+            self.activity.sleep_router(li);
+        } else {
+            self.activity.wake_router(li);
+        }
+    }
+
+    /// Test hook: flip `node`'s source activity bit (see
+    /// [`Network::debug_corrupt_router_activity`]).
+    #[doc(hidden)]
+    pub fn debug_corrupt_source_activity(&mut self, node: usize) {
+        let li = node - self.lo;
+        if self.activity.source_active(li) {
+            self.activity.sleep_source(li);
+        } else {
+            self.activity.wake_source(li);
+        }
+    }
+
     /// Advances the network by one cycle.
     ///
     /// # Panics
@@ -1018,9 +1268,19 @@ impl Network {
     /// Panics (in the [`NullIo`]) if this engine is a shard of a
     /// partitioned network — shards must step through
     /// [`Network::step_with_io`] so boundary traffic has somewhere to
-    /// go.
+    /// go — or on a [`WheelHorizonError`] (see [`Network::try_step`]).
     pub fn step(&mut self) {
         self.step_with_io(&mut NullIo, &mut [], &mut []);
+    }
+
+    /// [`Network::step`] with the wheel-horizon failure as a typed
+    /// error instead of a panic. The horizon can only be exceeded by a
+    /// corrupted engine (every schedule site uses `cycle + 1` or
+    /// `cycle + 2` against 4-slot wheels), so on `Err` the step did
+    /// not complete and the network must be discarded or restored
+    /// from a snapshot.
+    pub fn try_step(&mut self) -> Result<(), WheelHorizonError> {
+        self.try_step_with_io(&mut NullIo, &mut [], &mut [])
     }
 
     /// Advances the engine by one cycle, exchanging boundary traffic
@@ -1033,18 +1293,86 @@ impl Network {
     /// All shards of a partition must step in lockstep: every boundary
     /// message lands at least one cycle after it was sent, so a single
     /// barrier between cycles is the only synchronisation required.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`WheelHorizonError`] (see [`Network::try_step`]).
     pub fn step_with_io(
         &mut self,
         io: &mut dyn ShardIo,
         inbound_flits: &mut [Vec<FlitMsg>],
         inbound_credits: &mut [Vec<CreditMsg>],
     ) {
+        if let Err(e) = self.try_step_with_io(io, inbound_flits, inbound_credits) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Network::step_with_io`] with the wheel-horizon failure as a
+    /// typed error (see [`Network::try_step`]).
+    pub fn try_step_with_io(
+        &mut self,
+        io: &mut dyn ShardIo,
+        inbound_flits: &mut [Vec<FlitMsg>],
+        inbound_credits: &mut [Vec<CreditMsg>],
+    ) -> Result<(), WheelHorizonError> {
         let cycle = self.cycle;
         self.deliver_flits(cycle, inbound_flits);
         self.deliver_credits(cycle, inbound_credits);
         self.inject(cycle);
-        self.run_routers(cycle, io);
+        self.run_routers(cycle, io)?;
         self.cycle += 1;
+        Ok(())
+    }
+
+    /// True when no router holds flits and no source has queued
+    /// packets: the only work left, if any, sits on the event wheels.
+    /// O(nodes/64) — this is the guard the run loop checks before
+    /// attempting [`Network::skip_idle_cycles`].
+    pub fn is_idle(&self) -> bool {
+        self.activity.all_idle()
+    }
+
+    /// The earliest future cycle with a scheduled wheel event (flit
+    /// arrival, ejection or credit return), if any.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        match (
+            self.flit_wheel.next_occupied(),
+            self.credit_wheel.next_occupied(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Jumps the clock toward `target` over cycles that are provably
+    /// dead: while the engine [is idle](Network::is_idle), every cycle
+    /// before the next scheduled wheel event delivers nothing, injects
+    /// nothing and steps no router, so skipping it is bit-identical to
+    /// stepping through it. The clock stops at `min(target, next
+    /// wheel event)`; if the engine is not idle or `target` is not in
+    /// the future, nothing happens. Returns the new current cycle.
+    ///
+    /// The caller owns every clock the engine cannot see: injection
+    /// processes must have nothing due before `target` (synthetic
+    /// traffic draws its RNG *every* cycle, so only replay-style
+    /// workloads with an inspectable next-injection cycle can skip),
+    /// and observation/audit/checkpoint strides must clamp `target`
+    /// to their next boundary. See `docs/PERFORMANCE.md`.
+    pub fn skip_idle_cycles(&mut self, target: u64) -> u64 {
+        if target <= self.cycle || !self.is_idle() {
+            return self.cycle;
+        }
+        let stop = match self.next_event_cycle() {
+            Some(event) => target.min(event),
+            None => target,
+        };
+        if stop > self.cycle {
+            self.flit_wheel.advance_to(stop);
+            self.credit_wheel.advance_to(stop);
+            self.cycle = stop;
+        }
+        self.cycle
     }
 
     fn deliver_flits(&mut self, cycle: u64, inbound: &mut [Vec<FlitMsg>]) {
@@ -1120,6 +1448,10 @@ impl Network {
             &mut self.ledger,
             &mut self.arena,
         );
+        // Wake the receiving router. This site also covers sharded
+        // runs: boundary flits drained from the mailbox grid arrive
+        // here through `step_with_io`'s inbound slices.
+        self.activity.wake_router(arrival.dest - self.lo);
     }
 
     fn deliver_credits(&mut self, cycle: u64, inbound: &mut [Vec<CreditMsg>]) {
@@ -1179,52 +1511,117 @@ impl Network {
     /// node, so the transfer is limited only by buffer capacity; the
     /// router's switch fabric is what meters entry into the network
     /// proper.
-    #[allow(clippy::while_let_loop)] // the loop body has several exits
+    ///
+    /// A source with an empty queue is a no-op, so the sparse engine
+    /// visits only the set bits of the source activity word — in the
+    /// same ascending-node order the dense loop produces.
     fn inject(&mut self, cycle: u64) {
-        for li in 0..self.routers.len() {
-            let vcs = self.routers[li].vcs();
-            loop {
-                let Some(&front) = self.sources[li].queue.front() else {
-                    break;
-                };
-                if self.sources[li].remaining == 0 {
-                    // Start of a new packet: pick the injection VC with
-                    // the most free space.
-                    let head = self.arena.get(front);
-                    debug_assert!(head.is_head(), "source queue starts at a head flit");
-                    let len = head.packet_len;
-                    let best = (0..vcs)
-                        .max_by_key(|&v| self.routers[li].input_free(0, v))
-                        .unwrap_or(0);
-                    if self.routers[li].input_free(0, best) == 0 {
-                        break;
-                    }
-                    self.sources[li].current_vc = best;
-                    self.sources[li].remaining = len;
-                } else if self.routers[li].input_free(0, self.sources[li].current_vc) == 0 {
-                    break;
+        match self.engine {
+            EngineMode::DenseReference => {
+                for li in 0..self.routers.len() {
+                    self.inject_node(li, cycle);
                 }
-                let handle = self.sources[li].queue.pop_front().expect("checked front");
-                let vc = self.sources[li].current_vc;
-                self.sources[li].remaining -= 1;
-                self.last_progress = cycle;
-                self.routers[li].accept(handle, 0, vc, cycle, &mut self.ledger, &mut self.arena);
+            }
+            EngineMode::Sparse => {
+                // Per-word copies are safe: injection never wakes
+                // another source, so no bit is set mid-iteration.
+                for wi in 0..self.activity.sources.len() {
+                    let mut word = self.activity.sources[wi];
+                    while word != 0 {
+                        let li = (wi << 6) | word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        self.inject_node(li, cycle);
+                    }
+                }
             }
         }
     }
 
-    fn run_routers(&mut self, cycle: u64, io: &mut dyn ShardIo) {
-        let ports = self.spec.topology.ports_per_router();
+    #[allow(clippy::while_let_loop)] // the loop body has several exits
+    fn inject_node(&mut self, li: usize, cycle: u64) {
+        let vcs = self.routers[li].vcs();
+        let mut moved = false;
+        loop {
+            let Some(&front) = self.sources[li].queue.front() else {
+                break;
+            };
+            if self.sources[li].remaining == 0 {
+                // Start of a new packet: pick the injection VC with
+                // the most free space.
+                let head = self.arena.get(front);
+                debug_assert!(head.is_head(), "source queue starts at a head flit");
+                let len = head.packet_len;
+                let best = (0..vcs)
+                    .max_by_key(|&v| self.routers[li].input_free(0, v))
+                    .unwrap_or(0);
+                if self.routers[li].input_free(0, best) == 0 {
+                    break;
+                }
+                self.sources[li].current_vc = best;
+                self.sources[li].remaining = len;
+            } else if self.routers[li].input_free(0, self.sources[li].current_vc) == 0 {
+                break;
+            }
+            let handle = self.sources[li].queue.pop_front().expect("checked front");
+            let vc = self.sources[li].current_vc;
+            self.sources[li].remaining -= 1;
+            self.last_progress = cycle;
+            self.routers[li].accept(handle, 0, vc, cycle, &mut self.ledger, &mut self.arena);
+            moved = true;
+        }
+        if moved {
+            self.activity.wake_router(li);
+        }
+        if self.sources[li].queue.is_empty() {
+            self.activity.sleep_source(li);
+        }
+    }
+
+    /// Steps every router with work. An empty router's `step_into` is
+    /// a pure no-op in every family (it returns before touching the
+    /// ledger, arbiters or observer), so the sparse engine visits only
+    /// the set bits of the router activity word — in the dense loop's
+    /// ascending-node order, which the wheel push order (and therefore
+    /// the sharded delivery interleave) depends on.
+    fn run_routers(&mut self, cycle: u64, io: &mut dyn ShardIo) -> Result<(), WheelHorizonError> {
         // One StepOutput is reused across every router and cycle (the
         // take/put-back dance frees `self` for the loop body).
         let mut out = std::mem::take(&mut self.step_out);
-        for li in 0..self.routers.len() {
+        let result = match self.engine {
+            EngineMode::DenseReference => (0..self.routers.len())
+                .try_for_each(|li| self.run_router_at(li, cycle, io, &mut out)),
+            EngineMode::Sparse => (0..self.activity.routers.len()).try_for_each(|wi| {
+                // Stepping never wakes another router (departures land
+                // on future wheel slots), so a per-word copy sees
+                // every bit that can matter this cycle.
+                let mut word = self.activity.routers[wi];
+                while word != 0 {
+                    let li = (wi << 6) | word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.run_router_at(li, cycle, io, &mut out)?;
+                }
+                Ok(())
+            }),
+        };
+        self.step_out = out;
+        result
+    }
+
+    fn run_router_at(
+        &mut self,
+        li: usize,
+        cycle: u64,
+        io: &mut dyn ShardIo,
+        out: &mut StepOutput,
+    ) -> Result<(), WheelHorizonError> {
+        let ports = self.spec.topology.ports_per_router();
+        {
             let node = self.lo + li;
             self.routers[li].step_into(
                 cycle,
                 &mut self.ledger,
                 self.obs.as_deref_mut(),
-                &mut out,
+                out,
                 &mut self.arena,
             );
             if !out.departures.is_empty() {
@@ -1245,7 +1642,7 @@ impl Network {
                             to_sink: true,
                             flit: dep.flit,
                         },
-                    );
+                    )?;
                     continue;
                 }
                 let wire = self.wires[node * ports + dep.out_port]
@@ -1290,7 +1687,7 @@ impl Network {
                         to_sink: false,
                         flit: dep.flit,
                     },
-                );
+                )?;
             }
             for credit in out.credits.drain(..) {
                 if credit.in_port == 0 {
@@ -1336,10 +1733,17 @@ impl Network {
                         out_port,
                         vc: credit.vc,
                     },
-                );
+                )?;
             }
         }
-        self.step_out = out;
+        // Buffer counts only decrease here (departures) and increase
+        // in `accept` (which wakes), so this is the single sleep site:
+        // a router that stepped itself empty goes inactive until the
+        // next arrival or injection.
+        if self.routers[li].buffered_flits() == 0 {
+            self.activity.sleep_router(li);
+        }
+        Ok(())
     }
 
     /// The shard owning `node` under this engine's partition bounds.
@@ -1751,6 +2155,10 @@ impl Network {
         self.audit_enqueued = audit_enqueued;
         self.audit_ejected = audit_ejected;
         self.audit_dropped = audit_dropped;
+        // The activity sets are not serialised (so sparse and dense
+        // engines write byte-identical images); the restored routers
+        // and sources fully determine them.
+        self.activity.recompute(&self.routers, &self.sources);
         Ok(())
     }
 }
@@ -2063,6 +2471,137 @@ mod tests {
         assert_eq!(restored.snapshot(), image, "snapshot∘restore is identity");
 
         assert_eq!(finish(&mut original), finish(&mut restored));
+    }
+
+    #[test]
+    fn wheel_schedule_outside_horizon_is_typed_error() {
+        let mut w: Wheel<u32> = Wheel::new(4);
+        assert!(w.schedule(3, 7).is_ok());
+        let err = w.schedule(4, 9).unwrap_err();
+        assert_eq!(
+            err,
+            WheelHorizonError {
+                cycle: 4,
+                base: 0,
+                horizon: 4
+            }
+        );
+        assert!(err.to_string().contains("wheel horizon"));
+        // Scheduling before the base is typed too (the old release
+        // assert would have wrapped the offset and landed the event in
+        // a stale slot).
+        let mut w: Wheel<u32> = Wheel::new(4);
+        w.advance_to(2);
+        assert!(w.schedule(1, 0).is_err());
+    }
+
+    #[test]
+    fn sparse_and_dense_steppers_are_bit_identical() {
+        let mut sparse = vc_net(2, 8);
+        sparse.set_engine_mode(EngineMode::Sparse);
+        let mut dense = vc_net(2, 8);
+        dense.set_engine_mode(EngineMode::DenseReference);
+        drive_uniform(&mut sparse, 80, 42);
+        drive_uniform(&mut dense, 80, 42);
+        // Mid-flight state (buffers, wheels, ledger, stats) must match
+        // byte for byte, not merely summary statistics.
+        assert_eq!(sparse.snapshot(), dense.snapshot());
+        assert_eq!(finish(&mut sparse), finish(&mut dense));
+        assert_eq!(sparse.snapshot(), dense.snapshot());
+    }
+
+    #[test]
+    fn skip_idle_cycles_is_bit_identical_to_stepping() {
+        let mut stepped = vc_net(2, 8);
+        let mut skipped = vc_net(2, 8);
+        drive_uniform(&mut stepped, 40, 7);
+        drive_uniform(&mut skipped, 40, 7);
+        run_until_drained(&mut stepped, 50_000);
+        run_until_drained(&mut skipped, 50_000);
+        // A busy engine refuses to skip.
+        let mut busy = vc_net(2, 8);
+        busy.enqueue_packet(NodeId(0), NodeId(5), false);
+        assert_eq!(busy.skip_idle_cycles(busy.cycle() + 100), busy.cycle());
+
+        // Drained: one engine steps 100 dead cycles, the other jumps.
+        let target = stepped.cycle() + 100;
+        while stepped.cycle() < target {
+            stepped.step();
+        }
+        assert_eq!(skipped.skip_idle_cycles(target), target);
+        assert_eq!(skipped.snapshot(), stepped.snapshot());
+
+        // Identical traffic after the gap stays identical.
+        stepped.enqueue_packet(NodeId(1), NodeId(14), true);
+        skipped.enqueue_packet(NodeId(1), NodeId(14), true);
+        assert_eq!(finish(&mut stepped), finish(&mut skipped));
+        assert_eq!(skipped.snapshot(), stepped.snapshot());
+    }
+
+    #[test]
+    fn skip_clamps_to_pending_wheel_events() {
+        // Catch an engine in the staged-ejection window: routers and
+        // sources empty (idle) but a to-sink flit still on the wheel.
+        let mut net = wormhole_net();
+        let mut reference = wormhole_net();
+        net.enqueue_packet(NodeId(0), NodeId(1), true);
+        reference.enqueue_packet(NodeId(0), NodeId(1), true);
+        while (!net.is_idle() || net.is_drained()) && net.cycle() < 100 {
+            net.step();
+            reference.step();
+        }
+        assert!(net.is_idle() && !net.is_drained(), "no staged window hit");
+        let event = net.next_event_cycle().expect("flit still on the wheel");
+        assert_eq!(net.skip_idle_cycles(net.cycle() + 1000), event);
+        while reference.cycle() < event {
+            reference.step();
+        }
+        assert_eq!(net.snapshot(), reference.snapshot());
+        assert_eq!(finish(&mut net), finish(&mut reference));
+    }
+
+    #[test]
+    fn activity_corruption_is_detected_in_both_directions() {
+        let mut net = vc_net(2, 8);
+        assert!(net.audit().is_empty());
+        // Stale active: an idle router marked active.
+        net.debug_corrupt_router_activity(3);
+        let v = net.audit_local();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "active-set-mismatch");
+        assert!(v[0].to_string().contains("stale active"));
+        net.debug_corrupt_router_activity(3);
+        assert!(net.audit().is_empty());
+
+        // Lost wakeup: a queued source with its bit cleared.
+        net.enqueue_packet(NodeId(5), NodeId(9), false);
+        assert!(net.audit().is_empty());
+        net.debug_corrupt_source_activity(5);
+        let v = net.audit_local();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind(), "source-set-mismatch");
+        assert!(v[0].to_string().contains("lost wakeup"));
+    }
+
+    #[test]
+    fn restore_recomputes_activity_and_cross_engine_images_match() {
+        // Snapshot a busy sparse run; restore into a dense-mode net.
+        // The images carry no activity bits, the restore rebuilds
+        // them, and the continuation is identical either way.
+        let mut original = vc_net(2, 8);
+        drive_uniform(&mut original, 60, 42);
+        let image = original.snapshot();
+
+        let mut dense = vc_net(2, 8);
+        dense.set_engine_mode(EngineMode::DenseReference);
+        dense.restore(&image).expect("snapshot restores");
+        assert!(dense.audit_local().is_empty(), "activity sets rebuilt");
+        assert_eq!(dense.snapshot(), image, "images are engine-agnostic");
+
+        let mut sparse = vc_net(2, 8);
+        sparse.restore(&image).expect("snapshot restores");
+        assert_eq!(finish(&mut sparse), finish(&mut dense));
+        assert_eq!(sparse.snapshot(), dense.snapshot());
     }
 
     #[test]
